@@ -1,0 +1,58 @@
+// Ablation: the full scheduler design space on contended TPC-C —
+//   * FCFS (MySQL default), VATS, RS (the paper's Fig. 2 set),
+//   * CATS (the contention-aware descendant MariaDB adopted, Section 9),
+//   * VATS-strict: grant pass stops at the first conflicting waiter instead
+//     of granting every waiter compatible with all locks in front of it
+//     (ablates the paper's implementation note in Section 5.2).
+#include "bench/bench_util.h"
+#include "engine/mysqlmini.h"
+#include "workload/tpcc.h"
+
+using namespace tdp;
+
+namespace {
+
+core::Metrics RunVariant(const char* label, lock::SchedulerPolicy policy,
+                         bool compatible_beyond_conflict, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  core::Metrics m = bench::PooledRuns(
+      [&](int) {
+        engine::MySQLMiniConfig cfg = core::Toolkit::MysqlDefault(policy);
+        cfg.lock.grant_compatible_beyond_conflict =
+            compatible_beyond_conflict;
+        return std::make_unique<engine::MySQLMini>(cfg);
+      },
+      [&](int) {
+        return std::make_unique<workload::Tpcc>(
+            core::Toolkit::TpccContended());
+      },
+      driver, bench::Reps());
+  std::printf("  [%-12s] %s\n", label, m.ToString().c_str());
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablation: lock scheduler design space (TPC-C)");
+  const uint64_t n = bench::N(6000);
+  const core::Metrics fcfs =
+      RunVariant("FCFS", lock::SchedulerPolicy::kFCFS, true, n);
+  const core::Metrics vats =
+      RunVariant("VATS", lock::SchedulerPolicy::kVATS, true, n);
+  const core::Metrics vats_strict =
+      RunVariant("VATS-strict", lock::SchedulerPolicy::kVATS, false, n);
+  const core::Metrics cats =
+      RunVariant("CATS", lock::SchedulerPolicy::kCATS, true, n);
+  const core::Metrics rs =
+      RunVariant("RS", lock::SchedulerPolicy::kRS, true, n);
+
+  std::printf("\nRatio (FCFS / variant):\n");
+  bench::PrintRatios("VATS", core::Ratios::Of(fcfs, vats));
+  bench::PrintRatios("VATS-strict", core::Ratios::Of(fcfs, vats_strict));
+  bench::PrintRatios("CATS", core::Ratios::Of(fcfs, cats));
+  bench::PrintRatios("RS", core::Ratios::Of(fcfs, rs));
+  return 0;
+}

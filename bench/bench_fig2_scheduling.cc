@@ -1,0 +1,44 @@
+// Figure 2: effect of the lock-scheduling algorithm on MySQL performance
+// (TPC-C). Bars are FCFS / <algorithm> ratios of mean, variance, and 99th
+// percentile latency — higher is better for the alternative scheduler.
+#include "bench/bench_util.h"
+#include "engine/mysqlmini.h"
+#include "workload/tpcc.h"
+
+using namespace tdp;
+
+namespace {
+
+core::Metrics RunPolicy(lock::SchedulerPolicy policy, uint64_t num_txns) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.num_txns = num_txns;
+  driver.warmup_txns = num_txns / 10;
+  const core::Metrics m = bench::PooledRuns(
+      [&](int) {
+        return std::make_unique<engine::MySQLMini>(
+            core::Toolkit::MysqlDefault(policy));
+      },
+      [&](int) {
+        return std::make_unique<workload::Tpcc>(
+            core::Toolkit::TpccContended());
+      },
+      driver, bench::Reps());
+  std::printf("  [%s] %s\n", lock::SchedulerPolicyName(policy),
+              m.ToString().c_str());
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 2: scheduling algorithms on mysqlmini (TPC-C)");
+  const uint64_t n = bench::N(8000);
+  const core::Metrics fcfs = RunPolicy(lock::SchedulerPolicy::kFCFS, n);
+  const core::Metrics vats = RunPolicy(lock::SchedulerPolicy::kVATS, n);
+  const core::Metrics rs = RunPolicy(lock::SchedulerPolicy::kRS, n);
+
+  std::printf("\nRatio (FCFS / scheduling algorithm):\n");
+  bench::PrintRatios("VATS", core::Ratios::Of(fcfs, vats));
+  bench::PrintRatios("RS", core::Ratios::Of(fcfs, rs));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 3 (center): effect of buffer-pool size (33% / 66% / 100% of the
+// database) on TPC-C. Bars: 33% / <size> ratios — larger pools should win
+// on mean, variance, and p99.
+#include "bench/bench_util.h"
+#include "engine/mysqlmini.h"
+#include "workload/tpcc.h"
+
+using namespace tdp;
+
+namespace {
+
+core::Metrics RunPoolPct(int pct, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.tps = 380;
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  core::Metrics m = bench::PooledRuns(
+      [&](int) {
+        // Size the pool from the loaded database's page count.
+        engine::MySQLMiniConfig cfg = core::Toolkit::MysqlMemoryContended(
+            lock::SchedulerPolicy::kFCFS);
+        workload::Tpcc probe(core::Toolkit::Tpcc2WH());
+        engine::MySQLMini sizing_db(cfg);
+        probe.Load(&sizing_db);
+        const uint64_t pages = probe.DataPages(sizing_db);
+        cfg.buffer_pool_pages =
+            std::max<uint64_t>(8, pages * static_cast<uint64_t>(pct) / 100);
+        return std::make_unique<engine::MySQLMini>(cfg);
+      },
+      [&](int) {
+        return std::make_unique<workload::Tpcc>(core::Toolkit::Tpcc2WH());
+      },
+      driver, bench::Reps(2));
+  std::printf("  [pool=%3d%%] %s\n", pct, m.ToString().c_str());
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 3 (center): buffer pool size (% of database size)");
+  const uint64_t n = bench::N(5000);
+  const core::Metrics p33 = RunPoolPct(33, n);
+  const core::Metrics p66 = RunPoolPct(66, n);
+  const core::Metrics p100 = RunPoolPct(100, n);
+  std::printf("\nRatio (33%% / buffer size):\n");
+  bench::PrintRatios("66%", core::Ratios::Of(p33, p66));
+  bench::PrintRatios("100%", core::Ratios::Of(p33, p100));
+  return 0;
+}

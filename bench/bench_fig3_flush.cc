@@ -1,0 +1,46 @@
+// Figure 3 (right): MySQL redo-flush policy (eager flush vs lazy flush vs
+// lazy write). Bars: eager / <policy> ratios — deferring both the write and
+// the flush to the log-flusher thread should minimize variance, at the cost
+// of durability (Appendix B).
+#include "bench/bench_util.h"
+#include "engine/mysqlmini.h"
+#include "workload/tpcc.h"
+
+using namespace tdp;
+
+namespace {
+
+core::Metrics RunPolicy(log::FlushPolicy policy, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  core::Metrics m = bench::PooledRuns(
+      [&](int) {
+        engine::MySQLMiniConfig cfg =
+            core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS);
+        cfg.flush_policy = policy;
+        return std::make_unique<engine::MySQLMini>(cfg);
+      },
+      [&](int) {
+        return std::make_unique<workload::Tpcc>(
+            core::Toolkit::TpccContended());
+      },
+      driver, bench::Reps());
+  std::printf("  [%s] %s\n", log::FlushPolicyName(policy),
+              m.ToString().c_str());
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 3 (right): redo log flush policy (TPC-C)");
+  const uint64_t n = bench::N(8000);
+  const core::Metrics eager = RunPolicy(log::FlushPolicy::kEagerFlush, n);
+  const core::Metrics lazy_flush = RunPolicy(log::FlushPolicy::kLazyFlush, n);
+  const core::Metrics lazy_write = RunPolicy(log::FlushPolicy::kLazyWrite, n);
+  std::printf("\nRatio (Eager Flush / flush policy):\n");
+  bench::PrintRatios("Lazy Flush", core::Ratios::Of(eager, lazy_flush));
+  bench::PrintRatios("Lazy Write", core::Ratios::Of(eager, lazy_write));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3 (left): Lazy LRU Update vs the original blocking LRU mutex, on
+// the memory-contended 2-WH configuration. Bars: original / LLU ratios.
+#include "bench/bench_util.h"
+#include "engine/mysqlmini.h"
+#include "workload/tpcc.h"
+
+using namespace tdp;
+
+namespace {
+
+core::Metrics RunLru(bool lazy, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.tps = 420;
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  core::Metrics m = bench::PooledRuns(
+      [&](int) {
+        engine::MySQLMiniConfig cfg = core::Toolkit::MysqlMemoryContended(
+            lock::SchedulerPolicy::kFCFS);
+        cfg.lazy_lru = lazy;
+        return std::make_unique<engine::MySQLMini>(cfg);
+      },
+      [&](int) {
+        return std::make_unique<workload::Tpcc>(core::Toolkit::Tpcc2WH());
+      },
+      driver, bench::Reps());
+  std::printf("  [%s] %s\n", lazy ? "LLU" : "original", m.ToString().c_str());
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 3 (left): Lazy LRU Update on 2-WH TPC-C");
+  const uint64_t n = bench::N(5000);
+  const core::Metrics original = RunLru(false, n);
+  const core::Metrics llu = RunLru(true, n);
+  std::printf("\nRatio (Original / LLU):\n");
+  bench::PrintRatios("LLU", core::Ratios::Of(original, llu));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 5 (left): profiling overhead of TProfiler vs a DTrace-like dynamic
+// instrumentation baseline, as the number of instrumented children grows
+// from 1 to 100. Reports relative throughput drop and latency increase vs
+// an uninstrumented run.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "common/work.h"
+#include "tprofiler/profiler.h"
+
+using namespace tdp;
+
+namespace {
+
+constexpr int kMaxChildren = 100;
+constexpr int kTxnsPerRun = 3000;
+constexpr int64_t kChildWorkNs = 3000;
+
+// A transaction body calling `kMaxChildren` instrumented children. Each
+// child has a static probe; per run we enable a prefix of them.
+void Child(int i) {
+  static std::vector<tprof::FuncId> fids = [] {
+    std::vector<tprof::FuncId> v;
+    for (int k = 0; k < kMaxChildren; ++k) {
+      v.push_back(tprof::Registry::Instance().Register(
+          "ov_child_" + std::to_string(k)));
+    }
+    return v;
+  }();
+  tprof::ScopedProbe probe(fids[i]);
+  SpinFor(kChildWorkNs);
+}
+
+void TxnBody() {
+  TPROF_SCOPE("ov_root");
+  for (int i = 0; i < kMaxChildren; ++i) Child(i);
+}
+
+struct RunStats {
+  double txns_per_sec;
+  double mean_latency_ns;
+};
+
+RunStats RunOnce() {
+  LatencySample lat;
+  const int64_t t0 = NowNanos();
+  for (int i = 0; i < kTxnsPerRun; ++i) {
+    const int64_t s = NowNanos();
+    tprof::TxnScope txn;
+    TxnBody();
+    lat.Add(NowNanos() - s);
+  }
+  const double secs = NanosToSeconds(NowNanos() - t0);
+  return RunStats{kTxnsPerRun / secs, lat.Summarize().mean_ns};
+}
+
+RunStats RunInstrumented(int num_children, tprof::ProbeCost cost) {
+  tprof::SessionConfig cfg;
+  cfg.enabled.push_back("ov_root");
+  for (int i = 0; i < num_children; ++i) {
+    cfg.enabled.push_back("ov_child_" + std::to_string(i));
+  }
+  cfg.cost_model = cost;
+  cfg.dtrace_event_cost_ns = 2500;  // trap + out-of-line handler per event
+  tprof::Profiler::Instance().StartSession(cfg);
+  const RunStats r = RunOnce();
+  tprof::Profiler::Instance().EndSession();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "\n==== Figure 5 (left): profiling overhead, TProfiler vs DTrace ====\n");
+  const RunStats base = RunOnce();  // no session active
+  std::printf("baseline: %.0f txn/s, mean %.0f us\n", base.txns_per_sec,
+              base.mean_latency_ns / 1000);
+
+  std::printf("%10s | %22s | %22s\n", "#children", "TProfiler ovhd (tput/lat)",
+              "DTrace-like ovhd (tput/lat)");
+  for (int n : {1, 5, 10, 25, 50, 100}) {
+    const RunStats tp = RunInstrumented(n, tprof::ProbeCost::kNative);
+    const RunStats dt = RunInstrumented(n, tprof::ProbeCost::kDTraceLike);
+    const double tp_tput = 100.0 * (1.0 - tp.txns_per_sec / base.txns_per_sec);
+    const double tp_lat =
+        100.0 * (tp.mean_latency_ns / base.mean_latency_ns - 1.0);
+    const double dt_tput = 100.0 * (1.0 - dt.txns_per_sec / base.txns_per_sec);
+    const double dt_lat =
+        100.0 * (dt.mean_latency_ns / base.mean_latency_ns - 1.0);
+    std::printf("%10d | %9.1f%% / %8.1f%% | %9.1f%% / %8.1f%%\n", n, tp_tput,
+                tp_lat, dt_tput, dt_lat);
+  }
+  return 0;
+}

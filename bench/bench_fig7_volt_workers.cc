@@ -1,0 +1,70 @@
+// Figure 7 / Appendix A: effect of the number of worker threads on
+// voltmini. Bars: (2 workers) / (N workers) ratios — queue wait is nearly
+// all of VoltDB's latency variance, and more workers shrink the queue.
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "volt/voltmini.h"
+
+using namespace tdp;
+
+namespace {
+
+struct VoltRun {
+  core::Metrics metrics;
+  double queue_wait_var_share;  ///< Var(queue wait) / Var(latency).
+};
+
+VoltRun RunWorkers(int workers, uint64_t n) {
+  volt::VoltMini db(core::Toolkit::VoltDefault(workers));
+  db.Start();
+  Rng rng(31);
+  std::vector<std::shared_ptr<volt::VoltMini::Ticket>> tickets;
+  tickets.reserve(n);
+  const int64_t gap_ns = 2200000;  // ~455/s: 2 workers at ~68% utilization
+  int64_t next = NowNanos();
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t now = NowNanos();
+    if (next > now)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(next - now));
+    next += gap_ns;
+    const int64_t service_us = 1000 + static_cast<int64_t>(rng.Uniform(4000));
+    tickets.push_back(db.Submit(static_cast<int>(rng.Uniform(8)),
+                                [service_us] {
+                                  std::this_thread::sleep_for(
+                                      std::chrono::microseconds(service_us));
+                                }));
+  }
+  std::vector<int64_t> latency;
+  std::vector<double> lat_d, wait_d;
+  for (auto& t : tickets) {
+    t->Wait();
+    latency.push_back(t->latency_ns());
+    lat_d.push_back(static_cast<double>(t->latency_ns()));
+    wait_d.push_back(static_cast<double>(t->queue_wait_ns()));
+  }
+  db.Stop();
+  VoltRun out;
+  out.metrics = core::Metrics::FromLatencies(latency);
+  const double lv = Variance(lat_d);
+  out.queue_wait_var_share = lv > 0 ? Variance(wait_d) / lv : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Figure 7: voltmini worker threads (2 is the default)");
+  const uint64_t n = bench::N(6000);
+  const VoltRun base = RunWorkers(2, n);
+  std::printf("  [2 workers] %s  queue-wait variance share: %.1f%%\n",
+              base.metrics.ToString().c_str(),
+              100 * base.queue_wait_var_share);
+  std::printf("\nRatio (2 workers / N workers):\n");
+  for (int workers : {8, 12, 16, 24}) {
+    const VoltRun run = RunWorkers(workers, n);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d workers", workers);
+    bench::PrintRatios(label, core::Ratios::Of(base.metrics, run.metrics));
+  }
+  return 0;
+}

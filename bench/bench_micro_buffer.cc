@@ -1,0 +1,64 @@
+// google-benchmark microbenchmarks for the buffer pool: hit path, miss +
+// eviction path, and the make-young reorder under original vs LLU locking.
+#include <benchmark/benchmark.h>
+
+#include "buffer/buffer_pool.h"
+
+using namespace tdp;
+using namespace tdp::buffer;
+
+namespace {
+
+void BM_FetchHit(benchmark::State& state) {
+  BufferPoolConfig cfg;
+  cfg.capacity_pages = 1024;
+  BufferPool pool(cfg);
+  for (uint64_t i = 0; i < 512; ++i) {
+    (void)pool.Fetch({0, i});
+    pool.Unpin({0, i});
+  }
+  uint64_t k = 0;
+  for (auto _ : state) {
+    const PageId id{0, k++ % 512};
+    benchmark::DoNotOptimize(pool.Fetch(id));
+    pool.Unpin(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchHit);
+
+void BM_FetchMissEvict(benchmark::State& state) {
+  BufferPoolConfig cfg;
+  cfg.capacity_pages = 64;  // every fetch of a new page evicts
+  BufferPool pool(cfg);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    const PageId id{0, k++};
+    benchmark::DoNotOptimize(pool.Fetch(id));
+    pool.Unpin(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchMissEvict);
+
+void BM_MakeYoungPath(benchmark::State& state) {
+  const bool lazy = state.range(0) != 0;
+  BufferPoolConfig cfg;
+  cfg.capacity_pages = 256;
+  cfg.lazy_lru = lazy;
+  BufferPool pool(cfg);
+  for (uint64_t i = 0; i < 256; ++i) {
+    (void)pool.Fetch({0, i});
+    pool.Unpin({0, i});
+  }
+  uint64_t k = 0;
+  for (auto _ : state) {
+    const PageId id{0, k++ % 256};
+    benchmark::DoNotOptimize(pool.Fetch(id));
+    pool.Unpin(id);
+  }
+  state.SetLabel(lazy ? "LLU" : "mutex");
+}
+BENCHMARK(BM_MakeYoungPath)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,63 @@
+// google-benchmark microbenchmarks for the lock manager: grant latency per
+// scheduling policy, uncontended fast path, and grant-pass cost at depth.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "lock/lock_manager.h"
+
+using namespace tdp;
+using namespace tdp::lock;
+
+namespace {
+
+void BM_UncontendedLockRelease(benchmark::State& state) {
+  LockManagerConfig cfg;
+  cfg.policy = static_cast<SchedulerPolicy>(state.range(0));
+  LockManager lm(cfg);
+  uint64_t id = 1;
+  for (auto _ : state) {
+    TxnContext txn(id++);
+    benchmark::DoNotOptimize(lm.Lock(&txn, {1, 42}, LockMode::kX));
+    lm.ReleaseAll(&txn);
+  }
+}
+BENCHMARK(BM_UncontendedLockRelease)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LockManyRecords(benchmark::State& state) {
+  LockManager lm;
+  const int n = static_cast<int>(state.range(0));
+  uint64_t id = 1;
+  for (auto _ : state) {
+    TxnContext txn(id++);
+    for (int i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          lm.Lock(&txn, {1, static_cast<uint64_t>(i)}, LockMode::kX));
+    }
+    lm.ReleaseAll(&txn);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LockManyRecords)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SharedLockFanIn(benchmark::State& state) {
+  // Many transactions holding the same record in S mode.
+  LockManager lm;
+  const int n = static_cast<int>(state.range(0));
+  uint64_t id = 1;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<TxnContext>> txns;
+    txns.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      txns.push_back(std::make_unique<TxnContext>(id++));
+      benchmark::DoNotOptimize(
+          lm.Lock(txns.back().get(), {2, 7}, LockMode::kS));
+    }
+    for (auto& t : txns) lm.ReleaseAll(t.get());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SharedLockFanIn)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// google-benchmark microbenchmarks for TProfiler probes: disabled-probe
+// cost, inactive-session cost, enabled-probe cost, and variance-tree builds.
+#include <benchmark/benchmark.h>
+
+#include "common/work.h"
+#include "tprofiler/analysis.h"
+#include "tprofiler/profiler.h"
+
+using namespace tdp;
+using namespace tdp::tprof;
+
+namespace {
+
+void BM_ProbeNoSession(benchmark::State& state) {
+  for (auto _ : state) {
+    TPROF_SCOPE("mb_probe_nosession");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+}
+BENCHMARK(BM_ProbeNoSession);
+
+void BM_ProbeDisabledInSession(benchmark::State& state) {
+  SessionConfig cfg;
+  cfg.enabled = {"mb_some_other_function"};
+  Profiler::Instance().StartSession(cfg);
+  for (auto _ : state) {
+    TPROF_SCOPE("mb_probe_disabled");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  Profiler::Instance().EndSession();
+}
+BENCHMARK(BM_ProbeDisabledInSession);
+
+void BM_ProbeEnabled(benchmark::State& state) {
+  SessionConfig cfg;
+  cfg.enabled = {"mb_probe_enabled"};
+  Profiler::Instance().StartSession(cfg);
+  for (auto _ : state) {
+    TPROF_SCOPE("mb_probe_enabled");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  Profiler::Instance().EndSession();
+}
+BENCHMARK(BM_ProbeEnabled);
+
+void BM_VarianceAnalysis(benchmark::State& state) {
+  // Build a trace of `range` transactions x 8 functions and measure the
+  // offline analysis cost.
+  const int txns = static_cast<int>(state.range(0));
+  PathTree tree;
+  TraceData data;
+  const FuncId root = Registry::Instance().Register("mb_va_root");
+  const PathNodeId root_node = tree.Intern(kRootNode, root);
+  std::vector<PathNodeId> children;
+  for (int c = 0; c < 8; ++c) {
+    const FuncId fid =
+        Registry::Instance().Register("mb_va_c" + std::to_string(c));
+    children.push_back(tree.Intern(root_node, fid));
+  }
+  for (int t = 1; t <= txns; ++t) {
+    const int64_t base = int64_t{t} * 1000000;
+    data.intervals.push_back({static_cast<uint64_t>(t), base, base + 900000});
+    data.events.push_back({root_node, static_cast<uint64_t>(t), base,
+                           base + 900000});
+    for (size_t c = 0; c < children.size(); ++c) {
+      data.events.push_back({children[c], static_cast<uint64_t>(t),
+                             base + int64_t(c) * 100000,
+                             base + int64_t(c) * 100000 + 50000 + t % 7000});
+    }
+  }
+  for (auto _ : state) {
+    VarianceAnalysis analysis(data, tree);
+    benchmark::DoNotOptimize(analysis.total_variance());
+  }
+  state.SetItemsProcessed(state.iterations() * txns);
+}
+BENCHMARK(BM_VarianceAnalysis)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Table 4: VATS vs MySQL's original FCFS lock scheduling across all five
+// workloads. Contended workloads (TPC-C, SEATS, TATP) should improve;
+// no-contention workloads (Epinions, YCSB) should be a wash.
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "engine/mysqlmini.h"
+#include "workload/epinions.h"
+#include "workload/seats.h"
+#include "workload/tatp.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+using namespace tdp;
+
+namespace {
+
+struct WorkloadCase {
+  const char* name;
+  bool contended;
+  double tps;
+  std::function<std::unique_ptr<workload::Workload>()> make;
+};
+
+core::Metrics RunCase(const WorkloadCase& wc, lock::SchedulerPolicy policy) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.tps = wc.tps;
+  driver.num_txns = bench::N(8000);
+  driver.warmup_txns = driver.num_txns / 10;
+  return bench::PooledRuns(
+      [&](int) {
+        return std::make_unique<engine::MySQLMini>(
+            core::Toolkit::MysqlDefault(policy));
+      },
+      [&](int) { return wc.make(); }, driver, bench::Reps());
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 4: VATS vs FCFS across the five workloads");
+
+  const WorkloadCase cases[] = {
+      {"TPCC", true, 520,
+       [] {
+         return std::make_unique<workload::Tpcc>(
+             core::Toolkit::TpccContended());
+       }},
+      {"SEATS", true, 520,
+       [] {
+         workload::SeatsConfig cfg;
+         cfg.flights = 50;  // paper's scale factor: highly contended
+         return std::make_unique<workload::Seats>(cfg);
+       }},
+      {"TATP", true, 700,
+       [] {
+         workload::TatpConfig cfg;
+         cfg.subscribers = 10000;  // contended, but less than TPC-C
+         return std::make_unique<workload::Tatp>(cfg);
+       }},
+      {"Epinions", false, 700,
+       [] {
+         workload::EpinionsConfig cfg;
+         cfg.items = 500;  // paper's scale factor: very low contention
+         return std::make_unique<workload::Epinions>(cfg);
+       }},
+      {"YCSB", false, 700,
+       [] {
+         workload::YcsbConfig cfg;
+         cfg.rows = 120000;  // scale 1200: no contention
+         return std::make_unique<workload::Ycsb>(cfg);
+       }},
+  };
+
+  std::printf("%-10s %-12s %8s %8s %8s\n", "Workload", "Regime", "Mean",
+              "Variance", "99th");
+  double contended_mean = 0, contended_var = 0, contended_p99 = 0;
+  int contended_count = 0;
+  for (const WorkloadCase& wc : cases) {
+    const core::Metrics fcfs = RunCase(wc, lock::SchedulerPolicy::kFCFS);
+    const core::Metrics vats = RunCase(wc, lock::SchedulerPolicy::kVATS);
+    const core::Ratios r = core::Ratios::Of(fcfs, vats);
+    std::printf("%-10s %-12s %7.2fx %7.2fx %7.2fx\n", wc.name,
+                wc.contended ? "contended" : "no-contention", r.mean,
+                r.variance, r.p99);
+    if (wc.contended) {
+      contended_mean += r.mean;
+      contended_var += r.variance;
+      contended_p99 += r.p99;
+      ++contended_count;
+    }
+  }
+  if (contended_count > 0) {
+    std::printf("%-10s %-12s %7.2fx %7.2fx %7.2fx\n", "Avg", "contended",
+                contended_mean / contended_count,
+                contended_var / contended_count,
+                contended_p99 / contended_count);
+  }
+  return 0;
+}

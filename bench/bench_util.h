@@ -1,0 +1,60 @@
+// Shared plumbing for the paper-table benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/predictability.h"
+#include "core/toolkit.h"
+
+namespace tdp::bench {
+
+/// True when TDP_QUICK_BENCH=1 — benches shrink their transaction counts so
+/// the whole suite smoke-runs in seconds (used by CI; the default sizes are
+/// what EXPERIMENTS.md reports).
+inline bool QuickMode() {
+  const char* v = std::getenv("TDP_QUICK_BENCH");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Scales a transaction count down in quick mode.
+inline uint64_t N(uint64_t full) { return QuickMode() ? full / 10 : full; }
+
+/// Repetitions per configuration (latencies are pooled across reps to tame
+/// single-run episode noise).
+inline int Reps(int full = 2) { return QuickMode() ? 1 : full; }
+
+/// Runs `reps` independent (fresh database + fresh workload) runs of the
+/// same configuration and pools all measured latencies.
+template <typename MakeDb, typename MakeWl>
+core::Metrics PooledRuns(MakeDb&& make_db, MakeWl&& make_wl,
+                         workload::DriverConfig driver, int reps) {
+  std::vector<int64_t> all;
+  double tps_sum = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto db = make_db(r);
+    auto wl = make_wl(r);
+    driver.seed = 7 + static_cast<uint64_t>(r) * 7919;
+    const core::RunOutcome out = core::LoadAndRun(db.get(), wl.get(), driver);
+    all.insert(all.end(), out.run.latencies.begin(), out.run.latencies.end());
+    tps_sum += out.metrics.achieved_tps;
+  }
+  core::Metrics m = core::Metrics::FromLatencies(all);
+  m.achieved_tps = reps > 0 ? tps_sum / reps : 0;
+  return m;
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintMetrics(const std::string& label, const core::Metrics& m) {
+  std::printf("%s\n", core::MetricsRow(label, m).c_str());
+}
+
+inline void PrintRatios(const std::string& label, const core::Ratios& r) {
+  std::printf("%s\n", core::RatioRow(label, r).c_str());
+}
+
+}  // namespace tdp::bench

@@ -1,0 +1,29 @@
+// Time primitives shared by all TDP modules.
+//
+// All latencies in this codebase are measured with the steady clock and
+// carried as int64 nanoseconds (cheap to store in trace buffers and to do
+// variance math on). Helpers convert to human units at the reporting edge.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tdp {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+/// Nanoseconds since an arbitrary (per-process) epoch.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+inline int64_t MicrosToNanos(int64_t us) { return us * 1000; }
+inline int64_t MillisToNanos(int64_t ms) { return ms * 1000000; }
+inline double NanosToMicros(int64_t ns) { return static_cast<double>(ns) / 1e3; }
+inline double NanosToMillis(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+inline double NanosToSeconds(int64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace tdp

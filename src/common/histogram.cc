@@ -1,0 +1,98 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace tdp {
+
+Histogram::Histogram() : buckets_(kNumBuckets), count_(0), sum_(0), max_(0) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  // Decade d covers [2^d, 2^(d+1)); sub-bucket from the next 4 bits.
+  const int decade = msb - 3;  // first full decade starts at 2^4 == kSubBuckets
+  const int sub = static_cast<int>((v >> (msb - 4)) & (kSubBuckets - 1));
+  int idx = decade * kSubBuckets + sub;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+int64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const int decade = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const int msb = decade + 3;
+  return (int64_t{1} << msb) + (int64_t{sub} << (msb - 4));
+}
+
+void Histogram::Add(int64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t v = other.buckets_[i].load(std::memory_order_relaxed);
+    if (v) buckets_[i].fetch_add(v, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const int64_t om = other.max_.load(std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (om > prev &&
+         !max_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Clear() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+int64_t Histogram::Percentile(double pct) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  const uint64_t target =
+      static_cast<uint64_t>(pct / 100.0 * static_cast<double>(n));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > target) return BucketLowerBound(i);
+  }
+  return max_seen();
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1fns p50=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count()), mean(),
+                static_cast<long long>(Percentile(50)),
+                static_cast<long long>(Percentile(99)),
+                static_cast<long long>(max_seen()));
+  return buf;
+}
+
+}  // namespace tdp

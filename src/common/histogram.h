@@ -1,0 +1,47 @@
+// Lock-free-ish log-bucketed latency histogram for cheap online collection in
+// hot paths (per-probe timing, per-operation counters). Exact-sample
+// collection lives in LatencySample; this histogram trades exactness for a
+// fixed footprint and atomic increments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdp {
+
+/// Histogram with ~4% relative-error buckets over [1ns, ~18s].
+///
+/// Buckets are arranged as 64 power-of-two decades, each split into
+/// kSubBuckets linear sub-buckets.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kDecades = 40;
+  static constexpr int kNumBuckets = kDecades * kSubBuckets;
+
+  Histogram();
+
+  void Add(int64_t value);
+  void MergeFrom(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double mean() const;
+  int64_t Percentile(double pct) const;
+  int64_t max_seen() const { return max_.load(std::memory_order_relaxed); }
+
+  std::string ToString() const;
+
+ private:
+  static int BucketFor(int64_t value);
+  static int64_t BucketLowerBound(int bucket);
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_;
+  std::atomic<int64_t> sum_;
+  std::atomic<int64_t> max_;
+};
+
+}  // namespace tdp

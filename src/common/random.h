@@ -1,0 +1,65 @@
+// Deterministic random number generation and the distributions the workload
+// generators and the simulated disk need (uniform, zipfian, lognormal,
+// NURand from the TPC-C specification).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tdp {
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+///
+/// Every concurrent component owns its own Rng seeded from a base seed plus a
+/// stream id, so runs are reproducible regardless of thread interleaving.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9Bull);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (p in [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box–Muller.
+  double Gaussian();
+
+  /// Lognormal with the given log-space mu/sigma.
+  double LogNormal(double mu, double sigma);
+
+  /// TPC-C NURand(A, x, y) non-uniform distribution (clause 2.1.6).
+  int64_t NURand(int64_t a, int64_t x, int64_t y);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter theta (0 = uniform-ish,
+/// 0.99 = heavily skewed). Precomputes the harmonic normalizer once.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace tdp

@@ -1,0 +1,65 @@
+#include "common/sim_disk.h"
+
+#include <thread>
+
+#include "common/clock.h"
+
+namespace tdp {
+
+SimDisk::SimDisk(SimDiskConfig config)
+    : config_(config), rng_(config.seed) {}
+
+int64_t SimDisk::SampleServiceNanos(uint64_t bytes, int64_t extra_ns) {
+  double jitter;
+  {
+    std::lock_guard<std::mutex> g(rng_mu_);
+    jitter = rng_.LogNormal(0.0, config_.sigma);
+  }
+  if (config_.max_jitter > 0 && jitter > config_.max_jitter) {
+    jitter = config_.max_jitter;
+  }
+  const double base = static_cast<double>(config_.base_latency_ns) * jitter;
+  const double xfer =
+      config_.bytes_per_us > 0
+          ? static_cast<double>(bytes) / config_.bytes_per_us * 1000.0
+          : 0.0;
+  return static_cast<int64_t>(base + xfer) + extra_ns;
+}
+
+void SimDisk::Service(uint64_t bytes, int64_t extra_ns) {
+  const int64_t start = NowNanos();
+  queue_len_.fetch_add(1, std::memory_order_relaxed);
+  const int slots = config_.max_concurrency < 1 ? 1 : config_.max_concurrency;
+  {
+    std::unique_lock<std::mutex> lk(device_mu_);
+    device_cv_.wait(lk, [&] { return active_ < slots; });
+    ++active_;
+  }
+  const int64_t service = SampleServiceNanos(bytes, extra_ns);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(service));
+  {
+    std::lock_guard<std::mutex> g(device_mu_);
+    --active_;
+  }
+  device_cv_.notify_one();
+  queue_len_.fetch_sub(1, std::memory_order_relaxed);
+  stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  service_times_.Add(NowNanos() - start);
+}
+
+void SimDisk::Write(uint64_t bytes) {
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  Service(bytes, 0);
+}
+
+void SimDisk::Read(uint64_t bytes) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  Service(bytes, 0);
+}
+
+void SimDisk::Flush(uint64_t bytes) {
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  Service(bytes, config_.flush_barrier_ns);
+}
+
+}  // namespace tdp

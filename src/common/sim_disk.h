@@ -1,0 +1,85 @@
+// SimDisk: the storage-device substitute (see DESIGN.md §2).
+//
+// A serialized device: one request is serviced at a time, so concurrent
+// writers queue on the device mutex exactly like transactions queueing on a
+// busy disk. Service time = seek/setup base time drawn from a lognormal
+// (disk latency is heavy-tailed) plus a bandwidth term proportional to the
+// request size. Sleeping (not spinning) models the thread blocking in I/O.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace tdp {
+
+struct SimDiskConfig {
+  /// Median service latency of a minimal request.
+  int64_t base_latency_ns = 80000;  // 80 us (SSD-ish)
+  /// Lognormal sigma of the base latency (0 = deterministic).
+  double sigma = 0.45;
+  /// Truncation of the lognormal jitter multiplier (0 = unbounded). A real
+  /// device's tail is bounded by firmware timeouts; bounding it also keeps
+  /// benchmark variance driven by many moderate stalls instead of a lottery
+  /// of rare extreme ones.
+  double max_jitter = 0;
+  /// Sustained bandwidth in bytes per microsecond.
+  double bytes_per_us = 400.0;  // ~400 MB/s
+  /// Extra fixed cost of a durability barrier (fsync).
+  int64_t flush_barrier_ns = 120000;  // 120 us
+  /// Requests serviced concurrently (1 = a strictly serial spindle;
+  /// NVMe-class devices service several commands at once).
+  int max_concurrency = 1;
+  uint64_t seed = 42;
+};
+
+class SimDisk {
+ public:
+  explicit SimDisk(SimDiskConfig config = {});
+
+  /// Performs a write of `bytes` (data reaches the device cache).
+  void Write(uint64_t bytes);
+
+  /// Performs a read of `bytes`.
+  void Read(uint64_t bytes);
+
+  /// Durability barrier: like Write but with the fsync surcharge.
+  void Flush(uint64_t bytes = 0);
+
+  /// Number of threads currently queued on (or using) the device. Used by
+  /// the parallel-logging policy ("the one with fewer waiters", §6.2).
+  int queue_length() const { return queue_len_.load(std::memory_order_relaxed); }
+
+  /// True if the device is idle right now (best-effort).
+  bool idle() const { return queue_length() == 0; }
+
+  struct Stats {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> bytes{0};
+  };
+  const Stats& stats() const { return stats_; }
+  /// Total time requests spent queued + serviced.
+  const LatencySample& service_times() const { return service_times_; }
+
+ private:
+  void Service(uint64_t bytes, int64_t extra_ns);
+  int64_t SampleServiceNanos(uint64_t bytes, int64_t extra_ns);
+
+  SimDiskConfig config_;
+  std::mutex device_mu_;  ///< Admission control (see max_concurrency).
+  std::condition_variable device_cv_;
+  int active_ = 0;
+  std::mutex rng_mu_;
+  Rng rng_;
+  std::atomic<int> queue_len_{0};
+  Stats stats_;
+  LatencySample service_times_;
+};
+
+}  // namespace tdp

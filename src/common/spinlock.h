@@ -1,0 +1,52 @@
+// Test-and-set spinlock with a bounded try_lock_for — the primitive the Lazy
+// LRU Update (Section 6.1) replaces the buffer-pool mutex with. The paper's
+// LLU abandons the LRU reorder if the lock cannot be acquired within 0.01 ms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace tdp {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+        // On few-core machines a pure spin starves the lock holder; yield
+        // after a short burst so the holder can finish its critical section.
+        if (++spins > 512) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+  /// Spin until acquired or `budget_nanos` elapses. Returns true on success.
+  bool try_lock_for(int64_t budget_nanos) {
+    if (try_lock()) return true;
+    const int64_t deadline = NowNanos() + budget_nanos;
+    while (NowNanos() < deadline) {
+      if (try_lock()) return true;
+    }
+    return false;
+  }
+
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace tdp

@@ -1,0 +1,184 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tdp {
+
+std::string LatencySummary::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms stddev=%.3fms cov=%.2f p50=%.3fms "
+                "p99=%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count), mean_ns / 1e6,
+                stddev_ns / 1e6, cov, p50_ns / 1e6, p99_ns / 1e6, max_ns / 1e6);
+  return buf;
+}
+
+void LatencySample::Add(int64_t nanos) {
+  std::lock_guard<std::mutex> g(mu_);
+  samples_.push_back(nanos);
+}
+
+void LatencySample::MergeFrom(const LatencySample& other) {
+  std::vector<int64_t> theirs;
+  {
+    std::lock_guard<std::mutex> g(other.mu_);
+    theirs = other.samples_;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  samples_.insert(samples_.end(), theirs.begin(), theirs.end());
+}
+
+void LatencySample::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  samples_.clear();
+}
+
+uint64_t LatencySample::count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return samples_.size();
+}
+
+std::vector<int64_t> LatencySample::Sorted() const {
+  std::vector<int64_t> out;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    out = samples_;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double PercentileSorted(const std::vector<int64_t>& sorted, double pct) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return static_cast<double>(sorted[0]);
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+LatencySummary LatencySample::Summarize() const {
+  const std::vector<int64_t> s = Sorted();
+  LatencySummary out;
+  out.count = s.size();
+  if (s.empty()) return out;
+  double sum = 0;
+  for (int64_t v : s) sum += static_cast<double>(v);
+  out.mean_ns = sum / static_cast<double>(s.size());
+  double m2 = 0;
+  for (int64_t v : s) {
+    const double d = static_cast<double>(v) - out.mean_ns;
+    m2 += d * d;
+  }
+  out.variance_ns2 = m2 / static_cast<double>(s.size());
+  out.stddev_ns = std::sqrt(out.variance_ns2);
+  out.cov = out.mean_ns > 0 ? out.stddev_ns / out.mean_ns : 0;
+  out.min_ns = static_cast<double>(s.front());
+  out.max_ns = static_cast<double>(s.back());
+  out.p50_ns = PercentileSorted(s, 50);
+  out.p90_ns = PercentileSorted(s, 90);
+  out.p95_ns = PercentileSorted(s, 95);
+  out.p99_ns = PercentileSorted(s, 99);
+  out.p999_ns = PercentileSorted(s, 99.9);
+  return out;
+}
+
+double LatencySample::LpNorm(double p) const {
+  std::vector<int64_t> s;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    s = samples_;
+  }
+  if (s.empty()) return 0;
+  // Scale by the max to avoid overflow for large p, then scale back.
+  double mx = 0;
+  for (int64_t v : s) mx = std::max(mx, std::fabs(static_cast<double>(v)));
+  if (mx == 0) return 0;
+  double acc = 0;
+  for (int64_t v : s) acc += std::pow(std::fabs(static_cast<double>(v)) / mx, p);
+  return mx * std::pow(acc, 1.0 / p);
+}
+
+double LatencySample::NormalizedLpNorm(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  return LpNorm(p) / std::pow(static_cast<double>(n), 1.0 / p);
+}
+
+LatencySummary SummarizeVector(std::vector<int64_t> samples) {
+  LatencySample tmp;
+  for (int64_t v : samples) tmp.Add(v);
+  return tmp.Summarize();
+}
+
+double LpNormOf(const std::vector<int64_t>& samples, double p) {
+  LatencySample tmp;
+  for (int64_t v : samples) tmp.Add(v);
+  return tmp.LpNorm(p);
+}
+
+void OnlineStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::MergeFrom(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+  n_ = total;
+}
+
+double OnlineStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& x) {
+  if (x.empty()) return 0;
+  double s = 0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double Variance(const std::vector<double>& x) {
+  if (x.empty()) return 0;
+  const double m = Mean(x);
+  double acc = 0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double Covariance(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) return 0;
+  const double mx = Mean(x), my = Mean(y);
+  double acc = 0;
+  for (size_t i = 0; i < x.size(); ++i) acc += (x[i] - mx) * (y[i] - my);
+  return acc / static_cast<double>(x.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const double cov = Covariance(x, y);
+  const double vx = Variance(x), vy = Variance(y);
+  if (vx <= 0 || vy <= 0) return 0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace tdp

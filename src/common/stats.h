@@ -1,0 +1,103 @@
+// Statistics used throughout the paper's evaluation: mean, variance,
+// coefficient of variation, percentiles, Lp norms, covariance and Pearson
+// correlation. LatencySample collects raw samples (the paper's analyses need
+// exact percentiles and Lp norms, so we keep everything).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdp {
+
+/// Summary statistics over a set of latency samples (nanoseconds).
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_ns = 0;
+  double variance_ns2 = 0;  ///< Population variance.
+  double stddev_ns = 0;
+  double cov = 0;  ///< Coefficient of variation: stddev / mean.
+  double min_ns = 0;
+  double max_ns = 0;
+  double p50_ns = 0;
+  double p90_ns = 0;
+  double p95_ns = 0;
+  double p99_ns = 0;
+  double p999_ns = 0;
+
+  /// Human-readable one-line rendering (milliseconds).
+  std::string ToString() const;
+};
+
+/// Thread-safe collector of latency samples.
+///
+/// Add() takes a shared mutex; for per-worker collection prefer one
+/// LatencySample per thread and MergeFrom() at the end of the run.
+class LatencySample {
+ public:
+  LatencySample() = default;
+
+  void Add(int64_t nanos);
+  void MergeFrom(const LatencySample& other);
+  void Clear();
+
+  uint64_t count() const;
+
+  /// Copies out the raw samples (sorted ascending).
+  std::vector<int64_t> Sorted() const;
+
+  LatencySummary Summarize() const;
+
+  /// Lp norm of the sample vector: (Σ|xᵢ|^p)^(1/p). The paper's loss
+  /// function (Section 5.1, eq. 4); p = 2 is the typical choice.
+  double LpNorm(double p) const;
+
+  /// Normalized Lp: LpNorm / count^(1/p). Comparable across runs with
+  /// different sample counts.
+  double NormalizedLpNorm(double p) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int64_t> samples_;
+};
+
+/// Numerically stable single-pass accumulator (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+  void MergeFrom(const OnlineStats& other);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (0 when count < 1).
+  double variance() const;
+  double stddev() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+/// Population covariance of two equally long vectors.
+double Covariance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient; returns 0 when either variance is 0.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Population mean / variance of a vector.
+double Mean(const std::vector<double>& x);
+double Variance(const std::vector<double>& x);
+
+/// Exact percentile (linear interpolation) over a *sorted* vector.
+double PercentileSorted(const std::vector<int64_t>& sorted, double pct);
+
+/// Summary of a raw sample vector (copied and sorted internally).
+LatencySummary SummarizeVector(std::vector<int64_t> samples);
+
+/// Lp norm of a raw sample vector.
+double LpNormOf(const std::vector<int64_t>& samples, double p);
+
+}  // namespace tdp

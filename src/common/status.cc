@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace tdp {
+
+namespace {
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kDeadlock: return "Deadlock";
+    case Code::kLockTimeout: return "LockTimeout";
+    case Code::kAborted: return "Aborted";
+    case Code::kBusy: return "Busy";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kCorruption: return "Corruption";
+    case Code::kNotSupported: return "NotSupported";
+    case Code::kIOError: return "IOError";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace tdp

@@ -1,0 +1,116 @@
+// Status / Result: lightweight, RocksDB-style error propagation used across
+// all TDP libraries. Functions that can fail return Status (or Result<T>);
+// exceptions are reserved for programming errors.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace tdp {
+
+/// Error taxonomy shared by all engines in this repository.
+enum class Code {
+  kOk = 0,
+  kNotFound,        ///< Row / page / key does not exist.
+  kDeadlock,        ///< Transaction chosen as deadlock victim; caller must abort.
+  kLockTimeout,     ///< Lock wait exceeded the configured budget.
+  kAborted,         ///< Transaction aborted (explicitly or by conflict).
+  kBusy,            ///< Resource temporarily unavailable (e.g., pool exhausted).
+  kInvalidArgument, ///< Caller error: bad parameter or misuse of the API.
+  kCorruption,      ///< Invariant violation detected in on-"disk" state.
+  kNotSupported,    ///< Operation not implemented for this configuration.
+  kIOError,         ///< Simulated device failure.
+};
+
+/// Outcome of an operation: a code plus an optional human-readable message.
+///
+/// Status is cheap to copy when OK (no allocation) and carries a message only
+/// on failure. Use the factory functions (Status::OK(), Status::Deadlock(...))
+/// rather than the constructor.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg = "") {
+    return Status(Code::kLockTimeout, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsLockTimeout() const { return code_ == Code::kLockTimeout; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Result<T>: a Status plus a value that is only present when ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok() && "use the value constructor for OK results");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace tdp

@@ -1,0 +1,27 @@
+#include "common/work.h"
+
+#include "common/clock.h"
+
+namespace tdp {
+
+void SpinFor(int64_t nanos) {
+  if (nanos <= 0) return;
+  const int64_t deadline = NowNanos() + nanos;
+  // Re-check the clock every few iterations; a clock read is ~20ns, which is
+  // fine-grained enough for the microsecond-scale work units we simulate.
+  while (NowNanos() < deadline) {
+  }
+}
+
+uint64_t BurnIterations(uint64_t iters) {
+  // Simple xorshift chain: data-dependent so the compiler cannot elide it.
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+}  // namespace tdp

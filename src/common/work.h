@@ -1,0 +1,25 @@
+// Synthetic CPU work.
+//
+// The miniature engines execute "query logic" as calibrated busy-spins so that
+// transactions consume real CPU for a controllable duration. Spinning (rather
+// than sleeping) matters: it keeps the thread runnable, so lock wait time and
+// scheduler-induced queueing — the effects the paper studies — are the only
+// sources of involuntary delay.
+#pragma once
+
+#include <cstdint>
+
+namespace tdp {
+
+/// Busy-spin for approximately `nanos` nanoseconds of CPU work.
+///
+/// Uses the steady clock as the stop condition, so it is accurate to a few
+/// hundred nanoseconds regardless of CPU frequency scaling.
+void SpinFor(int64_t nanos);
+
+/// Perform `iters` iterations of a data-dependent integer loop and return a
+/// checksum. Used where deterministic *work* (not wall time) is wanted, e.g.
+/// in profiler overhead benchmarks.
+uint64_t BurnIterations(uint64_t iters);
+
+}  // namespace tdp

@@ -1,0 +1,80 @@
+#include "core/predictability.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tdp::core {
+
+Metrics Metrics::FromLatencies(const std::vector<int64_t>& latencies_ns) {
+  Metrics m;
+  const LatencySummary s = SummarizeVector(latencies_ns);
+  m.count = s.count;
+  m.mean_ms = s.mean_ns / 1e6;
+  m.variance_ms2 = s.variance_ns2 / 1e12;
+  m.stddev_ms = s.stddev_ns / 1e6;
+  m.cov = s.cov;
+  m.p50_ms = s.p50_ns / 1e6;
+  m.p95_ms = s.p95_ns / 1e6;
+  m.p99_ms = s.p99_ns / 1e6;
+  m.max_ms = s.max_ns / 1e6;
+  if (!latencies_ns.empty()) {
+    m.lp2_ms = LpNormOf(latencies_ns, 2.0) /
+               std::sqrt(static_cast<double>(latencies_ns.size())) / 1e6;
+  }
+  return m;
+}
+
+Metrics Metrics::From(const workload::RunResult& run) {
+  Metrics m = FromLatencies(run.latencies);
+  m.achieved_tps = run.achieved_tps;
+  return m;
+}
+
+std::string Metrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms var=%.4fms^2 stddev=%.3fms cov=%.2f "
+                "p99=%.3fms L2=%.3fms tps=%.0f",
+                static_cast<unsigned long long>(count), mean_ms, variance_ms2,
+                stddev_ms, cov, p99_ms, lp2_ms, achieved_tps);
+  return buf;
+}
+
+namespace {
+double SafeRatio(double num, double den) { return den > 0 ? num / den : 0; }
+}  // namespace
+
+Ratios Ratios::Of(const Metrics& baseline, const Metrics& modified) {
+  Ratios r;
+  r.mean = SafeRatio(baseline.mean_ms, modified.mean_ms);
+  r.variance = SafeRatio(baseline.variance_ms2, modified.variance_ms2);
+  r.p99 = SafeRatio(baseline.p99_ms, modified.p99_ms);
+  r.cov = SafeRatio(baseline.cov, modified.cov);
+  return r;
+}
+
+std::string Ratios::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean %.2fx  variance %.2fx  p99 %.2fx  cov %.2fx", mean,
+                variance, p99, cov);
+  return buf;
+}
+
+std::string RatioRow(const std::string& label, const Ratios& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s mean=%6.2fx  var=%6.2fx  p99=%6.2fx",
+                label.c_str(), r.mean, r.variance, r.p99);
+  return buf;
+}
+
+std::string MetricsRow(const std::string& label, const Metrics& m) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-28s mean=%8.3fms  stddev=%8.3fms  p99=%8.3fms  n=%llu",
+                label.c_str(), m.mean_ms, m.stddev_ms, m.p99_ms,
+                static_cast<unsigned long long>(m.count));
+  return buf;
+}
+
+}  // namespace tdp::core

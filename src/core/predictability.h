@@ -1,0 +1,53 @@
+// Predictability metrics and the baseline/modified ratio reports used by
+// every table and figure in the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "workload/driver.h"
+
+namespace tdp::core {
+
+/// The metrics the paper reports per configuration.
+struct Metrics {
+  uint64_t count = 0;
+  double mean_ms = 0;
+  double variance_ms2 = 0;
+  double stddev_ms = 0;
+  double cov = 0;       ///< Coefficient of variation.
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  double lp2_ms = 0;    ///< Normalized L2 norm (Section 5.1's loss, p=2).
+  double achieved_tps = 0;
+
+  static Metrics From(const workload::RunResult& run);
+  static Metrics FromLatencies(const std::vector<int64_t>& latencies_ns);
+
+  std::string ToString() const;
+};
+
+/// Original/modified ratios, oriented so that >1 means the modification
+/// improved the metric (the paper's "Ratio of overall ..." columns).
+struct Ratios {
+  double mean = 1;
+  double variance = 1;
+  double p99 = 1;
+  double cov = 1;
+
+  static Ratios Of(const Metrics& baseline, const Metrics& modified);
+
+  std::string ToString() const;
+};
+
+/// Formats one row of a paper-style table: label + the three ratios.
+std::string RatioRow(const std::string& label, const Ratios& r);
+
+/// Formats one row of absolute metrics.
+std::string MetricsRow(const std::string& label, const Metrics& m);
+
+}  // namespace tdp::core

@@ -1,0 +1,134 @@
+#include "core/queue_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+using std::ptrdiff_t;
+
+namespace tdp::core {
+
+const char* QueuePolicyName(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::kFCFS: return "FCFS";
+    case QueuePolicy::kVATS: return "VATS";
+    case QueuePolicy::kRS: return "RS";
+    case QueuePolicy::kSRT: return "SRT-oracle";
+    case QueuePolicy::kLRT: return "LRT-oracle";
+  }
+  return "?";
+}
+
+QueueInstance MakeInstance(int n, double mean_arrival_gap, double mean_age,
+                           const std::function<double(Rng*)>& draw_r,
+                           Rng* rng) {
+  QueueInstance inst;
+  inst.menu.reserve(n);
+  inst.remaining.reserve(n);
+  double t = 0;
+  for (int i = 0; i < n; ++i) {
+    // Exponential inter-arrivals and ages.
+    t += -mean_arrival_gap * std::log(1.0 - rng->NextDouble());
+    MenuEntry e;
+    e.arrival = t;
+    e.age = -mean_age * std::log(1.0 - rng->NextDouble());
+    inst.menu.push_back(e);
+    inst.remaining.push_back(draw_r(rng));
+  }
+  return inst;
+}
+
+std::vector<double> ServeQueue(const QueueInstance& inst, QueuePolicy policy,
+                               Rng* rng) {
+  const size_t n = inst.menu.size();
+  std::vector<double> latency(n, 0);
+  std::vector<char> done(n, 0);
+  // Random priorities for RS, fixed per transaction (assigned at birth).
+  std::vector<uint64_t> rs_priority(n);
+  for (size_t i = 0; i < n; ++i) rs_priority[i] = rng->Next();
+
+  double clock = 0;
+  size_t completed = 0;
+  while (completed < n) {
+    // Eligible = arrived and not done.
+    ptrdiff_t pick = -1;
+    double next_arrival = 1e300;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      if (inst.menu[i].arrival > clock) {
+        next_arrival = std::min(next_arrival, inst.menu[i].arrival);
+        continue;
+      }
+      if (pick < 0) {
+        pick = static_cast<ptrdiff_t>(i);
+        continue;
+      }
+      const size_t j = static_cast<size_t>(pick);
+      bool better = false;
+      switch (policy) {
+        case QueuePolicy::kFCFS:
+          better = inst.menu[i].arrival < inst.menu[j].arrival;
+          break;
+        case QueuePolicy::kVATS: {
+          // Eldest = largest (age + time since arrival); with a shared
+          // clock that is simply the smallest birth time
+          // arrival - age.
+          const double birth_i = inst.menu[i].arrival - inst.menu[i].age;
+          const double birth_j = inst.menu[j].arrival - inst.menu[j].age;
+          better = birth_i < birth_j;
+          break;
+        }
+        case QueuePolicy::kRS:
+          better = rs_priority[i] < rs_priority[j];
+          break;
+        case QueuePolicy::kSRT:
+          better = inst.remaining[i] < inst.remaining[j];
+          break;
+        case QueuePolicy::kLRT:
+          better = inst.remaining[i] > inst.remaining[j];
+          break;
+      }
+      if (better) pick = static_cast<ptrdiff_t>(i);
+    }
+    if (pick < 0) {
+      clock = next_arrival;  // idle until the next arrival
+      continue;
+    }
+    const size_t i = static_cast<size_t>(pick);
+    const double finish = clock + inst.remaining[i];
+    // Latency as the theorem measures it: age at queue arrival + time spent
+    // waiting in the queue + remaining time.
+    latency[i] = inst.menu[i].age + (clock - inst.menu[i].arrival) +
+                 inst.remaining[i];
+    clock = finish;
+    done[i] = 1;
+    ++completed;
+  }
+  return latency;
+}
+
+double LpOf(const std::vector<double>& latencies, double p) {
+  if (latencies.empty()) return 0;
+  double mx = 0;
+  for (double v : latencies) mx = std::max(mx, std::fabs(v));
+  if (mx == 0) return 0;
+  double acc = 0;
+  for (double v : latencies) acc += std::pow(std::fabs(v) / mx, p);
+  return mx * std::pow(acc, 1.0 / p);
+}
+
+double MeanLp(QueuePolicy policy, int n, int trials, double p,
+              const std::function<double(Rng*)>& draw_r, uint64_t seed) {
+  Rng rng(seed);
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    // Busy queue: arrivals much faster than service so the queue stays deep.
+    QueueInstance inst = MakeInstance(n, /*mean_arrival_gap=*/0.1,
+                                      /*mean_age=*/2.0, draw_r, &rng);
+    const std::vector<double> lat = ServeQueue(inst, policy, &rng);
+    total += LpOf(lat, p);
+  }
+  return total / trials;
+}
+
+}  // namespace tdp::core

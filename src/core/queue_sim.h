@@ -1,0 +1,61 @@
+// Single-queue lock-scheduling simulator — an executable model of
+// Section 5's setting, used to validate Theorem 1 empirically.
+//
+// A *menu* is a sequence of transactions, each with an age (time already
+// spent in the system when it arrives at the queue) and an arrival time.
+// Remaining times R(T) are i.i.d. draws from a configurable distribution,
+// realized independently of the schedule (the theorem's coupling). The
+// simulator serves one transaction at a time (an exclusive lock), measures
+// each transaction's completion latency age + wait + R, and returns the
+// Lp norm of the latency vector.
+//
+// Policies: FCFS (arrival order), VATS (eldest first), RS (random order),
+// and two oracles that know the realized R values: SRT (shortest remaining
+// time first) and LRT (longest first, the pessimal order) for context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tdp::core {
+
+enum class QueuePolicy { kFCFS, kVATS, kRS, kSRT, kLRT };
+
+const char* QueuePolicyName(QueuePolicy p);
+
+struct MenuEntry {
+  double age = 0;      ///< Time in system before reaching this queue.
+  double arrival = 0;  ///< Arrival time at the queue (same clock as age).
+};
+
+/// A menu plus one realization of the i.i.d. remaining times.
+struct QueueInstance {
+  std::vector<MenuEntry> menu;
+  std::vector<double> remaining;  ///< remaining[i] is R of menu[i].
+};
+
+/// Generates a random instance: `n` transactions, Poisson-ish arrivals with
+/// the given mean gap, ages exponential with the given mean, and remaining
+/// times drawn from `draw_r`.
+QueueInstance MakeInstance(int n, double mean_arrival_gap, double mean_age,
+                           const std::function<double(Rng*)>& draw_r,
+                           Rng* rng);
+
+/// Serves the instance under `policy` and returns per-transaction total
+/// latencies (age + queue wait + R).
+std::vector<double> ServeQueue(const QueueInstance& inst, QueuePolicy policy,
+                               Rng* rng);
+
+/// Lp norm of a latency vector.
+double LpOf(const std::vector<double>& latencies, double p);
+
+/// Mean Lp over `trials` random instances (fresh R realization each trial,
+/// same menu-generating process).
+double MeanLp(QueuePolicy policy, int n, int trials, double p,
+              const std::function<double(Rng*)>& draw_r, uint64_t seed);
+
+}  // namespace tdp::core

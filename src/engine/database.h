@@ -1,0 +1,74 @@
+// Engine-neutral transactional interface.
+//
+// The workload generators (TPC-C, SEATS, TATP, Epinions, YCSB) issue
+// transactions through this interface so the same benchmark runs unchanged
+// against mysqlmini and pgmini. Semantics: strict 2PL with Select taking
+// shared locks, SelectForUpdate/Update/Insert/Delete taking exclusive locks;
+// any operation may return Deadlock or LockTimeout, after which the caller
+// must Rollback (the driver retries).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace tdp::engine {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  virtual Status Begin() = 0;
+
+  /// Shared-mode point read.
+  virtual Status Select(uint32_t table, uint64_t key) = 0;
+  /// Range read over [lo, hi] (inclusive). Nonlocking by default, like
+  /// Select; engines cap the span to keep scans bounded.
+  virtual Status SelectRange(uint32_t table, uint64_t lo, uint64_t hi) = 0;
+  /// Exclusive-mode point read (SELECT ... FOR UPDATE).
+  virtual Status SelectForUpdate(uint32_t table, uint64_t key) = 0;
+  /// Adds `delta` to column `col` of the row (exclusive lock).
+  virtual Status Update(uint32_t table, uint64_t key, size_t col,
+                        int64_t delta) = 0;
+  /// Inserts a new row (exclusive lock on the new key).
+  virtual Status Insert(uint32_t table, uint64_t key, storage::Row row) = 0;
+  virtual Status Delete(uint32_t table, uint64_t key) = 0;
+
+  virtual Status Commit() = 0;
+  virtual void Rollback() = 0;
+
+  /// Value of column `col` as read under the current transaction's lock.
+  /// Valid after a successful Select/SelectForUpdate of that key.
+  virtual Result<int64_t> ReadColumn(uint32_t table, uint64_t key,
+                                     size_t col) = 0;
+
+  /// Engine transaction id of the currently open (or last) transaction;
+  /// 0 when unknown. Used by the age/remaining-time study.
+  virtual uint64_t current_txn_id() const { return 0; }
+};
+
+class Database {
+ public:
+  virtual ~Database() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual std::unique_ptr<Connection> Connect() = 0;
+
+  /// Creates (or returns) a table; the returned id is what Connection
+  /// operations take.
+  virtual uint32_t CreateTable(const std::string& name,
+                               uint64_t rows_per_page) = 0;
+  virtual uint32_t TableId(const std::string& name) const = 0;
+
+  /// Loads rows without locking or logging (benchmark setup only).
+  virtual void BulkUpsert(uint32_t table, uint64_t key, storage::Row row) = 0;
+
+  virtual uint64_t TableRowCount(uint32_t table) const = 0;
+};
+
+}  // namespace tdp::engine

@@ -1,0 +1,361 @@
+#include "engine/mysqlmini.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/work.h"
+#include "tprofiler/profiler.h"
+
+namespace tdp::engine {
+
+MySQLMini::MySQLMini(MySQLMiniConfig config)
+    : config_(config), rng_(config.seed * 0x9E3779B97F4A7C15ull + 1) {
+  data_disk_ = std::make_unique<SimDisk>(config_.data_disk);
+  SimDiskConfig log_cfg = config_.log_disk;
+  log_cfg.seed += 17;
+  log_disk_ = std::make_unique<SimDisk>(log_cfg);
+
+  lock_manager_ = std::make_unique<lock::LockManager>(config_.lock);
+
+  buffer::BufferPoolConfig bp;
+  bp.capacity_pages = config_.buffer_pool_pages;
+  bp.lazy_lru = config_.lazy_lru;
+  bp.llu_spin_budget_ns = config_.llu_spin_budget_ns;
+  bp.lru_critical_work_ns = config_.lru_critical_work_ns;
+  bp.disk = data_disk_.get();
+  buffer_pool_ = std::make_unique<buffer::BufferPool>(bp);
+
+  log::RedoLogConfig lg;
+  lg.policy = config_.flush_policy;
+  lg.flusher_interval_ns = config_.flusher_interval_ns;
+  lg.group_commit = config_.log_group_commit;
+  lg.disk = log_disk_.get();
+  redo_log_ = std::make_unique<log::RedoLog>(lg);
+  redo_log_->Start();
+
+  btree_ = storage::BTreeModel(config_.btree);
+}
+
+MySQLMini::~MySQLMini() { redo_log_->Stop(); }
+
+std::unique_ptr<Connection> MySQLMini::Connect() {
+  return std::make_unique<MySQLSession>(this);
+}
+
+uint32_t MySQLMini::CreateTable(const std::string& name,
+                                uint64_t rows_per_page) {
+  return catalog_
+      .CreateTable(name,
+                   rows_per_page == 0 ? config_.rows_per_page : rows_per_page)
+      ->id();
+}
+
+uint32_t MySQLMini::TableId(const std::string& name) const {
+  const storage::Table* t = catalog_.GetTable(name);
+  assert(t != nullptr && "unknown table");
+  return t->id();
+}
+
+void MySQLMini::BulkUpsert(uint32_t table, uint64_t key, storage::Row row) {
+  storage::Table* t = catalog_.GetTable(table);
+  assert(t != nullptr);
+  t->Upsert(key, std::move(row));
+}
+
+uint64_t MySQLMini::TableRowCount(uint32_t table) const {
+  const storage::Table* t = catalog_.GetTable(table);
+  return t == nullptr ? 0 : t->row_count();
+}
+
+std::pair<uint64_t, uint64_t> MySQLMini::NewTxnIdentity() {
+  const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(rng_mu_);
+  return {id, rng_.Next()};
+}
+
+uint64_t MySQLMini::NewRngSeed() {
+  std::lock_guard<std::mutex> g(rng_mu_);
+  return rng_.Next();
+}
+
+void MySQLMini::RecoverInto(const std::vector<log::RecoveredTxn>& recovered,
+                            Database* target) {
+  // Records are in LSN order and carry after-images, so replay is a simple
+  // idempotent sweep.
+  for (const log::RecoveredTxn& txn : recovered) {
+    for (const log::RedoOp& op : txn.ops) {
+      storage::Table* t = nullptr;
+      if (auto* mysql = dynamic_cast<MySQLMini*>(target)) {
+        t = mysql->catalog_.GetTable(op.table);
+      }
+      if (t == nullptr) continue;
+      if (op.kind == log::RedoOp::Kind::kPut) {
+        t->Upsert(op.key, op.after);
+      } else {
+        (void)t->Delete(op.key);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MySQLSession
+// ---------------------------------------------------------------------------
+
+MySQLSession::MySQLSession(MySQLMini* db) : db_(db) {}
+
+MySQLSession::~MySQLSession() {
+  if (active_) Rollback();
+}
+
+Status MySQLSession::Begin() {
+  if (active_) return Status::InvalidArgument("transaction already open");
+  auto [id, priority] = db_->NewTxnIdentity();
+  txn_ = std::make_unique<lock::TxnContext>(id, priority);
+  active_ = true;
+  must_abort_ = false;
+  redo_bytes_ = 0;
+  undo_.clear();
+  return Status::OK();
+}
+
+Status MySQLSession::EnsureActive() const {
+  if (!active_) return Status::InvalidArgument("no open transaction");
+  if (must_abort_)
+    return Status::Aborted("transaction must roll back after an error");
+  return Status::OK();
+}
+
+uint64_t MySQLSession::current_txn_id() const {
+  return txn_ ? txn_->id : 0;
+}
+
+Status MySQLSession::AccessRow(uint32_t table, uint64_t key,
+                               lock::LockMode mode, bool record_undo,
+                               bool take_lock) {
+  storage::Table* t = db_->catalog_.GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+
+  // Position a cursor: index traversal cost (inherent variance).
+  db_->btree_.Traverse(t->row_count());
+
+  // Record lock (2PL). This is where a conflicting transaction suspends.
+  // Nonlocking consistent reads (InnoDB-style MVCC SELECT) skip this.
+  if (take_lock) {
+    Status s = db_->lock_manager_->Lock(txn_.get(), {table, key}, mode);
+    if (!s.ok()) {
+      must_abort_ = true;
+      return s;
+    }
+  }
+
+  // Touch the data page through the buffer pool (make-young / eviction
+  // pressure lives here).
+  Result<buffer::BufferPool::PageGuard> page =
+      db_->buffer_pool_->Pin(t->PageOf(key));
+  if (!page.ok()) {
+    must_abort_ = true;
+    return page.status();
+  }
+
+  if (record_undo) {
+    Result<storage::Row> prior = t->Read(key);
+    UndoEntry u;
+    u.table = table;
+    u.key = key;
+    u.existed = prior.ok();
+    if (prior.ok()) u.prior = std::move(prior.value());
+    undo_.push_back(std::move(u));
+    db_->buffer_pool_->MarkDirty(t->PageOf(key));
+  }
+
+  // The row-processing body.
+  SpinFor(db_->config_.row_work_ns);
+  return Status::OK();
+}
+
+Status MySQLSession::Select(uint32_t table, uint64_t key) {
+  TPROF_SCOPE("row_search_for_mysql");
+  Status s = EnsureActive();
+  if (!s.ok()) return s;
+  return AccessRow(table, key, lock::LockMode::kS, /*record_undo=*/false,
+                   /*take_lock=*/db_->config_.locking_reads);
+}
+
+Status MySQLSession::SelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
+  TPROF_SCOPE("row_search_for_mysql");
+  Status s = EnsureActive();
+  if (!s.ok()) return s;
+  if (lo > hi) return Status::InvalidArgument("range lo > hi");
+  storage::Table* t = db_->catalog_.GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  constexpr uint64_t kMaxSpan = 4096;
+  if (hi - lo + 1 > kMaxSpan) {
+    return Status::InvalidArgument("range span exceeds scan cap");
+  }
+
+  // One index descent positions the cursor; the scan then walks leaf pages.
+  db_->btree_.Traverse(t->row_count());
+  const uint64_t first_page = t->PageOf(lo).page_no;
+  const uint64_t last_page = t->PageOf(hi).page_no;
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    Result<buffer::BufferPool::PageGuard> page =
+        db_->buffer_pool_->Pin(buffer::PageId{table, p});
+    if (!page.ok()) {
+      must_abort_ = true;
+      return page.status();
+    }
+    // Rows on this page within [lo, hi].
+    const uint64_t rpp = t->rows_per_page();
+    const uint64_t page_lo = std::max(lo, p * rpp);
+    const uint64_t page_hi = std::min(hi, (p + 1) * rpp - 1);
+    for (uint64_t k = page_lo; k <= page_hi; ++k) {
+      if (!t->Exists(k)) continue;
+      if (db_->config_.locking_reads) {
+        Status ls = db_->lock_manager_->Lock(txn_.get(), {table, k},
+                                             lock::LockMode::kS);
+        if (!ls.ok()) {
+          must_abort_ = true;
+          return ls;
+        }
+      }
+      SpinFor(db_->config_.row_work_ns / 4);  // sequential rows are cheap
+    }
+  }
+  return Status::OK();
+}
+
+Status MySQLSession::SelectForUpdate(uint32_t table, uint64_t key) {
+  TPROF_SCOPE("row_search_for_mysql");
+  Status s = EnsureActive();
+  if (!s.ok()) return s;
+  return AccessRow(table, key, lock::LockMode::kX, /*record_undo=*/false);
+}
+
+Status MySQLSession::Update(uint32_t table, uint64_t key, size_t col,
+                            int64_t delta) {
+  TPROF_SCOPE("row_upd_step");
+  Status s = EnsureActive();
+  if (!s.ok()) return s;
+  s = AccessRow(table, key, lock::LockMode::kX, /*record_undo=*/true);
+  if (!s.ok()) return s;
+  storage::Table* t = db_->catalog_.GetTable(table);
+  storage::Row after;
+  s = t->Update(key, [&](storage::Row* row) {
+    row->Set(col, row->Get(col) + delta);
+    if (db_->config_.logical_redo) after = *row;
+  });
+  if (!s.ok()) {
+    // Row vanished between undo capture and update: treat as NotFound but
+    // keep the transaction usable (a pure read-miss is not corruption).
+    undo_.pop_back();
+    return s;
+  }
+  if (db_->config_.logical_redo) {
+    redo_ops_.push_back(log::RedoOp{log::RedoOp::Kind::kPut, table, key,
+                                    std::move(after)});
+  }
+  redo_bytes_ += db_->config_.redo_bytes_per_write;
+  return Status::OK();
+}
+
+Status MySQLSession::Insert(uint32_t table, uint64_t key, storage::Row row) {
+  TPROF_SCOPE("row_ins_clust_index_entry_low");
+  Status s = EnsureActive();
+  if (!s.ok()) return s;
+  s = AccessRow(table, key, lock::LockMode::kX, /*record_undo=*/true);
+  if (!s.ok()) return s;
+  storage::Table* t = db_->catalog_.GetTable(table);
+
+  // Index-mutation cost, occasionally taking the split path (inherent
+  // variance in the body of this function — Table 1).
+  thread_local Rng t_rng(db_->NewRngSeed());
+  db_->btree_.InsertCost(t->row_count(), &t_rng);
+
+  storage::Row after;
+  if (db_->config_.logical_redo) after = row;
+  s = t->Insert(key, std::move(row));
+  if (!s.ok()) {
+    undo_.pop_back();
+    return s;
+  }
+  if (db_->config_.logical_redo) {
+    redo_ops_.push_back(log::RedoOp{log::RedoOp::Kind::kPut, table, key,
+                                    std::move(after)});
+  }
+  redo_bytes_ += db_->config_.redo_bytes_per_write;
+  return Status::OK();
+}
+
+Status MySQLSession::Delete(uint32_t table, uint64_t key) {
+  TPROF_SCOPE("row_upd_step");
+  Status s = EnsureActive();
+  if (!s.ok()) return s;
+  s = AccessRow(table, key, lock::LockMode::kX, /*record_undo=*/true);
+  if (!s.ok()) return s;
+  storage::Table* t = db_->catalog_.GetTable(table);
+  s = t->Delete(key);
+  if (!s.ok()) {
+    undo_.pop_back();
+    return s;
+  }
+  if (db_->config_.logical_redo) {
+    redo_ops_.push_back(
+        log::RedoOp{log::RedoOp::Kind::kDelete, table, key, storage::Row{}});
+  }
+  redo_bytes_ += db_->config_.redo_bytes_per_write;
+  return Status::OK();
+}
+
+Result<int64_t> MySQLSession::ReadColumn(uint32_t table, uint64_t key,
+                                         size_t col) {
+  Status s = EnsureActive();
+  if (!s.ok()) return s;
+  storage::Table* t = db_->catalog_.GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("unknown table");
+  Result<storage::Row> row = t->Read(key);
+  if (!row.ok()) return row.status();
+  return row->Get(col);
+}
+
+Status MySQLSession::Commit() {
+  TPROF_SCOPE("trx_commit");
+  if (!active_) return Status::InvalidArgument("no open transaction");
+  if (must_abort_) {
+    Rollback();
+    return Status::Aborted("transaction had failed; rolled back");
+  }
+  // Make the commit durable per the configured policy, then release locks
+  // (strict 2PL: locks are held until the commit point completes).
+  if (redo_bytes_ > 0) {
+    db_->redo_log_->Commit(txn_->id, redo_bytes_, std::move(redo_ops_));
+  }
+  ReleaseAndReset();
+  return Status::OK();
+}
+
+void MySQLSession::Rollback() {
+  if (!active_) return;
+  // Undo in reverse order; X locks are still held so this is safe.
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    storage::Table* t = db_->catalog_.GetTable(it->table);
+    if (t == nullptr) continue;
+    if (it->existed) {
+      t->Upsert(it->key, it->prior);
+    } else {
+      (void)t->Delete(it->key);
+    }
+  }
+  ReleaseAndReset();
+}
+
+void MySQLSession::ReleaseAndReset() {
+  db_->lock_manager_->ReleaseAll(txn_.get());
+  active_ = false;
+  must_abort_ = false;
+  redo_bytes_ = 0;
+  undo_.clear();
+  redo_ops_.clear();
+}
+
+}  // namespace tdp::engine

@@ -1,0 +1,129 @@
+#include "lock/deadlock.h"
+
+#include <algorithm>
+
+namespace tdp::lock {
+
+void DeadlockDetector::SetWaitsNoDetect(
+    uint64_t waiter, const std::vector<uint64_t>& blockers) {
+  std::lock_guard<std::mutex> g(mu_);
+  SetEdgesLocked(waiter, blockers);
+}
+
+void DeadlockDetector::SetEdgesLocked(uint64_t waiter,
+                                      const std::vector<uint64_t>& blockers) {
+  auto& edges = waits_for_[waiter];
+  const std::unordered_set<uint64_t> old_edges = edges;
+  edges.clear();
+  for (uint64_t b : blockers) {
+    if (b != waiter) edges.insert(b);
+  }
+  if (edge_delta_) {
+    for (uint64_t b : edges) {
+      if (!old_edges.count(b)) edge_delta_(b, +1);
+    }
+    for (uint64_t b : old_edges) {
+      if (!edges.count(b)) edge_delta_(b, -1);
+    }
+  }
+  if (edges.empty()) waits_for_.erase(waiter);
+}
+
+uint64_t DeadlockDetector::Detect(
+    uint64_t start, const std::unordered_map<uint64_t, int64_t>& birth_of) {
+  std::lock_guard<std::mutex> g(mu_);
+  return DetectLocked(start, birth_of);
+}
+
+uint64_t DeadlockDetector::DetectLocked(
+    uint64_t start, const std::unordered_map<uint64_t, int64_t>& birth_of) {
+  if (!waits_for_.count(start)) return 0;
+  std::vector<uint64_t> cycle;
+  if (!FindCycleFrom(start, &cycle)) return 0;
+  // Victim: the youngest transaction in the cycle (largest birth time).
+  uint64_t victim = cycle.front();
+  int64_t victim_birth = INT64_MIN;
+  for (uint64_t t : cycle) {
+    auto it = birth_of.find(t);
+    const int64_t birth = it == birth_of.end() ? INT64_MIN : it->second;
+    if (birth > victim_birth || (birth == victim_birth && t > victim)) {
+      victim = t;
+      victim_birth = birth;
+    }
+  }
+  return victim;
+}
+
+uint64_t DeadlockDetector::SetWaits(
+    uint64_t waiter, const std::vector<uint64_t>& blockers,
+    const std::unordered_map<uint64_t, int64_t>& birth_of) {
+  std::lock_guard<std::mutex> g(mu_);
+  SetEdgesLocked(waiter, blockers);
+  return DetectLocked(waiter, birth_of);
+}
+
+bool DeadlockDetector::FindCycleFrom(uint64_t start,
+                                     std::vector<uint64_t>* cycle) const {
+  // Iterative DFS tracking the path; only cycles through `start` matter for
+  // a freshly added waiter, but we detect any cycle reachable from it.
+  std::unordered_map<uint64_t, uint64_t> parent;
+  std::unordered_set<uint64_t> visited, on_stack;
+  struct Frame {
+    uint64_t node;
+    std::vector<uint64_t> next;
+    size_t i = 0;
+  };
+  std::vector<Frame> stack;
+  auto push = [&](uint64_t n) {
+    Frame f;
+    f.node = n;
+    auto it = waits_for_.find(n);
+    if (it != waits_for_.end())
+      f.next.assign(it->second.begin(), it->second.end());
+    stack.push_back(std::move(f));
+    visited.insert(n);
+    on_stack.insert(n);
+  };
+  push(start);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.i < f.next.size()) {
+      const uint64_t child = f.next[f.i++];
+      if (on_stack.count(child)) {
+        // Found a cycle: child ... f.node -> child.
+        cycle->clear();
+        cycle->push_back(child);
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          if (it->node == child) break;
+          cycle->push_back(it->node);
+        }
+        return true;
+      }
+      if (!visited.count(child) && waits_for_.count(child)) {
+        parent[child] = f.node;
+        push(child);
+      }
+    } else {
+      on_stack.erase(f.node);
+      stack.pop_back();
+    }
+  }
+  return false;
+}
+
+void DeadlockDetector::Remove(uint64_t txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = waits_for_.find(txn);
+  if (it == waits_for_.end()) return;
+  if (edge_delta_) {
+    for (uint64_t b : it->second) edge_delta_(b, -1);
+  }
+  waits_for_.erase(it);
+}
+
+size_t DeadlockDetector::num_waiters() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return waits_for_.size();
+}
+
+}  // namespace tdp::lock

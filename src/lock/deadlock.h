@@ -1,0 +1,65 @@
+// Wait-for-graph deadlock detection.
+//
+// Edges are registered when a transaction starts waiting (waiter -> every
+// transaction whose granted or ahead-in-queue request conflicts with it) and
+// refreshed after every grant pass. Detection runs a DFS from the new waiter;
+// on a cycle the youngest transaction in the cycle is chosen as victim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tdp::lock {
+
+class DeadlockDetector {
+ public:
+  /// Invoked (under the detector's lock) whenever a wait-for edge toward
+  /// `blocker` appears (+1) or disappears (-1). The CATS scheduler uses this
+  /// to maintain per-transaction blocked-waiter weights.
+  using EdgeDeltaFn = std::function<void(uint64_t blocker, int delta)>;
+
+  void SetEdgeDeltaCallback(EdgeDeltaFn fn) { edge_delta_ = std::move(fn); }
+  /// Replaces the outgoing edges of `waiter`. `blockers` are the transaction
+  /// ids `waiter` currently waits for. Returns the id of the chosen victim
+  /// if adding these edges closes a cycle, or 0 if no deadlock.
+  ///
+  /// `birth_of` supplies birth timestamps for victim selection (youngest =
+  /// largest birth). Ids missing from the map are treated as oldest.
+  uint64_t SetWaits(uint64_t waiter, const std::vector<uint64_t>& blockers,
+                    const std::unordered_map<uint64_t, int64_t>& birth_of);
+
+  /// Replaces `waiter`'s edges without running detection. Use when several
+  /// waiters' edges are being refreshed together (dynamic-order schedulers):
+  /// detecting against a half-updated graph yields false cycles. Follow with
+  /// one Detect() once every edge set is current.
+  void SetWaitsNoDetect(uint64_t waiter,
+                        const std::vector<uint64_t>& blockers);
+
+  /// Runs cycle detection from `start` on the current graph; returns the
+  /// victim id or 0.
+  uint64_t Detect(uint64_t start,
+                  const std::unordered_map<uint64_t, int64_t>& birth_of);
+
+  /// Removes `txn` from the graph entirely (it stopped waiting, committed,
+  /// or aborted).
+  void Remove(uint64_t txn);
+
+  /// Number of transactions with outgoing edges (waiting). For tests.
+  size_t num_waiters() const;
+
+ private:
+  void SetEdgesLocked(uint64_t waiter, const std::vector<uint64_t>& blockers);
+  uint64_t DetectLocked(uint64_t start,
+                        const std::unordered_map<uint64_t, int64_t>& birth_of);
+  bool FindCycleFrom(uint64_t start, std::vector<uint64_t>* cycle) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> waits_for_;
+  EdgeDeltaFn edge_delta_;
+};
+
+}  // namespace tdp::lock

@@ -1,0 +1,52 @@
+#include "lock/lock_mode.h"
+
+namespace tdp::lock {
+
+namespace {
+// Row = held, column = requested. Order: IS, IX, S, X.
+constexpr bool kCompat[4][4] = {
+    /* IS */ {true, true, true, false},
+    /* IX */ {true, true, false, false},
+    /* S  */ {true, false, true, false},
+    /* X  */ {false, false, false, false},
+};
+
+constexpr int Idx(LockMode m) { return static_cast<int>(m); }
+}  // namespace
+
+bool Compatible(LockMode a, LockMode b) { return kCompat[Idx(a)][Idx(b)]; }
+
+bool Covers(LockMode held, LockMode wanted) {
+  if (held == wanted) return true;
+  switch (held) {
+    case LockMode::kX:
+      return true;
+    case LockMode::kS:
+      return wanted == LockMode::kIS;
+    case LockMode::kIX:
+      return wanted == LockMode::kIS;
+    case LockMode::kIS:
+      return false;
+  }
+  return false;
+}
+
+LockMode Supremum(LockMode a, LockMode b) {
+  if (Covers(a, b)) return a;
+  if (Covers(b, a)) return b;
+  // Remaining incomparable pairs {IX,S}, {IX,IS~covered}, {S,IX}: only X
+  // subsumes both.
+  return LockMode::kX;
+}
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+}  // namespace tdp::lock

@@ -1,0 +1,31 @@
+// Lock modes and the multigranularity compatibility matrix used by the
+// record-level 2PL lock manager (the InnoDB model of Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tdp::lock {
+
+enum class LockMode : uint8_t {
+  kIS = 0,  ///< Intention shared (table level).
+  kIX = 1,  ///< Intention exclusive (table level).
+  kS = 2,   ///< Shared.
+  kX = 3,   ///< Exclusive.
+};
+
+/// True when two locks with these modes may be held simultaneously by
+/// different transactions.
+bool Compatible(LockMode a, LockMode b);
+
+/// True when a lock of mode `held` subsumes a request of mode `wanted`
+/// by the same transaction (no new lock needed).
+bool Covers(LockMode held, LockMode wanted);
+
+/// The weakest mode subsuming both (used for lock upgrades). For the four
+/// modes here the supremum always exists.
+LockMode Supremum(LockMode a, LockMode b);
+
+const char* LockModeName(LockMode m);
+
+}  // namespace tdp::lock

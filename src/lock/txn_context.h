@@ -1,0 +1,61 @@
+// Transaction context: identity, birth time (the "age" basis VATS schedules
+// by), the wait event a suspended transaction sleeps on (the os_event of
+// Section 4.1), and the set of records it holds locks on (for 2PL release).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace tdp::lock {
+
+/// Identifies a lockable database object (a record): table + key.
+struct RecordId {
+  uint32_t table_id = 0;
+  uint64_t key = 0;
+
+  bool operator==(const RecordId& o) const {
+    return table_id == o.table_id && key == o.key;
+  }
+};
+
+struct RecordIdHash {
+  size_t operator()(const RecordId& r) const {
+    uint64_t h = r.key * 0x9E3779B97F4A7C15ull;
+    h ^= (static_cast<uint64_t>(r.table_id) + 0x517CC1B727220A95ull);
+    h *= 0xBF58476D1CE4E5B9ull;
+    return static_cast<size_t>(h ^ (h >> 29));
+  }
+};
+
+/// Per-transaction state shared with the lock manager. A transaction executes
+/// on a single thread and waits on at most one lock at a time.
+struct TxnContext {
+  explicit TxnContext(uint64_t id_, uint64_t random_priority_ = 0)
+      : id(id_), birth_ns(tdp::NowNanos()), random_priority(random_priority_) {}
+
+  const uint64_t id;
+  /// When the transaction entered the system. VATS grants to the waiter with
+  /// the smallest birth_ns (the eldest). Re-stamped on retry only if the
+  /// application chooses to treat the retry as a new transaction.
+  int64_t birth_ns;
+  /// Priority used by the Randomized Scheduling baseline (assigned at birth,
+  /// so the random order is stable for a given transaction).
+  uint64_t random_priority;
+
+  /// Age at time `now_ns` in nanoseconds.
+  int64_t AgeAt(int64_t now_ns) const { return now_ns - birth_ns; }
+
+  // --- wait event ("os_event") ------------------------------------------
+  std::mutex wait_mu;
+  std::condition_variable wait_cv;
+
+  // --- 2PL bookkeeping (accessed only by the owning thread) --------------
+  std::vector<RecordId> held_records;
+};
+
+}  // namespace tdp::lock

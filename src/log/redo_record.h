@@ -1,0 +1,29 @@
+// Logical redo records: after-image row operations captured at commit time,
+// replayable in LSN order to reconstruct committed state after a crash.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace tdp::log {
+
+/// One redo operation. kPut carries the full after-image of the row, so
+/// replay is idempotent (pure physical "value logging").
+struct RedoOp {
+  enum class Kind { kPut, kDelete };
+  Kind kind = Kind::kPut;
+  uint32_t table = 0;
+  uint64_t key = 0;
+  storage::Row after;  ///< Valid for kPut.
+};
+
+/// A committed transaction recovered from the durable log prefix.
+struct RecoveredTxn {
+  uint64_t txn_id = 0;
+  uint64_t lsn = 0;
+  std::vector<RedoOp> ops;
+};
+
+}  // namespace tdp::log

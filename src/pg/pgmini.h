@@ -1,0 +1,120 @@
+// pgmini: a miniature Postgres-style engine (DESIGN.md §2).
+//
+// Process-per-connection in spirit (each Connection runs on its own client
+// thread with no shared buffer-pool hot lock); its defining commit path is
+// the WAL: every committing transaction serializes on the WALWriteLock to
+// write block-aligned redo and fsync (Section 4.2). Predicate locks taken by
+// reads are released in bulk at commit (ReleasePredicateLocks). Row-level
+// conflicts use the shared 2PL lock-manager substrate with FCFS scheduling
+// (the Postgres default).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "lock/lock_manager.h"
+#include "pg/wal.h"
+#include "storage/btree_model.h"
+#include "storage/catalog.h"
+
+namespace tdp::pg {
+
+struct PgMiniConfig {
+  lock::LockManagerConfig lock;  ///< Postgres grants row locks FCFS.
+
+  WalConfig wal;
+  /// WAL bytes generated per write operation. TPC-C-sized transactions
+  /// produce ~10 writes, i.e. >1 block of WAL at the default 8 KB block.
+  uint64_t wal_bytes_per_write = 1200;
+
+  storage::BTreeModelConfig btree;
+  uint64_t rows_per_page = 64;
+  int64_t row_work_ns = 1200;
+
+  /// Cost per predicate lock checked during ReleasePredicateLocks.
+  int64_t predicate_check_ns = 400;
+
+  uint64_t seed = 1;
+};
+
+class PgMini;
+
+class PgSession : public engine::Connection {
+ public:
+  explicit PgSession(PgMini* db);
+  ~PgSession() override;
+
+  Status Begin() override;
+  Status Select(uint32_t table, uint64_t key) override;
+  Status SelectRange(uint32_t table, uint64_t lo, uint64_t hi) override;
+  Status SelectForUpdate(uint32_t table, uint64_t key) override;
+  Status Update(uint32_t table, uint64_t key, size_t col,
+                int64_t delta) override;
+  Status Insert(uint32_t table, uint64_t key, storage::Row row) override;
+  Status Delete(uint32_t table, uint64_t key) override;
+  Status Commit() override;
+  void Rollback() override;
+  Result<int64_t> ReadColumn(uint32_t table, uint64_t key,
+                             size_t col) override;
+  uint64_t current_txn_id() const override;
+
+ private:
+  struct UndoEntry {
+    uint32_t table;
+    uint64_t key;
+    bool existed;
+    storage::Row prior;
+  };
+
+  Status AccessRow(uint32_t table, uint64_t key, lock::LockMode mode,
+                   bool record_undo, bool take_lock = true);
+  Status EnsureActive() const;
+  void ReleasePredicateLocks();
+  void ReleaseAndReset();
+
+  PgMini* const db_;
+  std::unique_ptr<lock::TxnContext> txn_;
+  bool active_ = false;
+  bool must_abort_ = false;
+  uint64_t wal_bytes_ = 0;
+  uint64_t predicate_locks_ = 0;
+  std::vector<UndoEntry> undo_;
+};
+
+class PgMini : public engine::Database {
+ public:
+  explicit PgMini(PgMiniConfig config);
+
+  std::string name() const override { return "pgmini"; }
+  std::unique_ptr<engine::Connection> Connect() override;
+  uint32_t CreateTable(const std::string& name,
+                       uint64_t rows_per_page) override;
+  uint32_t TableId(const std::string& name) const override;
+  void BulkUpsert(uint32_t table, uint64_t key, storage::Row row) override;
+  uint64_t TableRowCount(uint32_t table) const override;
+
+  lock::LockManager& lock_manager() { return *lock_manager_; }
+  WalManager& wal() { return *wal_; }
+  storage::Catalog& catalog() { return catalog_; }
+  const PgMiniConfig& config() const { return config_; }
+
+  std::pair<uint64_t, uint64_t> NewTxnIdentity();
+
+ private:
+  friend class PgSession;
+
+  PgMiniConfig config_;
+  storage::Catalog catalog_;
+  std::unique_ptr<lock::LockManager> lock_manager_;
+  std::unique_ptr<WalManager> wal_;
+  storage::BTreeModel btree_;
+
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::mutex rng_mu_;
+  Rng rng_;
+};
+
+}  // namespace tdp::pg

@@ -1,0 +1,77 @@
+#include "pg/wal.h"
+
+#include "tprofiler/profiler.h"
+
+namespace tdp::pg {
+
+WalManager::WalManager(WalConfig config) : config_(config) {
+  if (config_.block_bytes == 0) config_.block_bytes = 8192;
+  int sets = config_.num_log_sets < 1 ? 1 : config_.num_log_sets;
+  if (config_.parallel_logging && sets < 2) sets = 2;
+  sets_.reserve(sets);
+  for (int i = 0; i < sets; ++i) {
+    SimDiskConfig disk = config_.disk;
+    disk.seed += static_cast<uint64_t>(i) * 101;
+    sets_.push_back(std::make_unique<LogSet>(disk));
+  }
+}
+
+void WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
+  TPROF_SCOPE("XLogFlush");
+  const uint64_t blocks =
+      bytes == 0 ? 1 : (bytes + config_.block_bytes - 1) / config_.block_bytes;
+  for (uint64_t i = 0; i < blocks; ++i) {
+    set->disk.Write(config_.block_bytes);
+  }
+  set->disk.Flush(0);
+  stats_.blocks_written.fetch_add(blocks, std::memory_order_relaxed);
+}
+
+void WalManager::CommitFlush(uint64_t bytes) {
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
+
+  LogSet* chosen = nullptr;
+  size_t chosen_index = 0;
+  {
+    TPROF_SCOPE("LWLockAcquireOrWait");
+    if (sets_.size() == 1) {
+      // Single log set: all committers serialize on one WALWriteLock.
+      sets_[0]->waiters.fetch_add(1, std::memory_order_relaxed);
+      sets_[0]->mu.lock();
+      sets_[0]->waiters.fetch_sub(1, std::memory_order_relaxed);
+      chosen = sets_[0].get();
+    } else {
+      // Parallel logging: take a free set if any; otherwise wait on the set
+      // with the fewest waiters (Section 6.2).
+      for (size_t i = 0; i < sets_.size() && chosen == nullptr; ++i) {
+        if (sets_[i]->mu.try_lock()) {
+          chosen = sets_[i].get();
+          chosen_index = i;
+        }
+      }
+      if (chosen == nullptr) {
+        size_t best = 0;
+        int best_waiters = sets_[0]->waiters.load(std::memory_order_relaxed);
+        for (size_t i = 1; i < sets_.size(); ++i) {
+          const int w = sets_[i]->waiters.load(std::memory_order_relaxed);
+          if (w < best_waiters) {
+            best = i;
+            best_waiters = w;
+          }
+        }
+        chosen = sets_[best].get();
+        chosen_index = best;
+        chosen->waiters.fetch_add(1, std::memory_order_relaxed);
+        chosen->mu.lock();
+        chosen->waiters.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (chosen_index > 0) {
+        stats_.second_log_used.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  WriteAndFlush(chosen, bytes);
+  chosen->mu.unlock();
+}
+
+}  // namespace tdp::pg

@@ -1,0 +1,36 @@
+#include "storage/btree_model.h"
+
+#include <cmath>
+
+#include "common/work.h"
+#include "tprofiler/profiler.h"
+
+namespace tdp::storage {
+
+int BTreeModel::DepthFor(uint64_t n) const {
+  if (n <= 1) return 1;
+  const double f = static_cast<double>(config_.fanout < 2 ? 2 : config_.fanout);
+  return 1 + static_cast<int>(std::ceil(std::log(static_cast<double>(n)) /
+                                        std::log(f)));
+}
+
+void BTreeModel::Traverse(uint64_t n) const {
+  TPROF_SCOPE("btr_cur_search_to_nth_level");
+  SpinFor(static_cast<int64_t>(DepthFor(n)) * config_.level_work_ns);
+}
+
+void BTreeModel::InsertCost(uint64_t n, Rng* rng) const {
+  const bool split =
+      rng != nullptr && config_.split_every > 0 &&
+      rng->Uniform(config_.split_every) == 0;
+  int64_t work = config_.insert_work_ns;
+  if (split) {
+    // A split rewrites sibling pages and may ripple up several levels.
+    const int levels = std::min(config_.levels_touched_by_split, DepthFor(n));
+    work += config_.insert_work_ns * 2 * levels +
+            static_cast<int64_t>(config_.level_work_ns) * 4 * levels;
+  }
+  SpinFor(work);
+}
+
+}  // namespace tdp::storage

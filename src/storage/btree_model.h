@@ -1,0 +1,51 @@
+// B-tree traversal cost model.
+//
+// Table 1 identifies two *inherent* variance sources tied to the clustered
+// index: btr_cur_search_to_nth_level (runtime varies with traversal depth)
+// and row_ins_clust_index_entry_low (varying code paths depending on index
+// state — e.g., page splits). We model both: traversal burns CPU per level
+// with depth = ceil(log_fanout(n)), and inserts occasionally take the split
+// path, which does several times the normal work.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace tdp::storage {
+
+struct BTreeModelConfig {
+  int fanout = 64;
+  /// CPU burned per traversed level.
+  int64_t level_work_ns = 300;
+  /// CPU for an ordinary leaf insert.
+  int64_t insert_work_ns = 600;
+  /// A split occurs once per `split_every` inserts on average.
+  uint32_t split_every = 48;
+  /// Work multiplier when an insert causes a split.
+  int levels_touched_by_split = 6;
+};
+
+class BTreeModel {
+ public:
+  explicit BTreeModel(BTreeModelConfig config = {}) : config_(config) {}
+
+  /// Depth of a tree with `n` keys (>= 1).
+  int DepthFor(uint64_t n) const;
+
+  /// Burns the cost of positioning a cursor in a tree of `n` keys.
+  /// Instrumented as btr_cur_search_to_nth_level.
+  void Traverse(uint64_t n) const;
+
+  /// Burns the cost of inserting into a tree of `n` keys; `rng` decides
+  /// whether this insert takes the split path. Traversal is charged
+  /// separately (call Traverse first, as the engine's insert path does).
+  void InsertCost(uint64_t n, Rng* rng) const;
+
+  const BTreeModelConfig& config() const { return config_; }
+
+ private:
+  BTreeModelConfig config_;
+};
+
+}  // namespace tdp::storage

@@ -1,0 +1,34 @@
+#include "storage/catalog.h"
+
+namespace tdp::storage {
+
+Table* Catalog::CreateTable(const std::string& name, uint64_t rows_per_page) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return tables_[it->second].get();
+  const uint32_t id = static_cast<uint32_t>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, name, rows_per_page));
+  by_name_.emplace(name, id);
+  return tables_.back().get();
+}
+
+Table* Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+Table* Catalog::GetTable(uint32_t id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return id < tables_.size() ? tables_[id].get() : nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t->name());
+  return out;
+}
+
+}  // namespace tdp::storage

@@ -1,0 +1,36 @@
+// Table catalog: name → Table, with stable numeric ids that double as
+// buffer-pool space ids.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace tdp::storage {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; returns the existing one if the name is taken.
+  Table* CreateTable(const std::string& name, uint64_t rows_per_page = 64);
+
+  /// Null if absent.
+  Table* GetTable(const std::string& name) const;
+  Table* GetTable(uint32_t id) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Table>> tables_;  // index == table id
+  std::unordered_map<std::string, uint32_t> by_name_;
+};
+
+}  // namespace tdp::storage

@@ -1,0 +1,58 @@
+#include "storage/table.h"
+
+namespace tdp::storage {
+
+Table::Table(uint32_t id, std::string name, uint64_t rows_per_page)
+    : id_(id), name_(std::move(name)),
+      rows_per_page_(rows_per_page == 0 ? 1 : rows_per_page) {}
+
+Status Table::Insert(uint64_t key, Row row) {
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto [it, inserted] = sh.rows.emplace(key, std::move(row));
+  (void)it;
+  if (!inserted) return Status::InvalidArgument("duplicate key");
+  row_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Table::Upsert(uint64_t key, Row row) {
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto [it, inserted] = sh.rows.insert_or_assign(key, std::move(row));
+  (void)it;
+  if (inserted) row_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<Row> Table::Read(uint64_t key) const {
+  const Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.rows.find(key);
+  if (it == sh.rows.end()) return Status::NotFound();
+  return it->second;
+}
+
+bool Table::Exists(uint64_t key) const {
+  const Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  return sh.rows.count(key) > 0;
+}
+
+Status Table::Update(uint64_t key, const std::function<void(Row*)>& fn) {
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.rows.find(key);
+  if (it == sh.rows.end()) return Status::NotFound();
+  fn(&it->second);
+  return Status::OK();
+}
+
+Status Table::Delete(uint64_t key) {
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  if (sh.rows.erase(key) == 0) return Status::NotFound();
+  row_count_.fetch_sub(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace tdp::storage

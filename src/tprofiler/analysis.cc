@@ -1,0 +1,309 @@
+#include "tprofiler/analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace tdp::tprof {
+
+VarianceAnalysis::VarianceAnalysis(const TraceData& data,
+                                   const PathTree& tree) {
+  // 1. Merge intervals per transaction: a transaction spans from its first
+  //    interval's start to its last interval's end (Section 3.1).
+  struct Span {
+    int64_t start;
+    int64_t end;
+  };
+  std::map<uint64_t, Span> spans;  // ordered: stable txn indexing
+  for (const TxnInterval& iv : data.intervals) {
+    auto [it, inserted] = spans.emplace(iv.txn, Span{iv.start_ns, iv.end_ns});
+    if (!inserted) {
+      it->second.start = std::min(it->second.start, iv.start_ns);
+      it->second.end = std::max(it->second.end, iv.end_ns);
+    }
+  }
+  num_txns_ = spans.size();
+  std::unordered_map<uint64_t, size_t> txn_index;
+  txn_index.reserve(spans.size());
+  std::vector<double> latency(num_txns_);
+  {
+    size_t i = 0;
+    for (const auto& [txn, span] : spans) {
+      txn_index.emplace(txn, i);
+      latency[i] = static_cast<double>(span.end - span.start);
+      ++i;
+    }
+  }
+  mean_latency_ns_ = Mean(latency);
+  total_variance_ = Variance(latency);
+
+  // 2. Discover the node universe: every node mentioned by an event plus all
+  //    its ancestors, then lay out dense indices (root == index 0).
+  std::vector<char> present(tree.size(), 0);
+  present[kRootNode] = 1;
+  for (const Event& e : data.events) {
+    if (e.txn == 0 || !txn_index.count(e.txn)) continue;
+    PathNodeId n = e.node;
+    while (n != kRootNode && !present[n]) {
+      present[n] = 1;
+      n = tree.Parent(n);
+    }
+  }
+  node_index_.assign(tree.size(), SIZE_MAX);
+  for (PathNodeId n = 0; n < tree.size(); ++n) {
+    if (present[n]) {
+      node_index_[n] = nodes_.size();
+      VarNode vn;
+      vn.id = n;
+      vn.parent = n == kRootNode ? kRootNode : tree.Parent(n);
+      vn.fid = tree.Func(n);
+      vn.path = tree.PathString(n);
+      nodes_.push_back(std::move(vn));
+    }
+  }
+  for (VarNode& vn : nodes_) {
+    if (vn.id != kRootNode) {
+      nodes_[node_index_[vn.parent]].children.push_back(vn.id);
+    }
+  }
+
+  // 3. Per-node inclusive time per transaction.
+  series_.assign(nodes_.size(), std::vector<double>(num_txns_, 0.0));
+  series_[0] = latency;  // the root's inclusive time is the txn latency
+  for (const Event& e : data.events) {
+    auto ti = txn_index.find(e.txn);
+    if (ti == txn_index.end()) continue;
+    series_[node_index_[e.node]][ti->second] +=
+        static_cast<double>(e.end_ns - e.start_ns);
+  }
+
+  // 4. Body series: inclusive minus the sum of instrumented children.
+  body_ = series_;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (PathNodeId c : nodes_[i].children) {
+      const auto& cs = series_[node_index_[c]];
+      auto& b = body_[i];
+      for (size_t t = 0; t < num_txns_; ++t) b[t] -= cs[t];
+    }
+  }
+
+  // 5. Moments.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].mean_inclusive_ns = Mean(series_[i]);
+    nodes_[i].var_inclusive = Variance(series_[i]);
+    nodes_[i].mean_body_ns = Mean(body_[i]);
+    nodes_[i].var_body = Variance(body_[i]);
+  }
+
+  // 6. Static-graph height for specificity. The overall graph height is the
+  //    tallest discovered chain among instrumented roots, plus one level for
+  //    the transaction root itself.
+  const Registry& reg = Registry::Instance();
+  int h = 0;
+  for (const VarNode& vn : nodes_) {
+    if (vn.fid != kInvalidFunc) h = std::max(h, reg.Height(vn.fid));
+  }
+  graph_height_ = h + 1;
+}
+
+size_t VarianceAnalysis::IndexOf(PathNodeId node) const {
+  return node_index_[node];
+}
+
+const VarNode* VarianceAnalysis::FindByPath(const std::string& path) const {
+  for (const VarNode& vn : nodes_) {
+    if (vn.path == path) return &vn;
+  }
+  return nullptr;
+}
+
+const std::vector<double>& VarianceAnalysis::InclusiveSeries(
+    PathNodeId node) const {
+  return series_[IndexOf(node)];
+}
+
+std::vector<Factor> VarianceAnalysis::RankFactors() const {
+  const Registry& reg = Registry::Instance();
+
+  // Aggregate inclusive variance per function for the score's call-site sum.
+  std::unordered_map<FuncId, double> var_by_fid;
+  for (const VarNode& vn : nodes_) {
+    if (vn.fid != kInvalidFunc) var_by_fid[vn.fid] += vn.var_inclusive;
+  }
+
+  auto specificity = [&](int height) {
+    const double d = static_cast<double>(graph_height_ - height);
+    return d * d;
+  };
+
+  std::vector<Factor> out;
+  for (const VarNode& vn : nodes_) {
+    if (vn.id == kRootNode) continue;
+    const int h = reg.Height(vn.fid);
+    Factor f;
+    f.kind = FactorKind::kVariance;
+    f.node_a = vn.id;
+    f.fid_a = vn.fid;
+    f.label = reg.Name(vn.fid) + " @ " + vn.path;
+    f.value = vn.var_inclusive;
+    f.pct_of_total =
+        total_variance_ > 0 ? 100.0 * vn.var_inclusive / total_variance_ : 0;
+    f.height = h;
+    f.score = specificity(h) * var_by_fid[vn.fid];
+    out.push_back(std::move(f));
+
+    if (!vn.children.empty()) {
+      Factor b;
+      b.kind = FactorKind::kBody;
+      b.node_a = vn.id;
+      b.fid_a = vn.fid;
+      b.label = reg.Name(vn.fid) + " (body) @ " + vn.path;
+      b.value = vn.var_body;
+      b.pct_of_total =
+          total_variance_ > 0 ? 100.0 * vn.var_body / total_variance_ : 0;
+      b.height = 0;  // a body has no children by construction
+      b.score = specificity(0) * vn.var_body;
+      out.push_back(std::move(b));
+    }
+  }
+
+  // Sibling covariances (2*Cov terms of eq. 1).
+  for (const VarNode& vn : nodes_) {
+    for (size_t i = 0; i < vn.children.size(); ++i) {
+      for (size_t j = i + 1; j < vn.children.size(); ++j) {
+        const VarNode& a = nodes_[IndexOf(vn.children[i])];
+        const VarNode& b = nodes_[IndexOf(vn.children[j])];
+        const double cov2 = 2.0 * Covariance(series_[IndexOf(a.id)],
+                                             series_[IndexOf(b.id)]);
+        Factor f;
+        f.kind = FactorKind::kCovariance;
+        f.node_a = a.id;
+        f.node_b = b.id;
+        f.fid_a = a.fid;
+        f.fid_b = b.fid;
+        f.label = "2*Cov(" + reg.Name(a.fid) + ", " + reg.Name(b.fid) +
+                  ") @ " + vn.path;
+        f.value = cov2;
+        f.pct_of_total =
+            total_variance_ > 0 ? 100.0 * cov2 / total_variance_ : 0;
+        f.height = std::max(reg.Height(a.fid), reg.Height(b.fid));
+        f.score = specificity(f.height) * std::abs(cov2);
+        out.push_back(std::move(f));
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Factor& a, const Factor& b) { return a.score > b.score; });
+  return out;
+}
+
+std::vector<FunctionShare> VarianceAnalysis::FunctionShares() const {
+  const Registry& reg = Registry::Instance();
+  std::unordered_map<FuncId, double> var_by_fid;
+  for (const VarNode& vn : nodes_) {
+    if (vn.fid != kInvalidFunc) var_by_fid[vn.fid] += vn.var_inclusive;
+  }
+  std::vector<FunctionShare> out;
+  for (const auto& [fid, var] : var_by_fid) {
+    FunctionShare s;
+    s.fid = fid;
+    s.name = reg.Name(fid);
+    s.variance = var;
+    s.pct_of_total = total_variance_ > 0 ? 100.0 * var / total_variance_ : 0;
+    const int h = reg.Height(fid);
+    const double d = static_cast<double>(graph_height_ - h);
+    s.score = d * d * var;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const FunctionShare& a,
+                                       const FunctionShare& b) {
+    return a.score > b.score;
+  });
+  return out;
+}
+
+std::string VarianceAnalysis::ReportString(size_t top_k) const {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "variance tree: %llu txns, mean latency %.3f ms, "
+                "latency variance %.4g ms^2\n",
+                static_cast<unsigned long long>(num_txns_),
+                mean_latency_ns_ / 1e6, total_variance_ / 1e12);
+  out += buf;
+  const std::vector<Factor> factors = RankFactors();
+  size_t shown = 0;
+  for (const Factor& f : factors) {
+    if (shown++ >= top_k) break;
+    std::snprintf(buf, sizeof(buf), "  %6.2f%%  score=%.3g  h=%d  %s\n",
+                  f.pct_of_total, f.score, f.height, f.label.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string VarianceAnalysis::ToCsv() const {
+  std::string out = "kind,label,value_ns2,pct_of_total,score,height\n";
+  auto kind_name = [](FactorKind k) {
+    switch (k) {
+      case FactorKind::kVariance: return "variance";
+      case FactorKind::kBody: return "body";
+      case FactorKind::kCovariance: return "covariance";
+    }
+    return "?";
+  };
+  char buf[512];
+  for (const Factor& f : RankFactors()) {
+    std::string label = f.label;
+    for (char& c : label) {
+      if (c == ',') c = ';';  // keep the CSV single-celled
+    }
+    std::snprintf(buf, sizeof(buf), "%s,%s,%.6g,%.4f,%.6g,%d\n",
+                  kind_name(f.kind), label.c_str(), f.value, f.pct_of_total,
+                  f.score, f.height);
+    out += buf;
+  }
+  return out;
+}
+
+void VarianceAnalysis::AppendTreeNode(PathNodeId node, const std::string& indent,
+                                      bool last, std::string* out) const {
+  const VarNode& vn = nodes_[node_index_[node]];
+  char buf[384];
+  const std::string name = vn.id == kRootNode
+                               ? "<txn>"
+                               : Registry::Instance().Name(vn.fid);
+  const double pct = total_variance_ > 0
+                         ? 100.0 * vn.var_inclusive / total_variance_
+                         : 0;
+  std::snprintf(buf, sizeof(buf), "%s%s%s  mean=%.3fms var%%=%.1f",
+                indent.c_str(), vn.id == kRootNode ? "" : (last ? "`-" : "|-"),
+                name.c_str(), vn.mean_inclusive_ns / 1e6, pct);
+  *out += buf;
+  if (!vn.children.empty()) {
+    const double body_pct =
+        total_variance_ > 0 ? 100.0 * vn.var_body / total_variance_ : 0;
+    std::snprintf(buf, sizeof(buf), " body%%=%.1f", body_pct);
+    *out += buf;
+  }
+  *out += "\n";
+  const std::string child_indent =
+      vn.id == kRootNode ? indent : indent + (last ? "  " : "| ");
+  for (size_t i = 0; i < vn.children.size(); ++i) {
+    AppendTreeNode(vn.children[i], child_indent, i + 1 == vn.children.size(),
+                   out);
+  }
+}
+
+std::string VarianceAnalysis::TreeString() const {
+  if (nodes_.empty()) return "<empty variance tree>\n";
+  std::string out;
+  AppendTreeNode(kRootNode, "", true, &out);
+  return out;
+}
+
+}  // namespace tdp::tprof

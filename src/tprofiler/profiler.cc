@@ -1,0 +1,168 @@
+#include "tprofiler/profiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tdp::tprof {
+
+Profiler& Profiler::Instance() {
+  static Profiler* p = new Profiler();
+  return *p;
+}
+
+Profiler::Profiler()
+    : enabled_(new std::atomic<uint8_t>[kMaxFunctions]) {
+  for (uint32_t i = 0; i < kMaxFunctions; ++i) enabled_[i].store(0);
+}
+
+void Profiler::StartSession(const SessionConfig& config) {
+  assert(!active());
+  for (uint32_t i = 0; i < kMaxFunctions; ++i)
+    enabled_[i].store(0, std::memory_order_relaxed);
+  for (const std::string& name : config.enabled) {
+    const FuncId fid = Registry::Instance().Register(name);
+    if (fid < kMaxFunctions)
+      enabled_[fid].store(1, std::memory_order_relaxed);
+  }
+  discover_edges_.store(config.discover_edges, std::memory_order_relaxed);
+  dtrace_cost_ns_.store(
+      config.cost_model == ProbeCost::kDTraceLike ? config.dtrace_event_cost_ns
+                                                  : 0,
+      std::memory_order_relaxed);
+  path_tree_.Clear();
+  {
+    std::lock_guard<std::mutex> g(buffers_mu_);
+    buffers_.clear();
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  active_.store(true, std::memory_order_release);
+}
+
+TraceData Profiler::EndSession() {
+  active_.store(false, std::memory_order_release);
+  TraceData out;
+  std::lock_guard<std::mutex> g(buffers_mu_);
+  for (auto& b : buffers_) b->Drain(&out.events, &out.intervals);
+  return out;
+}
+
+Profiler::ThreadState& Profiler::GetThreadState() {
+  thread_local ThreadState ts;
+  return ts;
+}
+
+TraceBuffer* Profiler::BufferForThread(ThreadState* ts) {
+  const uint64_t e = epoch();
+  if (ts->epoch != e || ts->buffer == nullptr) {
+    auto buf = std::make_unique<TraceBuffer>();
+    ts->buffer = buf.get();
+    ts->epoch = e;
+    ts->depth = 0;
+    ts->current_node = kRootNode;
+    ts->txn = 0;
+    ts->edge_cache.clear();
+    std::lock_guard<std::mutex> g(buffers_mu_);
+    buffers_.push_back(std::move(buf));
+  }
+  return ts->buffer;
+}
+
+void Profiler::MaybeRecordEdge(ThreadState* ts, FuncId parent, FuncId child) {
+  if (!discover_edges_.load(std::memory_order_relaxed)) return;
+  if (parent == kInvalidFunc) return;
+  const uint64_t key = (static_cast<uint64_t>(parent) << 32) | child;
+  if (std::find(ts->edge_cache.begin(), ts->edge_cache.end(), key) !=
+      ts->edge_cache.end())
+    return;
+  ts->edge_cache.push_back(key);
+  Registry::Instance().RecordEdge(parent, child);
+}
+
+void Profiler::ChargeProbeCost() {
+  const int64_t cost = dtrace_cost_ns_.load(std::memory_order_relaxed);
+  if (cost > 0) SpinFor(cost);
+}
+
+void Profiler::OnEnter(FuncId fid) {
+  ThreadState& ts = GetThreadState();
+  BufferForThread(&ts);
+  if (ts.depth >= kMaxStackDepth) {
+    ++ts.depth;  // overflow frames are counted but not tracked
+    return;
+  }
+  Frame& f = ts.stack[ts.depth];
+  f.fid = fid;
+  f.timed = enabled(fid);
+  // Dynamic call-graph discovery uses the immediate probe parent.
+  if (ts.depth > 0) {
+    MaybeRecordEdge(&ts, ts.stack[ts.depth - 1].fid, fid);
+  }
+  if (f.timed) {
+    ChargeProbeCost();
+    f.node = path_tree_.Intern(ts.current_node, fid);
+    ts.current_node = f.node;
+    f.start_ns = NowNanos();
+  }
+  ++ts.depth;
+}
+
+void Profiler::OnExit() {
+  ThreadState& ts = GetThreadState();
+  if (ts.depth > kMaxStackDepth) {
+    --ts.depth;
+    return;
+  }
+  --ts.depth;
+  if (ts.depth < 0) {  // session restarted mid-flight; ignore
+    ts.depth = 0;
+    return;
+  }
+  Frame& f = ts.stack[ts.depth];
+  if (!f.timed) return;
+  const int64_t end = NowNanos();
+  ChargeProbeCost();
+  ts.current_node = path_tree_.Parent(f.node);
+  // Only record if the session is still the one we started in.
+  if (active() && ts.epoch == epoch()) {
+    ts.buffer->AddEvent(Event{f.node, ts.txn, f.start_ns, end});
+  }
+}
+
+uint64_t Profiler::TxnBegin() {
+  ThreadState& ts = GetThreadState();
+  BufferForThread(&ts);
+  const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  ts.txn = id;
+  ts.txn_start_ns = NowNanos();
+  return id;
+}
+
+void Profiler::TxnEnd(uint64_t txn_id) {
+  ThreadState& ts = GetThreadState();
+  if (ts.txn != txn_id) return;  // session changed under us
+  const int64_t end = NowNanos();
+  if (active() && ts.epoch == epoch() && ts.buffer != nullptr) {
+    ts.buffer->AddInterval(TxnInterval{txn_id, ts.txn_start_ns, end});
+  }
+  ts.txn = 0;
+}
+
+void Profiler::IntervalBegin(uint64_t txn_id) {
+  if (!active()) return;
+  ThreadState& ts = GetThreadState();
+  BufferForThread(&ts);
+  ts.txn = txn_id;
+  ts.txn_start_ns = NowNanos();
+}
+
+void Profiler::IntervalEnd() {
+  ThreadState& ts = GetThreadState();
+  if (ts.txn == 0) return;
+  const int64_t end = NowNanos();
+  if (active() && ts.epoch == epoch() && ts.buffer != nullptr) {
+    ts.buffer->AddInterval(TxnInterval{ts.txn, ts.txn_start_ns, end});
+  }
+  ts.txn = 0;
+}
+
+}  // namespace tdp::tprof

@@ -1,0 +1,174 @@
+// The profiler session and the probe API (TPROF_SCOPE / TxnScope).
+//
+// Usage pattern (Section 3.1): the developer annotates transaction start/end
+// once, sprinkles TPROF_SCOPE(<name>) at the top of functions of interest,
+// and per run enables only a *subset* of those functions to bound overhead.
+// Disabled probes cost one atomic load plus a thread-local stack push; enabled
+// probes additionally take two clock readings and append one event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/work.h"
+#include "tprofiler/registry.h"
+#include "tprofiler/trace.h"
+
+namespace tdp::tprof {
+
+/// Probe cost model for the instrumentation-overhead study (Fig. 5).
+enum class ProbeCost {
+  kNative,     ///< TProfiler: compiled-in probes, minimal cost.
+  kDTraceLike, ///< Dynamic-instrumentation emulation: fixed penalty per event.
+};
+
+struct SessionConfig {
+  /// Names of functions to instrument this run. Unlisted probes only
+  /// maintain call structure (and registry edges), recording no timings.
+  std::vector<std::string> enabled;
+
+  /// Record dynamic call-graph edges into the Registry (used by the
+  /// refinement driver to find children of a factor).
+  bool discover_edges = true;
+
+  ProbeCost cost_model = ProbeCost::kNative;
+  /// Extra per-event busy time charged in kDTraceLike mode (models the trap /
+  /// out-of-line-handler cost of dynamic instrumentation).
+  int64_t dtrace_event_cost_ns = 2000;
+};
+
+/// Maximum probe nesting depth tracked per thread.
+constexpr int kMaxStackDepth = 128;
+constexpr uint32_t kMaxFunctions = 4096;
+
+/// Process-wide profiler. At most one session is active at a time.
+class Profiler {
+ public:
+  static Profiler& Instance();
+
+  void StartSession(const SessionConfig& config);
+
+  /// Stops recording and returns everything collected. Probes that were
+  /// in-flight when the session ended are dropped (their frames unwind
+  /// harmlessly).
+  TraceData EndSession();
+
+  bool active() const { return active_.load(std::memory_order_acquire); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  bool enabled(FuncId fid) const {
+    return fid < kMaxFunctions &&
+           enabled_[fid].load(std::memory_order_relaxed) != 0;
+  }
+
+  /// The path tree of the current (or last) session.
+  PathTree& path_tree() { return path_tree_; }
+
+  // --- transaction demarcation -------------------------------------------
+
+  /// Marks the calling thread as executing a new transaction; returns its
+  /// trace id. Pass the id to TxnEnd.
+  uint64_t TxnBegin();
+  void TxnEnd(uint64_t txn_id);
+
+  /// Task-based engines: the calling thread starts/stops executing an
+  /// interval on behalf of transaction `txn_id` (ids are caller-chosen but
+  /// must be nonzero and unique per logical transaction).
+  void IntervalBegin(uint64_t txn_id);
+  void IntervalEnd();
+
+  // --- internal, called by ScopedProbe ------------------------------------
+  void OnEnter(FuncId fid);
+  void OnExit();
+
+ private:
+  Profiler();
+
+  struct Frame {
+    FuncId fid;
+    PathNodeId node;    ///< Valid only when `timed`.
+    int64_t start_ns;   ///< Valid only when `timed`.
+    bool timed;
+  };
+
+  struct ThreadState {
+    uint64_t epoch = 0;
+    TraceBuffer* buffer = nullptr;
+    Frame stack[kMaxStackDepth];
+    int depth = 0;
+    PathNodeId current_node = kRootNode;  ///< Nearest *enabled* ancestor path.
+    uint64_t txn = 0;
+    int64_t txn_start_ns = 0;
+    // Small per-thread cache of already-recorded call edges.
+    std::vector<uint64_t> edge_cache;
+  };
+
+  ThreadState& GetThreadState();
+  TraceBuffer* BufferForThread(ThreadState* ts);
+  void MaybeRecordEdge(ThreadState* ts, FuncId parent, FuncId child);
+  void ChargeProbeCost();
+
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> epoch_{0};
+  std::unique_ptr<std::atomic<uint8_t>[]> enabled_;
+  std::atomic<bool> discover_edges_{true};
+  std::atomic<int64_t> dtrace_cost_ns_{0};
+
+  std::atomic<uint64_t> next_txn_id_{1};
+
+  std::mutex buffers_mu_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+
+  PathTree path_tree_;
+};
+
+/// RAII probe. Use through TPROF_SCOPE.
+class ScopedProbe {
+ public:
+  explicit ScopedProbe(FuncId fid) {
+    Profiler& p = Profiler::Instance();
+    if (!p.active()) return;
+    engaged_ = true;
+    p.OnEnter(fid);
+  }
+  ~ScopedProbe() {
+    if (engaged_) Profiler::Instance().OnExit();
+  }
+  ScopedProbe(const ScopedProbe&) = delete;
+  ScopedProbe& operator=(const ScopedProbe&) = delete;
+
+ private:
+  bool engaged_ = false;
+};
+
+/// RAII transaction scope for thread-per-connection engines.
+class TxnScope {
+ public:
+  TxnScope() : id_(Profiler::Instance().active()
+                       ? Profiler::Instance().TxnBegin()
+                       : 0) {}
+  ~TxnScope() {
+    if (id_) Profiler::Instance().TxnEnd(id_);
+  }
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+
+ private:
+  uint64_t id_;
+};
+
+}  // namespace tdp::tprof
+
+#define TPROF_CONCAT_INNER(a, b) a##b
+#define TPROF_CONCAT(a, b) TPROF_CONCAT_INNER(a, b)
+
+/// Instruments the enclosing scope as function `name` (a string literal).
+#define TPROF_SCOPE(name)                                                  \
+  static const ::tdp::tprof::FuncId TPROF_CONCAT(_tprof_fid_, __LINE__) = \
+      ::tdp::tprof::Registry::Instance().Register(name);                  \
+  ::tdp::tprof::ScopedProbe TPROF_CONCAT(_tprof_probe_, __LINE__)(        \
+      TPROF_CONCAT(_tprof_fid_, __LINE__))

@@ -1,0 +1,100 @@
+#include "tprofiler/refine.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace tdp::tprof {
+
+RefineResult RefinementDriver::Run(
+    const std::vector<std::string>& roots,
+    const std::function<void()>& run_workload) {
+  Registry& reg = Registry::Instance();
+  std::set<std::string> enabled(roots.begin(), roots.end());
+
+  RefineResult result;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    SessionConfig sc;
+    sc.enabled.assign(enabled.begin(), enabled.end());
+    sc.cost_model = config_.cost_model;
+    sc.dtrace_event_cost_ns = config_.dtrace_event_cost_ns;
+    Profiler::Instance().StartSession(sc);
+    run_workload();
+    TraceData data = Profiler::Instance().EndSession();
+    ++result.runs_used;
+
+    result.analysis = std::make_unique<VarianceAnalysis>(
+        data, Profiler::Instance().path_tree());
+
+    // Decide what to expand: top-k factors that still have uninstrumented
+    // children in the discovered call graph and carry enough variance.
+    const std::vector<Factor> factors = result.analysis->RankFactors();
+    bool expanded = false;
+    int considered = 0;
+    for (const Factor& f : factors) {
+      if (considered >= config_.top_k) break;
+      ++considered;
+      if (f.pct_of_total < config_.min_pct_to_expand) continue;
+      for (FuncId fid : {f.fid_a, f.fid_b}) {
+        if (fid == kInvalidFunc) continue;
+        for (FuncId child : reg.Children(fid)) {
+          const std::string name = reg.Name(child);
+          if (enabled.insert(name).second) expanded = true;
+        }
+      }
+    }
+    if (!expanded) break;  // informative profile reached
+  }
+  result.instrumented.assign(enabled.begin(), enabled.end());
+  return result;
+}
+
+uint64_t RefinementDriver::NaiveRunsFor(const std::vector<std::string>& roots) {
+  // The naive strategy decomposes every non-leaf function it encounters,
+  // one decomposition per run.
+  Registry& reg = Registry::Instance();
+  std::unordered_set<FuncId> visited;
+  std::vector<FuncId> stack;
+  for (const std::string& r : roots) {
+    const FuncId fid = reg.Lookup(r);
+    if (fid != kInvalidFunc) stack.push_back(fid);
+  }
+  uint64_t non_leaves = 0;
+  while (!stack.empty()) {
+    const FuncId f = stack.back();
+    stack.pop_back();
+    if (!visited.insert(f).second) continue;
+    const auto children = reg.Children(f);
+    if (!children.empty()) ++non_leaves;
+    for (FuncId c : children) stack.push_back(c);
+  }
+  return non_leaves;
+}
+
+namespace {
+uint64_t CountPaths(FuncId f, int depth, int max_depth,
+                    std::unordered_set<FuncId>* on_path) {
+  if (depth >= max_depth) return 1;
+  if (!on_path->insert(f).second) return 1;  // break cycles
+  uint64_t total = 1;
+  for (FuncId c : Registry::Instance().Children(f)) {
+    total += CountPaths(c, depth + 1, max_depth, on_path);
+    if (total > (uint64_t{1} << 62)) break;  // saturate
+  }
+  on_path->erase(f);
+  return total;
+}
+}  // namespace
+
+uint64_t RefinementDriver::StaticCallTreeSize(
+    const std::vector<std::string>& roots, int max_depth) {
+  uint64_t total = 0;
+  for (const std::string& r : roots) {
+    const FuncId fid = Registry::Instance().Lookup(r);
+    if (fid == kInvalidFunc) continue;
+    std::unordered_set<FuncId> on_path;
+    total += CountPaths(fid, 0, max_depth, &on_path);
+  }
+  return total;
+}
+
+}  // namespace tdp::tprof

@@ -1,0 +1,61 @@
+// Iterative refinement driver (Section 3.1).
+//
+// Starting from the transaction-root functions, repeatedly: run the workload
+// with the current instrumented subset, analyze the variance tree, pick the
+// top-k factors, and — for factors that are "too high in the call hierarchy
+// to be informative" (they still have uninstrumented children) — add their
+// children to the instrumented set for the next run. Stops when the top-k
+// factors are all fully decomposed or the iteration budget is exhausted.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tprofiler/analysis.h"
+#include "tprofiler/profiler.h"
+
+namespace tdp::tprof {
+
+struct RefineConfig {
+  int top_k = 5;
+  int max_iterations = 10;
+  /// Factors below this share of total variance are never expanded
+  /// ("sub-trees whose variance is small require no further scrutiny").
+  double min_pct_to_expand = 2.0;
+  ProbeCost cost_model = ProbeCost::kNative;
+  int64_t dtrace_event_cost_ns = 2000;
+};
+
+struct RefineResult {
+  int runs_used = 0;
+  std::vector<std::string> instrumented;  ///< Final instrumented subset.
+  std::unique_ptr<VarianceAnalysis> analysis;  ///< From the final run.
+};
+
+class RefinementDriver {
+ public:
+  explicit RefinementDriver(RefineConfig config) : config_(config) {}
+
+  /// `roots`: the transaction-root function names (the manual annotation the
+  /// paper requires). `run_workload` executes one profiled run of the
+  /// workload and must invoke the instrumented code under a TxnScope (or
+  /// Interval marks).
+  RefineResult Run(const std::vector<std::string>& roots,
+                   const std::function<void()>& run_workload);
+
+  /// Number of runs a naive profiler needs: it decomposes *every* non-leaf
+  /// function in the discovered static call graph, one per run.
+  static uint64_t NaiveRunsFor(const std::vector<std::string>& roots);
+
+  /// Number of nodes (call paths) in the static call tree rooted at `roots`
+  /// — the quantity the paper reports as 2x10^15 for MySQL.
+  static uint64_t StaticCallTreeSize(const std::vector<std::string>& roots,
+                                     int max_depth = 64);
+
+ private:
+  RefineConfig config_;
+};
+
+}  // namespace tdp::tprof

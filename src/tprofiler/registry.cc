@@ -1,0 +1,80 @@
+#include "tprofiler/registry.h"
+
+#include <algorithm>
+
+namespace tdp::tprof {
+
+Registry& Registry::Instance() {
+  static Registry* r = new Registry();  // leaked singleton; safe at exit
+  return *r;
+}
+
+FuncId Registry::Register(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const FuncId id = static_cast<FuncId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+FuncId Registry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidFunc : it->second;
+}
+
+std::string Registry::Name(FuncId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (id >= names_.size()) return "<unknown>";
+  return names_[id];
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return names_.size();
+}
+
+void Registry::RecordEdge(FuncId parent, FuncId child) {
+  if (parent == kInvalidFunc || child == kInvalidFunc || parent == child) return;
+  std::lock_guard<std::mutex> g(mu_);
+  edges_[parent].insert(child);
+}
+
+std::vector<FuncId> Registry::Children(FuncId parent) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = edges_.find(parent);
+  if (it == edges_.end()) return {};
+  std::vector<FuncId> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Registry::HeightLocked(FuncId id, std::unordered_map<FuncId, int>* memo,
+                           std::unordered_set<FuncId>* on_path) const {
+  auto mit = memo->find(id);
+  if (mit != memo->end()) return mit->second;
+  if (!on_path->insert(id).second) return 0;  // break recursion cycles
+  int h = 0;
+  auto eit = edges_.find(id);
+  if (eit != edges_.end()) {
+    for (FuncId c : eit->second) {
+      h = std::max(h, 1 + HeightLocked(c, memo, on_path));
+    }
+  }
+  on_path->erase(id);
+  (*memo)[id] = h;
+  return h;
+}
+
+int Registry::Height(FuncId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::unordered_map<FuncId, int> memo;
+  std::unordered_set<FuncId> on_path;
+  return HeightLocked(id, &memo, &on_path);
+}
+
+int Registry::GraphHeight(FuncId root) const { return Height(root); }
+
+}  // namespace tdp::tprof

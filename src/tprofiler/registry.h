@@ -1,0 +1,58 @@
+// Function registry: maps instrumented function names to dense ids and
+// records the (dynamically discovered) static call graph between them.
+//
+// TProfiler instruments a chosen *subset* of functions per run (Section 3.1);
+// the registry is the global universe from which that subset is selected.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tdp::tprof {
+
+using FuncId = uint32_t;
+constexpr FuncId kInvalidFunc = 0xFFFFFFFFu;
+
+class Registry {
+ public:
+  static Registry& Instance();
+
+  /// Registers (or looks up) a function by name. Thread-safe; stable ids.
+  FuncId Register(const std::string& name);
+
+  /// Returns kInvalidFunc when the name is unknown.
+  FuncId Lookup(const std::string& name) const;
+
+  std::string Name(FuncId id) const;
+  size_t size() const;
+
+  /// Records that `child` was observed being called (possibly indirectly
+  /// through uninstrumented frames) beneath `parent`.
+  void RecordEdge(FuncId parent, FuncId child);
+
+  /// Direct children of `parent` in the discovered call graph.
+  std::vector<FuncId> Children(FuncId parent) const;
+
+  /// Height of `id`: length of the longest discovered path beneath it
+  /// (leaves have height 0). Used by the specificity metric (eq. 2).
+  int Height(FuncId id) const;
+
+  /// Height of the whole discovered graph rooted at `root`.
+  int GraphHeight(FuncId root) const;
+
+ private:
+  Registry() = default;
+  int HeightLocked(FuncId id, std::unordered_map<FuncId, int>* memo,
+                   std::unordered_set<FuncId>* on_path) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, FuncId> by_name_;
+  std::vector<std::string> names_;
+  std::unordered_map<FuncId, std::unordered_set<FuncId>> edges_;
+};
+
+}  // namespace tdp::tprof

@@ -1,0 +1,59 @@
+#include "tprofiler/trace.h"
+
+namespace tdp::tprof {
+
+PathTree::PathTree() { nodes_.push_back({kRootNode, kInvalidFunc}); }
+
+PathNodeId PathTree::Intern(PathNodeId parent, FuncId fid) {
+  const uint64_t key = (static_cast<uint64_t>(parent) << 32) | fid;
+  std::lock_guard<SpinLock> g(mu_);
+  auto it = intern_.find(key);
+  if (it != intern_.end()) return it->second;
+  const PathNodeId id = static_cast<PathNodeId>(nodes_.size());
+  nodes_.push_back({parent, fid});
+  intern_.emplace(key, id);
+  return id;
+}
+
+PathNodeId PathTree::Parent(PathNodeId node) const {
+  std::lock_guard<SpinLock> g(mu_);
+  return nodes_[node].parent;
+}
+
+FuncId PathTree::Func(PathNodeId node) const {
+  std::lock_guard<SpinLock> g(mu_);
+  return nodes_[node].fid;
+}
+
+size_t PathTree::size() const {
+  std::lock_guard<SpinLock> g(mu_);
+  return nodes_.size();
+}
+
+std::string PathTree::PathString(PathNodeId node) const {
+  if (node == kRootNode) return "<txn>";
+  std::vector<FuncId> chain;
+  {
+    std::lock_guard<SpinLock> g(mu_);
+    PathNodeId cur = node;
+    while (cur != kRootNode) {
+      chain.push_back(nodes_[cur].fid);
+      cur = nodes_[cur].parent;
+    }
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += "/";
+    out += Registry::Instance().Name(*it);
+  }
+  return out;
+}
+
+void PathTree::Clear() {
+  std::lock_guard<SpinLock> g(mu_);
+  nodes_.clear();
+  nodes_.push_back({kRootNode, kInvalidFunc});
+  intern_.clear();
+}
+
+}  // namespace tdp::tprof

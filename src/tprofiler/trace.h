@@ -1,0 +1,100 @@
+// Trace collection: per-thread event buffers, the interned call-path tree,
+// and transaction interval records.
+//
+// An Event is one completed invocation of an *enabled* (instrumented)
+// function, attributed to the call-path of enabled ancestors above it and to
+// the transaction the thread was executing on behalf of.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "tprofiler/registry.h"
+
+namespace tdp::tprof {
+
+/// Node id within the interned call-path tree. Node 0 is the synthetic
+/// transaction root ("the transaction itself").
+using PathNodeId = uint32_t;
+constexpr PathNodeId kRootNode = 0;
+
+struct Event {
+  PathNodeId node;   ///< Interned call path of this invocation.
+  uint64_t txn;      ///< Transaction trace id (0 = outside any transaction).
+  int64_t start_ns;
+  int64_t end_ns;
+};
+
+/// One labelled execution interval of a transaction (Section 3.1). For
+/// thread-per-connection engines each transaction is exactly one interval;
+/// for task-based engines (VoltDB) a transaction spans several.
+struct TxnInterval {
+  uint64_t txn;
+  int64_t start_ns;
+  int64_t end_ns;
+};
+
+/// Interns call paths: a path is identified by (parent path, function).
+class PathTree {
+ public:
+  PathTree();
+
+  PathNodeId Intern(PathNodeId parent, FuncId fid);
+
+  /// Snapshot accessors (safe to call while probes are quiescent).
+  PathNodeId Parent(PathNodeId node) const;
+  FuncId Func(PathNodeId node) const;
+  size_t size() const;
+
+  /// "a/b/c" rendering of the path using registry names.
+  std::string PathString(PathNodeId node) const;
+
+  void Clear();
+
+ private:
+  struct Node {
+    PathNodeId parent;
+    FuncId fid;
+  };
+  mutable SpinLock mu_;
+  std::vector<Node> nodes_;
+  std::unordered_map<uint64_t, PathNodeId> intern_;
+};
+
+/// Append-only per-thread buffer; the profiler owns all buffers and drains
+/// them when the session ends.
+class TraceBuffer {
+ public:
+  void AddEvent(const Event& e) {
+    std::lock_guard<SpinLock> g(mu_);
+    events_.push_back(e);
+  }
+  void AddInterval(const TxnInterval& iv) {
+    std::lock_guard<SpinLock> g(mu_);
+    intervals_.push_back(iv);
+  }
+  void Drain(std::vector<Event>* events, std::vector<TxnInterval>* intervals) {
+    std::lock_guard<SpinLock> g(mu_);
+    events->insert(events->end(), events_.begin(), events_.end());
+    intervals->insert(intervals->end(), intervals_.begin(), intervals_.end());
+    events_.clear();
+    intervals_.clear();
+  }
+
+ private:
+  SpinLock mu_;
+  std::vector<Event> events_;
+  std::vector<TxnInterval> intervals_;
+};
+
+/// Everything one profiled run produced.
+struct TraceData {
+  std::vector<Event> events;
+  std::vector<TxnInterval> intervals;
+};
+
+}  // namespace tdp::tprof

@@ -1,0 +1,44 @@
+#include "volt/procedures.h"
+
+#include <thread>
+
+#include "common/clock.h"
+
+namespace tdp::volt {
+
+ProcedureMix::ProcedureMix(VoltMini* db, ProcedureMixConfig config)
+    : db_(db), config_(config), rng_(config.seed) {}
+
+std::shared_ptr<VoltMini::Ticket> ProcedureMix::SubmitNext() {
+  const int partition =
+      static_cast<int>(rng_.Uniform(static_cast<uint64_t>(8)));
+  int64_t service_us = rng_.UniformRange(config_.min_service_us,
+                                         config_.max_service_us);
+  if (static_cast<int>(rng_.Uniform(100)) < config_.pct_multi_partition) {
+    service_us += config_.multi_partition_extra_us;
+  }
+  return db_->Submit(partition, [service_us] {
+    std::this_thread::sleep_for(std::chrono::microseconds(service_us));
+  });
+}
+
+std::vector<std::shared_ptr<VoltMini::Ticket>> ProcedureMix::RunOpenLoop(
+    uint64_t n, double procedures_per_sec) {
+  std::vector<std::shared_ptr<VoltMini::Ticket>> tickets;
+  tickets.reserve(n);
+  const double gap_ns = 1e9 / procedures_per_sec;
+  const int64_t start = NowNanos();
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t intended =
+        start + static_cast<int64_t>(gap_ns * static_cast<double>(i));
+    const int64_t now = NowNanos();
+    if (intended > now) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(intended - now));
+    }
+    tickets.push_back(SubmitNext());
+  }
+  for (auto& t : tickets) t->Wait();
+  return tickets;
+}
+
+}  // namespace tdp::volt

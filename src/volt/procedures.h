@@ -1,0 +1,47 @@
+// Stored-procedure library for voltmini: the TPC-C-flavored procedures the
+// benchmarks submit, defined once instead of as inline lambdas. VoltDB
+// executes procedures single-threaded per partition; these bodies model the
+// paper's evaluation workload — service times dominated by row work, with
+// occasional multi-partition coordination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "volt/voltmini.h"
+
+namespace tdp::volt {
+
+struct ProcedureMixConfig {
+  /// Bounds of the per-procedure service time (simulated work; sleeps, so
+  /// worker threads parallelize even on a single-core host).
+  int64_t min_service_us = 1000;
+  int64_t max_service_us = 5000;
+  /// Fraction (percent) of procedures that are multi-partition: they run on
+  /// one partition but add a coordination surcharge.
+  int pct_multi_partition = 10;
+  int64_t multi_partition_extra_us = 1500;
+  uint64_t seed = 31;
+};
+
+/// Generates TPC-C-flavored procedure invocations for a VoltMini instance.
+class ProcedureMix {
+ public:
+  ProcedureMix(VoltMini* db, ProcedureMixConfig config = {});
+
+  /// Submits the next procedure; returns its ticket.
+  std::shared_ptr<VoltMini::Ticket> SubmitNext();
+
+  /// Convenience: drives `n` procedures at a fixed offered rate (open loop)
+  /// and returns every ticket (all completed).
+  std::vector<std::shared_ptr<VoltMini::Ticket>> RunOpenLoop(
+      uint64_t n, double procedures_per_sec);
+
+ private:
+  VoltMini* const db_;
+  ProcedureMixConfig config_;
+  Rng rng_;
+};
+
+}  // namespace tdp::volt

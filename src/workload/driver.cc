@@ -1,0 +1,167 @@
+#include "workload/driver.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "tprofiler/profiler.h"
+
+namespace tdp::workload {
+
+namespace {
+
+struct Job {
+  uint64_t seq;
+  int64_t intended_ns;
+  Workload::Txn txn;
+};
+
+struct SharedQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Job> jobs;
+  bool done = false;
+
+  void Push(Job job) {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      jobs.push_back(std::move(job));
+    }
+    cv.notify_one();
+  }
+  bool Pop(Job* out) {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [this] { return done || !jobs.empty(); });
+    if (jobs.empty()) return false;
+    *out = std::move(jobs.front());
+    jobs.pop_front();
+    return true;
+  }
+  void Finish() {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+/// One attempt: begin, body, commit/rollback, under the profiler's
+/// transaction root.
+Status ExecuteAttempt(engine::Connection& conn, const Workload::Txn& txn) {
+  // TxnScope must open before (and close after) the root probe, or the
+  // root's exit event is attributed to no transaction and dropped.
+  tprof::TxnScope txn_scope;
+  TPROF_SCOPE("dispatch_command");
+  Status s = conn.Begin();
+  if (!s.ok()) return s;
+  s = txn.body(conn);
+  if (s.ok()) return conn.Commit();
+  conn.Rollback();
+  return s;
+}
+
+bool Retryable(const Status& s) {
+  return s.IsDeadlock() || s.IsLockTimeout() || s.IsAborted();
+}
+
+}  // namespace
+
+RunResult RunConstantRate(engine::Database* db, Workload* wl,
+                          const DriverConfig& config,
+                          const TxnEventHook& hook) {
+  RunResult result;
+  result.offered_tps = config.tps;
+
+  SharedQueue queue;
+  std::mutex result_mu;
+
+  std::atomic<uint64_t> committed{0}, deadlocks{0}, timeouts{0}, others{0},
+      gave_up{0};
+
+  const uint64_t warmup = config.warmup_txns;
+
+  auto worker_fn = [&] {
+    std::unique_ptr<engine::Connection> conn = db->Connect();
+    Job job;
+    while (queue.Pop(&job)) {
+      Status s;
+      int attempts = 0;
+      do {
+        ++attempts;
+        s = ExecuteAttempt(*conn, job.txn);
+        if (!s.ok()) {
+          if (s.IsDeadlock()) {
+            deadlocks.fetch_add(1, std::memory_order_relaxed);
+          } else if (s.IsLockTimeout()) {
+            timeouts.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            others.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } while (!s.ok() && Retryable(s) && attempts <= config.max_retries);
+
+      if (!s.ok()) {
+        gave_up.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      committed.fetch_add(1, std::memory_order_relaxed);
+      const int64_t end_ns = NowNanos();
+      const int64_t latency = end_ns - job.intended_ns;
+      if (job.seq >= warmup) {
+        {
+          std::lock_guard<std::mutex> g(result_mu);
+          result.latencies.push_back(latency);
+          result.by_type[job.txn.type].push_back(latency);
+        }
+        if (hook) {
+          TxnEvent ev;
+          ev.engine_txn_id = conn->current_txn_id();
+          ev.type = job.txn.type;
+          ev.dispatch_ns = job.intended_ns;
+          ev.commit_ns = end_ns;
+          ev.latency_ns = latency;
+          hook(ev);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  for (int i = 0; i < config.connections; ++i) workers.emplace_back(worker_fn);
+
+  // Dispatcher: one transaction every 1/tps seconds.
+  Rng rng(config.seed);
+  const int64_t start_ns = NowNanos();
+  const double interval_ns = 1e9 / config.tps;
+  for (uint64_t i = 0; i < config.num_txns; ++i) {
+    const int64_t intended =
+        start_ns + static_cast<int64_t>(interval_ns * static_cast<double>(i));
+    const int64_t now = NowNanos();
+    if (intended > now) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(intended - now));
+    }
+    queue.Push(Job{i, intended, wl->NextTxn(&rng)});
+  }
+  queue.Finish();
+  for (std::thread& t : workers) t.join();
+  const int64_t end_ns = NowNanos();
+
+  result.committed = committed.load();
+  result.deadlock_aborts = deadlocks.load();
+  result.timeout_aborts = timeouts.load();
+  result.other_aborts = others.load();
+  result.gave_up = gave_up.load();
+  result.elapsed_s = NanosToSeconds(end_ns - start_ns);
+  result.achieved_tps =
+      result.elapsed_s > 0
+          ? static_cast<double>(result.committed) / result.elapsed_s
+          : 0;
+  return result;
+}
+
+}  // namespace tdp::workload

@@ -1,0 +1,101 @@
+#include "workload/epinions.h"
+
+namespace tdp::workload {
+
+// Columns: review: 0=RATING; trust: 0=TRUST; user: 0=KARMA; item: 0=AVG.
+namespace col {
+constexpr size_t kRating = 0;
+constexpr size_t kTrust = 0;
+}  // namespace col
+
+Epinions::Epinions(EpinionsConfig config) : config_(config) {}
+
+void Epinions::Load(engine::Database* db) {
+  t_user_ = db->CreateTable("ep_user", 64);
+  t_item_ = db->CreateTable("ep_item", 64);
+  t_review_ = db->CreateTable("ep_review", 64);
+  t_trust_ = db->CreateTable("ep_trust", 64);
+  for (int u = 0; u < config_.users; ++u) {
+    db->BulkUpsert(t_user_, static_cast<uint64_t>(u), storage::Row{0});
+  }
+  for (int i = 0; i < config_.items; ++i) {
+    db->BulkUpsert(t_item_, static_cast<uint64_t>(i), storage::Row{3});
+    for (int j = 0; j < config_.reviews_per_item; ++j) {
+      db->BulkUpsert(t_review_, ReviewKey(i, j), storage::Row{4});
+    }
+  }
+}
+
+Workload::Txn Epinions::NextTxn(Rng* rng) {
+  const int item = static_cast<int>(rng->Uniform(config_.items));
+  const int user = static_cast<int>(rng->Uniform(config_.users));
+  const int review = static_cast<int>(rng->Uniform(config_.reviews_per_item));
+  const int roll = static_cast<int>(rng->Uniform(100));
+
+  int acc = config_.pct_get_reviews_by_item;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "GetReviewsByItem";
+    txn.body = [this, item](engine::Connection& conn) -> Status {
+      Status s = conn.Select(t_item_, static_cast<uint64_t>(item));
+      if (!s.ok()) return s;
+      for (int j = 0; j < config_.reviews_per_item; ++j) {
+        s = conn.Select(t_review_, ReviewKey(item, j));
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    };
+    return txn;
+  }
+  acc += config_.pct_get_average_rating;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "GetAverageRating";
+    txn.body = [this, item](engine::Connection& conn) -> Status {
+      Status s = conn.Select(t_item_, static_cast<uint64_t>(item));
+      if (!s.ok()) return s;
+      for (int j = 0; j < 3; ++j) {
+        s = conn.Select(t_review_, ReviewKey(item, j));
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    };
+    return txn;
+  }
+  acc += config_.pct_get_user_reviews;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "GetUserReviews";
+    txn.body = [this, user, item, review](engine::Connection& conn) -> Status {
+      Status s = conn.Select(t_user_, static_cast<uint64_t>(user));
+      if (!s.ok()) return s;
+      return conn.Select(t_review_, ReviewKey(item, review));
+    };
+    return txn;
+  }
+  acc += config_.pct_update_review;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "UpdateReview";
+    txn.body = [this, item, review](engine::Connection& conn) {
+      return conn.Update(t_review_, ReviewKey(item, review), col::kRating, 1);
+    };
+    return txn;
+  }
+  const int to = static_cast<int>(rng->Uniform(config_.users));
+  Txn txn;
+  txn.type = "UpdateTrust";
+  txn.body = [this, user, to](engine::Connection& conn) -> Status {
+    Status s = conn.Select(t_user_, static_cast<uint64_t>(user));
+    if (!s.ok()) return s;
+    // Upsert-style trust edge: insert, or bump if it exists.
+    s = conn.Insert(t_trust_, TrustKey(user, to), storage::Row{1});
+    if (s.IsInvalidArgument()) {
+      s = conn.Update(t_trust_, TrustKey(user, to), col::kTrust, 1);
+    }
+    return s;
+  };
+  return txn;
+}
+
+}  // namespace tdp::workload

@@ -1,0 +1,48 @@
+// Epinions — consumer-review website workload (Massa & Avesani). Mostly
+// reads over a wide keyspace of users, items, reviews and trust edges; at
+// the paper's scale factor (500) contention is negligible, which makes it
+// (with YCSB) the control group for the scheduling study: the choice of
+// lock scheduler should be immaterial here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace tdp::workload {
+
+struct EpinionsConfig {
+  int users = 1000;
+  int items = 500;   ///< The paper's scale factor.
+  int reviews_per_item = 10;
+
+  // Mix (percent).
+  int pct_get_reviews_by_item = 40;
+  int pct_get_average_rating = 20;
+  int pct_get_user_reviews = 15;
+  int pct_update_review = 15;
+  int pct_update_trust = 10;
+};
+
+class Epinions : public Workload {
+ public:
+  explicit Epinions(EpinionsConfig config = {});
+
+  std::string name() const override { return "epinions"; }
+  void Load(engine::Database* db) override;
+  Txn NextTxn(Rng* rng) override;
+
+  uint64_t ReviewKey(int item, int j) const {
+    return static_cast<uint64_t>(item) * 64 + j;
+  }
+  uint64_t TrustKey(int from, int to) const {
+    return static_cast<uint64_t>(from) * config_.users + to;
+  }
+
+ private:
+  EpinionsConfig config_;
+  uint32_t t_user_ = 0, t_item_ = 0, t_review_ = 0, t_trust_ = 0;
+};
+
+}  // namespace tdp::workload

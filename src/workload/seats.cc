@@ -1,0 +1,119 @@
+#include "workload/seats.h"
+
+namespace tdp::workload {
+
+// Columns: flight: 0=SEATS_LEFT, 1=PRICE; seat: 0=OCCUPIED;
+// customer: 0=BALANCE, 1=FREQUENT_FLYER; reservation: 0=FLIGHT, 1=SEAT.
+namespace col {
+constexpr size_t kFSeatsLeft = 0;
+constexpr size_t kSeatOccupied = 0;
+constexpr size_t kCBalance = 0;
+constexpr size_t kCFrequentFlyer = 1;
+}  // namespace col
+
+Seats::Seats(SeatsConfig config) : config_(config) {}
+
+void Seats::Load(engine::Database* db) {
+  t_flight_ = db->CreateTable("flight", 4);
+  t_seat_ = db->CreateTable("seat", 64);
+  t_customer_ = db->CreateTable("customer", 64);
+  t_reservation_ = db->CreateTable("reservation", 64);
+  for (int f = 0; f < config_.flights; ++f) {
+    db->BulkUpsert(t_flight_, FlightKey(f),
+                   storage::Row{config_.seats_per_flight, 300});
+    for (int s = 0; s < config_.seats_per_flight; ++s) {
+      db->BulkUpsert(t_seat_, SeatKey(f, s), storage::Row{0});
+    }
+  }
+  for (int c = 0; c < config_.customers; ++c) {
+    db->BulkUpsert(t_customer_, static_cast<uint64_t>(c),
+                   storage::Row{0, 0});
+  }
+}
+
+Workload::Txn Seats::NextTxn(Rng* rng) {
+  const int f = static_cast<int>(rng->Uniform(config_.flights));
+  const int seat = static_cast<int>(rng->Uniform(config_.seats_per_flight));
+  const int cust = static_cast<int>(rng->Uniform(config_.customers));
+  const int roll = static_cast<int>(rng->Uniform(100));
+
+  int acc = config_.pct_find_open_seats;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "FindOpenSeats";
+    txn.body = [this, f, seat](engine::Connection& conn) -> Status {
+      Status s = conn.Select(t_flight_, FlightKey(f));
+      if (!s.ok()) return s;
+      for (int i = 0; i < 10; ++i) {
+        const int probe = (seat + i * 13) % config_.seats_per_flight;
+        s = conn.Select(t_seat_, SeatKey(f, probe));
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    };
+    return txn;
+  }
+  acc += config_.pct_new_reservation;
+  if (roll < acc) {
+    const uint64_t res_key = next_reservation_.fetch_add(1);
+    Txn txn;
+    txn.type = "NewReservation";
+    txn.body = [this, f, seat, cust, res_key](
+                   engine::Connection& conn) -> Status {
+      // Seat and reservation first; the flight row — where every booking
+      // for flight f serializes — last, so waiters arrive at the hot queue
+      // with varying ages (canonical lock order: seat < reservation <
+      // flight < customer, shared by the other transaction types).
+      Status s = conn.Update(t_seat_, SeatKey(f, seat), col::kSeatOccupied, 1);
+      if (!s.ok()) return s;
+      s = conn.Insert(t_reservation_, res_key, storage::Row{f, seat});
+      if (!s.ok()) return s;
+      s = conn.Update(t_flight_, FlightKey(f), col::kFSeatsLeft, -1);
+      if (!s.ok()) return s;
+      return conn.Update(t_customer_, static_cast<uint64_t>(cust),
+                         col::kCFrequentFlyer, 1);
+    };
+    return txn;
+  }
+  acc += config_.pct_update_reservation;
+  if (roll < acc) {
+    const uint64_t max_res = next_reservation_.load(std::memory_order_relaxed);
+    const uint64_t res_key = max_res > 1 ? 1 + rng->Uniform(max_res - 1) : 0;
+    Txn txn;
+    txn.type = "UpdateReservation";
+    txn.body = [this, res_key, f, seat](engine::Connection& conn) -> Status {
+      if (res_key == 0) return Status::OK();
+      // Seat before reservation: canonical order (see NewReservation).
+      Status s = IgnoreNotFound(
+          conn.Update(t_seat_, SeatKey(f, seat), col::kSeatOccupied, 0));
+      if (!s.ok()) return s;
+      return IgnoreNotFound(conn.SelectForUpdate(t_reservation_, res_key));
+    };
+    return txn;
+  }
+  acc += config_.pct_delete_reservation;
+  if (roll < acc) {
+    const uint64_t max_res = next_reservation_.load(std::memory_order_relaxed);
+    const uint64_t res_key = max_res > 1 ? 1 + rng->Uniform(max_res - 1) : 0;
+    Txn txn;
+    txn.type = "DeleteReservation";
+    txn.body = [this, res_key, f](engine::Connection& conn) -> Status {
+      if (res_key == 0) return Status::OK();
+      Status s = IgnoreNotFound(conn.Delete(t_reservation_, res_key));
+      if (!s.ok()) return s;
+      return conn.Update(t_flight_, FlightKey(f), col::kFSeatsLeft, 1);
+    };
+    return txn;
+  }
+  Txn txn;
+  txn.type = "UpdateCustomer";
+  txn.body = [this, cust](engine::Connection& conn) -> Status {
+    Status s = conn.Select(t_customer_, static_cast<uint64_t>(cust));
+    if (!s.ok()) return s;
+    return conn.Update(t_customer_, static_cast<uint64_t>(cust),
+                       col::kCBalance, 10);
+  };
+  return txn;
+}
+
+}  // namespace tdp::workload

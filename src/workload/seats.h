@@ -1,0 +1,46 @@
+// SEATS — airline ticketing simulation (Stonebraker & Pavlo). Customers
+// search flights and make reservations; every booking serializes on its
+// flight's seats-remaining row, so a small flight count (the paper uses
+// scale factor 50) produces a highly contended workload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace tdp::workload {
+
+struct SeatsConfig {
+  int flights = 50;  ///< The paper's scale factor.
+  int seats_per_flight = 150;
+  int customers = 2000;
+
+  // Mix (percent).
+  int pct_find_open_seats = 35;
+  int pct_new_reservation = 30;
+  int pct_update_reservation = 15;
+  int pct_delete_reservation = 10;
+  int pct_update_customer = 10;
+};
+
+class Seats : public Workload {
+ public:
+  explicit Seats(SeatsConfig config = {});
+
+  std::string name() const override { return "seats"; }
+  void Load(engine::Database* db) override;
+  Txn NextTxn(Rng* rng) override;
+
+  uint64_t FlightKey(int f) const { return static_cast<uint64_t>(f); }
+  uint64_t SeatKey(int f, int s) const {
+    return static_cast<uint64_t>(f) * 256 + s;
+  }
+
+ private:
+  SeatsConfig config_;
+  uint32_t t_flight_ = 0, t_seat_ = 0, t_customer_ = 0, t_reservation_ = 0;
+  std::atomic<uint64_t> next_reservation_{1};
+};
+
+}  // namespace tdp::workload

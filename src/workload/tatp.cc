@@ -1,0 +1,114 @@
+#include "workload/tatp.h"
+
+namespace tdp::workload {
+
+// Columns: subscriber: 0=BIT_1, 1=VLR_LOCATION; special_facility: 0=DATA_A;
+// access_info: 0=DATA1; call_forwarding: 0=NUMBERX (0 == absent).
+namespace col {
+constexpr size_t kSubBit1 = 0;
+constexpr size_t kSubVlrLocation = 1;
+constexpr size_t kSfDataA = 0;
+}  // namespace col
+
+Tatp::Tatp(TatpConfig config) : config_(config) {}
+
+void Tatp::Load(engine::Database* db) {
+  t_subscriber_ = db->CreateTable("subscriber", 64);
+  t_access_info_ = db->CreateTable("access_info", 64);
+  t_special_facility_ = db->CreateTable("special_facility", 64);
+  t_call_forwarding_ = db->CreateTable("call_forwarding", 64);
+  for (int s = 0; s < config_.subscribers; ++s) {
+    const uint64_t key = static_cast<uint64_t>(s);
+    db->BulkUpsert(t_subscriber_, key, storage::Row{0, 0});
+    // 1..4 access-info and special-facility rows per subscriber; we load a
+    // fixed 2 of each (keys sub*4 + {0,1}).
+    for (int i = 0; i < 2; ++i) {
+      db->BulkUpsert(t_access_info_, key * 4 + i, storage::Row{7});
+      db->BulkUpsert(t_special_facility_, key * 4 + i, storage::Row{1});
+    }
+  }
+}
+
+uint64_t Tatp::PickSubscriber(Rng* rng) const {
+  return static_cast<uint64_t>(
+      rng->NURand(config_.subscribers / 4 - 1, 0, config_.subscribers - 1));
+}
+
+Workload::Txn Tatp::NextTxn(Rng* rng) {
+  const uint64_t sub = PickSubscriber(rng);
+  const uint64_t facility = sub * 4 + rng->Uniform(2);
+  const int roll = static_cast<int>(rng->Uniform(100));
+
+  int acc = config_.pct_get_subscriber_data;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "GetSubscriberData";
+    txn.body = [this, sub](engine::Connection& conn) {
+      return conn.Select(t_subscriber_, sub);
+    };
+    return txn;
+  }
+  acc += config_.pct_get_new_destination;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "GetNewDestination";
+    txn.body = [this, sub, facility](engine::Connection& conn) -> Status {
+      Status s = conn.Select(t_special_facility_, facility);
+      if (!s.ok()) return s;
+      return IgnoreNotFound(conn.Select(t_call_forwarding_, sub * 4));
+    };
+    return txn;
+  }
+  acc += config_.pct_get_access_data;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "GetAccessData";
+    txn.body = [this, sub, facility](engine::Connection& conn) {
+      return IgnoreNotFound(conn.Select(t_access_info_, facility));
+    };
+    return txn;
+  }
+  acc += config_.pct_update_subscriber_data;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "UpdateSubscriberData";
+    txn.body = [this, sub, facility](engine::Connection& conn) -> Status {
+      Status s = conn.Update(t_subscriber_, sub, col::kSubBit1, 1);
+      if (!s.ok()) return s;
+      return conn.Update(t_special_facility_, facility, col::kSfDataA, 1);
+    };
+    return txn;
+  }
+  acc += config_.pct_update_location;
+  if (roll < acc) {
+    Txn txn;
+    txn.type = "UpdateLocation";
+    txn.body = [this, sub](engine::Connection& conn) {
+      return conn.Update(t_subscriber_, sub, col::kSubVlrLocation, 1);
+    };
+    return txn;
+  }
+  acc += config_.pct_insert_call_forwarding;
+  if (roll < acc) {
+    const uint64_t cf_key = sub * 4 + rng->Uniform(4);
+    Txn txn;
+    txn.type = "InsertCallForwarding";
+    txn.body = [this, sub, cf_key](engine::Connection& conn) -> Status {
+      Status s = conn.Select(t_subscriber_, sub);
+      if (!s.ok()) return s;
+      s = conn.Insert(t_call_forwarding_, cf_key, storage::Row{5});
+      // Duplicate insert = "already exists", a normal TATP outcome.
+      return s.IsInvalidArgument() ? Status::OK() : s;
+    };
+    return txn;
+  }
+  const uint64_t cf_key = sub * 4 + rng->Uniform(4);
+  Txn txn;
+  txn.type = "DeleteCallForwarding";
+  txn.body = [this, cf_key](engine::Connection& conn) {
+    return IgnoreNotFound(conn.Delete(t_call_forwarding_, cf_key));
+  };
+  return txn;
+}
+
+}  // namespace tdp::workload

@@ -1,0 +1,43 @@
+// TATP — telecom subscriber-location workload (Wolski 2009): 80% reads /
+// 20% writes over subscriber rows. Moderately contended at the paper's
+// scale factor of 10 (fewer subscribers than TPC-C has stock rows, but a
+// far wider hot set than SEATS).
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace tdp::workload {
+
+struct TatpConfig {
+  int subscribers = 10000;  ///< Scale factor 10 in the paper ≈ 10k hot rows.
+
+  // Standard TATP mix (percent).
+  int pct_get_subscriber_data = 35;
+  int pct_get_new_destination = 10;
+  int pct_get_access_data = 35;
+  int pct_update_subscriber_data = 2;
+  int pct_update_location = 14;
+  int pct_insert_call_forwarding = 2;
+  int pct_delete_call_forwarding = 2;
+};
+
+class Tatp : public Workload {
+ public:
+  explicit Tatp(TatpConfig config = {});
+
+  std::string name() const override { return "tatp"; }
+  void Load(engine::Database* db) override;
+  Txn NextTxn(Rng* rng) override;
+
+ private:
+  /// TATP's non-uniform subscriber pick.
+  uint64_t PickSubscriber(Rng* rng) const;
+
+  TatpConfig config_;
+  uint32_t t_subscriber_ = 0, t_access_info_ = 0, t_special_facility_ = 0,
+           t_call_forwarding_ = 0;
+};
+
+}  // namespace tdp::workload

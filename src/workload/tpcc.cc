@@ -1,0 +1,278 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+
+namespace tdp::workload {
+
+// Column layout conventions:
+//   warehouse: 0=YTD
+//   district:  0=NEXT_O_ID, 1=YTD
+//   customer:  0=BALANCE, 1=PAYMENT_CNT, 2=DELIVERY_CNT
+//   item:      0=PRICE
+//   stock:     0=QUANTITY, 1=ORDER_CNT
+//   orders:    0=CUSTOMER, 1=OL_CNT, 2=CARRIER
+//   order_line:0=ITEM, 1=QTY
+namespace col {
+constexpr size_t kWYtd = 0;
+constexpr size_t kDNextOid = 0;
+constexpr size_t kDYtd = 1;
+constexpr size_t kCBalance = 0;
+constexpr size_t kCPaymentCnt = 1;
+constexpr size_t kCDeliveryCnt = 2;
+constexpr size_t kSQuantity = 0;
+constexpr size_t kSOrderCnt = 1;
+constexpr size_t kOCarrier = 2;
+}  // namespace col
+
+Tpcc::Tpcc(TpccConfig config) : config_(config) {}
+
+void Tpcc::Load(engine::Database* db) {
+  t_warehouse_ = db->CreateTable("warehouse", 4);  // few rows, hot pages
+  t_district_ = db->CreateTable("district", 8);
+  t_customer_ = db->CreateTable("customer", 64);
+  t_item_ = db->CreateTable("item", 64);
+  t_stock_ = db->CreateTable("stock", 64);
+  t_orders_ = db->CreateTable("orders", 64);
+  t_order_line_ = db->CreateTable("order_line", 64);
+  t_new_order_ = db->CreateTable("new_order", 64);
+  t_history_ = db->CreateTable("history", 64);
+
+  for (int w = 0; w < config_.warehouses; ++w) {
+    db->BulkUpsert(t_warehouse_, WarehouseKey(w), storage::Row{0});
+    for (int d = 0; d < config_.districts_per_wh; ++d) {
+      db->BulkUpsert(t_district_, DistrictKey(w, d), storage::Row{1, 0});
+      for (int c = 0; c < config_.customers_per_district; ++c) {
+        db->BulkUpsert(t_customer_, CustomerKey(w, d, c),
+                       storage::Row{1000, 0, 0});
+      }
+    }
+    for (int i = 0; i < config_.stock_per_wh; ++i) {
+      db->BulkUpsert(t_stock_, StockKey(w, i), storage::Row{100, 0});
+    }
+  }
+  for (int i = 0; i < config_.items; ++i) {
+    db->BulkUpsert(t_item_, static_cast<uint64_t>(i), storage::Row{99});
+  }
+}
+
+uint64_t Tpcc::DataPages(const engine::Database& db) const {
+  uint64_t pages = 0;
+  struct Sizing {
+    uint32_t id;
+    uint64_t rows_per_page;
+  };
+  const Sizing tables[] = {
+      {t_warehouse_, 4},  {t_district_, 8},   {t_customer_, 64},
+      {t_item_, 64},      {t_stock_, 64},     {t_orders_, 64},
+      {t_order_line_, 64}, {t_new_order_, 64}, {t_history_, 64},
+  };
+  for (const Sizing& t : tables) {
+    pages += (db.TableRowCount(t.id) + t.rows_per_page - 1) / t.rows_per_page;
+  }
+  return pages;
+}
+
+Workload::Txn Tpcc::NextTxn(Rng* rng) {
+  if (config_.pure_new_order) return MakeNewOrder(rng);
+  const int roll = static_cast<int>(rng->Uniform(100));
+  int acc = config_.pct_new_order;
+  if (roll < acc) return MakeNewOrder(rng);
+  acc += config_.pct_payment;
+  if (roll < acc) return MakePayment(rng);
+  acc += config_.pct_order_status;
+  if (roll < acc) return MakeOrderStatus(rng);
+  acc += config_.pct_delivery;
+  if (roll < acc) return MakeDelivery(rng);
+  return MakeStockLevel(rng);
+}
+
+Workload::Txn Tpcc::MakeNewOrder(Rng* rng) {
+  const int w = static_cast<int>(rng->Uniform(config_.warehouses));
+  const int d = static_cast<int>(rng->Uniform(config_.districts_per_wh));
+  const int c = static_cast<int>(
+      rng->NURand(255, 0, config_.customers_per_district - 1));
+  int ol_cnt = config_.fixed_ol > 0
+                   ? config_.fixed_ol
+                   : static_cast<int>(rng->UniformRange(config_.min_ol,
+                                                        config_.max_ol));
+  struct Line {
+    int item;
+    int supply_w;
+  };
+  std::vector<Line> lines;
+  lines.reserve(ol_cnt);
+  for (int i = 0; i < ol_cnt; ++i) {
+    Line l;
+    l.item = static_cast<int>(rng->NURand(1023, 0, config_.items - 1));
+    // 1% remote warehouse (spec 2.4.1.5.2).
+    l.supply_w = (config_.warehouses > 1 && rng->Uniform(100) == 0)
+                     ? static_cast<int>(rng->Uniform(config_.warehouses))
+                     : w;
+    lines.push_back(l);
+  }
+  // Acquire stock locks in a canonical order (production TPC-C clients sort
+  // their item lists for exactly this reason): without it, concurrent
+  // New-Orders overlapping on two stock rows in opposite orders deadlock
+  // constantly.
+  std::sort(lines.begin(), lines.end(), [&](const Line& a, const Line& b) {
+    const int sa = a.item % config_.stock_per_wh;
+    const int sb = b.item % config_.stock_per_wh;
+    if (a.supply_w != b.supply_w) return a.supply_w < b.supply_w;
+    return sa < sb;
+  });
+  const uint64_t order_key = next_order_key_.fetch_add(1);
+
+  Txn txn;
+  txn.type = "NewOrder";
+  txn.body = [this, w, d, c, lines = std::move(lines),
+              order_key](engine::Connection& conn) -> Status {
+    Status s = conn.Select(t_warehouse_, WarehouseKey(w));
+    if (!s.ok()) return s;
+    s = conn.Select(t_customer_, CustomerKey(w, d, c));
+    if (!s.ok()) return s;
+
+    for (const auto& l : lines) {
+      s = conn.Select(t_item_, static_cast<uint64_t>(l.item));
+      if (!s.ok()) return s;
+      const int stock_slot = l.item % config_.stock_per_wh;
+      s = conn.Update(t_stock_, StockKey(l.supply_w, stock_slot),
+                      col::kSQuantity, -1);
+      if (!s.ok()) return s;
+    }
+    // The district row is the classic TPC-C hotspot: every New-Order in
+    // (w,d) serializes on this exclusive lock. It is reached only after the
+    // variable-length item loop, so waiters arrive with diverse ages.
+    s = conn.Update(t_district_, DistrictKey(w, d), col::kDNextOid, 1);
+    if (!s.ok()) return s;
+    s = conn.Insert(t_orders_, order_key,
+                    storage::Row{static_cast<int64_t>(CustomerKey(w, d, c)),
+                                 static_cast<int64_t>(lines.size()), 0});
+    if (!s.ok()) return s;
+    s = conn.Insert(t_new_order_, order_key, storage::Row{});
+    if (!s.ok()) return s;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      s = conn.Insert(t_order_line_, order_key * 16 + i,
+                      storage::Row{lines[i].item, 1});
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  };
+  return txn;
+}
+
+Workload::Txn Tpcc::MakePayment(Rng* rng) {
+  const int w = static_cast<int>(rng->Uniform(config_.warehouses));
+  const int d = static_cast<int>(rng->Uniform(config_.districts_per_wh));
+  // 15% remote customer (spec 2.5.1.2).
+  int cw = w, cd = d;
+  if (config_.warehouses > 1 && rng->Uniform(100) < 15) {
+    cw = static_cast<int>(rng->Uniform(config_.warehouses));
+    cd = static_cast<int>(rng->Uniform(config_.districts_per_wh));
+  }
+  const int c = static_cast<int>(
+      rng->NURand(255, 0, config_.customers_per_district - 1));
+  const int64_t amount = rng->UniformRange(1, 5000);
+  const uint64_t hist_key = next_history_key_.fetch_add(1);
+
+  Txn txn;
+  txn.type = "Payment";
+  txn.body = [this, w, d, cw, cd, c, amount,
+              hist_key](engine::Connection& conn) -> Status {
+    // Customer and district first, the warehouse row — TPC-C's hottest
+    // write — last. By the time a Payment reaches the warehouse queue it
+    // has already done (and possibly waited for) its earlier updates, so
+    // waiters arrive with genuinely different ages — the situation
+    // Section 5's scheduling problem is about.
+    Status s = conn.Update(t_customer_, CustomerKey(cw, cd, c), col::kCBalance,
+                           -amount);
+    if (!s.ok()) return s;
+    s = conn.Update(t_customer_, CustomerKey(cw, cd, c), col::kCPaymentCnt, 1);
+    if (!s.ok()) return s;
+    s = conn.Update(t_district_, DistrictKey(w, d), col::kDYtd, amount);
+    if (!s.ok()) return s;
+    s = conn.Update(t_warehouse_, WarehouseKey(w), col::kWYtd, amount);
+    if (!s.ok()) return s;
+    return conn.Insert(t_history_, hist_key, storage::Row{amount});
+  };
+  return txn;
+}
+
+Workload::Txn Tpcc::MakeOrderStatus(Rng* rng) {
+  const int w = static_cast<int>(rng->Uniform(config_.warehouses));
+  const int d = static_cast<int>(rng->Uniform(config_.districts_per_wh));
+  const int c = static_cast<int>(
+      rng->NURand(255, 0, config_.customers_per_district - 1));
+  const uint64_t max_order = next_order_key_.load(std::memory_order_relaxed);
+  const uint64_t order_key = max_order > 1 ? 1 + rng->Uniform(max_order - 1) : 0;
+
+  Txn txn;
+  txn.type = "OrderStatus";
+  txn.body = [this, w, d, c, order_key](engine::Connection& conn) -> Status {
+    Status s = conn.Select(t_customer_, CustomerKey(w, d, c));
+    if (!s.ok()) return s;
+    if (order_key == 0) return Status::OK();
+    s = IgnoreNotFound(conn.Select(t_orders_, order_key));
+    if (!s.ok()) return s;
+    // Scan the order's lines (a range read, as the real query does).
+    return conn.SelectRange(t_order_line_, order_key * 16,
+                            order_key * 16 + 14);
+  };
+  return txn;
+}
+
+Workload::Txn Tpcc::MakeDelivery(Rng* rng) {
+  const int w = static_cast<int>(rng->Uniform(config_.warehouses));
+  // Deliver up to 10 of the oldest undelivered orders (one per district in
+  // the spec; we approximate with a watermark over the global order keys).
+  const uint64_t max_order = next_order_key_.load(std::memory_order_relaxed);
+  uint64_t from = delivered_watermark_.load(std::memory_order_relaxed);
+  if (from + 10 < max_order) {
+    delivered_watermark_.compare_exchange_strong(from, from + 10);
+  }
+
+  Txn txn;
+  txn.type = "Delivery";
+  txn.body = [this, w, from, max_order](engine::Connection& conn) -> Status {
+    for (int i = 0; i < config_.districts_per_wh; ++i) {
+      const uint64_t order_key = from + 1 + i;
+      if (order_key >= max_order) break;
+      Status s = IgnoreNotFound(conn.Delete(t_new_order_, order_key));
+      if (!s.ok()) return s;
+      s = IgnoreNotFound(
+          conn.Update(t_orders_, order_key, col::kOCarrier, 1));
+      if (!s.ok()) return s;
+    }
+    // Credit one customer per delivered batch.
+    Status s = conn.Update(
+        t_customer_, CustomerKey(w, 0, 0), col::kCDeliveryCnt, 1);
+    return s;
+  };
+  return txn;
+}
+
+Workload::Txn Tpcc::MakeStockLevel(Rng* rng) {
+  const int w = static_cast<int>(rng->Uniform(config_.warehouses));
+  const int d = static_cast<int>(rng->Uniform(config_.districts_per_wh));
+  std::vector<int> items;
+  items.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    items.push_back(
+        static_cast<int>(rng->Uniform(config_.stock_per_wh)));
+  }
+
+  Txn txn;
+  txn.type = "StockLevel";
+  txn.body = [this, w, d, items = std::move(items)](
+                 engine::Connection& conn) -> Status {
+    Status s = conn.Select(t_district_, DistrictKey(w, d));
+    if (!s.ok()) return s;
+    for (int item : items) {
+      s = conn.Select(t_stock_, StockKey(w, item));
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  };
+  return txn;
+}
+
+}  // namespace tdp::workload

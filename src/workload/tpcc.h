@@ -1,0 +1,80 @@
+// Scaled-down TPC-C with the standard five-transaction mix and the same
+// contention structure as the full benchmark: Payment hammers the warehouse
+// row, New-Order serializes on the district next-order-id, and both touch
+// shared stock rows. The warehouse count is the contention knob (the paper
+// runs 128-WH and a memory-constrained 2-WH configuration).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace tdp::workload {
+
+struct TpccConfig {
+  int warehouses = 8;
+  int districts_per_wh = 10;
+  int customers_per_district = 300;
+  int items = 2000;
+  int stock_per_wh = 2000;  ///< Stock rows per warehouse (scaled from 100k).
+
+  // Standard mix (percent).
+  int pct_new_order = 45;
+  int pct_payment = 43;
+  int pct_order_status = 4;
+  int pct_delivery = 4;
+  int pct_stock_level = 4;
+
+  /// 2.4.1.5: number of order lines per New-Order (5..15 in the spec).
+  int min_ol = 5;
+  int max_ol = 15;
+  /// C.1: fix order lines at `fixed_ol` and disable the mix (New-Order
+  /// only) to rule out inherent per-type work variance.
+  bool pure_new_order = false;
+  int fixed_ol = 0;  ///< 0 = random in [min_ol, max_ol].
+};
+
+class Tpcc : public Workload {
+ public:
+  explicit Tpcc(TpccConfig config = {});
+
+  std::string name() const override { return "tpcc"; }
+  void Load(engine::Database* db) override;
+  Txn NextTxn(Rng* rng) override;
+
+  /// Total data pages the loaded tables occupy (for buffer-pool sizing as a
+  /// percentage of database size, Fig. 3 center).
+  uint64_t DataPages(const engine::Database& db) const;
+
+  const TpccConfig& config() const { return config_; }
+
+  // Key encodings (public for tests).
+  uint64_t WarehouseKey(int w) const { return static_cast<uint64_t>(w); }
+  uint64_t DistrictKey(int w, int d) const {
+    return static_cast<uint64_t>(w) * config_.districts_per_wh + d;
+  }
+  uint64_t CustomerKey(int w, int d, int c) const {
+    return DistrictKey(w, d) * config_.customers_per_district + c;
+  }
+  uint64_t StockKey(int w, int i) const {
+    return static_cast<uint64_t>(w) * config_.items + i;
+  }
+
+ private:
+  Txn MakeNewOrder(Rng* rng);
+  Txn MakePayment(Rng* rng);
+  Txn MakeOrderStatus(Rng* rng);
+  Txn MakeDelivery(Rng* rng);
+  Txn MakeStockLevel(Rng* rng);
+
+  TpccConfig config_;
+  uint32_t t_warehouse_ = 0, t_district_ = 0, t_customer_ = 0, t_item_ = 0,
+           t_stock_ = 0, t_orders_ = 0, t_order_line_ = 0, t_new_order_ = 0,
+           t_history_ = 0;
+  std::atomic<uint64_t> next_order_key_{1};
+  std::atomic<uint64_t> next_history_key_{1};
+  std::atomic<uint64_t> delivered_watermark_{0};
+};
+
+}  // namespace tdp::workload

@@ -1,0 +1,39 @@
+// Workload abstraction: a benchmark defines its schema/load phase and a
+// generator of transaction bodies against the engine-neutral Connection API.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace tdp::workload {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates tables and bulk-loads initial rows.
+  virtual void Load(engine::Database* db) = 0;
+
+  struct Txn {
+    const char* type = "txn";
+    std::function<Status(engine::Connection&)> body;
+  };
+
+  /// Generates the next transaction. Called from the dispatcher thread;
+  /// the returned body runs on a connection thread and may be retried.
+  virtual Txn NextTxn(Rng* rng) = 0;
+};
+
+/// Treats NotFound as success — benchmarks use this for reads of rows that
+/// a concurrent (or aborted) transaction may not have created.
+inline Status IgnoreNotFound(Status s) {
+  return s.IsNotFound() ? Status::OK() : s;
+}
+
+}  // namespace tdp::workload

@@ -1,0 +1,39 @@
+#include "workload/ycsb.h"
+
+namespace tdp::workload {
+
+Ycsb::Ycsb(YcsbConfig config)
+    : config_(config), zipf_(config.rows, config.zipf_theta) {}
+
+void Ycsb::Load(engine::Database* db) {
+  t_usertable_ = db->CreateTable("usertable", 64);
+  for (uint64_t k = 0; k < config_.rows; ++k) {
+    db->BulkUpsert(t_usertable_, k, storage::Row{0});
+  }
+}
+
+Workload::Txn Ycsb::NextTxn(Rng* rng) {
+  struct Op {
+    uint64_t key;
+    bool is_read;
+  };
+  std::vector<Op> ops;
+  ops.reserve(config_.ops_per_txn);
+  for (int i = 0; i < config_.ops_per_txn; ++i) {
+    ops.push_back(Op{zipf_.Next(rng),
+                     static_cast<int>(rng->Uniform(100)) < config_.pct_reads});
+  }
+  Txn txn;
+  txn.type = "YcsbTxn";
+  txn.body = [this, ops = std::move(ops)](engine::Connection& conn) -> Status {
+    for (const Op& op : ops) {
+      Status s = op.is_read ? conn.Select(t_usertable_, op.key)
+                            : conn.Update(t_usertable_, op.key, 0, 1);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  };
+  return txn;
+}
+
+}  // namespace tdp::workload

@@ -1,0 +1,33 @@
+// YCSB — cloud-serving microbenchmark (Cooper et al.): single-table
+// point reads and updates. At the paper's scale factor (1200) the keyspace
+// is so wide that lock contention is effectively zero.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace tdp::workload {
+
+struct YcsbConfig {
+  uint64_t rows = 120000;  ///< Scale 1200 (100 rows per scale unit).
+  double zipf_theta = 0.6;
+  int ops_per_txn = 2;
+  int pct_reads = 50;  ///< Remainder are updates (workload A mix).
+};
+
+class Ycsb : public Workload {
+ public:
+  explicit Ycsb(YcsbConfig config = {});
+
+  std::string name() const override { return "ycsb"; }
+  void Load(engine::Database* db) override;
+  Txn NextTxn(Rng* rng) override;
+
+ private:
+  YcsbConfig config_;
+  uint32_t t_usertable_ = 0;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace tdp::workload

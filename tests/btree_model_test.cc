@@ -1,0 +1,85 @@
+#include "storage/btree_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace tdp::storage {
+namespace {
+
+TEST(BTreeModelTest, DepthGrowsLogarithmically) {
+  BTreeModel m;
+  EXPECT_EQ(m.DepthFor(1), 1);
+  const int d64 = m.DepthFor(64);
+  const int d4096 = m.DepthFor(64 * 64);
+  const int dbig = m.DepthFor(uint64_t{64} * 64 * 64 * 64);
+  EXPECT_LT(d64, d4096);
+  EXPECT_LT(d4096, dbig);
+  EXPECT_EQ(d4096 - d64, 1);  // one extra level per fanout factor
+}
+
+TEST(BTreeModelTest, DepthMonotonicInN) {
+  BTreeModel m;
+  int prev = 0;
+  for (uint64_t n = 1; n < (uint64_t{1} << 30); n *= 4) {
+    const int d = m.DepthFor(n);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(BTreeModelTest, TraverseCostScalesWithDepth) {
+  BTreeModelConfig cfg;
+  cfg.level_work_ns = 20000;
+  BTreeModel m(cfg);
+  // Min-of-3 guards against preemption on a loaded single-core machine.
+  auto time_traverse = [&](uint64_t n) {
+    int64_t best = INT64_MAX;
+    for (int i = 0; i < 3; ++i) {
+      const int64_t t0 = NowNanos();
+      m.Traverse(n);
+      best = std::min(best, NowNanos() - t0);
+    }
+    return best;
+  };
+  const int64_t shallow = time_traverse(10);
+  const int64_t deep = time_traverse(uint64_t{1} << 40);
+  EXPECT_GT(deep, shallow + 2 * cfg.level_work_ns);
+}
+
+TEST(BTreeModelTest, SplitsOccurAtConfiguredRate) {
+  BTreeModelConfig cfg;
+  cfg.split_every = 10;
+  cfg.insert_work_ns = 1000;
+  BTreeModel m(cfg);
+  Rng rng(42);
+  // Time many inserts; splits make some of them much slower. We check the
+  // rate indirectly by counting slow inserts.
+  int slow = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t t0 = NowNanos();
+    m.InsertCost(1 << 20, &rng);
+    const int64_t dt = NowNanos() - t0;
+    if (dt > 4 * cfg.insert_work_ns) ++slow;
+  }
+  EXPECT_GT(slow, n / 30);  // roughly 1/10 expected
+  EXPECT_LT(slow, n / 4);
+}
+
+TEST(BTreeModelTest, NoSplitsWithNullRng) {
+  BTreeModelConfig cfg;
+  cfg.split_every = 1;  // would split every time if rng were used
+  cfg.insert_work_ns = 1000;
+  BTreeModel m(cfg);
+  const int64_t t0 = NowNanos();
+  for (int i = 0; i < 100; ++i) m.InsertCost(1 << 20, nullptr);
+  const int64_t per_insert = (NowNanos() - t0) / 100;
+  EXPECT_LT(per_insert, 10 * cfg.insert_work_ns);
+}
+
+}  // namespace
+}  // namespace tdp::storage

@@ -1,0 +1,171 @@
+#include "buffer/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tdp::buffer {
+namespace {
+
+BufferPoolConfig SmallPool(size_t pages, SimDisk* disk = nullptr) {
+  BufferPoolConfig cfg;
+  cfg.capacity_pages = pages;
+  cfg.disk = disk;
+  return cfg;
+}
+
+PageId P(uint64_t n) { return PageId{0, n}; }
+
+TEST(BufferPoolTest, FetchMissThenHit) {
+  BufferPool pool(SmallPool(8));
+  ASSERT_TRUE(pool.Fetch(P(1)).ok());
+  pool.Unpin(P(1));
+  ASSERT_TRUE(pool.Fetch(P(1)).ok());
+  pool.Unpin(P(1));
+  EXPECT_EQ(pool.stats().misses.load(), 1u);
+  EXPECT_EQ(pool.stats().hits.load(), 1u);
+  EXPECT_EQ(pool.resident_pages(), 1u);
+}
+
+TEST(BufferPoolTest, NewPagesEnterOldSublist) {
+  BufferPool pool(SmallPool(16));
+  ASSERT_TRUE(pool.Fetch(P(1)).ok());
+  pool.Unpin(P(1));
+  EXPECT_TRUE(pool.InOldSublist(P(1)));
+}
+
+TEST(BufferPoolTest, HitOnOldPageMovesItYoung) {
+  BufferPool pool(SmallPool(16));
+  // Load several pages so the lists can balance.
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Fetch(P(i)).ok());
+    pool.Unpin(P(i));
+  }
+  // Find a page in the old list and touch it.
+  uint64_t old_page = UINT64_MAX;
+  for (uint64_t i = 0; i < 8; ++i) {
+    if (pool.InOldSublist(P(i))) {
+      old_page = i;
+      break;
+    }
+  }
+  ASSERT_NE(old_page, UINT64_MAX);
+  ASSERT_TRUE(pool.Fetch(P(old_page)).ok());
+  pool.Unpin(P(old_page));
+  EXPECT_FALSE(pool.InOldSublist(P(old_page)));
+  EXPECT_GE(pool.stats().make_young.load(), 1u);
+}
+
+TEST(BufferPoolTest, CapacityEnforcedByEviction) {
+  BufferPool pool(SmallPool(8));
+  for (uint64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool.Fetch(P(i)).ok());
+    pool.Unpin(P(i));
+  }
+  EXPECT_LE(pool.resident_pages(), 8u);
+  EXPECT_GE(pool.stats().evictions.load(), 24u);
+}
+
+TEST(BufferPoolTest, OldRatioApproximatelyMaintained) {
+  BufferPool pool(SmallPool(64));
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pool.Fetch(P(i)).ok());
+    pool.Unpin(P(i));
+  }
+  auto [young, old] = pool.SublistLengths();
+  EXPECT_EQ(young + old, 64u);
+  // Target old fraction 3/8 = 24, with hysteresis slack.
+  EXPECT_GE(old, 22u);
+  EXPECT_LE(old, 26u);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  BufferPool pool(SmallPool(4));
+  ASSERT_TRUE(pool.Fetch(P(100)).ok());  // keep pinned
+  for (uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.Fetch(P(i)).ok());
+    pool.Unpin(P(i));
+  }
+  // Page 100 must still be resident: a hit, not a miss.
+  const uint64_t misses_before = pool.stats().misses.load();
+  ASSERT_TRUE(pool.Fetch(P(100)).ok());
+  EXPECT_EQ(pool.stats().misses.load(), misses_before);
+  pool.Unpin(P(100));
+  pool.Unpin(P(100));
+}
+
+TEST(BufferPoolTest, DirtyEvictionWritesBack) {
+  SimDiskConfig dcfg;
+  dcfg.base_latency_ns = 1000;
+  dcfg.sigma = 0;
+  dcfg.flush_barrier_ns = 0;
+  SimDisk disk(dcfg);
+  BufferPool pool(SmallPool(2, &disk));
+  ASSERT_TRUE(pool.Fetch(P(1)).ok());
+  pool.MarkDirty(P(1));
+  pool.Unpin(P(1));
+  for (uint64_t i = 2; i < 8; ++i) {
+    ASSERT_TRUE(pool.Fetch(P(i)).ok());
+    pool.Unpin(P(i));
+  }
+  EXPECT_GE(pool.stats().dirty_writebacks.load(), 1u);
+  EXPECT_GE(disk.stats().writes.load(), 1u);
+}
+
+TEST(BufferPoolTest, PageGuardUnpinsOnScopeExit) {
+  BufferPool pool(SmallPool(2));
+  {
+    Result<BufferPool::PageGuard> guard = pool.Pin(P(1));
+    ASSERT_TRUE(guard.ok());
+  }
+  // After the guard released, page 1 is evictable.
+  for (uint64_t i = 2; i < 8; ++i) {
+    ASSERT_TRUE(pool.Fetch(P(i)).ok());
+    pool.Unpin(P(i));
+  }
+  EXPECT_LE(pool.resident_pages(), 2u);
+}
+
+TEST(BufferPoolTest, ConcurrentFetchesOfSamePageSingleRead) {
+  SimDiskConfig dcfg;
+  dcfg.base_latency_ns = 2000000;  // 2ms read: wide race window
+  dcfg.sigma = 0;
+  SimDisk disk(dcfg);
+  BufferPool pool(SmallPool(8, &disk));
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&] {
+      ASSERT_TRUE(pool.Fetch(P(42)).ok());
+      pool.Unpin(P(42));
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(pool.stats().misses.load(), 1u);  // io-fix coalesced the reads
+  EXPECT_EQ(disk.stats().reads.load(), 1u);
+  EXPECT_EQ(pool.stats().hits.load(), static_cast<uint64_t>(kThreads) - 1);
+}
+
+TEST(BufferPoolTest, ConcurrentMixedWorkloadInvariants) {
+  BufferPool pool(SmallPool(32));
+  constexpr int kThreads = 8, kIters = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const PageId id = P((t * 7919 + i) % 128);
+        ASSERT_TRUE(pool.Fetch(id).ok());
+        if (i % 3 == 0) pool.MarkDirty(id);
+        pool.Unpin(id);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_LE(pool.resident_pages(), 32u + kThreads);  // bounded overshoot
+  auto [young, old] = pool.SublistLengths();
+  EXPECT_EQ(young + old, pool.resident_pages());
+}
+
+}  // namespace
+}  // namespace tdp::buffer

@@ -1,0 +1,59 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tdp::storage {
+namespace {
+
+TEST(CatalogTest, CreateAssignsSequentialIds) {
+  Catalog c;
+  Table* a = c.CreateTable("a");
+  Table* b = c.CreateTable("b");
+  EXPECT_EQ(a->id(), 0u);
+  EXPECT_EQ(b->id(), 1u);
+}
+
+TEST(CatalogTest, CreateIsIdempotent) {
+  Catalog c;
+  Table* a1 = c.CreateTable("a");
+  Table* a2 = c.CreateTable("a");
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(CatalogTest, LookupByNameAndId) {
+  Catalog c;
+  Table* a = c.CreateTable("orders", 32);
+  EXPECT_EQ(c.GetTable("orders"), a);
+  EXPECT_EQ(c.GetTable(a->id()), a);
+  EXPECT_EQ(c.GetTable("missing"), nullptr);
+  EXPECT_EQ(c.GetTable(99u), nullptr);
+  EXPECT_EQ(a->rows_per_page(), 32u);
+}
+
+TEST(CatalogTest, TableNamesListsAll) {
+  Catalog c;
+  c.CreateTable("x");
+  c.CreateTable("y");
+  const std::vector<std::string> names = c.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "x");
+  EXPECT_EQ(names[1], "y");
+}
+
+TEST(CatalogTest, ConcurrentCreateSameName) {
+  Catalog c;
+  constexpr int kThreads = 8;
+  std::vector<Table*> results(kThreads);
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] { results[i] = c.CreateTable("shared"); });
+  }
+  for (auto& t : ts) t.join();
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(results[i], results[0]);
+}
+
+}  // namespace
+}  // namespace tdp::storage

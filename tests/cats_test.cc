@@ -1,0 +1,196 @@
+// CATS (contention-aware) scheduling: the waiter whose transaction blocks
+// the most other transactions is granted first, ties broken eldest-first.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/work.h"
+#include "lock/lock_manager.h"
+
+namespace tdp::lock {
+namespace {
+
+constexpr RecordId kHot{1, 1};
+constexpr RecordId kSide{1, 2};
+
+LockManagerConfig CatsConfig() {
+  LockManagerConfig cfg;
+  cfg.policy = SchedulerPolicy::kCATS;
+  cfg.wait_timeout_ns = MillisToNanos(5000);
+  return cfg;
+}
+
+TEST(CatsTest, PolicyName) {
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kCATS), "CATS");
+}
+
+TEST(CatsTest, WeightTracksBlockedWaiters) {
+  LockManager lm(CatsConfig());
+  TxnContext holder(1);
+  ASSERT_TRUE(lm.Lock(&holder, kHot, LockMode::kX).ok());
+  EXPECT_EQ(lm.BlockedWeight(holder.id), 0);
+
+  TxnContext w1(2), w2(3);
+  std::thread t1([&] {
+    EXPECT_TRUE(lm.Lock(&w1, kHot, LockMode::kX).ok());
+    lm.ReleaseAll(&w1);
+  });
+  while (lm.QueueDepths(kHot).second != 1) SpinFor(5000);
+  EXPECT_EQ(lm.BlockedWeight(holder.id), 1);
+
+  std::thread t2([&] {
+    EXPECT_TRUE(lm.Lock(&w2, kHot, LockMode::kX).ok());
+    lm.ReleaseAll(&w2);
+  });
+  while (lm.QueueDepths(kHot).second != 2) SpinFor(5000);
+  // Both waiters wait on the holder; the second also waits on the first
+  // (ahead of it in the queue).
+  EXPECT_EQ(lm.BlockedWeight(holder.id), 2);
+
+  lm.ReleaseAll(&holder);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(lm.BlockedWeight(holder.id), 0);
+}
+
+TEST(CatsTest, HeavierBlockerGrantedBeforeOlderLightweight) {
+  LockManager lm(CatsConfig());
+  TxnContext holder(1);
+  ASSERT_TRUE(lm.Lock(&holder, kHot, LockMode::kX).ok());
+
+  const int64_t base = NowNanos();
+
+  // heavy: younger, but holds kSide on which two transactions wait.
+  TxnContext heavy(2), light(3), dep1(4), dep2(5);
+  heavy.birth_ns = base - 1000000;   // younger
+  light.birth_ns = base - 5000000;   // older
+
+  ASSERT_TRUE(lm.Lock(&heavy, kSide, LockMode::kX).ok());
+  std::thread d1([&] {
+    (void)lm.Lock(&dep1, kSide, LockMode::kX);
+    lm.ReleaseAll(&dep1);
+  });
+  while (lm.QueueDepths(kSide).second != 1) SpinFor(5000);
+  std::thread d2([&] {
+    (void)lm.Lock(&dep2, kSide, LockMode::kX);
+    lm.ReleaseAll(&dep2);
+  });
+  while (lm.QueueDepths(kSide).second != 2) SpinFor(5000);
+  ASSERT_GE(lm.BlockedWeight(heavy.id), 2);
+
+  std::mutex order_mu;
+  std::vector<uint64_t> order;
+  std::thread th([&] {
+    EXPECT_TRUE(lm.Lock(&heavy, kHot, LockMode::kX).ok());
+    {
+      std::lock_guard<std::mutex> g(order_mu);
+      order.push_back(heavy.id);
+    }
+    SpinFor(100000);
+    lm.ReleaseAll(&heavy);  // also releases kSide, unblocking dep1/dep2
+  });
+  while (lm.QueueDepths(kHot).second != 1) SpinFor(5000);
+  std::thread tl([&] {
+    EXPECT_TRUE(lm.Lock(&light, kHot, LockMode::kX).ok());
+    {
+      std::lock_guard<std::mutex> g(order_mu);
+      order.push_back(light.id);
+    }
+    lm.ReleaseAll(&light);
+  });
+  while (lm.QueueDepths(kHot).second != 2) SpinFor(5000);
+
+  lm.ReleaseAll(&holder);
+  th.join();
+  tl.join();
+  d1.join();
+  d2.join();
+
+  // CATS grants heavy (weight 2) before light (weight 0), despite light
+  // being much older. VATS would do the opposite.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], heavy.id);
+  EXPECT_EQ(order[1], light.id);
+}
+
+TEST(CatsTest, TieBrokenEldestFirst) {
+  LockManager lm(CatsConfig());
+  TxnContext holder(1);
+  ASSERT_TRUE(lm.Lock(&holder, kHot, LockMode::kX).ok());
+
+  const int64_t base = NowNanos();
+  TxnContext young(2), old(3);
+  young.birth_ns = base - 1000000;
+  old.birth_ns = base - 9000000;
+
+  std::mutex order_mu;
+  std::vector<uint64_t> order;
+  auto waiter = [&](TxnContext* t) {
+    EXPECT_TRUE(lm.Lock(t, kHot, LockMode::kX).ok());
+    {
+      std::lock_guard<std::mutex> g(order_mu);
+      order.push_back(t->id);
+    }
+    SpinFor(50000);
+    lm.ReleaseAll(t);
+  };
+  std::thread ty(waiter, &young);
+  while (lm.QueueDepths(kHot).second != 1) SpinFor(5000);
+  std::thread to(waiter, &old);
+  while (lm.QueueDepths(kHot).second != 2) SpinFor(5000);
+
+  lm.ReleaseAll(&holder);
+  ty.join();
+  to.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], old.id);  // equal weights -> eldest first
+}
+
+TEST(CatsTest, MutualExclusionStress) {
+  LockManager lm(CatsConfig());
+  int counter = 0;
+  constexpr int kThreads = 8, kIters = 200;
+  std::atomic<uint64_t> next_id{1};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t id = next_id.fetch_add(1);
+        TxnContext txn(id, id * 31);
+        if (lm.Lock(&txn, kHot, LockMode::kX).ok()) {
+          ++counter;
+          SpinFor(2000);
+        }
+        lm.ReleaseAll(&txn);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(CatsTest, DeadlockStillDetected) {
+  LockManager lm(CatsConfig());
+  const RecordId r1{2, 1}, r2{2, 2};
+  TxnContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Lock(&t1, r1, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(&t2, r2, LockMode::kX).ok());
+  std::atomic<int> deadlocks{0};
+  std::thread a([&] {
+    if (lm.Lock(&t1, r2, LockMode::kX).IsDeadlock()) deadlocks.fetch_add(1);
+    lm.ReleaseAll(&t1);
+  });
+  std::thread b([&] {
+    if (lm.Lock(&t2, r1, LockMode::kX).IsDeadlock()) deadlocks.fetch_add(1);
+    lm.ReleaseAll(&t2);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(deadlocks.load(), 1);
+}
+
+}  // namespace
+}  // namespace tdp::lock

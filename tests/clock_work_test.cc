@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/work.h"
+
+namespace tdp {
+namespace {
+
+TEST(ClockTest, NowNanosMonotonic) {
+  int64_t prev = NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t now = NowNanos();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(ClockTest, UnitConversions) {
+  EXPECT_EQ(MicrosToNanos(3), 3000);
+  EXPECT_EQ(MillisToNanos(2), 2000000);
+  EXPECT_DOUBLE_EQ(NanosToMicros(1500), 1.5);
+  EXPECT_DOUBLE_EQ(NanosToMillis(2500000), 2.5);
+  EXPECT_DOUBLE_EQ(NanosToSeconds(1500000000), 1.5);
+}
+
+TEST(WorkTest, SpinForZeroOrNegativeReturnsImmediately) {
+  const int64_t t0 = NowNanos();
+  SpinFor(0);
+  SpinFor(-100);
+  EXPECT_LT(NowNanos() - t0, MillisToNanos(5));
+}
+
+TEST(WorkTest, SpinForLastsAtLeastRequested) {
+  for (int64_t target : {50000, 500000, 2000000}) {
+    const int64_t t0 = NowNanos();
+    SpinFor(target);
+    EXPECT_GE(NowNanos() - t0, target);
+  }
+}
+
+TEST(WorkTest, SpinForReasonablyAccurate) {
+  // Min-of-3 guards against preemption; the spin should not overshoot the
+  // target by a large factor when uncontended.
+  int64_t best = INT64_MAX;
+  for (int i = 0; i < 3; ++i) {
+    const int64_t t0 = NowNanos();
+    SpinFor(1000000);
+    best = std::min(best, NowNanos() - t0);
+  }
+  EXPECT_LT(best, 3000000);
+}
+
+TEST(WorkTest, BurnIterationsDeterministic) {
+  EXPECT_EQ(BurnIterations(1000), BurnIterations(1000));
+  EXPECT_NE(BurnIterations(1000), BurnIterations(1001));
+  EXPECT_NE(BurnIterations(0), 0u);  // seed value, not zero
+}
+
+}  // namespace
+}  // namespace tdp

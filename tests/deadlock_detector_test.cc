@@ -1,0 +1,96 @@
+#include "lock/deadlock.h"
+
+#include <gtest/gtest.h>
+
+namespace tdp::lock {
+namespace {
+
+using BirthMap = std::unordered_map<uint64_t, int64_t>;
+
+TEST(DeadlockDetectorTest, NoCycleNoVictim) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 10}, {2, 20}};
+  EXPECT_EQ(d.SetWaits(1, {2}, births), 0u);
+  EXPECT_EQ(d.num_waiters(), 1u);
+}
+
+TEST(DeadlockDetectorTest, TwoCycleChoosesYoungest) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 10}, {2, 20}};  // 2 is younger (born later)
+  EXPECT_EQ(d.SetWaits(1, {2}, births), 0u);
+  EXPECT_EQ(d.SetWaits(2, {1}, births), 2u);
+}
+
+TEST(DeadlockDetectorTest, TwoCycleVictimIsOtherWhenRequesterOlder) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 30}, {2, 20}};  // 1 is younger
+  EXPECT_EQ(d.SetWaits(1, {2}, births), 0u);
+  EXPECT_EQ(d.SetWaits(2, {1}, births), 1u);
+}
+
+TEST(DeadlockDetectorTest, ThreeCycle) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 10}, {2, 20}, {3, 30}};
+  EXPECT_EQ(d.SetWaits(1, {2}, births), 0u);
+  EXPECT_EQ(d.SetWaits(2, {3}, births), 0u);
+  EXPECT_EQ(d.SetWaits(3, {1}, births), 3u);  // youngest in the cycle
+}
+
+TEST(DeadlockDetectorTest, SelfEdgeIgnored) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 10}};
+  EXPECT_EQ(d.SetWaits(1, {1}, births), 0u);
+  EXPECT_EQ(d.num_waiters(), 0u);  // empty edges drop the waiter
+}
+
+TEST(DeadlockDetectorTest, EmptyBlockersClearsWaiter) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 10}, {2, 20}};
+  EXPECT_EQ(d.SetWaits(1, {2}, births), 0u);
+  EXPECT_EQ(d.SetWaits(1, {}, births), 0u);
+  EXPECT_EQ(d.num_waiters(), 0u);
+}
+
+TEST(DeadlockDetectorTest, RemoveBreaksCycle) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 10}, {2, 20}};
+  EXPECT_EQ(d.SetWaits(1, {2}, births), 0u);
+  d.Remove(1);
+  // 2 waiting on 1 no longer closes a cycle.
+  EXPECT_EQ(d.SetWaits(2, {1}, births), 0u);
+}
+
+TEST(DeadlockDetectorTest, SetWaitsReplacesEdges) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 10}, {2, 20}, {3, 5}};
+  EXPECT_EQ(d.SetWaits(1, {2}, births), 0u);
+  // Re-registering 1 to wait on 3 must drop the 1->2 edge.
+  EXPECT_EQ(d.SetWaits(1, {3}, births), 0u);
+  EXPECT_EQ(d.SetWaits(2, {1}, births), 0u);  // 2->1->3: no cycle
+}
+
+TEST(DeadlockDetectorTest, DiamondNoCycle) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  EXPECT_EQ(d.SetWaits(1, {2, 3}, births), 0u);
+  EXPECT_EQ(d.SetWaits(2, {4}, births), 0u);
+  EXPECT_EQ(d.SetWaits(3, {4}, births), 0u);
+  EXPECT_EQ(d.num_waiters(), 3u);
+}
+
+TEST(DeadlockDetectorTest, CycleNotThroughRequesterStillFound) {
+  DeadlockDetector d;
+  BirthMap births = {{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_EQ(d.SetWaits(2, {3}, births), 0u);
+  EXPECT_EQ(d.SetWaits(3, {2}, births), 3u);  // 2<->3 cycle, victim 3
+}
+
+TEST(DeadlockDetectorTest, MissingBirthTreatedAsOldest) {
+  DeadlockDetector d;
+  BirthMap births = {{2, 50}};  // 1 has no birth entry
+  EXPECT_EQ(d.SetWaits(1, {2}, births), 0u);
+  EXPECT_EQ(d.SetWaits(2, {1}, births), 2u);  // 2 younger than unknown 1
+}
+
+}  // namespace
+}  // namespace tdp::lock

@@ -1,0 +1,125 @@
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "engine/mysqlmini.h"
+#include "workload/ycsb.h"
+
+namespace tdp::workload {
+namespace {
+
+engine::MySQLMiniConfig FastEngine() {
+  engine::MySQLMiniConfig cfg;
+  cfg.row_work_ns = 1000;
+  cfg.btree.level_work_ns = 0;
+  cfg.data_disk.base_latency_ns = 0;
+  cfg.data_disk.sigma = 0;
+  cfg.log_disk.base_latency_ns = 2000;
+  cfg.log_disk.sigma = 0;
+  cfg.log_disk.flush_barrier_ns = 0;
+  return cfg;
+}
+
+TEST(DriverTest, RunsRequestedNumberOfTxns) {
+  engine::MySQLMini db(FastEngine());
+  YcsbConfig wcfg;
+  wcfg.rows = 2000;
+  Ycsb ycsb(wcfg);
+  ycsb.Load(&db);
+
+  DriverConfig cfg;
+  cfg.tps = 2000;
+  cfg.connections = 8;
+  cfg.num_txns = 500;
+  cfg.warmup_txns = 100;
+  const RunResult result = RunConstantRate(&db, &ycsb, cfg);
+
+  EXPECT_EQ(result.committed, 500u);
+  EXPECT_EQ(result.latencies.size(), 400u);  // post-warmup only
+  EXPECT_GT(result.achieved_tps, 0);
+  EXPECT_EQ(result.gave_up, 0u);
+}
+
+TEST(DriverTest, LatenciesArePositiveAndMeasured) {
+  engine::MySQLMini db(FastEngine());
+  YcsbConfig wcfg;
+  wcfg.rows = 2000;
+  Ycsb ycsb(wcfg);
+  ycsb.Load(&db);
+
+  DriverConfig cfg;
+  cfg.tps = 1000;
+  cfg.connections = 4;
+  cfg.num_txns = 200;
+  cfg.warmup_txns = 0;
+  const RunResult result = RunConstantRate(&db, &ycsb, cfg);
+  ASSERT_EQ(result.latencies.size(), 200u);
+  for (int64_t l : result.latencies) EXPECT_GT(l, 0);
+  const LatencySummary sum = result.Summary();
+  EXPECT_GT(sum.mean_ns, 0);
+  EXPECT_GT(result.LpNorm(2), 0);
+}
+
+TEST(DriverTest, ByTypeBucketsSumToTotal) {
+  engine::MySQLMini db(FastEngine());
+  YcsbConfig wcfg;
+  wcfg.rows = 2000;
+  Ycsb ycsb(wcfg);
+  ycsb.Load(&db);
+
+  DriverConfig cfg;
+  cfg.tps = 2000;
+  cfg.connections = 4;
+  cfg.num_txns = 300;
+  cfg.warmup_txns = 50;
+  const RunResult result = RunConstantRate(&db, &ycsb, cfg);
+  size_t total = 0;
+  for (const auto& [type, v] : result.by_type) total += v.size();
+  EXPECT_EQ(total, result.latencies.size());
+}
+
+TEST(DriverTest, HookFiresPerMeasuredTxn) {
+  engine::MySQLMini db(FastEngine());
+  YcsbConfig wcfg;
+  wcfg.rows = 2000;
+  Ycsb ycsb(wcfg);
+  ycsb.Load(&db);
+
+  std::atomic<uint64_t> events{0};
+  DriverConfig cfg;
+  cfg.tps = 2000;
+  cfg.connections = 4;
+  cfg.num_txns = 300;
+  cfg.warmup_txns = 100;
+  RunConstantRate(&db, &ycsb, cfg, [&](const TxnEvent& ev) {
+    EXPECT_GT(ev.engine_txn_id, 0u);
+    EXPECT_GT(ev.latency_ns, 0);
+    EXPECT_GE(ev.commit_ns, ev.dispatch_ns);
+    events.fetch_add(1);
+  });
+  EXPECT_EQ(events.load(), 200u);
+}
+
+TEST(DriverTest, ApproximatesTargetRate) {
+  engine::MySQLMini db(FastEngine());
+  YcsbConfig wcfg;
+  wcfg.rows = 2000;
+  Ycsb ycsb(wcfg);
+  ycsb.Load(&db);
+
+  DriverConfig cfg;
+  cfg.tps = 1000;
+  cfg.connections = 8;
+  cfg.num_txns = 1000;
+  cfg.warmup_txns = 0;
+  const RunResult result = RunConstantRate(&db, &ycsb, cfg);
+  // 1000 txns at 1000 tps ≈ 1s elapsed; generous bounds for CI noise.
+  EXPECT_GT(result.elapsed_s, 0.8);
+  EXPECT_LT(result.elapsed_s, 3.0);
+  EXPECT_NEAR(result.achieved_tps, 1000, 350);
+}
+
+}  // namespace
+}  // namespace tdp::workload

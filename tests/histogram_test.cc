@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tdp {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  h.Add(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.max_seen(), 30);
+}
+
+TEST(HistogramTest, PercentileWithinBucketError) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(i);
+  // ~4% relative bucket error allowed, plus bucket lower-bound bias.
+  const int64_t p50 = h.Percentile(50);
+  EXPECT_GT(p50, 4500);
+  EXPECT_LT(p50, 5500);
+  const int64_t p99 = h.Percentile(99);
+  EXPECT_GT(p99, 9200);
+  EXPECT_LT(p99, 10100);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  const int64_t big = int64_t{1} << 40;
+  h.Add(big);
+  EXPECT_EQ(h.max_seen(), big);
+  EXPECT_GT(h.Percentile(50), big / 2);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Add(100);
+  for (int i = 0; i < 100; ++i) b.Add(10000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.max_seen(), 10000);
+  EXPECT_DOUBLE_EQ(a.mean(), 5050.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(42);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_seen(), 0);
+}
+
+TEST(HistogramTest, ConcurrentAddsAllCounted) {
+  Histogram h;
+  constexpr int kThreads = 8, kPer = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h] {
+      for (int i = 0; i < kPer; ++i) h.Add(i);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPer);
+}
+
+}  // namespace
+}  // namespace tdp

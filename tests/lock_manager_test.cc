@@ -1,0 +1,270 @@
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/work.h"
+
+namespace tdp::lock {
+namespace {
+
+constexpr RecordId kRec{1, 100};
+
+LockManagerConfig Config(SchedulerPolicy policy) {
+  LockManagerConfig cfg;
+  cfg.policy = policy;
+  cfg.wait_timeout_ns = MillisToNanos(2000);
+  return cfg;
+}
+
+TEST(LockManagerTest, ImmediateGrantWhenFree) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext t1(1);
+  EXPECT_TRUE(lm.Lock(&t1, kRec, LockMode::kX).ok());
+  EXPECT_EQ(lm.stats().immediate_grants.load(), 1u);
+  auto [granted, waiting] = lm.QueueDepths(kRec);
+  EXPECT_EQ(granted, 1u);
+  EXPECT_EQ(waiting, 0u);
+  lm.ReleaseAll(&t1);
+  auto [g2, w2] = lm.QueueDepths(kRec);
+  EXPECT_EQ(g2, 0u);
+  EXPECT_EQ(w2, 0u);
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext t1(1), t2(2);
+  EXPECT_TRUE(lm.Lock(&t1, kRec, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(&t2, kRec, LockMode::kS).ok());
+  auto [granted, waiting] = lm.QueueDepths(kRec);
+  EXPECT_EQ(granted, 2u);
+  EXPECT_EQ(waiting, 0u);
+  lm.ReleaseAll(&t1);
+  lm.ReleaseAll(&t2);
+}
+
+TEST(LockManagerTest, ReentrantCoveringLockIsNoop) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext t1(1);
+  EXPECT_TRUE(lm.Lock(&t1, kRec, LockMode::kX).ok());
+  EXPECT_TRUE(lm.Lock(&t1, kRec, LockMode::kS).ok());  // covered by X
+  EXPECT_TRUE(lm.Lock(&t1, kRec, LockMode::kX).ok());
+  auto [granted, waiting] = lm.QueueDepths(kRec);
+  EXPECT_EQ(granted, 1u);
+  EXPECT_EQ(waiting, 0u);
+  lm.ReleaseAll(&t1);
+}
+
+TEST(LockManagerTest, ConflictingRequestWaitsUntilRelease) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Lock(&t1, kRec, LockMode::kX).ok());
+
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Lock(&t2, kRec, LockMode::kX).ok());
+    got.store(true);
+    lm.ReleaseAll(&t2);
+  });
+  SpinFor(MillisToNanos(20));
+  EXPECT_FALSE(got.load());
+  lm.ReleaseAll(&t1);
+  waiter.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(lm.stats().waits.load(), 1u);
+}
+
+TEST(LockManagerTest, NoBargingWhenWaitersPresent) {
+  // A shared request arriving while an X request waits must queue behind
+  // it (the immediate-grant rule requires an empty waiting list).
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext holder(1), writer(2), reader(3);
+  ASSERT_TRUE(lm.Lock(&holder, kRec, LockMode::kS).ok());
+
+  std::thread writer_thread([&] {
+    EXPECT_TRUE(lm.Lock(&writer, kRec, LockMode::kX).ok());
+    lm.ReleaseAll(&writer);
+  });
+  // Wait until the writer is queued.
+  while (lm.QueueDepths(kRec).second == 0) SpinFor(10000);
+
+  std::atomic<bool> reader_done{false};
+  std::thread reader_thread([&] {
+    EXPECT_TRUE(lm.Lock(&reader, kRec, LockMode::kS).ok());
+    reader_done.store(true);
+    lm.ReleaseAll(&reader);
+  });
+  SpinFor(MillisToNanos(20));
+  EXPECT_FALSE(reader_done.load());  // reader must not barge past writer
+  lm.ReleaseAll(&holder);
+  writer_thread.join();
+  reader_thread.join();
+  EXPECT_TRUE(reader_done.load());
+}
+
+TEST(LockManagerTest, UpgradeInPlaceWhenSoleHolder) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext t1(1);
+  ASSERT_TRUE(lm.Lock(&t1, kRec, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(&t1, kRec, LockMode::kX).ok());
+  EXPECT_EQ(lm.stats().upgrades.load(), 1u);
+  auto [granted, waiting] = lm.QueueDepths(kRec);
+  EXPECT_EQ(granted, 1u);
+  lm.ReleaseAll(&t1);
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Lock(&t1, kRec, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(&t2, kRec, LockMode::kS).ok());
+
+  std::atomic<bool> upgraded{false};
+  std::thread upgrader([&] {
+    EXPECT_TRUE(lm.Lock(&t1, kRec, LockMode::kX).ok());
+    upgraded.store(true);
+    lm.ReleaseAll(&t1);
+  });
+  SpinFor(MillisToNanos(20));
+  EXPECT_FALSE(upgraded.load());
+  lm.ReleaseAll(&t2);
+  upgrader.join();
+  EXPECT_TRUE(upgraded.load());
+}
+
+TEST(LockManagerTest, ConversionDeadlockDetected) {
+  // Two readers both upgrading to X: classic conversion deadlock; one must
+  // be chosen as victim.
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Lock(&t1, kRec, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(&t2, kRec, LockMode::kS).ok());
+
+  std::atomic<int> deadlocks{0}, grants{0};
+  auto upgrade = [&](TxnContext* t) {
+    Status s = lm.Lock(t, kRec, LockMode::kX);
+    if (s.IsDeadlock()) {
+      deadlocks.fetch_add(1);
+      lm.ReleaseAll(t);
+    } else if (s.ok()) {
+      grants.fetch_add(1);
+      lm.ReleaseAll(t);
+    }
+  };
+  std::thread a(upgrade, &t1), b(upgrade, &t2);
+  a.join();
+  b.join();
+  EXPECT_EQ(deadlocks.load(), 1);
+  EXPECT_EQ(grants.load(), 1);
+}
+
+TEST(LockManagerTest, TwoTxnDeadlockResolved) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  const RecordId r1{1, 1}, r2{1, 2};
+  TxnContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Lock(&t1, r1, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(&t2, r2, LockMode::kX).ok());
+
+  std::atomic<int> deadlocks{0};
+  std::thread a([&] {
+    Status s = lm.Lock(&t1, r2, LockMode::kX);
+    if (s.IsDeadlock()) deadlocks.fetch_add(1);
+    lm.ReleaseAll(&t1);
+  });
+  std::thread b([&] {
+    Status s = lm.Lock(&t2, r1, LockMode::kX);
+    if (s.IsDeadlock()) deadlocks.fetch_add(1);
+    lm.ReleaseAll(&t2);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(deadlocks.load(), 1);  // exactly one victim
+  EXPECT_GE(lm.stats().deadlocks.load(), 1u);
+}
+
+TEST(LockManagerTest, WaitTimeout) {
+  LockManagerConfig cfg = Config(SchedulerPolicy::kFCFS);
+  cfg.wait_timeout_ns = MillisToNanos(50);
+  cfg.detect_deadlocks = false;  // force the timeout path
+  LockManager lm(cfg);
+  TxnContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Lock(&t1, kRec, LockMode::kX).ok());
+  Status s = lm.Lock(&t2, kRec, LockMode::kX);
+  EXPECT_TRUE(s.IsLockTimeout()) << s.ToString();
+  EXPECT_EQ(lm.stats().timeouts.load(), 1u);
+  lm.ReleaseAll(&t1);
+  lm.ReleaseAll(&t2);
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEveryRecord) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  TxnContext t1(1);
+  for (uint64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(lm.Lock(&t1, {1, k}, LockMode::kX).ok());
+  }
+  EXPECT_EQ(t1.held_records.size(), 20u);
+  lm.ReleaseAll(&t1);
+  EXPECT_TRUE(t1.held_records.empty());
+  for (uint64_t k = 0; k < 20; ++k) {
+    auto [g, w] = lm.QueueDepths({1, k});
+    EXPECT_EQ(g, 0u);
+    EXPECT_EQ(w, 0u);
+  }
+}
+
+TEST(LockManagerTest, WaitObserverFires) {
+  LockManager lm(Config(SchedulerPolicy::kFCFS));
+  std::atomic<int> observed{0};
+  lm.SetWaitObserver([&](const WaitObservation& obs) {
+    EXPECT_TRUE(obs.granted);
+    EXPECT_GE(obs.wait_ns, 0);
+    observed.fetch_add(1);
+  });
+  TxnContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Lock(&t1, kRec, LockMode::kX).ok());
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Lock(&t2, kRec, LockMode::kX).ok());
+    lm.ReleaseAll(&t2);
+  });
+  SpinFor(MillisToNanos(5));
+  lm.ReleaseAll(&t1);
+  waiter.join();
+  EXPECT_EQ(observed.load(), 1);
+}
+
+// Stress: many threads incrementing under X locks; the count must be exact
+// (mutual exclusion) and nothing may deadlock permanently.
+TEST(LockManagerTest, MutualExclusionStress) {
+  for (SchedulerPolicy policy : {SchedulerPolicy::kFCFS,
+                                 SchedulerPolicy::kVATS,
+                                 SchedulerPolicy::kRS}) {
+    LockManager lm(Config(policy));
+    int counter = 0;
+    constexpr int kThreads = 8, kIters = 200;
+    std::atomic<uint64_t> next_id{1};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < kIters; ++i) {
+          const uint64_t id = next_id.fetch_add(1);
+          TxnContext txn(id, id * 0x9E3779B97F4A7C15ull);
+          Status s = lm.Lock(&txn, kRec, LockMode::kX);
+          if (s.ok()) {
+            ++counter;
+            SpinFor(2000);
+          }
+          lm.ReleaseAll(&txn);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(counter, kThreads * kIters)
+        << SchedulerPolicyName(policy);
+  }
+}
+
+}  // namespace
+}  // namespace tdp::lock

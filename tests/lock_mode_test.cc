@@ -1,0 +1,75 @@
+#include "lock/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace tdp::lock {
+namespace {
+
+constexpr LockMode kAll[] = {LockMode::kIS, LockMode::kIX, LockMode::kS,
+                             LockMode::kX};
+
+TEST(LockModeTest, CompatibilityMatrixIsSymmetric) {
+  for (LockMode a : kAll) {
+    for (LockMode b : kAll) {
+      EXPECT_EQ(Compatible(a, b), Compatible(b, a))
+          << LockModeName(a) << " vs " << LockModeName(b);
+    }
+  }
+}
+
+TEST(LockModeTest, SharedCompatibleWithShared) {
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kS));
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kS));
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kIS));
+  EXPECT_TRUE(Compatible(LockMode::kIX, LockMode::kIX));
+}
+
+TEST(LockModeTest, ExclusiveConflictsWithEverything) {
+  for (LockMode m : kAll) {
+    EXPECT_FALSE(Compatible(LockMode::kX, m)) << LockModeName(m);
+  }
+}
+
+TEST(LockModeTest, IntentExclusiveConflictsWithShared) {
+  EXPECT_FALSE(Compatible(LockMode::kIX, LockMode::kS));
+  EXPECT_FALSE(Compatible(LockMode::kS, LockMode::kIX));
+}
+
+TEST(LockModeTest, CoversIsReflexive) {
+  for (LockMode m : kAll) EXPECT_TRUE(Covers(m, m));
+}
+
+TEST(LockModeTest, ExclusiveCoversAll) {
+  for (LockMode m : kAll) EXPECT_TRUE(Covers(LockMode::kX, m));
+}
+
+TEST(LockModeTest, SharedDoesNotCoverExclusive) {
+  EXPECT_FALSE(Covers(LockMode::kS, LockMode::kX));
+  EXPECT_FALSE(Covers(LockMode::kIS, LockMode::kX));
+  EXPECT_FALSE(Covers(LockMode::kIX, LockMode::kX));
+}
+
+TEST(LockModeTest, SupremumOfIncomparableIsExclusive) {
+  EXPECT_EQ(Supremum(LockMode::kS, LockMode::kIX), LockMode::kX);
+  EXPECT_EQ(Supremum(LockMode::kIX, LockMode::kS), LockMode::kX);
+}
+
+TEST(LockModeTest, SupremumCoversBothArguments) {
+  for (LockMode a : kAll) {
+    for (LockMode b : kAll) {
+      const LockMode s = Supremum(a, b);
+      EXPECT_TRUE(Covers(s, a));
+      EXPECT_TRUE(Covers(s, b));
+    }
+  }
+}
+
+TEST(LockModeTest, Names) {
+  EXPECT_STREQ(LockModeName(LockMode::kS), "S");
+  EXPECT_STREQ(LockModeName(LockMode::kX), "X");
+  EXPECT_STREQ(LockModeName(LockMode::kIS), "IS");
+  EXPECT_STREQ(LockModeName(LockMode::kIX), "IX");
+}
+
+}  // namespace
+}  // namespace tdp::lock

@@ -1,0 +1,145 @@
+// Parameterized properties across all four lock-scheduling policies:
+// mutual exclusion with mixed S/X traffic, eventual completion under
+// continuous arrivals (no starvation), and clean teardown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/work.h"
+#include "lock/lock_manager.h"
+
+namespace tdp::lock {
+namespace {
+
+class LockPolicyPropertyTest
+    : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+LockManagerConfig Config(SchedulerPolicy p) {
+  LockManagerConfig cfg;
+  cfg.policy = p;
+  cfg.wait_timeout_ns = MillisToNanos(5000);
+  return cfg;
+}
+
+// Readers observe a value pair kept consistent by writers under X locks;
+// any torn read means S/X exclusion broke.
+TEST_P(LockPolicyPropertyTest, ReadersNeverSeeTornWrites) {
+  LockManager lm(Config(GetParam()));
+  constexpr RecordId kRec{5, 5};
+  int64_t a = 0, b = 0;  // invariant: a == b under the lock
+  std::atomic<uint64_t> next_id{1};
+  std::atomic<bool> torn{false};
+
+  auto writer = [&] {
+    for (int i = 0; i < 300; ++i) {
+      const uint64_t id = next_id.fetch_add(1);
+      TxnContext txn(id, id * 17);
+      if (lm.Lock(&txn, kRec, LockMode::kX).ok()) {
+        ++a;
+        SpinFor(1500);
+        ++b;
+      }
+      lm.ReleaseAll(&txn);
+    }
+  };
+  auto reader = [&] {
+    for (int i = 0; i < 300; ++i) {
+      const uint64_t id = next_id.fetch_add(1);
+      TxnContext txn(id, id * 17);
+      if (lm.Lock(&txn, kRec, LockMode::kS).ok()) {
+        if (a != b) torn.store(true);
+      }
+      lm.ReleaseAll(&txn);
+    }
+  };
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 3; ++i) ts.emplace_back(writer);
+  for (int i = 0; i < 3; ++i) ts.emplace_back(reader);
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(a, 900);
+  EXPECT_EQ(a, b);
+}
+
+// A single waiter must complete even while a stream of competitors keeps
+// arriving — no policy may starve it (under VATS its age only grows; under
+// CATS ties break eldest-first; RS priorities are fixed at birth).
+TEST_P(LockPolicyPropertyTest, EarlyWaiterEventuallyCompletes) {
+  LockManager lm(Config(GetParam()));
+  constexpr RecordId kRec{6, 6};
+  TxnContext holder(1);
+  ASSERT_TRUE(lm.Lock(&holder, kRec, LockMode::kX).ok());
+
+  std::atomic<bool> victim_done{false};
+  TxnContext victim(2);
+  std::thread tv([&] {
+    EXPECT_TRUE(lm.Lock(&victim, kRec, LockMode::kX).ok());
+    victim_done.store(true);
+    lm.ReleaseAll(&victim);
+  });
+  while (lm.QueueDepths(kRec).second == 0) SpinFor(5000);
+
+  // Competitors arrive continuously while the victim waits.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> next_id{10};
+  std::thread competitors([&] {
+    while (!stop.load()) {
+      const uint64_t id = next_id.fetch_add(1);
+      TxnContext txn(id, id * 23);
+      (void)lm.Lock(&txn, kRec, LockMode::kX);
+      SpinFor(2000);
+      lm.ReleaseAll(&txn);
+    }
+  });
+  SpinFor(MillisToNanos(5));
+  lm.ReleaseAll(&holder);
+  tv.join();
+  EXPECT_TRUE(victim_done.load());
+  stop.store(true);
+  competitors.join();
+}
+
+TEST_P(LockPolicyPropertyTest, QueuesEmptyAfterQuiescence) {
+  LockManager lm(Config(GetParam()));
+  std::atomic<uint64_t> next_id{1};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 6; ++t) {
+    ts.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int i = 0; i < 150; ++i) {
+        const uint64_t id = next_id.fetch_add(1);
+        TxnContext txn(id, rng.Next());
+        const int n = 1 + static_cast<int>(rng.Uniform(4));
+        bool ok = true;
+        for (int k = 0; k < n && ok; ++k) {
+          // Ordered keys: no deadlocks, only queueing.
+          ok = lm.Lock(&txn, {7, static_cast<uint64_t>(k)},
+                       rng.Bernoulli(0.5) ? LockMode::kS : LockMode::kX)
+                   .ok();
+        }
+        lm.ReleaseAll(&txn);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (uint64_t k = 0; k < 4; ++k) {
+    auto [granted, waiting] = lm.QueueDepths({7, k});
+    EXPECT_EQ(granted, 0u) << "key " << k;
+    EXPECT_EQ(waiting, 0u) << "key " << k;
+  }
+  EXPECT_EQ(lm.stats().timeouts.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, LockPolicyPropertyTest,
+    ::testing::Values(SchedulerPolicy::kFCFS, SchedulerPolicy::kVATS,
+                      SchedulerPolicy::kRS, SchedulerPolicy::kCATS),
+    [](const ::testing::TestParamInfo<SchedulerPolicy>& info) {
+      return SchedulerPolicyName(info.param);
+    });
+
+}  // namespace
+}  // namespace tdp::lock

@@ -1,0 +1,91 @@
+// Parameterized property sweep over buffer-pool configurations: capacity is
+// never exceeded (beyond pinned overshoot), the sublists partition the
+// resident set, the old-ratio target is approximately maintained, and LLU
+// preserves all of it.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/random.h"
+
+namespace tdp::buffer {
+namespace {
+
+struct PoolSpec {
+  size_t capacity;
+  double old_ratio;
+  bool lazy;
+  uint64_t keyspace;
+  int threads;
+};
+
+class LruPropertyTest : public ::testing::TestWithParam<PoolSpec> {};
+
+TEST_P(LruPropertyTest, InvariantsUnderRandomWorkload) {
+  const PoolSpec& spec = GetParam();
+  BufferPoolConfig cfg;
+  cfg.capacity_pages = spec.capacity;
+  cfg.old_ratio = spec.old_ratio;
+  cfg.lazy_lru = spec.lazy;
+  cfg.llu_spin_budget_ns = 2000;
+  BufferPool pool(cfg);
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < spec.threads; ++t) {
+    ts.emplace_back([&, t] {
+      Rng rng(t * 7 + 1);
+      for (int i = 0; i < 4000; ++i) {
+        const PageId id{1, rng.Uniform(spec.keyspace)};
+        ASSERT_TRUE(pool.Fetch(id).ok());
+        if (rng.Bernoulli(0.2)) pool.MarkDirty(id);
+        pool.Unpin(id);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+
+  // Capacity: bounded overshoot (at most one in-flight page per thread).
+  EXPECT_LE(pool.resident_pages(),
+            spec.capacity + static_cast<size_t>(spec.threads));
+
+  // Sublists partition the resident set.
+  auto [young, old] = pool.SublistLengths();
+  EXPECT_EQ(young + old, pool.resident_pages());
+
+  // Old-ratio target (only meaningful when the pool is full).
+  if (spec.keyspace > spec.capacity) {
+    const double target =
+        spec.old_ratio * static_cast<double>(pool.resident_pages());
+    EXPECT_NEAR(static_cast<double>(old), target, target * 0.25 + 3);
+  }
+
+  // Accounting: every access was a hit or a miss.
+  const auto& st = pool.stats();
+  EXPECT_EQ(st.hits.load() + st.misses.load(),
+            static_cast<uint64_t>(spec.threads) * 4000u);
+  // Evictions can't exceed misses.
+  EXPECT_LE(st.evictions.load(), st.misses.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LruPropertyTest,
+    ::testing::Values(
+        PoolSpec{16, 3.0 / 8.0, false, 64, 4},
+        PoolSpec{16, 3.0 / 8.0, true, 64, 4},
+        PoolSpec{128, 3.0 / 8.0, false, 96, 4},   // mostly-cached
+        PoolSpec{128, 3.0 / 8.0, true, 512, 8},   // heavy eviction
+        PoolSpec{64, 0.5, false, 256, 4},          // different old ratio
+        PoolSpec{64, 0.125, true, 256, 4},
+        PoolSpec{1, 3.0 / 8.0, false, 32, 2}),     // degenerate capacity
+    [](const ::testing::TestParamInfo<PoolSpec>& info) {
+      const PoolSpec& s = info.param;
+      return "cap" + std::to_string(s.capacity) + (s.lazy ? "_llu" : "_mtx") +
+             "_keys" + std::to_string(s.keyspace) + "_thr" +
+             std::to_string(s.threads) + "_ratio" +
+             std::to_string(static_cast<int>(s.old_ratio * 1000));
+    });
+
+}  // namespace
+}  // namespace tdp::buffer

@@ -1,0 +1,150 @@
+#include "pg/pgmini.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tdp::pg {
+namespace {
+
+PgMiniConfig FastConfig(bool parallel = false) {
+  PgMiniConfig cfg;
+  cfg.row_work_ns = 100;
+  cfg.btree.level_work_ns = 50;
+  cfg.predicate_check_ns = 50;
+  cfg.wal.parallel_logging = parallel;
+  cfg.wal.disk.base_latency_ns = 2000;
+  cfg.wal.disk.sigma = 0;
+  cfg.wal.disk.flush_barrier_ns = 0;
+  cfg.lock.wait_timeout_ns = MillisToNanos(2000);
+  return cfg;
+}
+
+TEST(PgMiniTest, CommitPersists) {
+  PgMini db(FastConfig());
+  const uint32_t t = db.CreateTable("acct", 64);
+  db.BulkUpsert(t, 1, storage::Row{10});
+  auto conn = db.Connect();
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Update(t, 1, 0, 5).ok());
+  ASSERT_TRUE(conn->Commit().ok());
+  ASSERT_TRUE(conn->Begin().ok());
+  EXPECT_EQ(*conn->ReadColumn(t, 1, 0), 15);
+  ASSERT_TRUE(conn->Commit().ok());
+  EXPECT_EQ(db.wal().stats().commits.load(), 1u);  // read-only commit skips WAL
+}
+
+TEST(PgMiniTest, RollbackRestores) {
+  PgMini db(FastConfig());
+  const uint32_t t = db.CreateTable("acct", 64);
+  db.BulkUpsert(t, 1, storage::Row{10});
+  auto conn = db.Connect();
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Update(t, 1, 0, 5).ok());
+  ASSERT_TRUE(conn->Insert(t, 2, storage::Row{1}).ok());
+  conn->Rollback();
+  ASSERT_TRUE(conn->Begin().ok());
+  EXPECT_EQ(*conn->ReadColumn(t, 1, 0), 10);
+  EXPECT_TRUE(conn->ReadColumn(t, 2, 0).status().IsNotFound());
+  ASSERT_TRUE(conn->Commit().ok());
+}
+
+TEST(PgMiniTest, ReadOnlyCommitSkipsWal) {
+  PgMini db(FastConfig());
+  const uint32_t t = db.CreateTable("acct", 64);
+  db.BulkUpsert(t, 1, storage::Row{10});
+  auto conn = db.Connect();
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Select(t, 1).ok());
+  ASSERT_TRUE(conn->Commit().ok());
+  EXPECT_EQ(db.wal().stats().commits.load(), 0u);
+}
+
+TEST(PgMiniTest, WalBlocksRoundedUp) {
+  PgMiniConfig cfg = FastConfig();
+  cfg.wal.block_bytes = 4096;
+  cfg.wal_bytes_per_write = 5000;  // > 1 block per write
+  PgMini db(cfg);
+  const uint32_t t = db.CreateTable("acct", 64);
+  db.BulkUpsert(t, 1, storage::Row{0});
+  auto conn = db.Connect();
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Update(t, 1, 0, 1).ok());
+  ASSERT_TRUE(conn->Commit().ok());
+  // 5000 bytes at 4096-byte blocks = 2 blocks.
+  EXPECT_EQ(db.wal().stats().blocks_written.load(), 2u);
+}
+
+TEST(PgMiniTest, NoLostUpdatesUnderConcurrency) {
+  PgMini db(FastConfig());
+  const uint32_t t = db.CreateTable("counter", 64);
+  db.BulkUpsert(t, 1, storage::Row{0});
+  constexpr int kThreads = 8, kIters = 30;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&] {
+      auto conn = db.Connect();
+      for (int j = 0; j < kIters; ++j) {
+        for (;;) {
+          ASSERT_TRUE(conn->Begin().ok());
+          Status s = conn->Update(t, 1, 0, 1);
+          if (s.ok()) s = conn->Commit();
+          else conn->Rollback();
+          if (s.ok()) {
+            committed.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  auto conn = db.Connect();
+  ASSERT_TRUE(conn->Begin().ok());
+  EXPECT_EQ(*conn->ReadColumn(t, 1, 0), kThreads * kIters);
+  ASSERT_TRUE(conn->Commit().ok());
+}
+
+TEST(PgMiniTest, ParallelLoggingUsesSecondLogUnderContention) {
+  PgMini db(FastConfig(/*parallel=*/true));
+  const uint32_t t = db.CreateTable("acct", 64);
+  for (uint64_t k = 0; k < 64; ++k) db.BulkUpsert(t, k, storage::Row{0});
+  constexpr int kThreads = 8, kIters = 40;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      auto conn = db.Connect();
+      for (int j = 0; j < kIters; ++j) {
+        ASSERT_TRUE(conn->Begin().ok());
+        Status s = conn->Update(t, (i * kIters + j) % 64, 0, 1);
+        if (s.ok()) {
+          ASSERT_TRUE(conn->Commit().ok());
+        } else {
+          conn->Rollback();
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_GT(db.wal().stats().second_log_used.load(), 0u);
+}
+
+TEST(PgMiniTest, PredicateLocksResetPerTxn) {
+  PgMini db(FastConfig());
+  const uint32_t t = db.CreateTable("acct", 64);
+  db.BulkUpsert(t, 1, storage::Row{0});
+  auto conn = db.Connect();
+  // Two transactions of different read footprints both commit cleanly.
+  ASSERT_TRUE(conn->Begin().ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(conn->Select(t, 1).ok());
+  ASSERT_TRUE(conn->Commit().ok());
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Select(t, 1).ok());
+  ASSERT_TRUE(conn->Commit().ok());
+}
+
+}  // namespace
+}  // namespace tdp::pg

@@ -1,0 +1,63 @@
+#include "core/predictability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tdp::core {
+namespace {
+
+TEST(MetricsTest, FromLatencies) {
+  // 1ms, 2ms, 3ms samples.
+  const Metrics m = Metrics::FromLatencies({1000000, 2000000, 3000000});
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_NEAR(m.mean_ms, 2.0, 1e-9);
+  EXPECT_NEAR(m.variance_ms2, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.cov, m.stddev_ms / m.mean_ms, 1e-9);
+  EXPECT_NEAR(m.max_ms, 3.0, 1e-9);
+  // Normalized L2 of {1,2,3} = sqrt(14/3).
+  EXPECT_NEAR(m.lp2_ms, std::sqrt(14.0 / 3.0), 1e-6);
+}
+
+TEST(MetricsTest, EmptyIsZeroes) {
+  const Metrics m = Metrics::FromLatencies({});
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_EQ(m.mean_ms, 0);
+  EXPECT_EQ(m.lp2_ms, 0);
+}
+
+TEST(RatiosTest, OrientationBaselineOverModified) {
+  Metrics baseline = Metrics::FromLatencies({2000000, 6000000});
+  Metrics modified = Metrics::FromLatencies({1000000, 3000000});
+  const Ratios r = Ratios::Of(baseline, modified);
+  EXPECT_NEAR(r.mean, 2.0, 1e-9);      // 4ms / 2ms
+  EXPECT_NEAR(r.variance, 4.0, 1e-9);  // 4ms^2 / 1ms^2
+  EXPECT_GT(r.p99, 1.9);
+  EXPECT_NEAR(r.cov, 1.0, 1e-9);       // same shape
+}
+
+TEST(RatiosTest, ZeroDenominatorSafe) {
+  Metrics baseline = Metrics::FromLatencies({1000000});
+  Metrics modified = Metrics::FromLatencies({});
+  const Ratios r = Ratios::Of(baseline, modified);
+  EXPECT_EQ(r.mean, 0);
+}
+
+TEST(ReportTest, RowsContainLabel) {
+  Metrics m = Metrics::FromLatencies({1000000, 2000000});
+  EXPECT_NE(MetricsRow("my-config", m).find("my-config"), std::string::npos);
+  Ratios r = Ratios::Of(m, m);
+  const std::string row = RatioRow("vats-vs-fcfs", r);
+  EXPECT_NE(row.find("vats-vs-fcfs"), std::string::npos);
+  EXPECT_NE(row.find("1.00x"), std::string::npos);
+}
+
+TEST(MetricsTest, ToStringMentionsKeyNumbers) {
+  Metrics m = Metrics::FromLatencies({1000000, 2000000, 3000000});
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("mean"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdp::core

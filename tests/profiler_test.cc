@@ -1,0 +1,191 @@
+#include "tprofiler/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/work.h"
+
+namespace tdp::tprof {
+namespace {
+
+void Leaf() {
+  TPROF_SCOPE("pt_leaf");
+  SpinFor(50000);
+}
+
+void Mid() {
+  TPROF_SCOPE("pt_mid");
+  SpinFor(20000);
+  Leaf();
+}
+
+void Root() {
+  TPROF_SCOPE("pt_root");
+  Mid();
+  Leaf();
+}
+
+TEST(ProfilerTest, InactiveProbesRecordNothing) {
+  Profiler& p = Profiler::Instance();
+  ASSERT_FALSE(p.active());
+  Root();  // must be safe without a session
+  SUCCEED();
+}
+
+TEST(ProfilerTest, RecordsEnabledFunctionsOnly) {
+  Profiler& p = Profiler::Instance();
+  SessionConfig cfg;
+  cfg.enabled = {"pt_root", "pt_leaf"};  // pt_mid NOT instrumented
+  p.StartSession(cfg);
+  {
+    TxnScope txn;
+    Root();
+  }
+  TraceData data = p.EndSession();
+  ASSERT_EQ(data.intervals.size(), 1u);
+  // Events: pt_root once, pt_leaf twice (one via pt_mid, one direct); both
+  // leaf call sites collapse onto path root/leaf because mid is invisible.
+  int roots = 0, leaves = 0;
+  for (const Event& e : data.events) {
+    const FuncId f = p.path_tree().Func(e.node);
+    const std::string name = Registry::Instance().Name(f);
+    if (name == "pt_root") ++roots;
+    if (name == "pt_leaf") ++leaves;
+    EXPECT_NE(name, "pt_mid");
+  }
+  EXPECT_EQ(roots, 1);
+  EXPECT_EQ(leaves, 2);
+}
+
+TEST(ProfilerTest, PathsDistinguishEnabledAncestors) {
+  Profiler& p = Profiler::Instance();
+  SessionConfig cfg;
+  cfg.enabled = {"pt_root", "pt_mid", "pt_leaf"};
+  p.StartSession(cfg);
+  {
+    TxnScope txn;
+    Root();
+  }
+  TraceData data = p.EndSession();
+  bool saw_leaf_under_mid = false, saw_leaf_under_root = false;
+  for (const Event& e : data.events) {
+    const std::string path = p.path_tree().PathString(e.node);
+    if (path == "pt_root/pt_mid/pt_leaf") saw_leaf_under_mid = true;
+    if (path == "pt_root/pt_leaf") saw_leaf_under_root = true;
+  }
+  EXPECT_TRUE(saw_leaf_under_mid);
+  EXPECT_TRUE(saw_leaf_under_root);
+}
+
+TEST(ProfilerTest, DiscoversCallEdges) {
+  Profiler& p = Profiler::Instance();
+  SessionConfig cfg;
+  cfg.enabled = {"pt_root"};
+  cfg.discover_edges = true;
+  p.StartSession(cfg);
+  {
+    TxnScope txn;
+    Root();
+  }
+  p.EndSession();
+  Registry& r = Registry::Instance();
+  const auto root_kids = r.Children(r.Lookup("pt_root"));
+  // Root's direct probe children: pt_mid and pt_leaf.
+  EXPECT_EQ(root_kids.size(), 2u);
+  const auto mid_kids = r.Children(r.Lookup("pt_mid"));
+  EXPECT_EQ(mid_kids.size(), 1u);
+}
+
+TEST(ProfilerTest, EventDurationsAreSane) {
+  Profiler& p = Profiler::Instance();
+  SessionConfig cfg;
+  cfg.enabled = {"pt_leaf"};
+  p.StartSession(cfg);
+  {
+    TxnScope txn;
+    Leaf();
+  }
+  TraceData data = p.EndSession();
+  ASSERT_EQ(data.events.size(), 1u);
+  const int64_t dur = data.events[0].end_ns - data.events[0].start_ns;
+  EXPECT_GE(dur, 40000);   // at least the spin time
+  EXPECT_LT(dur, 50000000);
+}
+
+TEST(ProfilerTest, EventsOutsideTxnHaveZeroTxn) {
+  Profiler& p = Profiler::Instance();
+  SessionConfig cfg;
+  cfg.enabled = {"pt_leaf"};
+  p.StartSession(cfg);
+  Leaf();  // no TxnScope
+  TraceData data = p.EndSession();
+  ASSERT_EQ(data.events.size(), 1u);
+  EXPECT_EQ(data.events[0].txn, 0u);
+}
+
+TEST(ProfilerTest, IntervalsFromMultipleThreadsMerge) {
+  Profiler& p = Profiler::Instance();
+  SessionConfig cfg;
+  cfg.enabled = {"pt_leaf"};
+  p.StartSession(cfg);
+  constexpr uint64_t kTxn = 777777;
+  p.IntervalBegin(kTxn);
+  SpinFor(10000);
+  p.IntervalEnd();
+  std::thread t([&] {
+    p.IntervalBegin(kTxn);
+    Leaf();
+    p.IntervalEnd();
+  });
+  t.join();
+  TraceData data = p.EndSession();
+  int intervals = 0;
+  for (const TxnInterval& iv : data.intervals) {
+    if (iv.txn == kTxn) ++intervals;
+  }
+  EXPECT_EQ(intervals, 2);
+}
+
+TEST(ProfilerTest, DTraceModeChargesPerEventCost) {
+  Profiler& p = Profiler::Instance();
+  auto run_once = [&](ProbeCost cost_model) {
+    SessionConfig cfg;
+    cfg.enabled = {"pt_leaf"};
+    cfg.cost_model = cost_model;
+    cfg.dtrace_event_cost_ns = 2000000;  // 2ms per event: unmistakable
+    p.StartSession(cfg);
+    const int64_t t0 = NowNanos();
+    {
+      TxnScope txn;
+      Leaf();
+    }
+    const int64_t elapsed = NowNanos() - t0;
+    p.EndSession();
+    return elapsed;
+  };
+  const int64_t native = run_once(ProbeCost::kNative);
+  const int64_t dtrace = run_once(ProbeCost::kDTraceLike);
+  EXPECT_GT(dtrace, native + 3000000);  // 2 events x 2ms
+}
+
+TEST(ProfilerTest, SessionRestartClearsState) {
+  Profiler& p = Profiler::Instance();
+  SessionConfig cfg;
+  cfg.enabled = {"pt_leaf"};
+  p.StartSession(cfg);
+  {
+    TxnScope txn;
+    Leaf();
+  }
+  TraceData first = p.EndSession();
+  EXPECT_FALSE(first.events.empty());
+
+  p.StartSession(cfg);
+  TraceData second = p.EndSession();
+  EXPECT_TRUE(second.events.empty());
+  EXPECT_TRUE(second.intervals.empty());
+}
+
+}  // namespace
+}  // namespace tdp::tprof

@@ -1,0 +1,144 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace tdp {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.Uniform(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sumsq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalIsPositiveAndSkewed) {
+  Rng rng(19);
+  double max_v = 0, sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.LogNormal(0.0, 0.5);
+    ASSERT_GT(v, 0.0);
+    max_v = std::max(max_v, v);
+    sum += v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, std::exp(0.125), 0.05);  // E = exp(mu + sigma^2/2)
+  EXPECT_GT(max_v, 3 * mean);                // heavy right tail
+}
+
+TEST(RngTest, NURandWithinBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NURand(255, 0, 999);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 999);
+  }
+}
+
+TEST(RngTest, NURandIsNonUniform) {
+  Rng rng(29);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[rng.NURand(255, 0, 999)]++;
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // Uniform would put ~50 in each bucket; NURand concentrates mass.
+  EXPECT_GT(max_count, 100);
+}
+
+TEST(ZipfTest, BoundsRespected) {
+  Rng rng(31);
+  ZipfGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(&rng), 1000u);
+}
+
+TEST(ZipfTest, SkewIncreasesWithTheta) {
+  Rng rng(37);
+  auto head_mass = [&](double theta) {
+    ZipfGenerator z(1000, theta);
+    int head = 0;
+    for (int i = 0; i < 30000; ++i) {
+      if (z.Next(&rng) < 10) ++head;
+    }
+    return head;
+  };
+  const int low = head_mass(0.2);
+  const int high = head_mass(0.99);
+  EXPECT_GT(high, low * 2);
+}
+
+TEST(ZipfTest, SmallN) {
+  Rng rng(41);
+  ZipfGenerator z(1, 0.9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Next(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace tdp

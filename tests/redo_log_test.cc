@@ -1,0 +1,155 @@
+#include "log/redo_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/work.h"
+
+namespace tdp::log {
+namespace {
+
+SimDiskConfig FastDisk() {
+  SimDiskConfig cfg;
+  cfg.base_latency_ns = 20000;
+  cfg.sigma = 0.1;
+  cfg.flush_barrier_ns = 10000;
+  return cfg;
+}
+
+TEST(RedoLogTest, EagerFlushIsDurableImmediately) {
+  SimDisk disk(FastDisk());
+  RedoLogConfig cfg;
+  cfg.policy = FlushPolicy::kEagerFlush;
+  cfg.disk = &disk;
+  RedoLog log(cfg);
+  log.Start();
+  const uint64_t lsn = log.Commit(7, 256);
+  EXPECT_GE(log.durable_lsn(), lsn);
+  const std::vector<uint64_t> survivors = log.SimulateCrash();
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors[0], 7u);
+}
+
+TEST(RedoLogTest, LazyFlushCommitsBeforeDurability) {
+  SimDisk disk(FastDisk());
+  RedoLogConfig cfg;
+  cfg.policy = FlushPolicy::kLazyFlush;
+  cfg.disk = &disk;
+  cfg.flusher_interval_ns = MillisToNanos(500);  // long: crash before flush
+  RedoLog log(cfg);
+  log.Start();
+  const uint64_t lsn = log.Commit(7, 256);
+  EXPECT_GE(log.written_lsn(), lsn);   // written by the worker...
+  EXPECT_LT(log.durable_lsn(), lsn);   // ...but not yet durable
+  const std::vector<uint64_t> survivors = log.SimulateCrash();
+  EXPECT_TRUE(survivors.empty());  // forward progress lost (Appendix B)
+}
+
+TEST(RedoLogTest, LazyWriteDefersEverything) {
+  SimDisk disk(FastDisk());
+  RedoLogConfig cfg;
+  cfg.policy = FlushPolicy::kLazyWrite;
+  cfg.disk = &disk;
+  cfg.flusher_interval_ns = MillisToNanos(500);
+  RedoLog log(cfg);
+  log.Start();
+  const uint64_t before = disk.stats().writes.load();
+  log.Commit(7, 256);
+  EXPECT_EQ(disk.stats().writes.load(), before);  // nothing on commit path
+  EXPECT_EQ(log.written_lsn(), 0u);
+  log.SimulateCrash();
+}
+
+TEST(RedoLogTest, BackgroundFlusherEventuallyDurable) {
+  SimDisk disk(FastDisk());
+  RedoLogConfig cfg;
+  cfg.policy = FlushPolicy::kLazyWrite;
+  cfg.disk = &disk;
+  cfg.flusher_interval_ns = MillisToNanos(5);
+  RedoLog log(cfg);
+  log.Start();
+  const uint64_t lsn = log.Commit(9, 128);
+  const int64_t deadline = NowNanos() + MillisToNanos(2000);
+  while (log.durable_lsn() < lsn && NowNanos() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(log.durable_lsn(), lsn);
+  const std::vector<uint64_t> survivors = log.SimulateCrash();
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors[0], 9u);
+}
+
+TEST(RedoLogTest, LsnsAreMonotonic) {
+  RedoLogConfig cfg;  // no disk: I/O free
+  RedoLog log(cfg);
+  log.Start();
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t lsn = log.Commit(i, 10);
+    EXPECT_GT(lsn, prev);
+    prev = lsn;
+  }
+}
+
+TEST(RedoLogTest, GroupCommitCoalescesFlushes) {
+  SimDiskConfig dcfg = FastDisk();
+  dcfg.base_latency_ns = 500000;  // slow flushes force grouping
+  dcfg.sigma = 0;
+  SimDisk disk(dcfg);
+  RedoLogConfig cfg;
+  cfg.policy = FlushPolicy::kEagerFlush;
+  cfg.disk = &disk;
+  RedoLog log(cfg);
+  log.Start();
+
+  constexpr int kThreads = 8, kPer = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) log.Commit(t * 100 + i, 64);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(log.stats().commits.load(), uint64_t{kThreads * kPer});
+  // Group commit: strictly fewer flushes than commits.
+  EXPECT_LT(log.stats().flushes.load(), uint64_t{kThreads * kPer});
+  EXPECT_GT(log.stats().group_commit_riders.load(), 0u);
+  // All commits durable.
+  const std::vector<uint64_t> survivors = log.SimulateCrash();
+  EXPECT_EQ(survivors.size(), uint64_t{kThreads * kPer});
+}
+
+TEST(RedoLogTest, CrashPartitionsByDurableLsn) {
+  SimDisk disk(FastDisk());
+  RedoLogConfig cfg;
+  cfg.policy = FlushPolicy::kLazyFlush;
+  cfg.disk = &disk;
+  cfg.flusher_interval_ns = MillisToNanos(10);
+  RedoLog log(cfg);
+  log.Start();
+  log.Commit(1, 64);
+  // Let the flusher make txn 1 durable.
+  const int64_t deadline = NowNanos() + MillisToNanos(2000);
+  while (log.durable_lsn() < 1 && NowNanos() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(log.durable_lsn(), 1u);
+  log.Stop();  // flusher gone; next commit cannot become durable
+  log.Commit(2, 64);
+  const std::vector<uint64_t> survivors = log.SimulateCrash();
+  EXPECT_EQ(survivors, std::vector<uint64_t>{1});
+}
+
+TEST(RedoLogTest, StopIsIdempotent) {
+  RedoLog log(RedoLogConfig{});
+  log.Start();
+  log.Stop();
+  log.Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tdp::log

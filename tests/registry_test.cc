@@ -1,0 +1,71 @@
+#include "tprofiler/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace tdp::tprof {
+namespace {
+
+TEST(RegistryTest, RegisterIsIdempotent) {
+  Registry& r = Registry::Instance();
+  const FuncId a = r.Register("reg_test_func_a");
+  const FuncId a2 = r.Register("reg_test_func_a");
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(r.Name(a), "reg_test_func_a");
+}
+
+TEST(RegistryTest, LookupUnknownIsInvalid) {
+  EXPECT_EQ(Registry::Instance().Lookup("reg_test_definitely_missing"),
+            kInvalidFunc);
+}
+
+TEST(RegistryTest, EdgesAndChildren) {
+  Registry& r = Registry::Instance();
+  const FuncId p = r.Register("reg_edge_parent");
+  const FuncId c1 = r.Register("reg_edge_child1");
+  const FuncId c2 = r.Register("reg_edge_child2");
+  r.RecordEdge(p, c1);
+  r.RecordEdge(p, c2);
+  r.RecordEdge(p, c1);  // duplicate ignored
+  const std::vector<FuncId> kids = r.Children(p);
+  EXPECT_EQ(kids.size(), 2u);
+}
+
+TEST(RegistryTest, SelfEdgeIgnored) {
+  Registry& r = Registry::Instance();
+  const FuncId f = r.Register("reg_self_edge");
+  r.RecordEdge(f, f);
+  EXPECT_TRUE(r.Children(f).empty());
+}
+
+TEST(RegistryTest, HeightOfLeafIsZero) {
+  Registry& r = Registry::Instance();
+  const FuncId leaf = r.Register("reg_height_leaf");
+  EXPECT_EQ(r.Height(leaf), 0);
+}
+
+TEST(RegistryTest, HeightIsLongestPath) {
+  Registry& r = Registry::Instance();
+  const FuncId a = r.Register("reg_h_a");
+  const FuncId b = r.Register("reg_h_b");
+  const FuncId c = r.Register("reg_h_c");
+  const FuncId d = r.Register("reg_h_d");
+  r.RecordEdge(a, b);
+  r.RecordEdge(b, c);
+  r.RecordEdge(a, d);  // short branch
+  EXPECT_EQ(r.Height(a), 2);
+  EXPECT_EQ(r.Height(b), 1);
+  EXPECT_EQ(r.Height(c), 0);
+}
+
+TEST(RegistryTest, HeightHandlesCycles) {
+  Registry& r = Registry::Instance();
+  const FuncId x = r.Register("reg_cycle_x");
+  const FuncId y = r.Register("reg_cycle_y");
+  r.RecordEdge(x, y);
+  r.RecordEdge(y, x);
+  // Must terminate; height bounded by the acyclic part.
+  EXPECT_GE(r.Height(x), 1);
+}
+
+}  // namespace
+}  // namespace tdp::tprof

@@ -1,0 +1,123 @@
+// Range reads (Connection::SelectRange) on both engines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/mysqlmini.h"
+#include "pg/pgmini.h"
+
+namespace tdp {
+namespace {
+
+engine::MySQLMiniConfig FastMysql() {
+  engine::MySQLMiniConfig cfg;
+  cfg.row_work_ns = 100;
+  cfg.btree.level_work_ns = 0;
+  cfg.data_disk.base_latency_ns = 0;
+  cfg.data_disk.sigma = 0;
+  cfg.log_disk.base_latency_ns = 0;
+  cfg.log_disk.sigma = 0;
+  cfg.log_disk.flush_barrier_ns = 0;
+  return cfg;
+}
+
+pg::PgMiniConfig FastPg() {
+  pg::PgMiniConfig cfg;
+  cfg.row_work_ns = 100;
+  cfg.btree.level_work_ns = 0;
+  cfg.wal.disk.base_latency_ns = 0;
+  cfg.wal.disk.sigma = 0;
+  cfg.wal.disk.flush_barrier_ns = 0;
+  return cfg;
+}
+
+template <typename Db>
+void LoadRows(Db* db, uint32_t t) {
+  for (uint64_t k = 10; k < 200; k += 3) {
+    db->BulkUpsert(t, k, storage::Row{static_cast<int64_t>(k)});
+  }
+}
+
+template <typename Db>
+void RunCommonRangeChecks(Db* db) {
+  const uint32_t t = db->CreateTable("r", 64);
+  LoadRows(db, t);
+  auto conn = db->Connect();
+  ASSERT_TRUE(conn->Begin().ok());
+  // Spanning multiple pages, with gaps and missing keys.
+  EXPECT_TRUE(conn->SelectRange(t, 0, 300).ok());
+  // Empty range (no rows in it) is still OK.
+  EXPECT_TRUE(conn->SelectRange(t, 500, 600).ok());
+  // Degenerate single-key range.
+  EXPECT_TRUE(conn->SelectRange(t, 10, 10).ok());
+  // lo > hi rejected.
+  EXPECT_TRUE(conn->SelectRange(t, 5, 4).IsInvalidArgument());
+  // Span cap enforced.
+  EXPECT_TRUE(conn->SelectRange(t, 0, 100000).IsInvalidArgument());
+  // Unknown table rejected.
+  EXPECT_TRUE(conn->SelectRange(9999, 0, 1).IsInvalidArgument());
+  ASSERT_TRUE(conn->Commit().ok());
+}
+
+TEST(SelectRangeTest, MysqlRangeSemantics) {
+  engine::MySQLMini db(FastMysql());
+  RunCommonRangeChecks(&db);
+}
+
+TEST(SelectRangeTest, PgRangeSemantics) {
+  pg::PgMini db(FastPg());
+  RunCommonRangeChecks(&db);
+}
+
+TEST(SelectRangeTest, MysqlRangeTouchesPagesThroughBufferPool) {
+  engine::MySQLMiniConfig cfg = FastMysql();
+  cfg.buffer_pool_pages = 8;
+  engine::MySQLMini db(cfg);
+  const uint32_t t = db.CreateTable("r", 64);
+  LoadRows(&db, t);
+  auto conn = db.Connect();
+  ASSERT_TRUE(conn->Begin().ok());
+  const uint64_t misses_before = db.buffer_pool().stats().misses.load();
+  ASSERT_TRUE(conn->SelectRange(t, 0, 255).ok());  // 4 pages at 64 rows/page
+  EXPECT_GE(db.buffer_pool().stats().misses.load(), misses_before + 4);
+  ASSERT_TRUE(conn->Commit().ok());
+}
+
+TEST(SelectRangeTest, MysqlLockingReadsLockEachRow) {
+  engine::MySQLMiniConfig cfg = FastMysql();
+  cfg.locking_reads = true;
+  engine::MySQLMini db(cfg);
+  const uint32_t t = db.CreateTable("r", 64);
+  db.BulkUpsert(t, 1, storage::Row{1});
+  db.BulkUpsert(t, 2, storage::Row{2});
+  auto scanner = db.Connect();
+  ASSERT_TRUE(scanner->Begin().ok());
+  ASSERT_TRUE(scanner->SelectRange(t, 1, 2).ok());
+  // Both rows are now S-locked: a writer must conflict.
+  auto writer = db.Connect();
+  ASSERT_TRUE(writer->Begin().ok());
+  engine::MySQLMini* mysql = &db;
+  auto [granted, waiting] = mysql->lock_manager().QueueDepths({t, 1});
+  EXPECT_EQ(granted, 1u);
+  writer->Rollback();
+  ASSERT_TRUE(scanner->Commit().ok());
+}
+
+TEST(SelectRangeTest, NonLockingRangeDoesNotBlockOnWriter) {
+  engine::MySQLMini db(FastMysql());
+  const uint32_t t = db.CreateTable("r", 64);
+  LoadRows(&db, t);
+  auto writer = db.Connect();
+  ASSERT_TRUE(writer->Begin().ok());
+  ASSERT_TRUE(writer->Update(t, 10, 0, 1).ok());  // X lock on key 10
+  auto reader = db.Connect();
+  ASSERT_TRUE(reader->Begin().ok());
+  const int64_t t0 = NowNanos();
+  EXPECT_TRUE(reader->SelectRange(t, 0, 100).ok());
+  EXPECT_LT(NowNanos() - t0, MillisToNanos(200));
+  ASSERT_TRUE(reader->Commit().ok());
+  ASSERT_TRUE(writer->Commit().ok());
+}
+
+}  // namespace
+}  // namespace tdp

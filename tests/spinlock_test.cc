@@ -1,0 +1,70 @@
+#include "common/spinlock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/work.h"
+
+namespace tdp {
+namespace {
+
+TEST(SpinLockTest, BasicLockUnlock) {
+  SpinLock l;
+  l.lock();
+  EXPECT_FALSE(l.try_lock());
+  l.unlock();
+  EXPECT_TRUE(l.try_lock());
+  l.unlock();
+}
+
+TEST(SpinLockTest, TryLockForSucceedsWhenFree) {
+  SpinLock l;
+  EXPECT_TRUE(l.try_lock_for(1000));
+  l.unlock();
+}
+
+TEST(SpinLockTest, TryLockForTimesOutWhenHeld) {
+  SpinLock l;
+  l.lock();
+  const int64_t t0 = NowNanos();
+  EXPECT_FALSE(l.try_lock_for(200000));  // 0.2 ms budget
+  const int64_t elapsed = NowNanos() - t0;
+  EXPECT_GE(elapsed, 150000);
+  EXPECT_LT(elapsed, 50000000);  // and it did give up
+  l.unlock();
+}
+
+TEST(SpinLockTest, TryLockForAcquiresWhenReleasedWithinBudget) {
+  SpinLock l;
+  l.lock();
+  std::thread releaser([&] {
+    SpinFor(100000);
+    l.unlock();
+  });
+  EXPECT_TRUE(l.try_lock_for(MillisToNanos(100)));
+  releaser.join();
+  l.unlock();
+}
+
+TEST(SpinLockTest, MutualExclusionUnderContention) {
+  SpinLock l;
+  int counter = 0;
+  constexpr int kThreads = 8, kIters = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        l.lock();
+        ++counter;
+        l.unlock();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+}  // namespace
+}  // namespace tdp

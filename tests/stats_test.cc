@@ -1,0 +1,155 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tdp {
+namespace {
+
+TEST(LatencySampleTest, EmptySummary) {
+  LatencySample s;
+  const LatencySummary sum = s.Summarize();
+  EXPECT_EQ(sum.count, 0u);
+  EXPECT_EQ(sum.mean_ns, 0);
+  EXPECT_EQ(s.LpNorm(2), 0);
+}
+
+TEST(LatencySampleTest, BasicMoments) {
+  LatencySample s;
+  for (int64_t v : {2, 4, 4, 4, 5, 5, 7, 9}) s.Add(v);
+  const LatencySummary sum = s.Summarize();
+  EXPECT_EQ(sum.count, 8u);
+  EXPECT_DOUBLE_EQ(sum.mean_ns, 5.0);
+  EXPECT_DOUBLE_EQ(sum.variance_ns2, 4.0);  // classic example
+  EXPECT_DOUBLE_EQ(sum.stddev_ns, 2.0);
+  EXPECT_DOUBLE_EQ(sum.cov, 0.4);
+  EXPECT_EQ(sum.min_ns, 2);
+  EXPECT_EQ(sum.max_ns, 9);
+}
+
+TEST(LatencySampleTest, PercentilesSorted) {
+  LatencySample s;
+  for (int i = 100; i >= 1; --i) s.Add(i);
+  const LatencySummary sum = s.Summarize();
+  EXPECT_NEAR(sum.p50_ns, 50.5, 0.6);
+  EXPECT_NEAR(sum.p99_ns, 99.01, 0.1);
+  EXPECT_EQ(sum.max_ns, 100);
+}
+
+TEST(LatencySampleTest, MergeEqualsUnion) {
+  LatencySample a, b;
+  for (int i = 0; i < 50; ++i) a.Add(i);
+  for (int i = 50; i < 100; ++i) b.Add(i);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Summarize().mean_ns, 49.5);
+}
+
+TEST(LatencySampleTest, LpNormP2) {
+  LatencySample s;
+  s.Add(3);
+  s.Add(4);
+  EXPECT_NEAR(s.LpNorm(2), 5.0, 1e-9);
+}
+
+TEST(LatencySampleTest, LpNormP1IsSum) {
+  LatencySample s;
+  s.Add(1);
+  s.Add(2);
+  s.Add(3);
+  EXPECT_NEAR(s.LpNorm(1), 6.0, 1e-9);
+}
+
+TEST(LatencySampleTest, LpNormLargePApproachesMax) {
+  LatencySample s;
+  s.Add(10);
+  s.Add(1000);
+  EXPECT_NEAR(s.LpNorm(64), 1000.0, 1.0);
+}
+
+TEST(LatencySampleTest, NormalizedLpInvariantToDuplication) {
+  LatencySample a, b;
+  for (int i = 1; i <= 10; ++i) a.Add(i);
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 1; i <= 10; ++i) b.Add(i);
+  }
+  EXPECT_NEAR(a.NormalizedLpNorm(2), b.NormalizedLpNorm(2), 1e-9);
+}
+
+TEST(OnlineStatsTest, MatchesBatch) {
+  OnlineStats o;
+  std::vector<double> xs = {1.5, 2.5, 9, -4, 7, 0.25};
+  for (double x : xs) o.Add(x);
+  EXPECT_NEAR(o.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(o.variance(), Variance(xs), 1e-12);
+}
+
+TEST(OnlineStatsTest, MergeMatchesCombined) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.Add(i * 1.5);
+    all.Add(i * 1.5);
+  }
+  for (int i = 0; i < 7; ++i) {
+    b.Add(100 - i);
+    all.Add(100 - i);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(CovarianceTest, KnownValues) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(Covariance(x, y), 2.5, 1e-12);  // Var(x) = 1.25, scale 2
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(CovarianceTest, AntiCorrelated) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(CovarianceTest, ZeroVarianceGivesZeroCorrelation) {
+  std::vector<double> x = {5, 5, 5};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(CovarianceTest, MismatchedLengthsGiveZero) {
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(Covariance(x, y), 0.0);
+}
+
+// The decomposition TProfiler relies on: Var(X+Y) = Var X + Var Y + 2Cov.
+TEST(CovarianceTest, VarianceOfSumIdentity) {
+  std::vector<double> x = {1, 7, 3, 9, 2};
+  std::vector<double> y = {4, 1, 8, 2, 6};
+  std::vector<double> sum(5);
+  for (int i = 0; i < 5; ++i) sum[i] = x[i] + y[i];
+  EXPECT_NEAR(Variance(sum),
+              Variance(x) + Variance(y) + 2 * Covariance(x, y), 1e-9);
+}
+
+TEST(PercentileTest, InterpolatesBetweenPoints) {
+  std::vector<int64_t> v = {10, 20};
+  EXPECT_NEAR(PercentileSorted(v, 50), 15.0, 1e-9);
+  EXPECT_NEAR(PercentileSorted(v, 0), 10.0, 1e-9);
+  EXPECT_NEAR(PercentileSorted(v, 100), 20.0, 1e-9);
+}
+
+TEST(SummarizeVectorTest, MatchesSample) {
+  std::vector<int64_t> v = {5, 1, 9, 3};
+  const LatencySummary s = SummarizeVector(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_ns, 4.5);
+  EXPECT_NEAR(LpNormOf(v, 1), 18.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tdp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCode) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Deadlock().IsDeadlock());
+  EXPECT_TRUE(Status::LockTimeout().IsLockTimeout());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_FALSE(Status::NotFound().ok());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::Deadlock("cycle of 3");
+  EXPECT_EQ(s.message(), "cycle of 3");
+  EXPECT_EQ(s.ToString(), "Deadlock: cycle of 3");
+}
+
+TEST(StatusTest, CodesAreDistinct) {
+  EXPECT_FALSE(Status::NotFound().IsDeadlock());
+  EXPECT_FALSE(Status::Deadlock().IsLockTimeout());
+  EXPECT_FALSE(Status::Aborted().IsNotFound());
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r.value());
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace tdp

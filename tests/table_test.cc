@@ -1,0 +1,116 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tdp::storage {
+namespace {
+
+TEST(RowTest, GetSetAutoResizes) {
+  Row r;
+  EXPECT_EQ(r.Get(3), 0);
+  r.Set(3, 42);
+  EXPECT_EQ(r.Get(3), 42);
+  EXPECT_EQ(r.Get(0), 0);
+}
+
+TEST(TableTest, InsertReadRoundTrip) {
+  Table t(1, "t");
+  ASSERT_TRUE(t.Insert(5, Row{10, 20}).ok());
+  Result<Row> r = t.Read(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0), 10);
+  EXPECT_EQ(r->Get(1), 20);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, DuplicateInsertFails) {
+  Table t(1, "t");
+  ASSERT_TRUE(t.Insert(5, Row{}).ok());
+  EXPECT_TRUE(t.Insert(5, Row{}).IsInvalidArgument());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, UpsertReplaces) {
+  Table t(1, "t");
+  t.Upsert(5, Row{1});
+  t.Upsert(5, Row{2});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.Read(5)->Get(0), 2);
+}
+
+TEST(TableTest, ReadMissingIsNotFound) {
+  Table t(1, "t");
+  EXPECT_TRUE(t.Read(99).status().IsNotFound());
+  EXPECT_FALSE(t.Exists(99));
+}
+
+TEST(TableTest, UpdateAppliesFunction) {
+  Table t(1, "t");
+  ASSERT_TRUE(t.Insert(1, Row{100}).ok());
+  ASSERT_TRUE(t.Update(1, [](Row* r) { r->Set(0, r->Get(0) + 5); }).ok());
+  EXPECT_EQ(t.Read(1)->Get(0), 105);
+}
+
+TEST(TableTest, UpdateMissingIsNotFound) {
+  Table t(1, "t");
+  EXPECT_TRUE(t.Update(1, [](Row*) {}).IsNotFound());
+}
+
+TEST(TableTest, DeleteRemoves) {
+  Table t(1, "t");
+  ASSERT_TRUE(t.Insert(1, Row{}).ok());
+  ASSERT_TRUE(t.Delete(1).ok());
+  EXPECT_FALSE(t.Exists(1));
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_TRUE(t.Delete(1).IsNotFound());
+}
+
+TEST(TableTest, PageMappingGroupsConsecutiveKeys) {
+  Table t(3, "t", 64);
+  EXPECT_EQ(t.PageOf(0).page_no, 0u);
+  EXPECT_EQ(t.PageOf(63).page_no, 0u);
+  EXPECT_EQ(t.PageOf(64).page_no, 1u);
+  EXPECT_EQ(t.PageOf(0).space_id, 3u);
+}
+
+TEST(TableTest, RowsPerPageZeroClampedToOne) {
+  Table t(1, "t", 0);
+  EXPECT_EQ(t.rows_per_page(), 1u);
+}
+
+TEST(TableTest, ConcurrentUpdatesAreAtomic) {
+  Table t(1, "t");
+  ASSERT_TRUE(t.Insert(1, Row{0}).ok());
+  constexpr int kThreads = 8, kIters = 10000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&] {
+      for (int j = 0; j < kIters; ++j) {
+        ASSERT_TRUE(t.Update(1, [](Row* r) { r->Set(0, r->Get(0) + 1); }).ok());
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(t.Read(1)->Get(0), kThreads * kIters);
+}
+
+TEST(TableTest, ConcurrentInsertDisjointKeys) {
+  Table t(1, "t");
+  constexpr int kThreads = 8, kPer = 5000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      for (int j = 0; j < kPer; ++j) {
+        ASSERT_TRUE(t.Insert(uint64_t(i) * kPer + j, Row{}).ok());
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(t.row_count(), uint64_t{kThreads * kPer});
+}
+
+}  // namespace
+}  // namespace tdp::storage

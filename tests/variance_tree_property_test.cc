@@ -1,0 +1,153 @@
+// Property tests for the variance-tree math on randomized synthetic traces:
+// the Var(ΣX) identity must hold at every node of every random tree, factor
+// percentages must be consistent with node moments, and scores must respect
+// the specificity ordering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "tprofiler/analysis.h"
+
+namespace tdp::tprof {
+namespace {
+
+struct TreeSpec {
+  uint64_t seed;
+  int num_children;
+  int num_txns;
+};
+
+class VarianceTreePropertyTest : public ::testing::TestWithParam<TreeSpec> {};
+
+// Builds a one-level tree (root + N children) with random per-txn durations
+// and returns the analysis plus the raw child series.
+struct BuiltTree {
+  PathTree tree;
+  TraceData data;
+  PathNodeId root_node;
+  std::vector<PathNodeId> child_nodes;
+  std::vector<std::vector<double>> child_ms;  // [child][txn]
+  std::vector<double> root_ms;
+};
+
+std::unique_ptr<BuiltTree> Build(const TreeSpec& spec) {
+  auto owned = std::make_unique<BuiltTree>();
+  BuiltTree& b = *owned;
+  Rng rng(spec.seed);
+  Registry& reg = Registry::Instance();
+  const std::string prefix =
+      "vtp_" + std::to_string(spec.seed) + "_";
+  const FuncId root = reg.Register(prefix + "root");
+  b.root_node = b.tree.Intern(kRootNode, root);
+  for (int c = 0; c < spec.num_children; ++c) {
+    const FuncId fid = reg.Register(prefix + "c" + std::to_string(c));
+    reg.RecordEdge(root, fid);
+    b.child_nodes.push_back(b.tree.Intern(b.root_node, fid));
+  }
+  b.child_ms.assign(spec.num_children, {});
+  for (int t = 1; t <= spec.num_txns; ++t) {
+    const int64_t base = int64_t{t} * 1000000000;
+    int64_t cursor = base;
+    for (int c = 0; c < spec.num_children; ++c) {
+      const int64_t dur = 1000 + static_cast<int64_t>(rng.Uniform(5000000));
+      b.data.events.push_back({b.child_nodes[c], static_cast<uint64_t>(t),
+                               cursor, cursor + dur});
+      b.child_ms[c].push_back(static_cast<double>(dur));
+      cursor += dur;
+    }
+    const int64_t body = 500 + static_cast<int64_t>(rng.Uniform(2000000));
+    const int64_t end = cursor + body;
+    b.data.events.push_back(
+        {b.root_node, static_cast<uint64_t>(t), base, end});
+    b.data.intervals.push_back({static_cast<uint64_t>(t), base, end});
+    b.root_ms.push_back(static_cast<double>(end - base));
+  }
+  return owned;
+}
+
+TEST_P(VarianceTreePropertyTest, VarianceIdentityHoldsAtRoot) {
+  std::unique_ptr<BuiltTree> bp = Build(GetParam());
+  BuiltTree& b = *bp;
+  VarianceAnalysis a(b.data, b.tree);
+
+  // Var(root) == sum Var(child_i) + Var(body) + 2 * sum_{i<j} Cov terms
+  // (including body), computed from the raw series.
+  std::vector<std::vector<double>> parts = b.child_ms;
+  std::vector<double> body(b.root_ms.size());
+  for (size_t t = 0; t < b.root_ms.size(); ++t) {
+    double child_sum = 0;
+    for (const auto& c : b.child_ms) child_sum += c[t];
+    body[t] = b.root_ms[t] - child_sum;
+  }
+  parts.push_back(body);
+  double rhs = 0;
+  for (const auto& p : parts) rhs += Variance(p);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (size_t j = i + 1; j < parts.size(); ++j) {
+      rhs += 2 * Covariance(parts[i], parts[j]);
+    }
+  }
+  const double lhs = Variance(b.root_ms);
+  EXPECT_NEAR(lhs, rhs, std::max(1.0, lhs * 1e-9));
+
+  // And the analysis must agree with the raw series.
+  const VarNode* root = a.FindByPath(
+      "vtp_" + std::to_string(GetParam().seed) + "_root");
+  ASSERT_NE(root, nullptr);
+  EXPECT_NEAR(root->var_inclusive, lhs, std::max(1.0, lhs * 1e-9));
+  EXPECT_NEAR(root->var_body, Variance(body), std::max(1.0, lhs * 1e-9));
+}
+
+TEST_P(VarianceTreePropertyTest, FactorPercentagesMatchNodeMoments) {
+  std::unique_ptr<BuiltTree> bp = Build(GetParam());
+  BuiltTree& b = *bp;
+  VarianceAnalysis a(b.data, b.tree);
+  ASSERT_GT(a.total_variance(), 0);
+  for (const Factor& f : a.RankFactors()) {
+    if (f.kind != FactorKind::kVariance) continue;
+    EXPECT_NEAR(f.pct_of_total, 100.0 * f.value / a.total_variance(), 1e-6);
+    EXPECT_GE(f.value, 0);
+  }
+}
+
+TEST_P(VarianceTreePropertyTest, ScoresOrderedByScoreDescending) {
+  std::unique_ptr<BuiltTree> bp = Build(GetParam());
+  BuiltTree& b = *bp;
+  VarianceAnalysis a(b.data, b.tree);
+  const std::vector<Factor> factors = a.RankFactors();
+  for (size_t i = 1; i < factors.size(); ++i) {
+    EXPECT_GE(factors[i - 1].score, factors[i].score);
+  }
+}
+
+TEST_P(VarianceTreePropertyTest, ChildInclusiveNeverExceedsRoot) {
+  std::unique_ptr<BuiltTree> bp = Build(GetParam());
+  BuiltTree& b = *bp;
+  VarianceAnalysis a(b.data, b.tree);
+  const auto& root_series = a.InclusiveSeries(b.root_node);
+  for (PathNodeId c : b.child_nodes) {
+    const auto& cs = a.InclusiveSeries(c);
+    ASSERT_EQ(cs.size(), root_series.size());
+    for (size_t t = 0; t < cs.size(); ++t) {
+      EXPECT_LE(cs[t], root_series[t] + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, VarianceTreePropertyTest,
+    ::testing::Values(TreeSpec{101, 2, 20}, TreeSpec{202, 3, 50},
+                      TreeSpec{303, 5, 100}, TreeSpec{404, 8, 40},
+                      TreeSpec{505, 1, 200}, TreeSpec{606, 4, 300}),
+    [](const ::testing::TestParamInfo<TreeSpec>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_c" +
+             std::to_string(info.param.num_children) + "_t" +
+             std::to_string(info.param.num_txns);
+    });
+
+}  // namespace
+}  // namespace tdp::tprof

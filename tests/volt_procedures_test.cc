@@ -1,0 +1,82 @@
+#include "volt/procedures.h"
+
+#include <gtest/gtest.h>
+
+namespace tdp::volt {
+namespace {
+
+TEST(ProcedureMixTest, SubmitNextCompletes) {
+  VoltMini db(VoltMiniConfig{});
+  db.Start();
+  ProcedureMix mix(&db);
+  auto ticket = mix.SubmitNext();
+  ticket->Wait();
+  EXPECT_GT(ticket->done_ns, ticket->submit_ns);
+  db.Stop();
+}
+
+TEST(ProcedureMixTest, ServiceTimesWithinConfiguredBounds) {
+  VoltMiniConfig vcfg;
+  vcfg.num_workers = 4;
+  VoltMini db(vcfg);
+  db.Start();
+  ProcedureMixConfig cfg;
+  cfg.min_service_us = 500;
+  cfg.max_service_us = 1500;
+  cfg.pct_multi_partition = 0;
+  ProcedureMix mix(&db, cfg);
+  for (int i = 0; i < 30; ++i) {
+    auto t = mix.SubmitNext();
+    t->Wait();
+    // exec >= configured minimum; upper bound is loose (scheduler noise).
+    EXPECT_GE(t->exec_ns(), cfg.min_service_us * 1000);
+    EXPECT_LT(t->exec_ns(), 100 * cfg.max_service_us * 1000);
+  }
+  db.Stop();
+}
+
+TEST(ProcedureMixTest, MultiPartitionSurchargeRaisesMeanExec) {
+  VoltMiniConfig vcfg;
+  vcfg.num_workers = 4;
+  auto mean_exec = [&](int pct_mp) {
+    VoltMini db(vcfg);
+    db.Start();
+    ProcedureMixConfig cfg;
+    cfg.min_service_us = 500;
+    cfg.max_service_us = 501;  // nearly constant base
+    cfg.pct_multi_partition = pct_mp;
+    cfg.multi_partition_extra_us = 3000;
+    ProcedureMix mix(&db, cfg);
+    int64_t total = 0;
+    constexpr int kN = 60;
+    for (int i = 0; i < kN; ++i) {
+      auto t = mix.SubmitNext();
+      t->Wait();
+      total += t->exec_ns();
+    }
+    db.Stop();
+    return total / kN;
+  };
+  EXPECT_GT(mean_exec(100), mean_exec(0) + 2000000);
+}
+
+TEST(ProcedureMixTest, OpenLoopReturnsAllTickets) {
+  VoltMiniConfig vcfg;
+  vcfg.num_workers = 8;
+  VoltMini db(vcfg);
+  db.Start();
+  ProcedureMixConfig cfg;
+  cfg.min_service_us = 100;
+  cfg.max_service_us = 300;
+  ProcedureMix mix(&db, cfg);
+  const auto tickets = mix.RunOpenLoop(100, 2000);
+  ASSERT_EQ(tickets.size(), 100u);
+  for (const auto& t : tickets) {
+    EXPECT_GT(t->done_ns, 0);
+    EXPECT_GE(t->queue_wait_ns(), 0);
+  }
+  db.Stop();
+}
+
+}  // namespace
+}  // namespace tdp::volt

@@ -1,0 +1,121 @@
+#include "pg/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace tdp::pg {
+namespace {
+
+WalConfig FastWal(bool parallel, uint64_t block = 4096) {
+  WalConfig cfg;
+  cfg.block_bytes = block;
+  cfg.parallel_logging = parallel;
+  cfg.disk.base_latency_ns = 20000;
+  cfg.disk.sigma = 0;
+  cfg.disk.flush_barrier_ns = 10000;
+  return cfg;
+}
+
+TEST(WalTest, BlockRounding) {
+  WalManager wal(FastWal(false, 4096));
+  wal.CommitFlush(1);      // 1 block
+  wal.CommitFlush(4096);   // 1 block
+  wal.CommitFlush(4097);   // 2 blocks
+  wal.CommitFlush(0);      // still writes 1 block (header)
+  EXPECT_EQ(wal.stats().blocks_written.load(), 5u);
+  EXPECT_EQ(wal.stats().commits.load(), 4u);
+}
+
+TEST(WalTest, SingleModeNeverUsesSecondLog) {
+  WalManager wal(FastWal(false));
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i) {
+    ts.emplace_back([&] {
+      for (int j = 0; j < 10; ++j) wal.CommitFlush(512);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(wal.stats().second_log_used.load(), 0u);
+}
+
+TEST(WalTest, ParallelModeSpreadsLoad) {
+  WalConfig cfg = FastWal(true);
+  cfg.disk.base_latency_ns = 200000;  // slow: force overlap
+  WalManager wal(cfg);
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 8; ++i) {
+    ts.emplace_back([&] {
+      for (int j = 0; j < 5; ++j) wal.CommitFlush(512);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_GT(wal.stats().second_log_used.load(), 0u);
+}
+
+TEST(WalTest, ParallelModeFasterUnderContention) {
+  auto timed_run = [&](bool parallel) {
+    WalConfig cfg = FastWal(parallel);
+    cfg.disk.base_latency_ns = 150000;
+    WalManager wal(cfg);
+    const int64_t t0 = NowNanos();
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 6; ++i) {
+      ts.emplace_back([&] {
+        for (int j = 0; j < 6; ++j) wal.CommitFlush(512);
+      });
+    }
+    for (auto& t : ts) t.join();
+    return NowNanos() - t0;
+  };
+  const int64_t serial = timed_run(false);
+  const int64_t parallel = timed_run(true);
+  EXPECT_LT(parallel, serial);  // two disks beat one under contention
+}
+
+TEST(WalTest, NumLogSetsHonored) {
+  WalConfig cfg = FastWal(false);
+  cfg.num_log_sets = 4;
+  WalManager wal(cfg);
+  EXPECT_EQ(wal.num_log_sets(), 4);
+  // parallel_logging flag still implies at least two sets.
+  WalConfig two = FastWal(true);
+  two.num_log_sets = 1;
+  EXPECT_EQ(WalManager(two).num_log_sets(), 2);
+  // And the single-set default stays serial.
+  EXPECT_EQ(WalManager(FastWal(false)).num_log_sets(), 1);
+}
+
+TEST(WalTest, FourWayLoggingSpreadsFurther) {
+  auto timed_run = [&](int sets) {
+    WalConfig cfg = FastWal(false);
+    cfg.num_log_sets = sets;
+    cfg.disk.base_latency_ns = 150000;
+    WalManager wal(cfg);
+    const int64_t t0 = NowNanos();
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 8; ++i) {
+      ts.emplace_back([&] {
+        for (int j = 0; j < 4; ++j) wal.CommitFlush(512);
+      });
+    }
+    for (auto& t : ts) t.join();
+    return NowNanos() - t0;
+  };
+  const int64_t one = timed_run(1);
+  const int64_t four = timed_run(4);
+  EXPECT_LT(four, one);
+}
+
+TEST(WalTest, ZeroBlockBytesDefaulted) {
+  WalConfig cfg = FastWal(false);
+  cfg.block_bytes = 0;
+  WalManager wal(cfg);
+  EXPECT_EQ(wal.block_bytes(), 8192u);
+}
+
+}  // namespace
+}  // namespace tdp::pg

@@ -1,0 +1,184 @@
+// Workload generators: schema loads, mixes, and transaction validity against
+// a real engine.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/mysqlmini.h"
+#include "workload/epinions.h"
+#include "workload/seats.h"
+#include "workload/tatp.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace tdp::workload {
+namespace {
+
+engine::MySQLMiniConfig FastEngine() {
+  engine::MySQLMiniConfig cfg;
+  cfg.row_work_ns = 0;
+  cfg.btree.level_work_ns = 0;
+  cfg.btree.insert_work_ns = 0;
+  cfg.data_disk.base_latency_ns = 0;
+  cfg.data_disk.sigma = 0;
+  cfg.log_disk.base_latency_ns = 0;
+  cfg.log_disk.sigma = 0;
+  cfg.log_disk.flush_barrier_ns = 0;
+  return cfg;
+}
+
+// Runs `n` generated transactions serially; every one must commit (or be a
+// tolerated benign failure handled inside the body).
+void RunSerial(Workload* wl, int n, uint64_t seed = 42) {
+  engine::MySQLMini db(FastEngine());
+  wl->Load(&db);
+  auto conn = db.Connect();
+  Rng rng(seed);
+  std::map<std::string, int> type_counts;
+  for (int i = 0; i < n; ++i) {
+    Workload::Txn txn = wl->NextTxn(&rng);
+    type_counts[txn.type]++;
+    ASSERT_TRUE(conn->Begin().ok());
+    Status s = txn.body(*conn);
+    ASSERT_TRUE(s.ok()) << wl->name() << "/" << txn.type << ": "
+                        << s.ToString();
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+  EXPECT_GE(type_counts.size(), 1u);
+}
+
+TEST(TpccTest, LoadCreatesExpectedRowCounts) {
+  TpccConfig cfg;
+  cfg.warehouses = 2;
+  Tpcc tpcc(cfg);
+  engine::MySQLMini db(FastEngine());
+  tpcc.Load(&db);
+  EXPECT_EQ(db.TableRowCount(db.TableId("warehouse")), 2u);
+  EXPECT_EQ(db.TableRowCount(db.TableId("district")), 20u);
+  EXPECT_EQ(db.TableRowCount(db.TableId("customer")),
+            uint64_t{2} * 10 * cfg.customers_per_district);
+  EXPECT_EQ(db.TableRowCount(db.TableId("stock")),
+            uint64_t{2} * cfg.stock_per_wh);
+  EXPECT_EQ(db.TableRowCount(db.TableId("item")), uint64_t(cfg.items));
+  EXPECT_GT(tpcc.DataPages(db), 0u);
+}
+
+TEST(TpccTest, AllFiveTypesGenerated) {
+  Tpcc tpcc(TpccConfig{});
+  Rng rng(1);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 2000; ++i) counts[tpcc.NextTxn(&rng).type]++;
+  EXPECT_GT(counts["NewOrder"], 700);
+  EXPECT_GT(counts["Payment"], 650);
+  EXPECT_GT(counts["OrderStatus"], 20);
+  EXPECT_GT(counts["Delivery"], 20);
+  EXPECT_GT(counts["StockLevel"], 20);
+}
+
+TEST(TpccTest, PureNewOrderModeGeneratesOnlyNewOrders) {
+  TpccConfig cfg;
+  cfg.pure_new_order = true;
+  cfg.fixed_ol = 10;
+  Tpcc tpcc(cfg);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_STREQ(tpcc.NextTxn(&rng).type, "NewOrder");
+  }
+}
+
+TEST(TpccTest, TransactionsExecuteSerially) {
+  TpccConfig cfg;
+  cfg.warehouses = 2;
+  Tpcc tpcc(cfg);
+  RunSerial(&tpcc, 300);
+}
+
+TEST(TpccTest, NewOrderAdvancesDistrictCounterAndInsertsOrder) {
+  TpccConfig cfg;
+  cfg.warehouses = 1;
+  cfg.pure_new_order = true;
+  Tpcc tpcc(cfg);
+  engine::MySQLMini db(FastEngine());
+  tpcc.Load(&db);
+  auto conn = db.Connect();
+  Rng rng(3);
+  const uint64_t orders_before = db.TableRowCount(db.TableId("orders"));
+  for (int i = 0; i < 20; ++i) {
+    Workload::Txn txn = tpcc.NextTxn(&rng);
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(txn.body(*conn).ok());
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+  EXPECT_EQ(db.TableRowCount(db.TableId("orders")), orders_before + 20);
+  // Sum of district NEXT_O_ID increments == 20.
+  int64_t next_oid_sum = 0;
+  ASSERT_TRUE(conn->Begin().ok());
+  for (int d = 0; d < 10; ++d) {
+    ASSERT_TRUE(conn->Select(db.TableId("district"), d).ok());
+    next_oid_sum += *conn->ReadColumn(db.TableId("district"), d, 0);
+  }
+  ASSERT_TRUE(conn->Commit().ok());
+  EXPECT_EQ(next_oid_sum, 10 /*initial 1s*/ + 20);
+}
+
+TEST(SeatsTest, ExecutesAndBookingsReduceSeats) {
+  SeatsConfig cfg;
+  cfg.flights = 5;
+  Seats seats(cfg);
+  RunSerial(&seats, 300);
+}
+
+TEST(SeatsTest, MixCoversAllTypes) {
+  Seats seats(SeatsConfig{});
+  Rng rng(5);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 3000; ++i) counts[seats.NextTxn(&rng).type]++;
+  EXPECT_EQ(counts.size(), 5u);
+  EXPECT_GT(counts["FindOpenSeats"], 700);
+  EXPECT_GT(counts["NewReservation"], 600);
+}
+
+TEST(TatpTest, ExecutesSerially) {
+  TatpConfig cfg;
+  cfg.subscribers = 500;
+  Tatp tatp(cfg);
+  RunSerial(&tatp, 400);
+}
+
+TEST(TatpTest, ReadHeavyMix) {
+  Tatp tatp(TatpConfig{});
+  Rng rng(7);
+  int reads = 0, total = 4000;
+  for (int i = 0; i < total; ++i) {
+    const std::string type = tatp.NextTxn(&rng).type;
+    if (type.rfind("Get", 0) == 0) ++reads;
+  }
+  EXPECT_NEAR(reads / double(total), 0.80, 0.04);
+}
+
+TEST(EpinionsTest, ExecutesSerially) {
+  EpinionsConfig cfg;
+  cfg.users = 100;
+  cfg.items = 50;
+  Epinions ep(cfg);
+  RunSerial(&ep, 300);
+}
+
+TEST(YcsbTest, ExecutesSerially) {
+  YcsbConfig cfg;
+  cfg.rows = 5000;
+  Ycsb ycsb(cfg);
+  RunSerial(&ycsb, 300);
+}
+
+TEST(YcsbTest, KeysWithinRange) {
+  YcsbConfig cfg;
+  cfg.rows = 1000;
+  Ycsb ycsb(cfg);
+  engine::MySQLMini db(FastEngine());
+  ycsb.Load(&db);
+  EXPECT_EQ(db.TableRowCount(db.TableId("usertable")), 1000u);
+}
+
+}  // namespace
+}  // namespace tdp::workload
