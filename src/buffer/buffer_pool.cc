@@ -218,13 +218,52 @@ Status BufferPool::Fetch(PageId id) {
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     if (victim->dirty) {
       stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
-      if (config_.disk) config_.disk->Write(config_.page_bytes);
+      if (config_.disk) {
+        int attempts = 0;
+        Status ws = RetryIo(
+            config_.io_retry,
+            [&] { return config_.disk->Write(config_.page_bytes); },
+            &attempts);
+        if (attempts > 1) {
+          stats_.io_retries.fetch_add(static_cast<uint64_t>(attempts - 1),
+                                      std::memory_order_relaxed);
+        }
+        // A writeback that exhausts its retries drops the page's dirty data
+        // (the redo log is the durability story); count it and move on
+        // rather than wedging eviction behind a broken device.
+        if (!ws.ok()) {
+          stats_.writeback_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
     delete victim;
   }
 
   // "Read" the page.
-  if (config_.disk) config_.disk->Read(config_.page_bytes);
+  if (config_.disk) {
+    int attempts = 0;
+    Status rs = RetryIo(
+        config_.io_retry,
+        [&] { return config_.disk->Read(config_.page_bytes); },
+        &attempts);
+    if (attempts > 1) {
+      stats_.io_retries.fetch_add(static_cast<uint64_t>(attempts - 1),
+                                  std::memory_order_relaxed);
+    }
+    if (!rs.ok()) {
+      // The frame never became readable: unpublish it so waiters blocked on
+      // io_fixed restart with a fresh miss instead of seeing garbage.
+      stats_.read_failures.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> g(sh.mu);
+        sh.table.erase(id);
+        nf->erased = true;
+      }
+      sh.cv.notify_all();
+      delete nf;
+      return rs;
+    }
+  }
 
   // Publish into the LRU: new pages enter at the old sublist's head
   // (InnoDB midpoint insertion).

@@ -71,6 +71,8 @@ struct BufferPoolConfig {
   /// Device backing page reads and dirty writebacks. Not owned. May be null
   /// for purely in-memory tests (misses then cost nothing).
   SimDisk* disk = nullptr;
+  /// Retry/backoff for page I/O under injected faults (docs/faults.md).
+  IoRetryPolicy io_retry;
 };
 
 class BufferPool {
@@ -82,7 +84,9 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Pins `id`, reading it from the disk on a miss (evicting if full).
-  /// Every successful Fetch must be paired with an Unpin.
+  /// Every successful Fetch must be paired with an Unpin. Returns kIOError
+  /// when the page read fails past its retry budget (the page is then not
+  /// resident and not pinned; a later Fetch starts over).
   Status Fetch(PageId id);
 
   /// Marks the page dirty (it must be pinned by the caller).
@@ -128,6 +132,10 @@ class BufferPool {
     std::atomic<uint64_t> llu_deferred{0};
     std::atomic<uint64_t> llu_drained{0};
     std::atomic<uint64_t> llu_dropped{0};  ///< Backlog overflow.
+    std::atomic<uint64_t> io_retries{0};   ///< Extra page-I/O attempts.
+    std::atomic<uint64_t> read_failures{0};       ///< Fetches failed on I/O.
+    std::atomic<uint64_t> writeback_failures{0};  ///< Dirty pages dropped
+                                                  ///< after exhausted retries.
   };
   const Stats& stats() const { return stats_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace tdp {
@@ -32,6 +33,7 @@ int64_t Histogram::BucketLowerBound(int bucket) {
 }
 
 void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;  // keep sum_ coherent with the bucket clamp
   buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -67,19 +69,44 @@ void Histogram::Clear() {
 double Histogram::mean() const {
   const uint64_t n = count();
   if (n == 0) return 0;
-  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
-         static_cast<double>(n);
+  double m = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+             static_cast<double>(n);
+  // count_ and sum_ are loaded separately, so a merge racing with Add can
+  // leave them momentarily inconsistent; clamp instead of reporting an
+  // impossible average.
+  if (m < 0) return 0;
+  const double mx = static_cast<double>(max_seen());
+  if (mx > 0 && m > mx) return mx;
+  return m;
 }
 
 int64_t Histogram::Percentile(double pct) const {
-  const uint64_t n = count();
+  // Snapshot the buckets once and derive n from the snapshot itself:
+  // count_ can disagree with the buckets mid-merge, and a rank computed
+  // from a mismatched n picks the wrong bucket.
+  uint64_t snap[kNumBuckets];
+  uint64_t n = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += snap[i];
+  }
   if (n == 0) return 0;
-  const uint64_t target =
-      static_cast<uint64_t>(pct / 100.0 * static_cast<double>(n));
+  if (pct >= 100.0) return max_seen();
+  // Ceil-based rank: the percentile is the smallest value with at least
+  // ceil(pct/100 * n) samples at or below it. With trunc + `seen > target`
+  // the boundary cases came out shifted by one sample: p50 of n=2 landed
+  // on the 2nd sample's bucket and p0 was not the minimum.
+  uint64_t rank = 1;
+  if (pct > 0.0) {
+    rank = static_cast<uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+  }
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen > target) return BucketLowerBound(i);
+    seen += snap[i];
+    if (seen >= rank) return BucketLowerBound(i);
   }
   return max_seen();
 }

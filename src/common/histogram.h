@@ -23,12 +23,30 @@ class Histogram {
 
   Histogram();
 
+  /// Records `value` (negative values are clamped to 0, in the bucket and
+  /// in the running sum). Safe to call from many threads.
   void Add(int64_t value);
+
+  /// Folds `other`'s contents into this histogram.
+  ///
+  /// Single-writer expectation: `other` should be quiescent (no concurrent
+  /// Add) for an exact merge. Merging a live histogram is allowed — each
+  /// field is read atomically — but the snapshot can be torn: the buckets,
+  /// count and sum are loaded separately, so they may disagree by the few
+  /// samples added mid-merge. mean()/Percentile()/ToString() tolerate such
+  /// skew (Percentile derives n from the buckets themselves; mean clamps
+  /// to [0, max]), so a torn merge degrades precision, never sanity.
   void MergeFrom(const Histogram& other);
   void Clear();
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Mean of recorded values, clamped to [0, max_seen()] so a torn merge or
+  /// racing Add can't produce a nonsensical average.
   double mean() const;
+  /// Ceil-rank percentile: the smallest bucket holding the
+  /// ceil(pct/100 * n)-th sample. pct <= 0 returns the minimum's bucket,
+  /// pct >= 100 returns max_seen(). n is derived from a one-pass bucket
+  /// snapshot, not count_, so a torn merge can't skew the rank.
   int64_t Percentile(double pct) const;
   int64_t max_seen() const { return max_.load(std::memory_order_relaxed); }
 

@@ -5,6 +5,12 @@
 // busy disk. Service time = seek/setup base time drawn from a lognormal
 // (disk latency is heavy-tailed) plus a bandwidth term proportional to the
 // request size. Sleeping (not spinning) models the thread blocking in I/O.
+//
+// An optional FaultInjector perturbs requests with scheduled pathologies
+// (latency spikes, stalls, write errors, torn flushes — docs/faults.md).
+// I/O therefore returns Status: kIOError on an injected failure, OK
+// otherwise. Without an armed injector the fault path is a single pointer
+// test and every operation succeeds.
 #pragma once
 
 #include <atomic>
@@ -12,8 +18,10 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/stats.h"
+#include "common/status.h"
 
 namespace tdp {
 
@@ -25,8 +33,9 @@ struct SimDiskConfig {
   /// Truncation of the lognormal jitter multiplier (0 = unbounded). A real
   /// device's tail is bounded by firmware timeouts; bounding it also keeps
   /// benchmark variance driven by many moderate stalls instead of a lottery
-  /// of rare extreme ones.
-  double max_jitter = 0;
+  /// of rare extreme ones, so it defaults on. Extreme outliers are the
+  /// FaultInjector's job, where they are scheduled and attributable.
+  double max_jitter = 20.0;
   /// Sustained bandwidth in bytes per microsecond.
   double bytes_per_us = 400.0;  // ~400 MB/s
   /// Extra fixed cost of a durability barrier (fsync).
@@ -35,6 +44,8 @@ struct SimDiskConfig {
   /// NVMe-class devices service several commands at once).
   int max_concurrency = 1;
   uint64_t seed = 42;
+  /// Optional fault schedule (not owned; may be shared by several disks).
+  FaultInjector* fault = nullptr;
 };
 
 class SimDisk {
@@ -42,33 +53,52 @@ class SimDisk {
   explicit SimDisk(SimDiskConfig config = {});
 
   /// Performs a write of `bytes` (data reaches the device cache).
-  void Write(uint64_t bytes);
+  /// Fails with kIOError under an injected write-error window.
+  Status Write(uint64_t bytes);
 
-  /// Performs a read of `bytes`.
-  void Read(uint64_t bytes);
+  /// Performs a read of `bytes`. Reads feel spikes/stalls and fail only
+  /// under an injected read-error window.
+  Status Read(uint64_t bytes);
 
-  /// Durability barrier: like Write but with the fsync surcharge.
-  void Flush(uint64_t bytes = 0);
+  /// Durability barrier: like Write but with the fsync surcharge. A torn
+  /// flush persists only part of the payload and fails with kIOError.
+  Status Flush(uint64_t bytes = 0);
 
-  /// Number of threads currently queued on (or using) the device. Used by
+  /// Threads waiting for a device slot plus requests in service. Used by
   /// the parallel-logging policy ("the one with fewer waiters", §6.2).
-  int queue_length() const { return queue_len_.load(std::memory_order_relaxed); }
+  int queue_length() const {
+    return waiting_.load(std::memory_order_relaxed) +
+           in_service_.load(std::memory_order_relaxed);
+  }
 
-  /// True if the device is idle right now (best-effort).
+  /// Requests currently being serviced (holding a device slot).
+  int in_service() const {
+    return in_service_.load(std::memory_order_relaxed);
+  }
+
+  /// True iff no request is queued *or in service* (best-effort). A device
+  /// mid-request is busy even when nothing waits behind it.
   bool idle() const { return queue_length() == 0; }
+
+  /// Nanoseconds until an injected stall covering `now` clears (0 = none).
+  int64_t StallRemainingNanos() const;
 
   struct Stats {
     std::atomic<uint64_t> reads{0};
     std::atomic<uint64_t> writes{0};
     std::atomic<uint64_t> flushes{0};
     std::atomic<uint64_t> bytes{0};
+    /// Operations that returned kIOError (injected faults).
+    std::atomic<uint64_t> io_errors{0};
+    /// Bytes dropped by torn flushes / failed writes.
+    std::atomic<uint64_t> bytes_lost{0};
   };
   const Stats& stats() const { return stats_; }
   /// Total time requests spent queued + serviced.
   const LatencySample& service_times() const { return service_times_; }
 
  private:
-  void Service(uint64_t bytes, int64_t extra_ns);
+  Status Service(IoOp op, uint64_t bytes, int64_t extra_ns);
   int64_t SampleServiceNanos(uint64_t bytes, int64_t extra_ns);
 
   SimDiskConfig config_;
@@ -77,7 +107,8 @@ class SimDisk {
   int active_ = 0;
   std::mutex rng_mu_;
   Rng rng_;
-  std::atomic<int> queue_len_{0};
+  std::atomic<int> waiting_{0};
+  std::atomic<int> in_service_{0};
   Stats stats_;
   LatencySample service_times_;
 };

@@ -23,12 +23,15 @@ MySQLMini::MySQLMini(MySQLMiniConfig config)
   bp.llu_spin_budget_ns = config_.llu_spin_budget_ns;
   bp.lru_critical_work_ns = config_.lru_critical_work_ns;
   bp.disk = data_disk_.get();
+  bp.io_retry = config_.io_retry;
   buffer_pool_ = std::make_unique<buffer::BufferPool>(bp);
 
   log::RedoLogConfig lg;
   lg.policy = config_.flush_policy;
   lg.flusher_interval_ns = config_.flusher_interval_ns;
   lg.group_commit = config_.log_group_commit;
+  lg.io_retry = config_.io_retry;
+  lg.fallback_lazy_on_stall = config_.log_fallback_lazy_on_stall;
   lg.disk = log_disk_.get();
   redo_log_ = std::make_unique<log::RedoLog>(lg);
   redo_log_->Start();

@@ -45,6 +45,12 @@ struct MySQLMiniConfig {
   log::FlushPolicy flush_policy = log::FlushPolicy::kEagerFlush;
   int64_t flusher_interval_ns = MillisToNanos(10);
   bool log_group_commit = true;
+  /// Retry/backoff for log and page I/O under injected faults
+  /// (docs/faults.md). Dead configuration without an armed injector.
+  IoRetryPolicy io_retry;
+  /// See RedoLogConfig::fallback_lazy_on_stall: eager commits degrade to
+  /// lazy flush instead of waiting out a stalled log device.
+  bool log_fallback_lazy_on_stall = false;
 
   storage::BTreeModelConfig btree;
   uint64_t rows_per_page = 64;

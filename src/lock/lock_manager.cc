@@ -229,27 +229,28 @@ void LockManager::RefreshQueueEdges(const Queue& q, const RequestPtr& req) {
 
 void LockManager::SignalVictim(uint64_t victim_txn) {
   RequestPtr req;
-  TxnContext* txn = nullptr;
   {
     std::lock_guard<std::mutex> g(waiters_mu_);
     auto it = waiters_.find(victim_txn);
     if (it == waiters_.end()) return;  // stopped waiting concurrently
     req = it->second.req;
-    txn = it->second.txn;
   }
   int expected = kWaiting;
   if (req->state.compare_exchange_strong(expected, kDeadlockState,
                                          std::memory_order_acq_rel)) {
     stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> g(txn->wait_mu);
-    txn->wait_cv.notify_all();
+    std::lock_guard<std::mutex> g(req->wait_mu);
+    req->wait_cv.notify_all();
   }
 }
 
 void LockManager::NotifyWoken(const std::vector<RequestPtr>& woken) {
+  // Runs after the shard lock is dropped; the waiter may already have
+  // returned (timeout racing with the grant) and destroyed its TxnContext.
+  // Only the Request — kept alive by `woken` — is safe to touch here.
   for (const RequestPtr& w : woken) {
-    std::lock_guard<std::mutex> g(w->txn->wait_mu);
-    w->txn->wait_cv.notify_all();
+    std::lock_guard<std::mutex> g(w->wait_mu);
+    w->wait_cv.notify_all();
   }
 }
 
@@ -358,10 +359,10 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
   {
     TPROF_SCOPE("lock_wait_suspend_thread");
     TPROF_SCOPE("os_event_wait");
-    std::unique_lock<std::mutex> lk(txn->wait_mu);
+    std::unique_lock<std::mutex> lk(req->wait_mu);
     const auto deadline =
         Clock::now() + std::chrono::nanoseconds(config_.wait_timeout_ns);
-    timed_out_locally = !txn->wait_cv.wait_until(lk, deadline, [&] {
+    timed_out_locally = !req->wait_cv.wait_until(lk, deadline, [&] {
       return req->state.load(std::memory_order_acquire) != kWaiting;
     });
   }

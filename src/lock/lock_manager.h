@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -134,6 +135,13 @@ class LockManager {
     int64_t enqueue_ns = 0;
     bool is_upgrade = false;
     std::atomic<int> state{kWaiting};
+    // The wait event lives in the Request, not the TxnContext: a grant pass
+    // collects woken requests under the shard lock but notifies after
+    // dropping it, by which time a waiter whose timeout raced with the
+    // grant may have returned and destroyed its TxnContext. The shared_ptr
+    // in `woken` keeps the event alive for the late notifier.
+    std::mutex wait_mu;
+    std::condition_variable wait_cv;
   };
   using RequestPtr = std::shared_ptr<Request>;
 

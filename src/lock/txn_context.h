@@ -1,12 +1,12 @@
 // Transaction context: identity, birth time (the "age" basis VATS schedules
-// by), the wait event a suspended transaction sleeps on (the os_event of
-// Section 4.1), and the set of records it holds locks on (for 2PL release).
+// by), and the set of records it holds locks on (for 2PL release). The wait
+// event a suspended transaction sleeps on (the os_event of Section 4.1)
+// lives in the lock manager's per-wait Request, whose lifetime outlasts the
+// transaction — see LockManager::Request.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/clock.h"
@@ -49,10 +49,6 @@ struct TxnContext {
 
   /// Age at time `now_ns` in nanoseconds.
   int64_t AgeAt(int64_t now_ns) const { return now_ns - birth_ns; }
-
-  // --- wait event ("os_event") ------------------------------------------
-  std::mutex wait_mu;
-  std::condition_variable wait_cv;
 
   // --- 2PL bookkeeping (accessed only by the owning thread) --------------
   std::vector<RecordId> held_records;

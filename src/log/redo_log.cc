@@ -30,7 +30,10 @@ RedoLog::~RedoLog() { Stop(); }
 
 void RedoLog::Start() {
   if (running_.exchange(true)) return;
-  if (config_.policy != FlushPolicy::kEagerFlush) {
+  // The flusher also runs under the eager policy when the stall fallback is
+  // on: it is what eventually makes a degraded commit durable.
+  if (config_.policy != FlushPolicy::kEagerFlush ||
+      config_.fallback_lazy_on_stall) {
     flusher_ = std::thread([this] { FlusherLoop(); });
   }
 }
@@ -54,13 +57,49 @@ void RedoLog::FlusherLoop() {
   }
 }
 
-void RedoLog::WriteAndFlushUpTo(uint64_t target) {
+Status RedoLog::FlushToDevice(uint64_t bytes) {
+  // The flush — where disk-buffered I/O latency variance surfaces
+  // (Table 1's fil_flush). Retries stay inside the probe: the latency a
+  // committer pays for a flaky device is flush latency.
+  TPROF_SCOPE("fil_flush");
+  if (!config_.disk) return Status::OK();
+  int attempts = 0;
+  // A torn flush may have dropped part of the payload, so every attempt
+  // rewrites the whole batch before the barrier.
+  Status s = RetryIo(
+      config_.io_retry,
+      [&]() -> Status {
+        if (bytes > 0) {
+          Status w = config_.disk->Write(bytes);
+          if (!w.ok()) return w;
+        }
+        return config_.disk->Flush(0);
+      },
+      &attempts);
+  if (attempts > 1) {
+    stats_.io_retries.fetch_add(static_cast<uint64_t>(attempts - 1),
+                                std::memory_order_relaxed);
+  }
+  if (!s.ok()) stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status RedoLog::WriteAndFlushUpTo(uint64_t target) {
   std::unique_lock<std::mutex> lk(mu_);
   bool led = false;
+  Status result;
   while (durable_lsn_.load(std::memory_order_relaxed) < target) {
     if (flush_in_progress_) {
       flush_cv_.wait(lk);
       continue;
+    }
+    // Degraded mode: a device stalled past the deadline is not waited out —
+    // the commit returns undurable and the flusher finishes the job.
+    if (config_.fallback_lazy_on_stall && config_.disk != nullptr &&
+        config_.disk->StallRemainingNanos() >
+            config_.io_retry.stall_deadline_ns) {
+      result = Status::Busy("log device stalled; flush deferred to flusher");
+      break;
     }
     flush_in_progress_ = true;
     led = true;
@@ -68,23 +107,29 @@ void RedoLog::WriteAndFlushUpTo(uint64_t target) {
     const uint64_t bytes = unwritten_bytes_;
     unwritten_bytes_ = 0;
     lk.unlock();
-    {
-      // The flush — where disk-buffered I/O latency variance surfaces
-      // (Table 1's fil_flush).
-      TPROF_SCOPE("fil_flush");
-      if (config_.disk) {
-        if (bytes > 0) config_.disk->Write(bytes);
-        config_.disk->Flush(0);
-      }
-    }
-    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+    const Status s = FlushToDevice(bytes);
     lk.lock();
-    AtomicMax(&written_lsn_, flush_target);
-    AtomicMax(&durable_lsn_, flush_target);
     flush_in_progress_ = false;
-    flush_cv_.notify_all();
+    if (s.ok()) {
+      stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+      AtomicMax(&written_lsn_, flush_target);
+      AtomicMax(&durable_lsn_, flush_target);
+      flush_cv_.notify_all();
+    } else {
+      // Give the unflushed batch back so the next leader (or the flusher)
+      // re-covers it.
+      unwritten_bytes_ += bytes;
+      flush_cv_.notify_all();
+      if (config_.fallback_lazy_on_stall) {
+        result = s;
+        break;
+      }
+      // Strict mode: keep leading until the device comes back. Each round
+      // is paced by the device's own service time, so this does not spin.
+    }
   }
   if (!led) stats_.group_commit_riders.fetch_add(1, std::memory_order_relaxed);
+  return result;
 }
 
 uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
@@ -120,24 +165,38 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
     }
     case FlushPolicy::kEagerFlush:
       if (config_.group_commit) {
-        WriteAndFlushUpTo(my_lsn);
+        const Status s = WriteAndFlushUpTo(my_lsn);
+        if (!s.ok()) {
+          stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+        }
       } else {
         // Per-commit fsync: write own redo and barrier, concurrently with
         // other committers (the device's concurrency limit applies).
+        if (config_.fallback_lazy_on_stall && config_.disk != nullptr &&
+            config_.disk->StallRemainingNanos() >
+                config_.io_retry.stall_deadline_ns) {
+          // Leave the bytes in unwritten_bytes_; the flusher covers them.
+          stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
         {
           std::lock_guard<std::mutex> g(mu_);
           unwritten_bytes_ -= std::min<uint64_t>(bytes, unwritten_bytes_);
         }
-        {
-          TPROF_SCOPE("fil_flush");
-          if (config_.disk) {
-            if (bytes > 0) config_.disk->Write(bytes);
-            config_.disk->Flush(0);
-          }
+        Status s = FlushToDevice(bytes);
+        while (!s.ok() && !config_.fallback_lazy_on_stall) {
+          // Strict mode: block until this commit's redo is durable.
+          s = FlushToDevice(bytes);
         }
-        stats_.flushes.fetch_add(1, std::memory_order_relaxed);
-        AtomicMax(&written_lsn_, my_lsn);
-        AtomicMax(&durable_lsn_, my_lsn);
+        if (s.ok()) {
+          stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+          AtomicMax(&written_lsn_, my_lsn);
+          AtomicMax(&durable_lsn_, my_lsn);
+        } else {
+          std::lock_guard<std::mutex> g(mu_);
+          unwritten_bytes_ += bytes;
+          stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       break;
   }

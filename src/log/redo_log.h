@@ -49,6 +49,18 @@ struct RedoLogConfig {
   /// false, every committer issues its own write+flush; with a disk that
   /// has internal parallelism this models per-commit fsync on NVMe.
   bool group_commit = true;
+  /// Retry/backoff policy for log I/O that fails under injected faults
+  /// (docs/faults.md). With no armed injector the device never fails and
+  /// this is dead configuration.
+  IoRetryPolicy io_retry;
+  /// Degraded mode for the eager policy: when the log device stalls past
+  /// io_retry.stall_deadline_ns (or a flush exhausts its retries), the
+  /// commit returns *without* durability — semantically demoted to
+  /// kLazyFlush for that transaction — and the background flusher (started
+  /// even for the eager policy when this is set) completes durability once
+  /// the device recovers. Off by default: a strict eager commit blocks
+  /// until its redo is durable, however long the device misbehaves.
+  bool fallback_lazy_on_stall = false;
 };
 
 class RedoLog {
@@ -92,6 +104,10 @@ class RedoLog {
     std::atomic<uint64_t> flushes{0};
     std::atomic<uint64_t> group_commit_riders{0};  ///< Commits served by
                                                    ///< another thread's flush.
+    std::atomic<uint64_t> io_retries{0};   ///< Extra flush attempts on error.
+    std::atomic<uint64_t> io_errors{0};    ///< Flush rounds that gave up.
+    std::atomic<uint64_t> degraded_commits{0};  ///< Commits returned without
+                                                ///< durability (fallback).
   };
   const Stats& stats() const { return stats_; }
 
@@ -104,8 +120,13 @@ class RedoLog {
   };
 
   /// Writes (if needed) and flushes everything up to the current end of log.
-  /// Called by commit leaders and the background flusher.
-  void WriteAndFlushUpTo(uint64_t lsn);
+  /// Called by commit leaders and the background flusher. Returns non-OK
+  /// only in fallback mode, when the device stalled past the deadline or a
+  /// flush exhausted its retries (the caller's commit is then degraded).
+  Status WriteAndFlushUpTo(uint64_t lsn);
+  /// One write+flush round against the device, with bounded retries, under
+  /// the fil_flush probe. OK when the log is deviceless.
+  Status FlushToDevice(uint64_t bytes);
   void FlusherLoop();
 
   RedoLogConfig config_;

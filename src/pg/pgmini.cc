@@ -223,7 +223,11 @@ Status PgSession::Commit() {
     return Status::Aborted("transaction had failed; rolled back");
   }
   if (wal_bytes_ > 0) {
-    db_->wal_->CommitFlush(wal_bytes_);
+    // A degraded flush (device stalled or erroring past its retry budget)
+    // still commits, just without synchronous durability — the same promise
+    // synchronous_commit=off makes. WalManager counts degraded_commits.
+    Status ws = db_->wal_->CommitFlush(wal_bytes_);
+    (void)ws;
   }
   ReleasePredicateLocks();
   ReleaseAndReset();

@@ -16,18 +16,38 @@ WalManager::WalManager(WalConfig config) : config_(config) {
   }
 }
 
-void WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
+Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
   TPROF_SCOPE("XLogFlush");
   const uint64_t blocks =
       bytes == 0 ? 1 : (bytes + config_.block_bytes - 1) / config_.block_bytes;
+  auto attempt_op = [&](auto&& op) -> Status {
+    int attempts = 0;
+    Status s;
+    // Strict mode blocks until the WAL is down: retry rounds repeat until
+    // the device recovers (each round is paced by device service time).
+    do {
+      s = RetryIo(config_.io_retry, op, &attempts);
+      if (attempts > 1) {
+        stats_.io_retries.fetch_add(static_cast<uint64_t>(attempts - 1),
+                                    std::memory_order_relaxed);
+      }
+    } while (!s.ok() && !config_.degrade_on_stall);
+    return s;
+  };
   for (uint64_t i = 0; i < blocks; ++i) {
-    set->disk.Write(config_.block_bytes);
+    Status s = attempt_op([&] { return set->disk.Write(config_.block_bytes); });
+    if (!s.ok()) {
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+    stats_.blocks_written.fetch_add(1, std::memory_order_relaxed);
   }
-  set->disk.Flush(0);
-  stats_.blocks_written.fetch_add(blocks, std::memory_order_relaxed);
+  Status s = attempt_op([&] { return set->disk.Flush(0); });
+  if (!s.ok()) stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+  return s;
 }
 
-void WalManager::CommitFlush(uint64_t bytes) {
+Status WalManager::CommitFlush(uint64_t bytes) {
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
 
   LogSet* chosen = nullptr;
@@ -50,13 +70,19 @@ void WalManager::CommitFlush(uint64_t bytes) {
         }
       }
       if (chosen == nullptr) {
+        // Tie-break equal waiter counts by device queue depth: a set whose
+        // disk still has a request in service is a worse bet than one whose
+        // disk is truly idle (queue_length() counts in-service requests).
         size_t best = 0;
         int best_waiters = sets_[0]->waiters.load(std::memory_order_relaxed);
+        int best_depth = sets_[0]->disk.queue_length();
         for (size_t i = 1; i < sets_.size(); ++i) {
           const int w = sets_[i]->waiters.load(std::memory_order_relaxed);
-          if (w < best_waiters) {
+          const int d = sets_[i]->disk.queue_length();
+          if (w < best_waiters || (w == best_waiters && d < best_depth)) {
             best = i;
             best_waiters = w;
+            best_depth = d;
           }
         }
         chosen = sets_[best].get();
@@ -70,8 +96,18 @@ void WalManager::CommitFlush(uint64_t bytes) {
       }
     }
   }
-  WriteAndFlush(chosen, bytes);
+  if (config_.degrade_on_stall &&
+      chosen->disk.StallRemainingNanos() > config_.io_retry.stall_deadline_ns) {
+    // The device is frozen past the deadline: skip the synchronous flush
+    // rather than freezing the committer with it.
+    chosen->mu.unlock();
+    stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+    return Status::Busy("wal device stalled; synchronous flush skipped");
+  }
+  const Status s = WriteAndFlush(chosen, bytes);
   chosen->mu.unlock();
+  if (!s.ok()) stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace tdp::pg

@@ -32,6 +32,15 @@ struct WalConfig {
   /// logging; generalizes the paper's two-disk scheme.
   int num_log_sets = 1;
   SimDiskConfig disk;  ///< Config for each log disk.
+  /// Retry/backoff for WAL I/O under injected faults (docs/faults.md).
+  IoRetryPolicy io_retry;
+  /// Degraded mode: when the chosen set's disk is stalled past
+  /// io_retry.stall_deadline_ns, the commit skips the synchronous flush
+  /// (the moral equivalent of flipping synchronous_commit off under
+  /// duress) and returns kBusy; exhausted retries likewise return the
+  /// error instead of blocking. Off by default: a strict commit keeps
+  /// retrying until its WAL is down.
+  bool degrade_on_stall = false;
 };
 
 class WalManager {
@@ -39,12 +48,18 @@ class WalManager {
   explicit WalManager(WalConfig config);
 
   /// Flushes `bytes` of WAL for a committing transaction, per the mode.
-  void CommitFlush(uint64_t bytes);
+  /// Non-OK only in degraded mode: kBusy when the device stall deadline
+  /// fired, kIOError when a write/flush exhausted its retries.
+  Status CommitFlush(uint64_t bytes);
 
   struct Stats {
     std::atomic<uint64_t> commits{0};
     std::atomic<uint64_t> blocks_written{0};
     std::atomic<uint64_t> second_log_used{0};  ///< Commits on any set > 0.
+    std::atomic<uint64_t> io_retries{0};  ///< Extra attempts on I/O error.
+    std::atomic<uint64_t> io_errors{0};   ///< Commits that gave up on I/O.
+    std::atomic<uint64_t> degraded_commits{0};  ///< Commits that skipped or
+                                                ///< abandoned the flush.
   };
   const Stats& stats() const { return stats_; }
 
@@ -59,9 +74,9 @@ class WalManager {
     SimDisk disk;
   };
 
-  /// Writes the block-aligned payload and issues the barrier. The caller
-  /// must hold `set`'s mutex.
-  void WriteAndFlush(LogSet* set, uint64_t bytes);
+  /// Writes the block-aligned payload and issues the barrier, with bounded
+  /// retries per operation. The caller must hold `set`'s mutex.
+  Status WriteAndFlush(LogSet* set, uint64_t bytes);
 
   WalConfig config_;
   std::vector<std::unique_ptr<LogSet>> sets_;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -42,6 +43,72 @@ TEST(HistogramTest, NegativeClampedToZero) {
   h.Add(-5);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, NegativeValuesDoNotDragTheMean) {
+  // The bucket clamps negatives to 0; the sum must agree, or mean() would
+  // disagree with every percentile.
+  Histogram h;
+  h.Add(-100);
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+// Percentile boundary semantics with values below kSubBuckets, where every
+// bucket holds exactly one value — expectations are exact, not approximate.
+// The old trunc-rank walk returned the 2nd sample for p50 of n=2 and did
+// not return the minimum for p0.
+TEST(HistogramTest, PercentileEdgeRanks) {
+  {
+    Histogram h;  // n = 1
+    h.Add(3);
+    EXPECT_EQ(h.Percentile(0), 3);
+    EXPECT_EQ(h.Percentile(50), 3);
+    EXPECT_EQ(h.Percentile(100), 3);
+  }
+  {
+    Histogram h;  // n = 2
+    h.Add(3);
+    h.Add(7);
+    EXPECT_EQ(h.Percentile(0), 3);
+    EXPECT_EQ(h.Percentile(50), 3);  // ceil(0.5 * 2) = rank 1
+    EXPECT_EQ(h.Percentile(100), 7);
+  }
+  {
+    Histogram h;  // n = 3
+    h.Add(3);
+    h.Add(7);
+    h.Add(11);
+    EXPECT_EQ(h.Percentile(0), 3);
+    EXPECT_EQ(h.Percentile(50), 7);  // ceil(0.5 * 3) = rank 2
+    EXPECT_EQ(h.Percentile(100), 11);
+  }
+}
+
+TEST(HistogramTest, StatsStaySaneUnderConcurrentMerge) {
+  // MergeFrom's snapshot of a live histogram can be torn (see header);
+  // mean/percentiles must stay within sane bounds anyway.
+  Histogram live, merged;
+  std::atomic<bool> stop{false};
+  std::thread adder([&] {
+    int64_t v = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      live.Add(v);
+      v = v % 1000 + 1;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    merged.MergeFrom(live);
+    if (merged.count() > 0) {
+      const double m = merged.mean();
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, static_cast<double>(merged.max_seen()));
+      EXPECT_LE(merged.Percentile(50), merged.Percentile(100));
+      EXPECT_GE(merged.Percentile(0), 0);
+    }
+  }
+  stop.store(true);
+  adder.join();
 }
 
 TEST(HistogramTest, LargeValues) {

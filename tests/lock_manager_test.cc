@@ -266,5 +266,67 @@ TEST(LockManagerTest, MutualExclusionStress) {
   }
 }
 
+// Timeout vs. grant-pass race: with a wait timeout in the same ballpark as
+// the lock hold time, waiters constantly time out while release-triggered
+// grant passes are running. Exactly one outcome may win per request — a
+// waiter must never be granted-and-timed-out simultaneously. Violations
+// show up as counter != grants (a "timed out" txn entered the critical
+// section), a stats/outcome mismatch, or requests left in the queue.
+TEST(LockManagerTest, TimeoutVsGrantPassExclusive) {
+  for (SchedulerPolicy policy :
+       {SchedulerPolicy::kVATS, SchedulerPolicy::kFCFS}) {
+    LockManagerConfig cfg = Config(policy);
+    cfg.wait_timeout_ns = MillisToNanos(1);
+    LockManager lm(cfg);
+    int counter = 0;
+    constexpr int kThreads = 8, kIters = 150;
+    std::atomic<uint64_t> next_id{1};
+    std::atomic<int> grants{0}, timeouts{0}, deadlocks{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < kIters; ++i) {
+          const uint64_t id = next_id.fetch_add(1);
+          TxnContext txn(id, id * 0x9E3779B97F4A7C15ull);
+          Status s = lm.Lock(&txn, kRec, LockMode::kX);
+          if (s.ok()) {
+            ++counter;
+            // Hold for a large fraction of the timeout so grants to the
+            // next waiter land right around other waiters' deadlines.
+            SpinFor(300000);
+            grants.fetch_add(1);
+          } else if (s.IsLockTimeout()) {
+            timeouts.fetch_add(1);
+          } else if (s.IsDeadlock()) {
+            deadlocks.fetch_add(1);
+          } else {
+            ADD_FAILURE() << "unexpected status " << s.ToString();
+          }
+          lm.ReleaseAll(&txn);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    const char* name = SchedulerPolicyName(policy);
+    // Mutual exclusion held for exactly the granted requests.
+    EXPECT_EQ(counter, grants.load()) << name;
+    // Every request got exactly one outcome.
+    EXPECT_EQ(grants.load() + timeouts.load() + deadlocks.load(),
+              kThreads * kIters)
+        << name;
+    // The manager's own books agree with what the callers observed.
+    EXPECT_EQ(lm.stats().timeouts.load(),
+              static_cast<uint64_t>(timeouts.load()))
+        << name;
+    // The race must actually have been exercised from both sides.
+    EXPECT_GT(grants.load(), 0) << name;
+    EXPECT_GT(timeouts.load(), 0) << name;
+    // No request may linger granted or waiting after ReleaseAll.
+    auto [g, w] = lm.QueueDepths(kRec);
+    EXPECT_EQ(g, 0u) << name;
+    EXPECT_EQ(w, 0u) << name;
+  }
+}
+
 }  // namespace
 }  // namespace tdp::lock

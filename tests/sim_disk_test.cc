@@ -108,6 +108,29 @@ TEST(SimDiskTest, QueueLengthVisible) {
   EXPECT_TRUE(disk.idle());
 }
 
+TEST(SimDiskTest, DefaultJitterIsBounded) {
+  // The header promises bounded tails by default; max_jitter = 0 (unbounded)
+  // contradicted it.
+  SimDiskConfig cfg;
+  EXPECT_GT(cfg.max_jitter, 0.0);
+}
+
+TEST(SimDiskTest, BusyWhileServicingEvenWithEmptyQueue) {
+  // A request in service (slot held, nobody waiting) must keep the device
+  // non-idle: the parallel-WAL "whichever is free" policy relies on it.
+  SimDiskConfig cfg = FastDisk();
+  cfg.sigma = 0.0;
+  cfg.base_latency_ns = 50000000;  // 50 ms: plenty of time to observe
+  SimDisk disk(cfg);
+  std::thread writer([&] { disk.Write(0); });
+  while (disk.in_service() == 0) std::this_thread::yield();
+  EXPECT_FALSE(disk.idle());
+  EXPECT_GE(disk.queue_length(), 1);
+  writer.join();
+  EXPECT_TRUE(disk.idle());
+  EXPECT_EQ(disk.in_service(), 0);
+}
+
 TEST(SimDiskTest, DeterministicWithSameSeed) {
   SimDiskConfig cfg = FastDisk();
   cfg.seed = 99;
