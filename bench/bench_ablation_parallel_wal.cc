@@ -38,7 +38,8 @@ core::Metrics RunSets(int sets, uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_ablation_parallel_wal");
   bench::Header("Ablation: N-way parallel logging on pgmini (TPC-C)");
   const uint64_t n = bench::N(5000);
   const core::Metrics one = RunSets(1, n);

@@ -35,7 +35,8 @@ core::Metrics RunVariant(const char* label, lock::SchedulerPolicy policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_ablation_schedulers");
   bench::Header("Ablation: lock scheduler design space (TPC-C)");
   const uint64_t n = bench::N(6000);
   const core::Metrics fcfs =

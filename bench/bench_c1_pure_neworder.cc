@@ -35,6 +35,7 @@ core::Metrics RunMix(bool pure, uint64_t n) {
 }
 
 void PrintDispersion(const char* label, const core::Metrics& m) {
+  bench::Report::Global().AddMetrics(label, m);
   std::printf("%-28s stddev/mean=%5.2f  p99/mean=%5.2f  (mean %.3fms)\n",
               label, m.mean_ms > 0 ? m.stddev_ms / m.mean_ms : 0,
               m.mean_ms > 0 ? m.p99_ms / m.mean_ms : 0, m.mean_ms);
@@ -42,7 +43,8 @@ void PrintDispersion(const char* label, const core::Metrics& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_c1_pure_neworder");
   bench::Header("Appendix C.1: dispersion with inherent work variance removed");
   const uint64_t n = bench::N(8000);
   PrintDispersion("full TPC-C mix", RunMix(false, n));

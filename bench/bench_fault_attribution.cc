@@ -61,7 +61,8 @@ core::Metrics RunPlain(FaultInjector* disarmed, uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fault_attribution");
   bench::Header("Fault attribution: injected flush faults vs. TProfiler");
 
   // --- Part 1: the retry plumbing is free when no fault is armed ----------

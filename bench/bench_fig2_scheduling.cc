@@ -30,7 +30,8 @@ core::Metrics RunPolicy(lock::SchedulerPolicy policy, uint64_t num_txns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig2_scheduling");
   bench::Header("Figure 2: scheduling algorithms on mysqlmini (TPC-C)");
   const uint64_t n = bench::N(8000);
   const core::Metrics fcfs = RunPolicy(lock::SchedulerPolicy::kFCFS, n);

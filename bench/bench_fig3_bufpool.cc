@@ -37,7 +37,8 @@ core::Metrics RunPoolPct(int pct, uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig3_bufpool");
   bench::Header("Figure 3 (center): buffer pool size (% of database size)");
   const uint64_t n = bench::N(5000);
   const core::Metrics p33 = RunPoolPct(33, n);

@@ -33,7 +33,8 @@ core::Metrics RunPolicy(log::FlushPolicy policy, uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig3_flush");
   bench::Header("Figure 3 (right): redo log flush policy (TPC-C)");
   const uint64_t n = bench::N(8000);
   const core::Metrics eager = RunPolicy(log::FlushPolicy::kEagerFlush, n);

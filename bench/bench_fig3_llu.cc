@@ -30,7 +30,8 @@ core::Metrics RunLru(bool lazy, uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig3_llu");
   bench::Header("Figure 3 (left): Lazy LRU Update on 2-WH TPC-C");
   const uint64_t n = bench::N(5000);
   const core::Metrics original = RunLru(false, n);

@@ -37,7 +37,8 @@ core::Metrics RunBlock(uint64_t block_bytes, uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig4_blocksize");
   bench::Header("Figure 4 (right): WAL block size on pgmini (TPC-C)");
   const uint64_t n = bench::N(5000);
   const core::Metrics base = RunBlock(4096, n);

@@ -33,7 +33,8 @@ core::Metrics RunWal(bool parallel, uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig4_parallel_logging");
   bench::Header("Figure 4 (left): parallel logging on pgmini (TPC-C)");
   const uint64_t n = bench::N(6000);
   const core::Metrics single = RunWal(false, n);

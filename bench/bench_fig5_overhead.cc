@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/clock.h"
 #include "common/stats.h"
 #include "common/work.h"
@@ -73,7 +74,8 @@ RunStats RunInstrumented(int num_children, tprof::ProbeCost cost) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig5_overhead");
   std::printf(
       "\n==== Figure 5 (left): profiling overhead, TProfiler vs DTrace ====\n");
   const RunStats base = RunOnce();  // no session active
@@ -93,6 +95,11 @@ int main() {
         100.0 * (dt.mean_latency_ns / base.mean_latency_ns - 1.0);
     std::printf("%10d | %9.1f%% / %8.1f%% | %9.1f%% / %8.1f%%\n", n, tp_tput,
                 tp_lat, dt_tput, dt_lat);
+    const std::string probes = std::to_string(n);
+    tdp::bench::Report::Global().AddValue("tprofiler.tput_ovhd_pct." + probes,
+                                          tp_tput);
+    tdp::bench::Report::Global().AddValue("dtrace.tput_ovhd_pct." + probes,
+                                          dt_tput);
   }
   return 0;
 }

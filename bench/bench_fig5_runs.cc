@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/work.h"
 #include "tprofiler/refine.h"
 
@@ -63,7 +64,8 @@ struct SyntheticTree {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig5_runs");
   std::printf(
       "\n==== Figure 5 (right): runs to localize variance, TProfiler vs "
       "naive ====\n");

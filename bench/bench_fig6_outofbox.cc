@@ -13,6 +13,7 @@ using namespace tdp;
 namespace {
 
 void PrintAbs(const char* label, const core::Metrics& m) {
+  bench::Report::Global().AddMetrics(label, m);
   std::printf("%-10s mean=%8.3fms  stddev=%8.3fms (%.1fx mean)  "
               "p99=%8.3fms (%.1fx mean)\n",
               label, m.mean_ms, m.stddev_ms,
@@ -22,7 +23,8 @@ void PrintAbs(const char* label, const core::Metrics& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig6_outofbox");
   bench::Header("Figure 6: out-of-box variance on TPC-C (all engines)");
   const uint64_t n = bench::N(6000);
 

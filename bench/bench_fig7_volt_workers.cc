@@ -52,7 +52,8 @@ VoltRun RunWorkers(int workers, uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig7_volt_workers");
   bench::Header("Figure 7: voltmini worker threads (2 is the default)");
   const uint64_t n = bench::N(6000);
   const VoltRun base = RunWorkers(2, n);

@@ -21,7 +21,8 @@ struct WaitRecord {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_fig8_age_correlation");
   bench::Header(
       "Figure 8: correlation of transaction age vs remaining time (TPC-C)");
 
@@ -67,14 +68,16 @@ int main() {
   for (const auto& [type, ar] : pairs) {
     const auto& [ages, remainings] = ar;
     if (ages.size() < 10) continue;
-    std::printf("%-14s %10zu %12.3f\n", type.c_str(), ages.size(),
-                PearsonCorrelation(ages, remainings));
+    const double corr = PearsonCorrelation(ages, remainings);
+    std::printf("%-14s %10zu %12.3f\n", type.c_str(), ages.size(), corr);
+    bench::Report::Global().AddValue("corr." + type, corr);
     all_a.insert(all_a.end(), ages.begin(), ages.end());
     all_r.insert(all_r.end(), remainings.begin(), remainings.end());
   }
   if (!all_a.empty()) {
-    std::printf("%-14s %10zu %12.3f\n", "TPC-C (all)", all_a.size(),
-                PearsonCorrelation(all_a, all_r));
+    const double corr = PearsonCorrelation(all_a, all_r);
+    std::printf("%-14s %10zu %12.3f\n", "TPC-C (all)", all_a.size(), corr);
+    bench::Report::Global().AddValue("corr.all", corr);
   }
   return 0;
 }

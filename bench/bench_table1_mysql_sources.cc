@@ -64,7 +64,8 @@ void ProfileConfig(const char* label, engine::MySQLMiniConfig cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_table1_mysql_sources");
   bench::Header("Table 1: key sources of variance in mysqlmini (TProfiler)");
 
   ProfileConfig("128-WH analog (cached working set)",

@@ -9,7 +9,8 @@
 
 using namespace tdp;
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_table2_pg_sources");
   bench::Header("Table 2: key sources of variance in pgmini (TProfiler)");
 
   pg::PgMini db(core::Toolkit::PgDefault());

@@ -88,7 +88,8 @@ void Row(const char* system, const char* function, const char* modification,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_table3_modifications");
   bench::Header("Table 3: impact of each TProfiler-guided modification");
   const uint64_t n = bench::N(6000);
 

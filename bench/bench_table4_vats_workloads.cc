@@ -38,7 +38,8 @@ core::Metrics RunCase(const WorkloadCase& wc, lock::SchedulerPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdp::bench::InitReport(argc, argv, "bench_table4_vats_workloads");
   bench::Header("Table 4: VATS vs FCFS across the five workloads");
 
   const WorkloadCase cases[] = {

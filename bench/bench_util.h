@@ -1,10 +1,17 @@
-// Shared plumbing for the paper-table benchmark harnesses.
+// Shared plumbing for the paper-table benchmark harnesses, including the
+// machine-readable report every bench binary can emit with --json=<path>
+// (schema: docs/metrics.md and tools/bench_schema.json's experiment shape).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "core/predictability.h"
 #include "core/toolkit.h"
 
@@ -49,12 +56,161 @@ inline void Header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+// --- machine-readable report -------------------------------------------------
+
+/// JSON copy of a latency Metrics block (shared with tools/bench_suites.cc
+/// so every BENCH_*.json carries the same latency shape).
+inline json::Value MetricsToJson(const core::Metrics& m) {
+  json::Value v = json::Value::Object();
+  v.Set("count", json::Value::Int(static_cast<int64_t>(m.count)));
+  v.Set("mean_ms", json::Value::Number(m.mean_ms));
+  v.Set("stddev_ms", json::Value::Number(m.stddev_ms));
+  v.Set("cov", json::Value::Number(m.cov));
+  v.Set("p50_ms", json::Value::Number(m.p50_ms));
+  v.Set("p95_ms", json::Value::Number(m.p95_ms));
+  v.Set("p99_ms", json::Value::Number(m.p99_ms));
+  v.Set("max_ms", json::Value::Number(m.max_ms));
+  v.Set("achieved_tps", json::Value::Number(m.achieved_tps));
+  return v;
+}
+
+/// JSON copy of a registry snapshot (or delta): counters and gauge values
+/// verbatim, histograms summarized to count/mean/p50/p99/max.
+inline json::Value SnapshotToJson(const metrics::MetricsSnapshot& snap) {
+  json::Value counters = json::Value::Object();
+  for (const auto& [name, value] : snap.counters) {
+    counters.Set(name, json::Value::Int(static_cast<int64_t>(value)));
+  }
+  json::Value gauges = json::Value::Object();
+  for (const auto& [name, gv] : snap.gauges) {
+    json::Value g = json::Value::Object();
+    g.Set("value", json::Value::Int(gv.value));
+    g.Set("max", json::Value::Int(gv.max));
+    gauges.Set(name, std::move(g));
+  }
+  json::Value hists = json::Value::Object();
+  for (const auto& [name, h] : snap.histograms) {
+    json::Value j = json::Value::Object();
+    j.Set("count", json::Value::Int(static_cast<int64_t>(h.count)));
+    j.Set("mean", json::Value::Number(h.mean()));
+    j.Set("p50", json::Value::Int(h.Percentile(50)));
+    j.Set("p99", json::Value::Int(h.Percentile(99)));
+    j.Set("max", json::Value::Int(h.max));
+    hists.Set(name, std::move(j));
+  }
+  json::Value out = json::Value::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(hists));
+  return out;
+}
+
+/// Collects everything a bench prints into a JSON document and writes it at
+/// process exit when --json=<path> was passed. PrintMetrics/PrintRatios feed
+/// it automatically, so instrumenting a bench is one InitReport() line.
+class Report {
+ public:
+  static Report& Global() {
+    static Report* const r = new Report();
+    return *r;
+  }
+
+  /// Parses --json=<path> from argv and snapshots the metrics registry so
+  /// the final document carries the delta over the bench's whole run.
+  void Init(int argc, char** argv, std::string bench_name) {
+    std::lock_guard<std::mutex> g(mu_);
+    bench_name_ = std::move(bench_name);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+    }
+    baseline_ = metrics::Registry::Global().TakeSnapshot();
+    if (!path_.empty() && !atexit_registered_) {
+      atexit_registered_ = true;
+      std::atexit([] { Report::Global().Write(); });
+    }
+  }
+
+  void AddMetrics(const std::string& label, const core::Metrics& m) {
+    json::Value row = MetricsToJson(m);
+    row.Set("label", json::Value::Str(label));
+    row.Set("kind", json::Value::Str("metrics"));
+    Push(std::move(row));
+  }
+
+  void AddRatios(const std::string& label, const core::Ratios& r) {
+    json::Value row = json::Value::Object();
+    row.Set("label", json::Value::Str(label));
+    row.Set("kind", json::Value::Str("ratios"));
+    row.Set("mean", json::Value::Number(r.mean));
+    row.Set("variance", json::Value::Number(r.variance));
+    row.Set("p99", json::Value::Number(r.p99));
+    row.Set("cov", json::Value::Number(r.cov));
+    Push(std::move(row));
+  }
+
+  /// Free-form labelled number (queue depths, counts, probabilities...).
+  void AddValue(const std::string& label, double value) {
+    json::Value row = json::Value::Object();
+    row.Set("label", json::Value::Str(label));
+    row.Set("kind", json::Value::Str("value"));
+    row.Set("value", json::Value::Number(value));
+    Push(std::move(row));
+  }
+
+  /// Writes the document now (normally invoked via atexit). Safe to call
+  /// when no --json was given (does nothing) or repeatedly (rewrites).
+  void Write() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (path_.empty()) return;
+    json::Value doc = json::Value::Object();
+    doc.Set("schema_version", json::Value::Int(1));
+    doc.Set("bench", json::Value::Str(bench_name_));
+    doc.Set("quick", json::Value::Bool(QuickMode()));
+    json::Value results = json::Value::Array();
+    for (json::Value& r : rows_) results.Append(r);
+    doc.Set("results", std::move(results));
+    doc.Set("metrics",
+            SnapshotToJson(metrics::MetricsSnapshot::Delta(
+                baseline_, metrics::Registry::Global().TakeSnapshot())));
+    const std::string text = doc.Dump(/*pretty=*/true);
+    if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  Report() = default;
+  void Push(json::Value row) {
+    std::lock_guard<std::mutex> g(mu_);
+    rows_.push_back(std::move(row));
+  }
+
+  std::mutex mu_;
+  std::string bench_name_;
+  std::string path_;
+  bool atexit_registered_ = false;
+  metrics::MetricsSnapshot baseline_;
+  std::vector<json::Value> rows_;
+};
+
+/// One-liner for bench main()s: bench::InitReport(argc, argv, "bench_fig2").
+inline void InitReport(int argc, char** argv, const std::string& name) {
+  Report::Global().Init(argc, argv, name);
+}
+
 inline void PrintMetrics(const std::string& label, const core::Metrics& m) {
   std::printf("%s\n", core::MetricsRow(label, m).c_str());
+  Report::Global().AddMetrics(label, m);
 }
 
 inline void PrintRatios(const std::string& label, const core::Ratios& r) {
   std::printf("%s\n", core::RatioRow(label, r).c_str());
+  Report::Global().AddRatios(label, r);
 }
 
 }  // namespace tdp::bench

@@ -25,6 +25,20 @@ thread_local LluBacklog t_backlog;
 BufferPool::BufferPool(BufferPoolConfig config)
     : config_(config), generation_(g_pool_generation.fetch_add(1)) {
   assert(config_.capacity_pages > 0);
+  auto& reg = metrics::Registry::Global();
+  m_.hits = reg.GetCounter("buf.hits");
+  m_.misses = reg.GetCounter("buf.misses");
+  m_.evictions = reg.GetCounter("buf.evictions");
+  m_.dirty_writebacks = reg.GetCounter("buf.dirty_writebacks");
+  m_.make_young = reg.GetCounter("buf.make_young");
+  m_.llu_spin_timeouts = reg.GetCounter("buf.llu.spin_timeouts");
+  m_.llu_deferred = reg.GetCounter("buf.llu.deferred");
+  m_.llu_drained = reg.GetCounter("buf.llu.drained");
+  m_.llu_dropped = reg.GetCounter("buf.llu.dropped");
+  m_.io_retries = reg.GetCounter("buf.io_retries");
+  m_.read_failures = reg.GetCounter("buf.read_failures");
+  m_.writeback_failures = reg.GetCounter("buf.writeback_failures");
+  m_.llu_backlog = reg.GetGauge("buf.llu.backlog");
 }
 
 BufferPool::~BufferPool() {
@@ -36,6 +50,11 @@ BufferPool::~BufferPool() {
 
 std::vector<PageId>& BufferPool::Backlog() {
   if (t_backlog.pool != this || t_backlog.gen != generation_) {
+    // Entries deferred against another pool are abandoned here; retire them
+    // from the (process-wide) backlog gauge so it keeps matching the number
+    // of entries that can still be drained.
+    metrics::GaugeAdd(m_.llu_backlog,
+                      -static_cast<int64_t>(t_backlog.ids.size()));
     t_backlog.pool = this;
     t_backlog.gen = generation_;
     t_backlog.ids.clear();
@@ -115,7 +134,9 @@ void BufferPool::DrainBacklogLocked() {
     // (eviction requires this lock).
     MoveToYoungHeadLocked(frame);
     stats_.llu_drained.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.llu_drained);
   }
+  metrics::GaugeAdd(m_.llu_backlog, -static_cast<int64_t>(backlog.size()));
   backlog.clear();
 }
 
@@ -131,13 +152,19 @@ void BufferPool::MakeYoung(Frame* frame) {
   }
   if (!locked) {
     // LLU: abandon the reorder, remember it for later.
+    metrics::Inc(m_.llu_spin_timeouts);
     std::vector<PageId>& backlog = Backlog();
     if (backlog.size() >= config_.llu_backlog_max) {
       backlog.erase(backlog.begin());
       stats_.llu_dropped.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.llu_dropped);
+      // Drop + push is net zero on the backlog gauge.
+    } else {
+      metrics::GaugeAdd(m_.llu_backlog, 1);
     }
     backlog.push_back(frame->id);
     stats_.llu_deferred.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.llu_deferred);
     return;
   }
   {
@@ -146,6 +173,7 @@ void BufferPool::MakeYoung(Frame* frame) {
     MoveToYoungHeadLocked(frame);
     SpinFor(config_.lru_critical_work_ns);
     stats_.make_young.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.make_young);
   }
   LruUnlock();
 }
@@ -190,6 +218,7 @@ Status BufferPool::Fetch(PageId id) {
       const bool was_old = f->in_old.load(std::memory_order_relaxed);
       lk.unlock();
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.hits);
       if (was_old) MakeYoung(f);
       return Status::OK();
     }
@@ -200,6 +229,7 @@ Status BufferPool::Fetch(PageId id) {
     sh.table.emplace(id, nf);
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(m_.misses);
 
   // Make room. Eviction uses a blocking LRU acquisition even in LLU mode
   // (LLU only bounds the make-young reorder).
@@ -216,8 +246,10 @@ Status BufferPool::Fetch(PageId id) {
     }
     if (victim == nullptr) break;  // everything pinned; tolerate overshoot
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.evictions);
     if (victim->dirty) {
       stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.dirty_writebacks);
       if (config_.disk) {
         int attempts = 0;
         Status ws = RetryIo(
@@ -227,12 +259,14 @@ Status BufferPool::Fetch(PageId id) {
         if (attempts > 1) {
           stats_.io_retries.fetch_add(static_cast<uint64_t>(attempts - 1),
                                       std::memory_order_relaxed);
+          metrics::Inc(m_.io_retries, static_cast<uint64_t>(attempts - 1));
         }
         // A writeback that exhausts its retries drops the page's dirty data
         // (the redo log is the durability story); count it and move on
         // rather than wedging eviction behind a broken device.
         if (!ws.ok()) {
           stats_.writeback_failures.fetch_add(1, std::memory_order_relaxed);
+          metrics::Inc(m_.writeback_failures);
         }
       }
     }
@@ -249,11 +283,13 @@ Status BufferPool::Fetch(PageId id) {
     if (attempts > 1) {
       stats_.io_retries.fetch_add(static_cast<uint64_t>(attempts - 1),
                                   std::memory_order_relaxed);
+      metrics::Inc(m_.io_retries, static_cast<uint64_t>(attempts - 1));
     }
     if (!rs.ok()) {
       // The frame never became readable: unpublish it so waiters blocked on
       // io_fixed restart with a fresh miss instead of seeing garbage.
       stats_.read_failures.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.read_failures);
       {
         std::lock_guard<std::mutex> g(sh.mu);
         sh.table.erase(id);
@@ -311,6 +347,15 @@ void BufferPool::Unpin(PageId id) {
   if (it != sh.table.end() && it->second->pin_count > 0) {
     --it->second->pin_count;
   }
+}
+
+void BufferPool::FlushBacklog() {
+  if (!config_.lazy_lru) return;
+  if (Backlog().empty()) return;
+  // Blocking acquisition: quiesce correctness beats the spin budget here.
+  LruLockBlocking();
+  DrainBacklogLocked();
+  LruUnlock();
 }
 
 size_t BufferPool::resident_pages() const {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/sim_disk.h"
 #include "common/spinlock.h"
 #include "common/status.h"
@@ -138,6 +139,14 @@ class BufferPool {
                                                   ///< after exhausted retries.
   };
   const Stats& stats() const { return stats_; }
+  const BufferPoolConfig& config() const { return config_; }
+
+  /// Drains the calling thread's deferred LLU backlog with a *blocking* LRU
+  /// acquisition. Engines call this from session teardown so a quiesced run
+  /// always ends with an empty backlog (and a zero `buf.llu.backlog` gauge)
+  /// even when the final operations lost their spin budgets. No-op outside
+  /// LLU mode or when the thread's backlog is empty.
+  void FlushBacklog();
 
   size_t resident_pages() const;
   /// (young length, old length) — for invariant checks in tests.
@@ -209,6 +218,28 @@ class BufferPool {
   std::atomic<size_t> resident_{0};
 
   Stats stats_;
+  // Registry handles, interned at construction (null when metrics are
+  // disarmed or compiled out). `buf.llu.backlog` is a gauge over *all*
+  // threads' deferred entries: +1 per defer, -size on drain, net zero on an
+  // overflow drop, and adjusted when a thread's backlog is invalidated by a
+  // pool switch — so its instantaneous value is the live backlog depth and
+  // its watermark bounds the worst case.
+  struct MetricHandles {
+    metrics::Counter* hits = nullptr;
+    metrics::Counter* misses = nullptr;
+    metrics::Counter* evictions = nullptr;
+    metrics::Counter* dirty_writebacks = nullptr;
+    metrics::Counter* make_young = nullptr;
+    metrics::Counter* llu_spin_timeouts = nullptr;
+    metrics::Counter* llu_deferred = nullptr;
+    metrics::Counter* llu_drained = nullptr;
+    metrics::Counter* llu_dropped = nullptr;
+    metrics::Counter* io_retries = nullptr;
+    metrics::Counter* read_failures = nullptr;
+    metrics::Counter* writeback_failures = nullptr;
+    metrics::Gauge* llu_backlog = nullptr;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace tdp::buffer

@@ -16,8 +16,27 @@ const char* FaultKindName(FaultKind k) {
   return "unknown";
 }
 
+FaultInjector::FaultInjector() : FaultInjector(std::vector<FaultEvent>{}) {}
+
 FaultInjector::FaultInjector(std::vector<FaultEvent> schedule)
-    : schedule_(std::move(schedule)) {}
+    : schedule_(std::move(schedule)) {
+  auto& reg = metrics::Registry::Global();
+  m_.spikes = reg.GetCounter("fault.spikes");
+  m_.stalls = reg.GetCounter("fault.stalls");
+  m_.write_errors = reg.GetCounter("fault.write_errors");
+  m_.torn_flushes = reg.GetCounter("fault.torn_flushes");
+  m_.read_errors = reg.GetCounter("fault.read_errors");
+}
+
+void NoteIoRetries(int extra_attempts) {
+  if (extra_attempts <= 0) return;
+  // Function-local so the registry lookup happens once per process, not per
+  // retry; a process that disarms the registry before any I/O sees nullptr
+  // here forever, which Inc tolerates.
+  static metrics::Counter* const retries =
+      metrics::Registry::Global().GetCounter("io.retries");
+  metrics::Inc(retries, static_cast<uint64_t>(extra_attempts));
+}
 
 void FaultInjector::AddEvent(const FaultEvent& e) { schedule_.push_back(e); }
 
@@ -111,6 +130,7 @@ FaultInjector::Perturbation FaultInjector::Evaluate(IoOp op, int64_t now_ns) {
       case FaultKind::kLatencySpike:
         p.latency_multiplier *= std::max(e.magnitude, 1.0);
         stats_.spikes.fetch_add(1, std::memory_order_relaxed);
+        metrics::Inc(m_.spikes);
         break;
       case FaultKind::kStall: {
         const int64_t until =
@@ -118,6 +138,7 @@ FaultInjector::Perturbation FaultInjector::Evaluate(IoOp op, int64_t now_ns) {
             e.duration_ns;
         p.stall_until_ns = std::max(p.stall_until_ns, until);
         stats_.stalls.fetch_add(1, std::memory_order_relaxed);
+        metrics::Inc(m_.stalls);
         break;
       }
       case FaultKind::kWriteError:
@@ -131,6 +152,7 @@ FaultInjector::Perturbation FaultInjector::Evaluate(IoOp op, int64_t now_ns) {
             p.fail = true;
             p.written_fraction = 0.0;  // nothing reached the medium
             stats_.write_errors.fetch_add(1, std::memory_order_relaxed);
+            metrics::Inc(m_.write_errors);
           }
         }
         break;
@@ -145,6 +167,7 @@ FaultInjector::Perturbation FaultInjector::Evaluate(IoOp op, int64_t now_ns) {
             p.fail = true;
             p.written_fraction = 0.0;
             stats_.read_errors.fetch_add(1, std::memory_order_relaxed);
+            metrics::Inc(m_.read_errors);
           }
         }
         break;
@@ -154,6 +177,7 @@ FaultInjector::Perturbation FaultInjector::Evaluate(IoOp op, int64_t now_ns) {
           p.written_fraction =
               std::clamp(e.magnitude, 0.0, 1.0);
           stats_.torn_flushes.fetch_add(1, std::memory_order_relaxed);
+          metrics::Inc(m_.torn_flushes);
         }
         break;
     }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -72,7 +73,7 @@ struct RandomFaultConfig {
 
 class FaultInjector {
  public:
-  FaultInjector() = default;
+  FaultInjector();
   explicit FaultInjector(std::vector<FaultEvent> schedule);
 
   // --- schedule construction (single-threaded, before Arm) ----------------
@@ -144,7 +145,23 @@ class FaultInjector {
   mutable std::mutex rng_mu_;
   Rng rng_{0xFA517EC7ull};
   Stats stats_;
+  // Registry mirrors of stats_ under fault.* (null when metrics are
+  // disarmed or compiled out); all injectors in a process share them.
+  struct MetricHandles {
+    metrics::Counter* spikes = nullptr;
+    metrics::Counter* stalls = nullptr;
+    metrics::Counter* write_errors = nullptr;
+    metrics::Counter* torn_flushes = nullptr;
+    metrics::Counter* read_errors = nullptr;
+  };
+  MetricHandles m_;
 };
+
+/// Feeds the process-wide `io.retries` counter — total extra I/O attempts
+/// RetryIo made across every subsystem, the cross-check against the
+/// injector's event counts. Out-of-line so the header-only RetryIo template
+/// does not pay a registry lookup per call.
+void NoteIoRetries(int extra_attempts);
 
 /// Bounded-retry policy for Status-returning I/O. Shared by the redo log,
 /// the Postgres-style WAL and the buffer pool's read/writeback paths.
@@ -177,6 +194,7 @@ Status RetryIo(const IoRetryPolicy& policy, Fn&& op, int* attempts = nullptr) {
     }
   }
   if (attempts != nullptr) *attempts = tries;
+  if (tries > 1) NoteIoRetries(tries - 1);
   return s;
 }
 

@@ -7,6 +7,59 @@
 
 namespace tdp {
 
+double HistogramSnapshot::mean() const {
+  if (count == 0) return 0;
+  double m = static_cast<double>(sum) / static_cast<double>(count);
+  if (m < 0) return 0;
+  const double mx = static_cast<double>(max);
+  if (mx > 0 && m > mx) return mx;
+  return m;
+}
+
+int64_t HistogramSnapshot::BucketLowerBound(int bucket) {
+  if (bucket < kHistogramSubBuckets) return bucket;
+  const int decade = bucket / kHistogramSubBuckets;
+  const int sub = bucket % kHistogramSubBuckets;
+  const int msb = decade + 3;
+  return (int64_t{1} << msb) + (int64_t{sub} << (msb - 4));
+}
+
+int64_t HistogramSnapshot::Percentile(double pct) const {
+  const uint64_t n = count;
+  if (n == 0) return 0;
+  if (pct >= 100.0) return max;
+  // Ceil-based rank: the percentile is the smallest value with at least
+  // ceil(pct/100 * n) samples at or below it. With trunc + `seen > target`
+  // the boundary cases came out shifted by one sample: p50 of n=2 landed
+  // on the 2nd sample's bucket and p0 was not the minimum.
+  uint64_t rank = 1;
+  if (pct > 0.0) {
+    rank = static_cast<uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketLowerBound(i);
+  }
+  return max;
+}
+
+HistogramSnapshot& HistogramSnapshot::Subtract(
+    const HistogramSnapshot& earlier) {
+  count = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] = buckets[i] >= earlier.buckets[i]
+                     ? buckets[i] - earlier.buckets[i]
+                     : 0;
+    count += buckets[i];
+  }
+  sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+  return *this;
+}
+
 Histogram::Histogram() : buckets_(kNumBuckets), count_(0), sum_(0), max_(0) {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
@@ -24,14 +77,6 @@ int Histogram::BucketFor(int64_t value) {
   return idx;
 }
 
-int64_t Histogram::BucketLowerBound(int bucket) {
-  if (bucket < kSubBuckets) return bucket;
-  const int decade = bucket / kSubBuckets;
-  const int sub = bucket % kSubBuckets;
-  const int msb = decade + 3;
-  return (int64_t{1} << msb) + (int64_t{sub} << (msb - 4));
-}
-
 void Histogram::Add(int64_t value) {
   if (value < 0) value = 0;  // keep sum_ coherent with the bucket clamp
   buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
@@ -43,19 +88,33 @@ void Histogram::Add(int64_t value) {
   }
 }
 
-void Histogram::MergeFrom(const Histogram& other) {
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
   for (int i = 0; i < kNumBuckets; ++i) {
-    const uint64_t v = other.buckets_[i].load(std::memory_order_relaxed);
-    if (v) buckets_[i].fetch_add(v, std::memory_order_relaxed);
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
   }
-  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
-                 std::memory_order_relaxed);
-  const int64_t om = other.max_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.sum < 0) s.sum = 0;
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  MergeFrom(other.Snapshot());
+}
+
+void Histogram::MergeFrom(const HistogramSnapshot& snap) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (snap.buckets[i]) {
+      buckets_[i].fetch_add(snap.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snap.count, std::memory_order_relaxed);
+  sum_.fetch_add(snap.sum, std::memory_order_relaxed);
   int64_t prev = max_.load(std::memory_order_relaxed);
-  while (om > prev &&
-         !max_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+  while (snap.max > prev && !max_.compare_exchange_weak(
+                                prev, snap.max, std::memory_order_relaxed)) {
   }
 }
 
@@ -81,34 +140,7 @@ double Histogram::mean() const {
 }
 
 int64_t Histogram::Percentile(double pct) const {
-  // Snapshot the buckets once and derive n from the snapshot itself:
-  // count_ can disagree with the buckets mid-merge, and a rank computed
-  // from a mismatched n picks the wrong bucket.
-  uint64_t snap[kNumBuckets];
-  uint64_t n = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    snap[i] = buckets_[i].load(std::memory_order_relaxed);
-    n += snap[i];
-  }
-  if (n == 0) return 0;
-  if (pct >= 100.0) return max_seen();
-  // Ceil-based rank: the percentile is the smallest value with at least
-  // ceil(pct/100 * n) samples at or below it. With trunc + `seen > target`
-  // the boundary cases came out shifted by one sample: p50 of n=2 landed
-  // on the 2nd sample's bucket and p0 was not the minimum.
-  uint64_t rank = 1;
-  if (pct > 0.0) {
-    rank = static_cast<uint64_t>(
-        std::ceil(pct / 100.0 * static_cast<double>(n)));
-    if (rank < 1) rank = 1;
-    if (rank > n) rank = n;
-  }
-  uint64_t seen = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    seen += snap[i];
-    if (seen >= rank) return BucketLowerBound(i);
-  }
-  return max_seen();
+  return Snapshot().Percentile(pct);
 }
 
 std::string Histogram::ToString() const {

@@ -4,6 +4,7 @@
 // fixed footprint and atomic increments.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -11,15 +12,52 @@
 
 namespace tdp {
 
+/// Bucket layout shared by Histogram and HistogramSnapshot: 40 power-of-two
+/// decades, each split into 16 linear sub-buckets (~4% relative error over
+/// [1ns, ~18s]).
+inline constexpr int kHistogramSubBuckets = 16;
+inline constexpr int kHistogramDecades = 40;
+inline constexpr int kHistogramBuckets = kHistogramDecades * kHistogramSubBuckets;
+
+/// Plain-data copy of a histogram's state, and the single home of the
+/// torn-read handling: the buckets, sum and max of a live histogram are
+/// loaded one atomic at a time, so a snapshot taken mid-Add/mid-merge can
+/// disagree with itself by the few in-flight samples. `count` is therefore
+/// derived from the bucket snapshot (never the histogram's count_ field), so
+/// percentile ranks always match the buckets they index, and mean() clamps
+/// to [0, max] so a torn sum can't produce an impossible average. Everything
+/// downstream of a snapshot (MergeFrom, Percentile, registry snapshots,
+/// bench JSON) inherits these rules instead of re-implementing them.
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+  uint64_t count = 0;  ///< Sum of buckets — torn-safe by construction.
+  int64_t sum = 0;
+  int64_t max = 0;
+
+  /// Mean of recorded values, clamped to [0, max].
+  double mean() const;
+
+  /// Ceil-rank percentile over the snapshot's buckets: the smallest bucket
+  /// holding the ceil(pct/100 * count)-th sample. pct <= 0 returns the
+  /// minimum's bucket, pct >= 100 returns max.
+  int64_t Percentile(double pct) const;
+
+  /// Per-bucket difference against an earlier snapshot of the same
+  /// histogram (for interval deltas). Clamped at zero per bucket — a torn
+  /// pair can transiently order buckets backwards; clamping keeps the delta
+  /// sane. `max` keeps this snapshot's value (maxima don't subtract).
+  HistogramSnapshot& Subtract(const HistogramSnapshot& earlier);
+
+  /// Lower bound of `bucket`'s value range.
+  static int64_t BucketLowerBound(int bucket);
+};
+
 /// Histogram with ~4% relative-error buckets over [1ns, ~18s].
-///
-/// Buckets are arranged as 64 power-of-two decades, each split into
-/// kSubBuckets linear sub-buckets.
 class Histogram {
  public:
-  static constexpr int kSubBuckets = 16;
-  static constexpr int kDecades = 40;
-  static constexpr int kNumBuckets = kDecades * kSubBuckets;
+  static constexpr int kSubBuckets = kHistogramSubBuckets;
+  static constexpr int kDecades = kHistogramDecades;
+  static constexpr int kNumBuckets = kHistogramBuckets;
 
   Histogram();
 
@@ -27,26 +65,27 @@ class Histogram {
   /// in the running sum). Safe to call from many threads.
   void Add(int64_t value);
 
+  /// One-pass atomic copy of the current state. See HistogramSnapshot for
+  /// the torn-read contract when writers are live.
+  HistogramSnapshot Snapshot() const;
+
   /// Folds `other`'s contents into this histogram.
   ///
   /// Single-writer expectation: `other` should be quiescent (no concurrent
-  /// Add) for an exact merge. Merging a live histogram is allowed — each
-  /// field is read atomically — but the snapshot can be torn: the buckets,
-  /// count and sum are loaded separately, so they may disagree by the few
-  /// samples added mid-merge. mean()/Percentile()/ToString() tolerate such
-  /// skew (Percentile derives n from the buckets themselves; mean clamps
-  /// to [0, max]), so a torn merge degrades precision, never sanity.
+  /// Add) for an exact merge. Merging a live histogram is allowed — the
+  /// merge consumes other.Snapshot(), whose torn-read rules guarantee the
+  /// folded count always matches the folded buckets, so a torn merge
+  /// degrades precision, never sanity.
   void MergeFrom(const Histogram& other);
+  void MergeFrom(const HistogramSnapshot& snap);
   void Clear();
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   /// Mean of recorded values, clamped to [0, max_seen()] so a torn merge or
   /// racing Add can't produce a nonsensical average.
   double mean() const;
-  /// Ceil-rank percentile: the smallest bucket holding the
-  /// ceil(pct/100 * n)-th sample. pct <= 0 returns the minimum's bucket,
-  /// pct >= 100 returns max_seen(). n is derived from a one-pass bucket
-  /// snapshot, not count_, so a torn merge can't skew the rank.
+  /// Ceil-rank percentile (see HistogramSnapshot::Percentile — this is
+  /// Snapshot().Percentile(pct)).
   int64_t Percentile(double pct) const;
   int64_t max_seen() const { return max_.load(std::memory_order_relaxed); }
 
@@ -54,7 +93,6 @@ class Histogram {
 
  private:
   static int BucketFor(int64_t value);
-  static int64_t BucketLowerBound(int bucket);
 
   std::vector<std::atomic<uint64_t>> buckets_;
   std::atomic<uint64_t> count_;

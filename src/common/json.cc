@@ -1,0 +1,355 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tdp::json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::Array() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::Object() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+size_t Value::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+void Value::Set(const std::string& key, Value v) {
+  type_ = Type::kObject;
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberInto(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    *out += "0";  // JSON has no inf/nan; clamp rather than emit garbage
+    return;
+  }
+  // Integral values print without a fraction so counters diff cleanly.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    *out += buf;
+  }
+}
+
+void Indent(std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, bool pretty, int depth) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: NumberInto(num_, out); break;
+    case Type::kString: EscapeInto(str_, out); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (pretty) {
+          *out += '\n';
+          Indent(out, depth + 1);
+        }
+        arr_[i].DumpTo(out, pretty, depth + 1);
+        if (i + 1 < arr_.size()) *out += ',';
+      }
+      if (pretty) {
+        *out += '\n';
+        Indent(out, depth);
+      }
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (pretty) {
+          *out += '\n';
+          Indent(out, depth + 1);
+        }
+        EscapeInto(obj_[i].first, out);
+        *out += pretty ? ": " : ":";
+        obj_[i].second.DumpTo(out, pretty, depth + 1);
+        if (i + 1 < obj_.size()) *out += ',';
+      }
+      if (pretty) {
+        *out += '\n';
+        Indent(out, depth);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(bool pretty) const {
+  std::string out;
+  DumpTo(&out, pretty, 0);
+  if (pretty) out += '\n';
+  return out;
+}
+
+// --- parser -----------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  std::string err;
+
+  bool Fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return Fail("truncated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // BMP-only UTF-8 encoding (enough for our own documents).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return Fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      *out = Value::Object();
+      SkipWs();
+      if (Consume('}')) return true;
+      for (;;) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return Fail("expected ':'");
+        Value v;
+        if (!ParseValue(&v)) return false;
+        out->Set(key, std::move(v));
+        if (Consume(',')) continue;
+        if (Consume('}')) return true;
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      *out = Value::Array();
+      SkipWs();
+      if (Consume(']')) return true;
+      for (;;) {
+        Value v;
+        if (!ParseValue(&v)) return false;
+        out->Append(std::move(v));
+        if (Consume(',')) continue;
+        if (Consume(']')) return true;
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      *out = Value::Bool(true);
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      *out = Value::Bool(false);
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      *out = Value::Null();
+      return true;
+    }
+    // Number.
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return Fail("unexpected character");
+    char* end = nullptr;
+    const double d = std::strtod(text.c_str() + start, &end);
+    if (end != text.c_str() + pos) return Fail("malformed number");
+    *out = Value::Number(d);
+    return true;
+  }
+};
+
+}  // namespace
+
+bool Value::Parse(const std::string& text, Value* out, std::string* err) {
+  Parser p{text, 0, {}};
+  if (!p.ParseValue(out)) {
+    if (err != nullptr) *err = p.err;
+    return false;
+  }
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    if (err != nullptr) {
+      *err = "trailing content at offset " + std::to_string(p.pos);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tdp::json

@@ -1,0 +1,76 @@
+// Minimal JSON value / parser / writer — just enough for the bench harness's
+// machine-readable reports (tools/bench_runner.cc, bench/bench_util.h) and
+// the schema checks that keep BENCH_*.json diffable across PRs. Not a
+// general-purpose JSON library: numbers are doubles (integral values
+// round-trip exactly up to 2^53), object key order is insertion order (so
+// emitted documents are byte-stable), and \uXXXX escapes outside the BMP are
+// not supported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tdp::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d);
+  static Value Int(int64_t i) { return Number(static_cast<double>(i)); }
+  static Value Str(std::string s);
+  static Value Array();
+  static Value Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  int64_t as_int() const { return static_cast<int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+
+  // --- arrays ---------------------------------------------------------------
+  const std::vector<Value>& items() const { return arr_; }
+  void Append(Value v) { arr_.push_back(std::move(v)); }
+  size_t size() const;
+
+  // --- objects --------------------------------------------------------------
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return obj_;
+  }
+  /// Sets (or replaces) a member, preserving first-insertion order.
+  void Set(const std::string& key, Value v);
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  /// Serializes with 2-space indentation when `pretty` (the BENCH_*.json
+  /// format), compact otherwise.
+  std::string Dump(bool pretty = true) const;
+
+  /// Parses `text` into `*out`. On failure returns false and sets `*err`
+  /// to a message with the byte offset.
+  static bool Parse(const std::string& text, Value* out, std::string* err);
+
+ private:
+  void DumpTo(std::string* out, bool pretty, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+}  // namespace tdp::json

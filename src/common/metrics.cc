@@ -1,0 +1,113 @@
+#include "common/metrics.h"
+
+namespace tdp::metrics {
+
+void Gauge::Set(int64_t x) {
+  v_.store(x, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (x > prev &&
+         !max_.compare_exchange_weak(prev, x, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot::GaugeValue MetricsSnapshot::gauge(
+    const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? GaugeValue{} : it->second;
+}
+
+HistogramSnapshot MetricsSnapshot::histogram(const std::string& name) const {
+  auto it = histograms.find(name);
+  return it == histograms.end() ? HistogramSnapshot{} : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : after.counters) {
+    const uint64_t prior = before.counter(name);
+    d.counters[name] = v >= prior ? v - prior : 0;
+  }
+  d.gauges = after.gauges;
+  for (const auto& [name, h] : after.histograms) {
+    HistogramSnapshot hd = h;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) hd.Subtract(it->second);
+    d.histograms[name] = hd;
+  }
+  return d;
+}
+
+Registry& Registry::Global() {
+  static Registry* const g = new Registry();
+  return *g;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+#ifdef TDP_METRICS_DISABLED
+  (void)name;
+  return nullptr;
+#else
+  if (!armed()) return nullptr;
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+#endif
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+#ifdef TDP_METRICS_DISABLED
+  (void)name;
+  return nullptr;
+#else
+  if (!armed()) return nullptr;
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+#endif
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+#ifdef TDP_METRICS_DISABLED
+  (void)name;
+  return nullptr;
+#else
+  if (!armed()) return nullptr;
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+#endif
+}
+
+MetricsSnapshot Registry::TakeSnapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, gv] : gauges_) {
+    s.gauges[name] = MetricsSnapshot::GaugeValue{gv->value(), gv->max_seen()};
+  }
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();
+  return s;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, gv] : gauges_) gv->Reset();
+  for (auto& [name, h] : histograms_) h->Clear();
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace tdp::metrics

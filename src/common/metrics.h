@@ -1,0 +1,162 @@
+// tdp::metrics — process-wide registry of named counters, gauges and latency
+// histograms (docs/metrics.md).
+//
+// The paper's whole method is measurement-driven; this registry is the
+// engine-side half of that story: every subsystem (lock manager, buffer
+// pool, redo log / WAL, fault injector, voltmini) publishes its internal
+// event counts under stable dotted names, and the bench harness snapshots
+// the registry around each experiment so BENCH_*.json can carry internal
+// counters next to latency statistics.
+//
+// Design rules:
+//  * Handle acquisition (GetCounter/GetGauge/GetHistogram) interns the name
+//    under a mutex — do it once, at subsystem construction, never on a hot
+//    path. Handles stay valid for the registry's lifetime.
+//  * Updates through a handle are lock-free relaxed atomics (one fetch_add;
+//    histograms add ~4 relaxed atomic ops). Update via the free helpers
+//    (metrics::Inc etc.), which tolerate null handles.
+//  * Disarmed registry: GetX returns nullptr and interns nothing, so a
+//    disarmed process performs no metric allocation and every update is a
+//    single predictable branch. Disarm *before* constructing subsystems.
+//  * Compile-out: building with -DTDP_METRICS_DISABLED (CMake
+//    -DTDP_METRICS=OFF) turns the helpers into empty inlines and GetX into
+//    constant nullptr — the hot paths carry zero metric cost.
+//
+// Snapshots are torn-safe in the same sense as Histogram::Snapshot(): each
+// field is read atomically, so a snapshot taken while writers run may lag
+// by in-flight updates but never produces out-of-thin-air values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace tdp::metrics {
+
+/// Monotonic event count. Updates are relaxed fetch_add.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, backlog size) with a high watermark.
+class Gauge {
+ public:
+  void Add(int64_t d) {
+    const int64_t now = v_.fetch_add(d, std::memory_order_relaxed) + d;
+    if (d > 0) {
+      int64_t prev = max_.load(std::memory_order_relaxed);
+      while (now > prev && !max_.compare_exchange_weak(
+                               prev, now, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void Sub(int64_t d) { Add(-d); }
+  void Set(int64_t x);
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  int64_t max_seen() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> v_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Point-in-time copy of the registry. Maps are keyed by metric name.
+struct MetricsSnapshot {
+  struct GaugeValue {
+    int64_t value = 0;
+    int64_t max = 0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value, 0 when the name was never registered.
+  uint64_t counter(const std::string& name) const;
+  /// Gauge value (0 when absent).
+  GaugeValue gauge(const std::string& name) const;
+  /// Histogram snapshot (empty when absent).
+  HistogramSnapshot histogram(const std::string& name) const;
+
+  /// Per-experiment delta: counters and histogram buckets are subtracted
+  /// (clamped at zero — see HistogramSnapshot::Subtract for the torn-read
+  /// rules); gauges keep `after`'s instantaneous value and watermark.
+  static MetricsSnapshot Delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every subsystem publishes into.
+  static Registry& Global();
+
+  /// Interns `name` and returns its metric. Returns nullptr when the
+  /// registry is disarmed (nothing is interned) or metrics are compiled
+  /// out. Mutex-guarded — call at construction time, not on hot paths.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot TakeSnapshot() const;
+
+  /// Zeroes every registered metric (names stay interned; handles stay
+  /// valid). Not atomic across metrics — quiesce writers for exact zeros.
+  void ResetAll();
+
+  /// Disarmed: GetX returns nullptr and allocates nothing. Existing handles
+  /// keep working — arming state is sampled at handle acquisition.
+  void SetArmed(bool armed) {
+    armed_.store(armed, std::memory_order_release);
+  }
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Number of registered metrics across all three kinds.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{true};
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// --- hot-path update helpers -----------------------------------------------
+// Null-tolerant so disarmed subsystems pay one branch; compiled to nothing
+// under TDP_METRICS_DISABLED.
+#ifdef TDP_METRICS_DISABLED
+inline void Inc(Counter*, uint64_t = 1) {}
+inline void GaugeAdd(Gauge*, int64_t) {}
+inline void Observe(Histogram*, int64_t) {}
+#else
+inline void Inc(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+inline void GaugeAdd(Gauge* g, int64_t d) {
+  if (g != nullptr) g->Add(d);
+}
+inline void Observe(Histogram* h, int64_t v) {
+  if (h != nullptr) h->Add(v);
+}
+#endif
+
+}  // namespace tdp::metrics

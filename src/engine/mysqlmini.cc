@@ -37,6 +37,10 @@ MySQLMini::MySQLMini(MySQLMiniConfig config)
   redo_log_->Start();
 
   btree_ = storage::BTreeModel(config_.btree);
+
+  auto& reg = metrics::Registry::Global();
+  m_.lock_acquisitions = reg.GetCounter("mysql.lock_acquisitions");
+  m_.redo_bytes = reg.GetCounter("mysql.redo_bytes");
 }
 
 MySQLMini::~MySQLMini() { redo_log_->Stop(); }
@@ -109,6 +113,10 @@ MySQLSession::MySQLSession(MySQLMini* db) : db_(db) {}
 
 MySQLSession::~MySQLSession() {
   if (active_) Rollback();
+  // Sessions are destroyed on their worker thread, so this drains the
+  // thread-local LLU backlog those operations deferred — a quiesced run
+  // ends with a zero backlog gauge.
+  db_->buffer_pool_->FlushBacklog();
 }
 
 Status MySQLSession::Begin() {
@@ -150,6 +158,7 @@ Status MySQLSession::AccessRow(uint32_t table, uint64_t key,
       must_abort_ = true;
       return s;
     }
+    metrics::Inc(db_->m_.lock_acquisitions);
   }
 
   // Touch the data page through the buffer pool (make-young / eviction
@@ -221,6 +230,7 @@ Status MySQLSession::SelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
           must_abort_ = true;
           return ls;
         }
+        metrics::Inc(db_->m_.lock_acquisitions);
       }
       SpinFor(db_->config_.row_work_ns / 4);  // sequential rows are cheap
     }
@@ -331,6 +341,7 @@ Status MySQLSession::Commit() {
   // Make the commit durable per the configured policy, then release locks
   // (strict 2PL: locks are held until the commit point completes).
   if (redo_bytes_ > 0) {
+    metrics::Inc(db_->m_.redo_bytes, redo_bytes_);
     db_->redo_log_->Commit(txn_->id, redo_bytes_, std::move(redo_ops_));
   }
   ReleaseAndReset();

@@ -171,6 +171,17 @@ class MySQLMini : public Database {
   std::atomic<uint64_t> next_txn_id_{1};
   std::mutex rng_mu_;
   Rng rng_;
+
+  // Engine-side counters for the harness's cross-layer invariants:
+  // mysql.lock_acquisitions counts every successful LockManager::Lock made
+  // by sessions (== lock.grants.total when this engine is the only caller);
+  // mysql.redo_bytes counts commit record payloads handed to the redo log
+  // (== log.bytes_written once the log quiesces fully durable).
+  struct MetricHandles {
+    metrics::Counter* lock_acquisitions = nullptr;
+    metrics::Counter* redo_bytes = nullptr;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace tdp::engine

@@ -32,6 +32,17 @@ LockManager::LockManager(LockManagerConfig config) : config_(config) {
   shards_.reserve(config_.num_shards);
   for (int i = 0; i < config_.num_shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
+
+  auto& reg = metrics::Registry::Global();
+  m_.grants_total = reg.GetCounter("lock.grants.total");
+  m_.grants_immediate = reg.GetCounter("lock.grants.immediate");
+  m_.grants_sched = reg.GetCounter(std::string("lock.grants.sched.") +
+                                   SchedulerPolicyName(config_.policy));
+  m_.waits = reg.GetCounter("lock.waits");
+  m_.deadlocks = reg.GetCounter("lock.deadlocks");
+  m_.timeouts = reg.GetCounter("lock.timeouts");
+  m_.upgrades = reg.GetCounter("lock.upgrades");
+  m_.wait_ns = reg.GetHistogram("lock.wait_ns");
 }
 
 int LockManager::BlockedWeight(uint64_t txn_id) const {
@@ -239,6 +250,7 @@ void LockManager::SignalVictim(uint64_t victim_txn) {
   if (req->state.compare_exchange_strong(expected, kDeadlockState,
                                          std::memory_order_acq_rel)) {
     stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.deadlocks);
     std::lock_guard<std::mutex> g(req->wait_mu);
     req->wait_cv.notify_all();
   }
@@ -280,7 +292,10 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
       }
     }
     if (mine) {
-      if (Covers(mine->mode, mode)) return Status::OK();
+      if (Covers(mine->mode, mode)) {
+        metrics::Inc(m_.grants_total);
+        return Status::OK();
+      }
       const LockMode desired = Supremum(mine->mode, mode);
       bool compatible = true;
       for (const RequestPtr& gr : q.granted) {
@@ -292,6 +307,8 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
       if (compatible) {
         mine->mode = desired;
         stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
+        metrics::Inc(m_.upgrades);
+        metrics::Inc(m_.grants_total);
         return Status::OK();
       }
       req = std::make_shared<Request>();
@@ -301,6 +318,7 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
       req->is_upgrade = true;
       q.waiting.push_back(req);
       stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.upgrades);
     } else {
       // Immediate grant: compatible with all granted and nobody waiting.
       bool compatible = true;
@@ -319,6 +337,8 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
         q.granted.push_back(std::move(granted));
         txn->held_records.push_back(rec);
         stats_.immediate_grants.fetch_add(1, std::memory_order_relaxed);
+        metrics::Inc(m_.grants_immediate);
+        metrics::Inc(m_.grants_total);
         return Status::OK();
       }
       req = std::make_shared<Request>();
@@ -353,6 +373,7 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
 
   // --- suspended: wait on the transaction's event --------------------------
   stats_.waits.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(m_.waits);
   const int64_t wait_start = NowNanos();
   const int64_t age_at_enqueue = txn->AgeAt(wait_start);
   bool timed_out_locally = false;
@@ -375,10 +396,13 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
   const int state = req->state.load(std::memory_order_acquire);
   const int64_t wait_ns = NowNanos() - wait_start;
   wait_times_.Add(wait_ns);
+  metrics::Observe(m_.wait_ns, wait_ns);
 
   Status result = Status::OK();
   if (state == kGrantedState) {
     if (!req->is_upgrade) txn->held_records.push_back(rec);
+    metrics::Inc(m_.grants_sched);
+    metrics::Inc(m_.grants_total);
     detector_.Remove(txn->id);
   } else {
     // Deadlock victim or timeout: remove our request and re-run the grant
@@ -398,6 +422,7 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
       result = Status::Deadlock("chosen as deadlock victim");
     } else {
       stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.timeouts);
       result = Status::LockTimeout();
     }
   }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "lock/deadlock.h"
@@ -208,6 +209,22 @@ class LockManager {
   std::unordered_map<uint64_t, int> blocked_weight_;
 
   Stats stats_;
+  // Registry handles, interned once at construction (null when the metrics
+  // registry is disarmed or compiled out). `lock.grants.total` counts every
+  // successful Lock() return — the engine-side acquisition invariant checked
+  // by the bench harness; `lock.grants.sched.<POLICY>` counts only grants
+  // made by the scheduler's grant pass (i.e. after a wait).
+  struct MetricHandles {
+    metrics::Counter* grants_total = nullptr;
+    metrics::Counter* grants_immediate = nullptr;
+    metrics::Counter* grants_sched = nullptr;
+    metrics::Counter* waits = nullptr;
+    metrics::Counter* deadlocks = nullptr;
+    metrics::Counter* timeouts = nullptr;
+    metrics::Counter* upgrades = nullptr;
+    Histogram* wait_ns = nullptr;
+  };
+  MetricHandles m_;
   LatencySample wait_times_;
   std::function<void(const WaitObservation&)> observer_;
   mutable std::mutex observer_mu_;

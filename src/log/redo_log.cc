@@ -24,7 +24,17 @@ void AtomicMax(std::atomic<uint64_t>* a, uint64_t v) {
 }
 }  // namespace
 
-RedoLog::RedoLog(RedoLogConfig config) : config_(config) {}
+RedoLog::RedoLog(RedoLogConfig config) : config_(config) {
+  auto& reg = metrics::Registry::Global();
+  m_.commits = reg.GetCounter("log.commits");
+  m_.flushes = reg.GetCounter("log.flushes");
+  m_.group_commit_riders = reg.GetCounter("log.group_commit_riders");
+  m_.io_retries = reg.GetCounter("log.io_retries");
+  m_.io_errors = reg.GetCounter("log.io_errors");
+  m_.degraded_commits = reg.GetCounter("log.degraded_commits");
+  m_.bytes_written = reg.GetCounter("log.bytes_written");
+  m_.group_commit_batch = reg.GetHistogram("log.group_commit_batch");
+}
 
 RedoLog::~RedoLog() { Stop(); }
 
@@ -79,8 +89,12 @@ Status RedoLog::FlushToDevice(uint64_t bytes) {
   if (attempts > 1) {
     stats_.io_retries.fetch_add(static_cast<uint64_t>(attempts - 1),
                                 std::memory_order_relaxed);
+    metrics::Inc(m_.io_retries, static_cast<uint64_t>(attempts - 1));
   }
-  if (!s.ok()) stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+  if (!s.ok()) {
+    stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.io_errors);
+  }
   return s;
 }
 
@@ -104,6 +118,7 @@ Status RedoLog::WriteAndFlushUpTo(uint64_t target) {
     flush_in_progress_ = true;
     led = true;
     const uint64_t flush_target = next_lsn_.load(std::memory_order_relaxed) - 1;
+    const uint64_t durable_before = durable_lsn_.load(std::memory_order_relaxed);
     const uint64_t bytes = unwritten_bytes_;
     unwritten_bytes_ = 0;
     lk.unlock();
@@ -112,6 +127,11 @@ Status RedoLog::WriteAndFlushUpTo(uint64_t target) {
     flush_in_progress_ = false;
     if (s.ok()) {
       stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.flushes);
+      metrics::Inc(m_.bytes_written, bytes);
+      // One LSN per commit record, so the LSN span is the batch size.
+      metrics::Observe(m_.group_commit_batch,
+                       static_cast<int64_t>(flush_target - durable_before));
       AtomicMax(&written_lsn_, flush_target);
       AtomicMax(&durable_lsn_, flush_target);
       flush_cv_.notify_all();
@@ -128,7 +148,10 @@ Status RedoLog::WriteAndFlushUpTo(uint64_t target) {
       // is paced by the device's own service time, so this does not spin.
     }
   }
-  if (!led) stats_.group_commit_riders.fetch_add(1, std::memory_order_relaxed);
+  if (!led) {
+    stats_.group_commit_riders.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.group_commit_riders);
+  }
   return result;
 }
 
@@ -143,6 +166,7 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
     unwritten_bytes_ += bytes;
   }
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(m_.commits);
 
   switch (config_.policy) {
     case FlushPolicy::kLazyWrite:
@@ -168,6 +192,7 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
         const Status s = WriteAndFlushUpTo(my_lsn);
         if (!s.ok()) {
           stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+          metrics::Inc(m_.degraded_commits);
         }
       } else {
         // Per-commit fsync: write own redo and barrier, concurrently with
@@ -177,6 +202,7 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
                 config_.io_retry.stall_deadline_ns) {
           // Leave the bytes in unwritten_bytes_; the flusher covers them.
           stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+          metrics::Inc(m_.degraded_commits);
           break;
         }
         {
@@ -190,12 +216,16 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
         }
         if (s.ok()) {
           stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+          metrics::Inc(m_.flushes);
+          metrics::Inc(m_.bytes_written, bytes);
+          metrics::Observe(m_.group_commit_batch, 1);
           AtomicMax(&written_lsn_, my_lsn);
           AtomicMax(&durable_lsn_, my_lsn);
         } else {
           std::lock_guard<std::mutex> g(mu_);
           unwritten_bytes_ += bytes;
           stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+          metrics::Inc(m_.degraded_commits);
         }
       }
       break;

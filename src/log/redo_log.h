@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/sim_disk.h"
 #include "common/stats.h"
 #include "log/redo_record.h"
@@ -145,6 +146,23 @@ class RedoLog {
   std::thread flusher_;
 
   Stats stats_;
+  // Registry handles (null when metrics are disarmed or compiled out).
+  // `log.bytes_written` counts redo bytes whose flush succeeded, so on a
+  // quiesced fully-durable log it equals the sum of commit record sizes —
+  // the end-to-end invariant the bench harness checks. The batch histogram
+  // records commit records made durable per successful flush (group-commit
+  // effectiveness; the per-commit fsync path always observes 1).
+  struct MetricHandles {
+    metrics::Counter* commits = nullptr;
+    metrics::Counter* flushes = nullptr;
+    metrics::Counter* group_commit_riders = nullptr;
+    metrics::Counter* io_retries = nullptr;
+    metrics::Counter* io_errors = nullptr;
+    metrics::Counter* degraded_commits = nullptr;
+    metrics::Counter* bytes_written = nullptr;
+    Histogram* group_commit_batch = nullptr;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace tdp::log

@@ -12,6 +12,8 @@ PgMini::PgMini(PgMiniConfig config)
   lock_manager_ = std::make_unique<lock::LockManager>(config_.lock);
   wal_ = std::make_unique<WalManager>(config_.wal);
   btree_ = storage::BTreeModel(config_.btree);
+  m_.lock_acquisitions =
+      metrics::Registry::Global().GetCounter("pg.lock_acquisitions");
 }
 
 std::unique_ptr<engine::Connection> PgMini::Connect() {
@@ -92,6 +94,7 @@ Status PgSession::AccessRow(uint32_t table, uint64_t key, lock::LockMode mode,
       must_abort_ = true;
       return s;
     }
+    metrics::Inc(db_->m_.lock_acquisitions);
   }
   if (record_undo) {
     Result<storage::Row> prior = t->Read(key);

@@ -115,6 +115,13 @@ class PgMini : public engine::Database {
   std::atomic<uint64_t> next_txn_id_{1};
   std::mutex rng_mu_;
   Rng rng_;
+
+  // Engine-side half of the lock acquisition invariant (== lock.grants.total
+  // when this engine owns its lock manager exclusively).
+  struct MetricHandles {
+    metrics::Counter* lock_acquisitions = nullptr;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace tdp::pg

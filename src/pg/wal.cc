@@ -14,6 +14,21 @@ WalManager::WalManager(WalConfig config) : config_(config) {
     disk.seed += static_cast<uint64_t>(i) * 101;
     sets_.push_back(std::make_unique<LogSet>(disk));
   }
+
+  auto& reg = metrics::Registry::Global();
+  m_.commits = reg.GetCounter("wal.commits");
+  m_.commit_bytes = reg.GetCounter("wal.commit_bytes");
+  m_.blocks_written = reg.GetCounter("wal.blocks_written");
+  m_.bytes_written = reg.GetCounter("wal.bytes_written");
+  m_.second_log_used = reg.GetCounter("wal.second_log_used");
+  m_.io_retries = reg.GetCounter("wal.io_retries");
+  m_.io_errors = reg.GetCounter("wal.io_errors");
+  m_.degraded_commits = reg.GetCounter("wal.degraded_commits");
+  m_.queue_depth.reserve(sets_.size());
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    m_.queue_depth.push_back(
+        reg.GetHistogram("wal.queue_depth.set" + std::to_string(i)));
+  }
 }
 
 Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
@@ -30,6 +45,7 @@ Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
       if (attempts > 1) {
         stats_.io_retries.fetch_add(static_cast<uint64_t>(attempts - 1),
                                     std::memory_order_relaxed);
+        metrics::Inc(m_.io_retries, static_cast<uint64_t>(attempts - 1));
       }
     } while (!s.ok() && !config_.degrade_on_stall);
     return s;
@@ -38,17 +54,25 @@ Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
     Status s = attempt_op([&] { return set->disk.Write(config_.block_bytes); });
     if (!s.ok()) {
       stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.io_errors);
       return s;
     }
     stats_.blocks_written.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.blocks_written);
+    metrics::Inc(m_.bytes_written, config_.block_bytes);
   }
   Status s = attempt_op([&] { return set->disk.Flush(0); });
-  if (!s.ok()) stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+  if (!s.ok()) {
+    stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.io_errors);
+  }
   return s;
 }
 
 Status WalManager::CommitFlush(uint64_t bytes) {
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(m_.commits);
+  metrics::Inc(m_.commit_bytes, bytes);
 
   LogSet* chosen = nullptr;
   size_t chosen_index = 0;
@@ -93,8 +117,15 @@ Status WalManager::CommitFlush(uint64_t bytes) {
       }
       if (chosen_index > 0) {
         stats_.second_log_used.fetch_add(1, std::memory_order_relaxed);
+        metrics::Inc(m_.second_log_used);
       }
     }
+  }
+  if (chosen_index < m_.queue_depth.size()) {
+    // Device queue depth observed by each commit on its chosen set — the
+    // congestion signal parallel logging is meant to halve (Fig. 4).
+    metrics::Observe(m_.queue_depth[chosen_index],
+                     chosen->disk.queue_length());
   }
   if (config_.degrade_on_stall &&
       chosen->disk.StallRemainingNanos() > config_.io_retry.stall_deadline_ns) {
@@ -102,11 +133,15 @@ Status WalManager::CommitFlush(uint64_t bytes) {
     // rather than freezing the committer with it.
     chosen->mu.unlock();
     stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.degraded_commits);
     return Status::Busy("wal device stalled; synchronous flush skipped");
   }
   const Status s = WriteAndFlush(chosen, bytes);
   chosen->mu.unlock();
-  if (!s.ok()) stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+  if (!s.ok()) {
+    stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.degraded_commits);
+  }
   return s;
 }
 

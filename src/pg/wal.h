@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/sim_disk.h"
 
 namespace tdp::pg {
@@ -81,6 +82,25 @@ class WalManager {
   WalConfig config_;
   std::vector<std::unique_ptr<LogSet>> sets_;
   Stats stats_;
+  // Registry handles (null when metrics are disarmed or compiled out).
+  // `wal.commit_bytes` is requested payload; `wal.bytes_written` is the
+  // block-aligned on-device total (blocks * block_bytes), so
+  // wal.bytes_written == wal.blocks_written * block_bytes always, and the
+  // block-rounding invariant (blocks == sum of ceil(bytes/block)) is
+  // checkable from a snapshot. One queue-depth histogram per log set shows
+  // how parallel logging spreads the flush traffic.
+  struct MetricHandles {
+    metrics::Counter* commits = nullptr;
+    metrics::Counter* commit_bytes = nullptr;
+    metrics::Counter* blocks_written = nullptr;
+    metrics::Counter* bytes_written = nullptr;
+    metrics::Counter* second_log_used = nullptr;
+    metrics::Counter* io_retries = nullptr;
+    metrics::Counter* io_errors = nullptr;
+    metrics::Counter* degraded_commits = nullptr;
+    std::vector<Histogram*> queue_depth;  ///< wal.queue_depth.set<i>
+  };
+  MetricHandles m_;
 };
 
 }  // namespace tdp::pg

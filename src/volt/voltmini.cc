@@ -1,5 +1,6 @@
 #include "volt/voltmini.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "tprofiler/profiler.h"
@@ -17,6 +18,18 @@ VoltMini::VoltMini(VoltMiniConfig config) : config_(config) {
   partition_mu_.reserve(config_.num_partitions);
   for (int i = 0; i < config_.num_partitions; ++i)
     partition_mu_.push_back(std::make_unique<std::mutex>());
+
+  auto& reg = metrics::Registry::Global();
+  m_.submits = reg.GetCounter("volt.submits");
+  m_.completions = reg.GetCounter("volt.completions");
+  m_.queue_depth = reg.GetGauge("volt.queue_depth");
+  m_.queue_wait_ns = reg.GetHistogram("volt.queue_wait_ns");
+  m_.exec_ns = reg.GetHistogram("volt.exec_ns");
+  m_.worker_busy_ns.reserve(config_.num_workers);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    m_.worker_busy_ns.push_back(
+        reg.GetCounter("volt.worker" + std::to_string(i) + ".busy_ns"));
+  }
 }
 
 VoltMini::~VoltMini() { Stop(); }
@@ -29,7 +42,7 @@ void VoltMini::Start() {
   }
   workers_.reserve(config_.num_workers);
   for (int i = 0; i < config_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -61,6 +74,8 @@ std::shared_ptr<VoltMini::Ticket> VoltMini::Submit(int partition,
     std::lock_guard<std::mutex> g(queue_mu_);
     queue_.push_back(Task{partition, std::move(proc), ticket});
   }
+  metrics::Inc(m_.submits);
+  metrics::GaugeAdd(m_.queue_depth, 1);
   queue_cv_.notify_one();
   return ticket;
 }
@@ -77,7 +92,12 @@ size_t VoltMini::QueueDepth() const {
   return queue_.size();
 }
 
-void VoltMini::WorkerLoop() {
+void VoltMini::WorkerLoop(int worker_index) {
+  metrics::Counter* busy_ns =
+      worker_index >= 0 &&
+              worker_index < static_cast<int>(m_.worker_busy_ns.size())
+          ? m_.worker_busy_ns[worker_index]
+          : nullptr;
   for (;;) {
     Task task;
     {
@@ -90,6 +110,7 @@ void VoltMini::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    metrics::GaugeAdd(m_.queue_depth, -1);
     task.ticket->dequeue_ns = NowNanos();
     tprof::Profiler& prof = tprof::Profiler::Instance();
     if (prof.active()) prof.IntervalBegin(task.ticket->txn_id);
@@ -101,6 +122,12 @@ void VoltMini::WorkerLoop() {
     }
     if (prof.active()) prof.IntervalEnd();
     task.ticket->done_ns = NowNanos();
+    metrics::Inc(m_.completions);
+    metrics::Observe(m_.queue_wait_ns, task.ticket->queue_wait_ns());
+    metrics::Observe(m_.exec_ns, task.ticket->exec_ns());
+    metrics::Inc(busy_ns,
+                 static_cast<uint64_t>(
+                     std::max<int64_t>(0, task.ticket->exec_ns())));
     {
       std::lock_guard<std::mutex> g(task.ticket->mu);
       task.ticket->done = true;

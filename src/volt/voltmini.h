@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "storage/catalog.h"
 
 namespace tdp::volt {
@@ -85,10 +86,24 @@ class VoltMini {
     std::shared_ptr<Ticket> ticket;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   VoltMiniConfig config_;
   storage::Catalog catalog_;
+
+  // Registry handles (null when metrics are disarmed or compiled out). The
+  // queue gauge tracks live depth (+1 submit, -1 dequeue); the wait/exec
+  // histograms publish the Ticket decomposition the paper's Fig. 7 uses;
+  // per-worker busy-time counters expose scheduling skew across the pool.
+  struct MetricHandles {
+    metrics::Counter* submits = nullptr;
+    metrics::Counter* completions = nullptr;
+    metrics::Gauge* queue_depth = nullptr;
+    Histogram* queue_wait_ns = nullptr;
+    Histogram* exec_ns = nullptr;
+    std::vector<metrics::Counter*> worker_busy_ns;  ///< volt.worker<i>.busy_ns
+  };
+  MetricHandles m_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

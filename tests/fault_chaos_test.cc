@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "engine/mysqlmini.h"
 #include "tprofiler/analysis.h"
 #include "tprofiler/profiler.h"
@@ -123,6 +124,65 @@ TEST(FaultChaosTest, DisarmedInjectorChangesNothing) {
   EXPECT_EQ(db.buffer_pool().stats().read_failures.load(), 0u);
   EXPECT_EQ(db.buffer_pool().stats().writeback_failures.load(), 0u);
   EXPECT_EQ(inj.stats().stalls.load(), 0u);
+}
+
+TEST(FaultChaosTest, RegistryMirrorsInjectorStats) {
+#ifdef TDP_METRICS_DISABLED
+  GTEST_SKIP() << "metrics compiled out";
+#else
+  metrics::Registry::Global().ResetAll();  // quiesced: private deltas below
+
+  // Latency spikes plus probabilistic write errors on the log device: the
+  // spikes drive the fault.spikes counter, the write errors drive retries
+  // through every RetryIo site on the commit path.
+  FaultInjector inj;
+  inj.AddLatencySpike(0, MillisToNanos(20000), 10.0);
+  inj.AddWriteError(0, MillisToNanos(20000), 0.3);
+
+  engine::MySQLMini db(ChaosEngine(&inj));
+  workload::TpccConfig tcfg;
+  tcfg.warehouses = 4;
+  workload::Tpcc tpcc(tcfg);
+  tpcc.Load(&db);
+
+  workload::DriverConfig dcfg;
+  dcfg.tps = 1200;
+  dcfg.connections = 16;
+  dcfg.num_txns = 600;
+  dcfg.warmup_txns = 0;
+  inj.Arm();
+  const workload::RunResult result = RunConstantRate(&db, &tpcc, dcfg);
+  inj.Disarm();
+
+  EXPECT_GT(result.committed, 400u);
+  const metrics::MetricsSnapshot snap =
+      metrics::Registry::Global().TakeSnapshot();
+  // Every injector-side event count has an identical registry mirror.
+  EXPECT_EQ(snap.counter("fault.spikes"), inj.stats().spikes.load());
+  EXPECT_EQ(snap.counter("fault.stalls"), inj.stats().stalls.load());
+  EXPECT_EQ(snap.counter("fault.write_errors"),
+            inj.stats().write_errors.load());
+  EXPECT_EQ(snap.counter("fault.torn_flushes"),
+            inj.stats().torn_flushes.load());
+  EXPECT_EQ(snap.counter("fault.read_errors"),
+            inj.stats().read_errors.load());
+  EXPECT_GT(snap.counter("fault.spikes"), 0u);
+  EXPECT_GT(snap.counter("fault.write_errors"), 0u);
+
+  // The process-wide RetryIo counter decomposes exactly into the
+  // per-subsystem retry counters (this engine has no WAL).
+  EXPECT_EQ(snap.counter("io.retries"),
+            snap.counter("log.io_retries") + snap.counter("buf.io_retries"));
+  EXPECT_GT(snap.counter("io.retries"), 0u);
+
+  // Registry mirrors of the engine-side stats structs stay exact, too.
+  EXPECT_EQ(snap.counter("log.io_retries"),
+            db.redo_log().stats().io_retries.load());
+  EXPECT_EQ(snap.counter("log.degraded_commits"),
+            db.redo_log().stats().degraded_commits.load());
+  EXPECT_EQ(snap.counter("buf.io_retries"),
+            db.buffer_pool().stats().io_retries.load());
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+// Correctness of the tdp::metrics registry itself: exact concurrent sums,
+// torn-safe snapshots while writers run, and the disarmed registry's
+// no-allocation guarantee (docs/metrics.md).
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace tdp::metrics {
+namespace {
+
+#ifndef TDP_METRICS_DISABLED
+
+TEST(MetricsRegistryTest, InterningReturnsStableHandles) {
+  Registry r;
+  Counter* a = r.GetCounter("test.a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, r.GetCounter("test.a"));
+  EXPECT_NE(a, r.GetCounter("test.b"));
+  // The same dotted name may exist as every kind; they are distinct metrics.
+  EXPECT_NE(r.GetGauge("test.a"), nullptr);
+  EXPECT_NE(r.GetHistogram("test.a"), nullptr);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrementsSumExactly) {
+  Registry r;
+  Counter* c = r.GetCounter("test.sum");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 200000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, t] {
+      // Mix unit and bulk increments so the test covers both Add forms.
+      for (uint64_t i = 0; i < kPerThread; ++i) Inc(c, (t % 2 == 0) ? 1 : 3);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const uint64_t ones = (kThreads / 2) * kPerThread;
+  const uint64_t threes = (kThreads - kThreads / 2) * kPerThread * 3;
+  EXPECT_EQ(c->value(), ones + threes);
+  EXPECT_EQ(r.TakeSnapshot().counter("test.sum"), ones + threes);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGaugeBalancedUpdatesReturnToZero) {
+  Registry r;
+  Gauge* g = r.GetGauge("test.depth");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        GaugeAdd(g, 2);
+        GaugeAdd(g, -2);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_GE(g->max_seen(), 2);
+  EXPECT_LE(g->max_seen(), 2 * kThreads);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHistogramObservationsCountExactly) {
+  Registry r;
+  Histogram* h = r.GetHistogram("test.lat");
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i)
+        Observe(h, 1000 + 100 * t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot snap = r.TakeSnapshot().histogram("test.lat");
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileWritingIsTornSafe) {
+  Registry r;
+  Counter* c = r.GetCounter("test.c");
+  Gauge* g = r.GetGauge("test.g");
+  Histogram* h = r.GetHistogram("test.h");
+  constexpr int64_t kValue = 5000;  // constant, so every percentile is known
+  Histogram reference;
+  reference.Add(kValue);
+  const int64_t expected_p50 = reference.Percentile(50);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Inc(c);
+        GaugeAdd(g, 1);
+        Observe(h, kValue);
+        GaugeAdd(g, -1);
+      }
+    });
+  }
+  uint64_t prev_count = 0;
+  uint64_t prev_hist = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const MetricsSnapshot snap = r.TakeSnapshot();
+    // Counters are monotone across snapshots; no out-of-thin-air values.
+    const uint64_t now = snap.counter("test.c");
+    ASSERT_GE(now, prev_count);
+    prev_count = now;
+    const HistogramSnapshot hs = snap.histogram("test.h");
+    ASSERT_GE(hs.count, prev_hist);
+    prev_hist = hs.count;
+    // Every observation is kValue, so any torn-safe snapshot keeps the mean
+    // in [0, max] and the median inside kValue's own bucket.
+    ASSERT_GE(hs.mean(), 0.0);
+    if (hs.count > 0) {
+      ASSERT_LE(hs.mean(), static_cast<double>(hs.max));
+      ASSERT_EQ(hs.Percentile(50), expected_p50);
+    }
+    const MetricsSnapshot::GaugeValue gv = snap.gauge("test.g");
+    ASSERT_GE(gv.value, 0);
+    ASSERT_LE(gv.value, 4);
+    ASSERT_LE(gv.max, 4);
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+}
+
+TEST(MetricsRegistryTest, DeltaSubtractsExactly) {
+  Registry r;
+  Counter* c = r.GetCounter("test.c");
+  Gauge* g = r.GetGauge("test.g");
+  Histogram* h = r.GetHistogram("test.h");
+  c->Add(10);
+  g->Add(3);
+  h->Add(100);
+  h->Add(200);
+  const MetricsSnapshot before = r.TakeSnapshot();
+  c->Add(7);
+  g->Add(2);
+  h->Add(300);
+  const MetricsSnapshot after = r.TakeSnapshot();
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(before, after);
+  EXPECT_EQ(delta.counter("test.c"), 7u);
+  // Gauges are levels, not totals: the delta keeps `after`'s state.
+  EXPECT_EQ(delta.gauge("test.g").value, 5);
+  EXPECT_EQ(delta.histogram("test.h").count, 1u);
+}
+
+TEST(MetricsRegistryTest, DisarmedRegistryInternsNothing) {
+  Registry r;
+  Counter* armed = r.GetCounter("test.before");
+  ASSERT_NE(armed, nullptr);
+  r.SetArmed(false);
+  // Disarmed acquisition returns null and allocates no registry entry.
+  EXPECT_EQ(r.GetCounter("test.skipped"), nullptr);
+  EXPECT_EQ(r.GetGauge("test.skipped"), nullptr);
+  EXPECT_EQ(r.GetHistogram("test.skipped"), nullptr);
+  EXPECT_EQ(r.size(), 1u);
+  // The helpers tolerate null handles: these must be no-ops, not crashes.
+  Inc(nullptr);
+  GaugeAdd(nullptr, 1);
+  Observe(nullptr, 1);
+  // Handles acquired while armed keep working after disarm (arming is
+  // sampled at acquisition time only).
+  Inc(armed, 5);
+  EXPECT_EQ(armed->value(), 5u);
+  r.SetArmed(true);
+  EXPECT_NE(r.GetCounter("test.after"), nullptr);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsHandles) {
+  Registry r;
+  Counter* c = r.GetCounter("test.c");
+  Gauge* g = r.GetGauge("test.g");
+  Histogram* h = r.GetHistogram("test.h");
+  c->Add(9);
+  g->Add(4);
+  h->Add(123);
+  r.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(g->max_seen(), 0);
+  EXPECT_EQ(r.TakeSnapshot().histogram("test.h").count, 0u);
+  c->Add(1);  // the old handle still feeds the same metric
+  EXPECT_EQ(r.TakeSnapshot().counter("test.c"), 1u);
+}
+
+#else  // TDP_METRICS_DISABLED
+
+TEST(MetricsRegistryTest, CompiledOutRegistryAllocatesNothing) {
+  Registry r;
+  EXPECT_EQ(r.GetCounter("test.a"), nullptr);
+  EXPECT_EQ(r.GetGauge("test.a"), nullptr);
+  EXPECT_EQ(r.GetHistogram("test.a"), nullptr);
+  EXPECT_EQ(r.size(), 0u);
+  Inc(nullptr);
+  GaugeAdd(nullptr, 1);
+  Observe(nullptr, 1);
+}
+
+#endif
+
+}  // namespace
+}  // namespace tdp::metrics

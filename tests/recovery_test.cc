@@ -1,9 +1,12 @@
-// Crash recovery: logical redo capture + replay (RecoverInto).
+// Crash recovery: logical redo capture + replay (RecoverInto), including
+// recovery under injected torn flushes (the durable-prefix contract).
 #include <gtest/gtest.h>
 
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/metrics.h"
 #include "engine/mysqlmini.h"
 #include "workload/driver.h"
 #include "workload/tpcc.h"
@@ -179,6 +182,90 @@ TEST(RecoveryTest, ConcurrentTransfersRecoverConsistently) {
   }
   ASSERT_TRUE(check->Commit().ok());
   EXPECT_EQ(total, int64_t{kAccounts} * kInitial);  // money conserved
+}
+
+// Fault-injection × recovery combo: with torn flushes armed past the retry
+// budget, degraded commits stay undurable, and RecoverInto reconstructs
+// exactly the durable prefix — while the injector's event counters and the
+// RetryIo-side retry counters stay in exact agreement.
+TEST(RecoveryFaultComboTest, TornFlushRecoversExactlyTheDurablePrefix) {
+#ifndef TDP_METRICS_DISABLED
+  metrics::Registry::Global().ResetAll();  // quiesced: private deltas below
+#endif
+  FaultInjector inj;
+  // Torn with certainty for the whole phase-2 window, so every flush
+  // attempt fails and every phase-2 commit degrades.
+  inj.AddTornFlush(0, MillisToNanos(60000), 1.0);
+
+  MySQLMiniConfig cfg = RecoveryConfig(log::FlushPolicy::kEagerFlush);
+  cfg.log_group_commit = false;           // per-commit fsync: 1 flush/commit
+  cfg.log_fallback_lazy_on_stall = true;  // degrade instead of retry forever
+  // The flusher keeps running (Stop() joins it, so the interval must stay
+  // small); inside the torn window its rounds fail too, leaving the
+  // durable horizon exactly where phase 1 put it.
+  cfg.flusher_interval_ns = MillisToNanos(50);
+  cfg.io_retry.max_attempts = 2;
+  cfg.io_retry.backoff_ns = 1000;
+  cfg.log_disk.fault = &inj;
+  MySQLMini db(cfg);
+  CreateSchema(&db);
+  const uint32_t acct = db.TableId("acct");
+  constexpr int kRows = 10, kDurable = 5;
+  for (int a = 0; a < kRows; ++a) db.BulkUpsert(acct, a, storage::Row{100});
+
+  auto conn = db.Connect();
+  // Phase 1 (no faults yet): commits fsync synchronously and are durable.
+  for (int a = 0; a < kDurable; ++a) {
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(conn->Update(acct, a, 0, a + 1).ok());
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+  ASSERT_EQ(db.redo_log().durable_lsn(), static_cast<uint64_t>(kDurable));
+
+  inj.Arm();
+  // Phase 2: every flush tears; commits degrade (client still sees OK, as
+  // with synchronous_commit=off) and stay past the durable horizon.
+  for (int a = kDurable; a < kRows; ++a) {
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(conn->Update(acct, a, 0, a + 1).ok());
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+  EXPECT_EQ(db.redo_log().durable_lsn(), static_cast<uint64_t>(kDurable));
+
+  const auto recovered = db.redo_log().RecoverCommitted();
+  ASSERT_EQ(recovered.size(), static_cast<size_t>(kDurable));
+
+  MySQLMini fresh(RecoveryConfig(log::FlushPolicy::kEagerFlush));
+  CreateSchema(&fresh);
+  for (int a = 0; a < kRows; ++a) fresh.BulkUpsert(acct, a, storage::Row{100});
+  MySQLMini::RecoverInto(recovered, &fresh);
+  auto check = fresh.Connect();
+  ASSERT_TRUE(check->Begin().ok());
+  for (int a = 0; a < kRows; ++a) {
+    const int64_t expect = a < kDurable ? 100 + a + 1 : 100;
+    EXPECT_EQ(*check->ReadColumn(acct, a, 0), expect) << "row " << a;
+  }
+  ASSERT_TRUE(check->Commit().ok());
+
+  // Five commit rounds of two torn attempts each, plus however many rounds
+  // the background flusher lost to the same window.
+  EXPECT_GE(inj.stats().torn_flushes.load(),
+            static_cast<uint64_t>(2 * (kRows - kDurable)));
+#ifndef TDP_METRICS_DISABLED
+  const metrics::MetricsSnapshot snap =
+      metrics::Registry::Global().TakeSnapshot();
+  EXPECT_EQ(snap.counter("fault.torn_flushes"),
+            inj.stats().torn_flushes.load());
+  // With torn flushes as the only fault, every failed flush attempt is
+  // either a RetryIo retry or the round's terminal I/O error.
+  EXPECT_EQ(snap.counter("fault.torn_flushes"),
+            snap.counter("log.io_retries") + snap.counter("log.io_errors"));
+  // The process-wide RetryIo counter saw the same retries (no other disk
+  // had faults armed).
+  EXPECT_EQ(snap.counter("io.retries"), snap.counter("log.io_retries"));
+  EXPECT_EQ(snap.counter("log.degraded_commits"),
+            static_cast<uint64_t>(kRows - kDurable));
+#endif
 }
 
 }  // namespace

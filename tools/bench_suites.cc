@@ -1,0 +1,447 @@
+#include "tools/bench_suites.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "core/toolkit.h"
+#include "engine/mysqlmini.h"
+#include "pg/pgmini.h"
+#include "volt/voltmini.h"
+#include "workload/tpcc.h"
+
+namespace tdp::tools {
+namespace {
+
+// Suite experiments are sized so the whole smoke suite finishes well under
+// the 60 s ctest budget in quick mode while still driving every counter the
+// invariants check; the full-size runs are for humans comparing BENCH_*.json
+// across commits.
+uint64_t SuiteN(uint64_t full) { return bench::QuickMode() ? full / 10 : full; }
+
+/// Runs `body`, brackets it with registry snapshots, and returns the
+/// experiment object carrying the latency metrics and the registry delta.
+/// `params` rides along so CheckInvariants can see the configuration
+/// (e.g. the WAL block size) without re-deriving it.
+template <typename Body>
+json::Value RunExperiment(const std::string& name, const std::string& engine,
+                          json::Value params, Body&& body) {
+  metrics::Registry& reg = metrics::Registry::Global();
+  const metrics::MetricsSnapshot before = reg.TakeSnapshot();
+  const core::Metrics m = body();
+  const metrics::MetricsSnapshot after = reg.TakeSnapshot();
+
+  json::Value e = json::Value::Object();
+  e.Set("name", json::Value::Str(name));
+  e.Set("engine", json::Value::Str(engine));
+  e.Set("params", std::move(params));
+  e.Set("latency", bench::MetricsToJson(m));
+  e.Set("metrics", bench::SnapshotToJson(
+                       metrics::MetricsSnapshot::Delta(before, after)));
+  return e;
+}
+
+core::Metrics RunMysql(engine::MySQLMiniConfig cfg, workload::TpccConfig tcfg,
+                       workload::DriverConfig driver) {
+  engine::MySQLMini db(cfg);
+  workload::Tpcc wl(tcfg);
+  return core::LoadAndRun(&db, &wl, driver).metrics;
+}
+
+core::Metrics RunPg(pg::PgMiniConfig cfg, workload::TpccConfig tcfg,
+                    workload::DriverConfig driver) {
+  pg::PgMini db(cfg);
+  workload::Tpcc wl(tcfg);
+  return core::LoadAndRun(&db, &wl, driver).metrics;
+}
+
+/// Open-loop voltmini run mirroring bench_fig6_outofbox's third leg, sized
+/// down: paced submissions of sleep-procedures across 8 partitions.
+core::Metrics RunVolt(int workers, uint64_t n) {
+  volt::VoltMini db(core::Toolkit::VoltDefault(workers));
+  db.Start();
+  Rng rng(29);
+  std::vector<std::shared_ptr<volt::VoltMini::Ticket>> tickets;
+  const int64_t gap_ns = 500000;  // 2000/s of ~0.4 ms work: ~40% utilization
+  int64_t next = NowNanos();
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t now = NowNanos();
+    if (next > now)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(next - now));
+    next += gap_ns;
+    const int64_t service_us = 200 + static_cast<int64_t>(rng.Uniform(400));
+    tickets.push_back(db.Submit(static_cast<int>(rng.Uniform(8)), [service_us] {
+      std::this_thread::sleep_for(std::chrono::microseconds(service_us));
+    }));
+  }
+  std::vector<int64_t> lat;
+  for (auto& t : tickets) {
+    t->Wait();
+    lat.push_back(t->latency_ns());
+  }
+  db.Stop();
+  return core::Metrics::FromLatencies(lat);
+}
+
+json::Value MysqlParams(bool eager_flush, bool lazy_lru) {
+  json::Value p = json::Value::Object();
+  // Redo-bytes accounting is only exact when every commit waits for its
+  // flush; lazy policies legitimately leave a tail unflushed at quiesce.
+  p.Set("check_redo_bytes", json::Value::Bool(eager_flush));
+  p.Set("lazy_lru", json::Value::Bool(lazy_lru));
+  return p;
+}
+
+json::Value PgParams(uint64_t block_bytes) {
+  json::Value p = json::Value::Object();
+  p.Set("wal_block_bytes", json::Value::Int(static_cast<int64_t>(block_bytes)));
+  return p;
+}
+
+json::Value Fig2Experiment(lock::SchedulerPolicy policy, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  return RunExperiment(
+      std::string("fig2.") + lock::SchedulerPolicyName(policy), "mysqlmini",
+      MysqlParams(/*eager_flush=*/true, /*lazy_lru=*/false), [&] {
+        return RunMysql(core::Toolkit::MysqlDefault(policy),
+                        core::Toolkit::TpccContended(), driver);
+      });
+}
+
+json::Value Fig3LluExperiment(bool lazy, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.tps = 420;
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  return RunExperiment(lazy ? "fig3.llu" : "fig3.original_lru", "mysqlmini",
+                       MysqlParams(/*eager_flush=*/true, lazy), [&] {
+                         engine::MySQLMiniConfig cfg =
+                             core::Toolkit::MysqlMemoryContended(
+                                 lock::SchedulerPolicy::kFCFS);
+                         cfg.lazy_lru = lazy;
+                         return RunMysql(cfg, core::Toolkit::Tpcc2WH(),
+                                         driver);
+                       });
+}
+
+json::Value Fig3FlushExperiment(log::FlushPolicy policy, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  return RunExperiment(
+      std::string("fig3.flush_") + log::FlushPolicyName(policy), "mysqlmini",
+      MysqlParams(policy == log::FlushPolicy::kEagerFlush,
+                  /*lazy_lru=*/false),
+      [&] {
+        engine::MySQLMiniConfig cfg =
+            core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS);
+        cfg.flush_policy = policy;
+        return RunMysql(cfg, core::Toolkit::TpccContended(), driver);
+      });
+}
+
+json::Value Fig4Experiment(bool parallel, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.tps = 350;
+  driver.connections = 128;
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  const pg::PgMiniConfig cfg = core::Toolkit::PgDefault(parallel);
+  return RunExperiment(parallel ? "fig4.parallel_logging" : "fig4.single_wal",
+                       "pgmini", PgParams(cfg.wal.block_bytes), [&] {
+                         workload::TpccConfig tcfg;
+                         tcfg.warehouses = 4;
+                         return RunPg(cfg, tcfg, driver);
+                       });
+}
+
+json::Value Fig6VoltExperiment(uint64_t n) {
+  return RunExperiment("fig6.voltmini", "voltmini", json::Value::Object(),
+                       [&] { return RunVolt(/*workers=*/2, n); });
+}
+
+json::Value SuiteDoc(const std::string& suite) {
+  json::Value doc = json::Value::Object();
+  doc.Set("schema_version", json::Value::Int(1));
+  doc.Set("suite", json::Value::Str(suite));
+  doc.Set("quick", json::Value::Bool(bench::QuickMode()));
+  return doc;
+}
+
+}  // namespace
+
+std::vector<std::string> ListSuites() {
+  return {"smoke", "fig2", "fig3", "fig4", "fig6"};
+}
+
+bool HasSuite(const std::string& suite) {
+  for (const std::string& s : ListSuites())
+    if (s == suite) return true;
+  return false;
+}
+
+json::Value RunSuite(const std::string& suite) {
+  assert(HasSuite(suite) && "unknown suite");
+  json::Value doc = SuiteDoc(suite);
+  json::Value experiments = json::Value::Array();
+
+  if (suite == "smoke") {
+    // One small experiment per paper figure, covering all three engines and
+    // every instrumented subsystem: lock scheduling (fig2), the buffer
+    // pool's lazy LRU (fig3), parallel WAL logging (fig4), and the
+    // out-of-box voltmini queue (fig6).
+    const uint64_t n = SuiteN(4000);
+    experiments.Append(Fig2Experiment(lock::SchedulerPolicy::kFCFS, n));
+    experiments.Append(Fig2Experiment(lock::SchedulerPolicy::kVATS, n));
+    experiments.Append(Fig3LluExperiment(/*lazy=*/false, SuiteN(2500)));
+    experiments.Append(Fig3LluExperiment(/*lazy=*/true, SuiteN(2500)));
+    experiments.Append(Fig4Experiment(/*parallel=*/false, SuiteN(3000)));
+    experiments.Append(Fig4Experiment(/*parallel=*/true, SuiteN(3000)));
+    experiments.Append(Fig6VoltExperiment(SuiteN(3000)));
+  } else if (suite == "fig2") {
+    const uint64_t n = SuiteN(8000);
+    experiments.Append(Fig2Experiment(lock::SchedulerPolicy::kFCFS, n));
+    experiments.Append(Fig2Experiment(lock::SchedulerPolicy::kVATS, n));
+    experiments.Append(Fig2Experiment(lock::SchedulerPolicy::kRS, n));
+    experiments.Append(Fig2Experiment(lock::SchedulerPolicy::kCATS, n));
+  } else if (suite == "fig3") {
+    experiments.Append(Fig3LluExperiment(/*lazy=*/false, SuiteN(5000)));
+    experiments.Append(Fig3LluExperiment(/*lazy=*/true, SuiteN(5000)));
+    const uint64_t n = SuiteN(8000);
+    experiments.Append(Fig3FlushExperiment(log::FlushPolicy::kEagerFlush, n));
+    experiments.Append(Fig3FlushExperiment(log::FlushPolicy::kLazyFlush, n));
+    experiments.Append(Fig3FlushExperiment(log::FlushPolicy::kLazyWrite, n));
+  } else if (suite == "fig4") {
+    experiments.Append(Fig4Experiment(/*parallel=*/false, SuiteN(6000)));
+    experiments.Append(Fig4Experiment(/*parallel=*/true, SuiteN(6000)));
+  } else {  // fig6
+    const uint64_t n = SuiteN(6000);
+    workload::DriverConfig driver = core::Toolkit::DriverDefault();
+    driver.num_txns = n;
+    driver.warmup_txns = n / 10;
+    experiments.Append(RunExperiment(
+        "fig6.mysqlmini", "mysqlmini",
+        MysqlParams(/*eager_flush=*/true, /*lazy_lru=*/false), [&] {
+          return RunMysql(
+              core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS),
+              core::Toolkit::TpccContended(), driver);
+        }));
+    workload::DriverConfig pg_driver = core::Toolkit::DriverDefault();
+    pg_driver.tps = 350;
+    pg_driver.connections = 128;
+    pg_driver.num_txns = n;
+    pg_driver.warmup_txns = n / 10;
+    const pg::PgMiniConfig pg_cfg = core::Toolkit::PgDefault();
+    experiments.Append(RunExperiment("fig6.pgmini", "pgmini",
+                                     PgParams(pg_cfg.wal.block_bytes), [&] {
+                                       workload::TpccConfig tcfg;
+                                       tcfg.warehouses = 4;
+                                       return RunPg(pg_cfg, tcfg, pg_driver);
+                                     }));
+    experiments.Append(Fig6VoltExperiment(n));
+  }
+
+  doc.Set("experiments", std::move(experiments));
+  return doc;
+}
+
+// --- schema validation -------------------------------------------------------
+
+namespace {
+
+const char* TypeName(json::Value::Type t) {
+  switch (t) {
+    case json::Value::Type::kNull: return "null";
+    case json::Value::Type::kBool: return "bool";
+    case json::Value::Type::kNumber: return "number";
+    case json::Value::Type::kString: return "string";
+    case json::Value::Type::kArray: return "array";
+    case json::Value::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+bool MatchesLeaf(const json::Value& v, const std::string& want) {
+  if (want == "number") return v.is_number();
+  if (want == "int")
+    return v.is_number() && v.as_number() == static_cast<double>(v.as_int());
+  if (want == "bool") return v.is_bool();
+  if (want == "string") return v.is_string();
+  if (want == "object") return v.is_object();
+  if (want == "array") return v.is_array();
+  return false;  // unknown type name in the schema: always a problem
+}
+
+void Validate(const json::Value& doc, const json::Value& schema,
+              const std::string& path, std::vector<std::string>* problems) {
+  if (schema.is_string()) {
+    if (!MatchesLeaf(doc, schema.as_string())) {
+      problems->push_back(path + ": expected " + schema.as_string() +
+                          ", got " + TypeName(doc.type()));
+    }
+    return;
+  }
+  if (schema.is_object()) {
+    if (!doc.is_object()) {
+      problems->push_back(path + ": expected object, got " +
+                          TypeName(doc.type()));
+      return;
+    }
+    for (const auto& [key, sub] : schema.members()) {
+      const json::Value* member = doc.Find(key);
+      if (member == nullptr) {
+        problems->push_back(path + ": missing required key \"" + key + "\"");
+        continue;
+      }
+      Validate(*member, sub, path + "." + key, problems);
+    }
+    return;
+  }
+  if (schema.is_array()) {
+    if (!doc.is_array()) {
+      problems->push_back(path + ": expected array, got " +
+                          TypeName(doc.type()));
+      return;
+    }
+    if (schema.size() != 1) return;  // unconstrained element shape
+    for (size_t i = 0; i < doc.items().size(); ++i) {
+      Validate(doc.items()[i], schema.items()[0],
+               path + "[" + std::to_string(i) + "]", problems);
+    }
+    return;
+  }
+  problems->push_back(path + ": unsupported schema node");
+}
+
+}  // namespace
+
+std::vector<std::string> ValidateAgainstSchema(const json::Value& doc,
+                                               const json::Value& schema) {
+  std::vector<std::string> problems;
+  Validate(doc, schema, "$", &problems);
+  return problems;
+}
+
+// --- invariant checks --------------------------------------------------------
+
+namespace {
+
+int64_t Counter(const json::Value& exp, const std::string& name) {
+  const json::Value* metrics = exp.Find("metrics");
+  const json::Value* counters =
+      metrics != nullptr ? metrics->Find("counters") : nullptr;
+  const json::Value* c = counters != nullptr ? counters->Find(name) : nullptr;
+  return c != nullptr && c->is_number() ? c->as_int() : -1;
+}
+
+int64_t GaugeValue(const json::Value& exp, const std::string& name) {
+  const json::Value* metrics = exp.Find("metrics");
+  const json::Value* gauges =
+      metrics != nullptr ? metrics->Find("gauges") : nullptr;
+  const json::Value* g = gauges != nullptr ? gauges->Find(name) : nullptr;
+  const json::Value* v = g != nullptr ? g->Find("value") : nullptr;
+  return v != nullptr && v->is_number() ? v->as_int() : INT64_MIN;
+}
+
+bool ParamBool(const json::Value& exp, const std::string& name) {
+  const json::Value* params = exp.Find("params");
+  const json::Value* p = params != nullptr ? params->Find(name) : nullptr;
+  return p != nullptr && p->is_bool() && p->as_bool();
+}
+
+int64_t ParamInt(const json::Value& exp, const std::string& name) {
+  const json::Value* params = exp.Find("params");
+  const json::Value* p = params != nullptr ? params->Find(name) : nullptr;
+  return p != nullptr && p->is_number() ? p->as_int() : -1;
+}
+
+void RequireEq(const json::Value& exp, const std::string& what, int64_t lhs,
+               int64_t rhs, std::vector<std::string>* problems) {
+  const json::Value* name = exp.Find("name");
+  if (lhs != rhs) {
+    problems->push_back(
+        (name != nullptr ? name->as_string() : std::string("?")) + ": " +
+        what + " (" + std::to_string(lhs) + " != " + std::to_string(rhs) +
+        ")");
+  }
+}
+
+void RequirePositive(const json::Value& exp, const std::string& counter,
+                     std::vector<std::string>* problems) {
+  const int64_t v = Counter(exp, counter);
+  if (v <= 0) {
+    const json::Value* name = exp.Find("name");
+    problems->push_back(
+        (name != nullptr ? name->as_string() : std::string("?")) + ": " +
+        counter + " should be positive, got " + std::to_string(v));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> CheckInvariants(const json::Value& doc) {
+  std::vector<std::string> problems;
+  const json::Value* experiments = doc.Find("experiments");
+  if (experiments == nullptr || !experiments->is_array()) {
+    problems.push_back("document has no experiments array");
+    return problems;
+  }
+  for (const json::Value& exp : experiments->items()) {
+    const json::Value* engine_v = exp.Find("engine");
+    const std::string engine =
+        engine_v != nullptr ? engine_v->as_string() : "";
+    if (engine == "mysqlmini") {
+      // Every lock the lock manager granted was observed by exactly one
+      // transaction, and vice versa.
+      RequireEq(exp, "lock.grants.total != mysql.lock_acquisitions",
+                Counter(exp, "lock.grants.total"),
+                Counter(exp, "mysql.lock_acquisitions"), &problems);
+      RequirePositive(exp, "lock.grants.total", &problems);
+      RequirePositive(exp, "buf.hits", &problems);
+      RequirePositive(exp, "log.commits", &problems);
+      if (ParamBool(exp, "check_redo_bytes") &&
+          Counter(exp, "log.degraded_commits") == 0) {
+        // Eager flush quiesces durable: bytes flushed == bytes committed.
+        RequireEq(exp, "log.bytes_written != mysql.redo_bytes",
+                  Counter(exp, "log.bytes_written"),
+                  Counter(exp, "mysql.redo_bytes"), &problems);
+      }
+      if (ParamBool(exp, "lazy_lru")) {
+        // Session teardown drains every thread-local LLU backlog.
+        RequireEq(exp, "buf.llu.backlog not drained at quiesce",
+                  GaugeValue(exp, "buf.llu.backlog"), 0, &problems);
+      }
+    } else if (engine == "pgmini") {
+      RequireEq(exp, "lock.grants.total != pg.lock_acquisitions",
+                Counter(exp, "lock.grants.total"),
+                Counter(exp, "pg.lock_acquisitions"), &problems);
+      RequirePositive(exp, "wal.commits", &problems);
+      const int64_t block = ParamInt(exp, "wal_block_bytes");
+      if (block > 0) {
+        // The WAL writes whole blocks: bytes is exactly blocks * block size.
+        RequireEq(exp, "wal.bytes_written != wal.blocks_written * block",
+                  Counter(exp, "wal.bytes_written"),
+                  Counter(exp, "wal.blocks_written") * block, &problems);
+      }
+    } else if (engine == "voltmini") {
+      RequireEq(exp, "volt.submits != volt.completions",
+                Counter(exp, "volt.submits"),
+                Counter(exp, "volt.completions"), &problems);
+      RequireEq(exp, "volt.queue_depth not drained at quiesce",
+                GaugeValue(exp, "volt.queue_depth"), 0, &problems);
+      RequirePositive(exp, "volt.submits", &problems);
+    }
+  }
+  return problems;
+}
+
+}  // namespace tdp::tools

@@ -12,6 +12,8 @@ BUILD_DIR=build-tsan
 # The races worth hunting live in the lock manager, buffer pool, log/WAL
 # group commit, and the fault-injection retry paths.
 TESTS=(
+  metrics_test
+  llu_backlog_property_test
   spinlock_test
   lock_manager_test
   scheduler_policy_test
