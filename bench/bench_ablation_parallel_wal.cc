@@ -4,7 +4,6 @@
 // returns beyond the point where the WALWriteLock stops being the
 // bottleneck.
 #include "bench/bench_util.h"
-#include "pg/pgmini.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -21,7 +20,7 @@ core::Metrics RunSets(int sets, uint64_t n) {
       [&](int) {
         pg::PgMiniConfig cfg = core::Toolkit::PgDefault(false);
         cfg.wal.num_log_sets = sets;
-        return std::make_unique<pg::PgMini>(cfg);
+        return bench::MustOpenPg(cfg);
       },
       [&](int) {
         // Four warehouses: row contention spread thin, so the WAL — global

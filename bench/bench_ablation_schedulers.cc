@@ -5,7 +5,6 @@
 //     of granting every waiter compatible with all locks in front of it
 //     (ablates the paper's implementation note in Section 5.2).
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -22,7 +21,7 @@ core::Metrics RunVariant(const char* label, lock::SchedulerPolicy policy,
         engine::MySQLMiniConfig cfg = core::Toolkit::MysqlDefault(policy);
         cfg.lock.grant_compatible_beyond_conflict =
             compatible_beyond_conflict;
-        return std::make_unique<engine::MySQLMini>(cfg);
+        return bench::MustOpenMysql(cfg);
       },
       [&](int) {
         return std::make_unique<workload::Tpcc>(

@@ -4,7 +4,6 @@
 // the full mix, showing the variance is a system pathology, not workload
 // skew.
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -20,7 +19,7 @@ core::Metrics RunMix(bool pure, uint64_t n) {
   driver.warmup_txns = n / 10;
   return bench::PooledRuns(
       [&](int) {
-        return std::make_unique<engine::MySQLMini>(
+        return bench::MustOpenMysql(
             core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS));
       },
       [&](int) {

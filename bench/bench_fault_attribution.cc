@@ -9,7 +9,6 @@
 // be within noise of each other (the zero-overhead claim).
 #include "bench/bench_util.h"
 #include "common/fault.h"
-#include "engine/mysqlmini.h"
 #include "tprofiler/analysis.h"
 #include "tprofiler/profiler.h"
 #include "workload/tpcc.h"
@@ -52,9 +51,7 @@ workload::TpccConfig Warehouses4() {
 
 core::Metrics RunPlain(FaultInjector* disarmed, uint64_t n) {
   return bench::PooledRuns(
-      [&](int) {
-        return std::make_unique<engine::MySQLMini>(FaultEngine(disarmed));
-      },
+      [&](int) { return bench::MustOpenMysql(FaultEngine(disarmed)); },
       [&](int) { return std::make_unique<workload::Tpcc>(Warehouses4()); },
       FaultDriver(n), bench::Reps());
 }
@@ -92,9 +89,9 @@ int main(int argc, char** argv) {
   std::printf("\n  schedule: %zu seeded fault events (seed 42)\n",
               inj.schedule().size());
 
-  engine::MySQLMini db(FaultEngine(&inj));
+  auto db = bench::MustOpenMysql(FaultEngine(&inj));
   workload::Tpcc tpcc(Warehouses4());
-  tpcc.Load(&db);
+  tpcc.Load(db.get());
 
   tprof::SessionConfig scfg;
   scfg.enabled = {"dispatch_command", "row_search_for_mysql", "row_upd_step",
@@ -105,7 +102,7 @@ int main(int argc, char** argv) {
   workload::DriverConfig dcfg = FaultDriver(bench::N(6000));
   dcfg.warmup_txns = 0;
   inj.Arm();
-  const workload::RunResult run = RunConstantRate(&db, &tpcc, dcfg);
+  const workload::RunResult run = RunConstantRate(db.get(), &tpcc, dcfg);
   inj.Disarm();
   tprof::TraceData data = tprof::Profiler::Instance().EndSession();
 

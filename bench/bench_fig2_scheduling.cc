@@ -2,7 +2,7 @@
 // (TPC-C). Bars are FCFS / <algorithm> ratios of mean, variance, and 99th
 // percentile latency — higher is better for the alternative scheduler.
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
+#include "engine/factory.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -15,8 +15,16 @@ core::Metrics RunPolicy(lock::SchedulerPolicy policy, uint64_t num_txns) {
   driver.warmup_txns = num_txns / 10;
   const core::Metrics m = bench::PooledRuns(
       [&](int) {
-        return std::make_unique<engine::MySQLMini>(
-            core::Toolkit::MysqlDefault(policy));
+        engine::EngineConfig config;
+        config.mysql = core::Toolkit::MysqlDefault(policy);
+        auto db =
+            engine::OpenDatabase(engine::EngineKind::kMySQLMini, config);
+        if (!db.ok()) {
+          std::fprintf(stderr, "OpenDatabase: %s\n",
+                       db.status().ToString().c_str());
+          std::abort();
+        }
+        return std::move(db.value());
       },
       [&](int) {
         return std::make_unique<workload::Tpcc>(

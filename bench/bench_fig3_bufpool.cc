@@ -2,7 +2,6 @@
 // database) on TPC-C. Bars: 33% / <size> ratios — larger pools should win
 // on mean, variance, and p99.
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -20,12 +19,12 @@ core::Metrics RunPoolPct(int pct, uint64_t n) {
         engine::MySQLMiniConfig cfg = core::Toolkit::MysqlMemoryContended(
             lock::SchedulerPolicy::kFCFS);
         workload::Tpcc probe(core::Toolkit::Tpcc2WH());
-        engine::MySQLMini sizing_db(cfg);
-        probe.Load(&sizing_db);
-        const uint64_t pages = probe.DataPages(sizing_db);
+        auto sizing_db = bench::MustOpenMysql(cfg);
+        probe.Load(sizing_db.get());
+        const uint64_t pages = probe.DataPages(*sizing_db);
         cfg.buffer_pool_pages =
             std::max<uint64_t>(8, pages * static_cast<uint64_t>(pct) / 100);
-        return std::make_unique<engine::MySQLMini>(cfg);
+        return bench::MustOpenMysql(cfg);
       },
       [&](int) {
         return std::make_unique<workload::Tpcc>(core::Toolkit::Tpcc2WH());

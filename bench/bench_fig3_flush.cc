@@ -3,7 +3,6 @@
 // the flush to the log-flusher thread should minimize variance, at the cost
 // of durability (Appendix B).
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -19,7 +18,7 @@ core::Metrics RunPolicy(log::FlushPolicy policy, uint64_t n) {
         engine::MySQLMiniConfig cfg =
             core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS);
         cfg.flush_policy = policy;
-        return std::make_unique<engine::MySQLMini>(cfg);
+        return bench::MustOpenMysql(cfg);
       },
       [&](int) {
         return std::make_unique<workload::Tpcc>(

@@ -1,7 +1,6 @@
 // Figure 3 (left): Lazy LRU Update vs the original blocking LRU mutex, on
 // the memory-contended 2-WH configuration. Bars: original / LLU ratios.
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -18,7 +17,7 @@ core::Metrics RunLru(bool lazy, uint64_t n) {
         engine::MySQLMiniConfig cfg = core::Toolkit::MysqlMemoryContended(
             lock::SchedulerPolicy::kFCFS);
         cfg.lazy_lru = lazy;
-        return std::make_unique<engine::MySQLMini>(cfg);
+        return bench::MustOpenMysql(cfg);
       },
       [&](int) {
         return std::make_unique<workload::Tpcc>(core::Toolkit::Tpcc2WH());

@@ -3,7 +3,6 @@
 // (fewer writes per commit) and then hurts (write amplification when the
 // redo occupies a small fraction of a block).
 #include "bench/bench_util.h"
-#include "pg/pgmini.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -18,8 +17,7 @@ core::Metrics RunBlock(uint64_t block_bytes, uint64_t n) {
   driver.warmup_txns = n / 10;
   core::Metrics m = bench::PooledRuns(
       [&](int) {
-        return std::make_unique<pg::PgMini>(
-            core::Toolkit::PgDefault(false, block_bytes));
+        return bench::MustOpenPg(core::Toolkit::PgDefault(false, block_bytes));
       },
       [&](int) {
         // Four warehouses: row contention spread thin, so the WAL — global

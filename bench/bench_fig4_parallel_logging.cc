@@ -1,7 +1,6 @@
 // Figure 4 (left): parallel logging for Postgres (two redo-log disks vs one
 // WALWriteLock-serialized set). Bars: original / parallel-logging ratios.
 #include "bench/bench_util.h"
-#include "pg/pgmini.h"
 #include "workload/tpcc.h"
 
 using namespace tdp;
@@ -15,9 +14,7 @@ core::Metrics RunWal(bool parallel, uint64_t n) {
   driver.num_txns = n;
   driver.warmup_txns = n / 10;
   core::Metrics m = bench::PooledRuns(
-      [&](int) {
-        return std::make_unique<pg::PgMini>(core::Toolkit::PgDefault(parallel));
-      },
+      [&](int) { return bench::MustOpenPg(core::Toolkit::PgDefault(parallel)); },
       [&](int) {
         // Four warehouses: row contention spread thin, so the WAL — global
         // to every committing transaction — is the serialization point.

@@ -3,8 +3,6 @@
 // absolute time. The paper's finding: stddev ~2x the mean and p99 an order
 // of magnitude above it, on every engine.
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
-#include "pg/pgmini.h"
 #include "volt/voltmini.h"
 #include "workload/tpcc.h"
 
@@ -34,7 +32,7 @@ int main(int argc, char** argv) {
     driver.warmup_txns = n / 10;
     const core::Metrics m = bench::PooledRuns(
         [&](int) {
-          return std::make_unique<engine::MySQLMini>(
+          return bench::MustOpenMysql(
               core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS));
         },
         [&](int) {
@@ -51,9 +49,7 @@ int main(int argc, char** argv) {
     driver.num_txns = n;
     driver.warmup_txns = n / 10;
     const core::Metrics m = bench::PooledRuns(
-        [&](int) {
-          return std::make_unique<pg::PgMini>(core::Toolkit::PgDefault());
-        },
+        [&](int) { return bench::MustOpenPg(core::Toolkit::PgDefault()); },
         [&](int) {
           workload::TpccConfig tcfg;
           tcfg.warehouses = 4;  // the WAL is pgmini's serialization point

@@ -9,7 +9,6 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
 #include "tprofiler/analysis.h"
 #include "tprofiler/profiler.h"
 #include "workload/tpcc.h"
@@ -30,9 +29,9 @@ const std::vector<std::string> kProbes = {
 void ProfileConfig(const char* label, engine::MySQLMiniConfig cfg,
                    workload::TpccConfig tcfg, double tps) {
   std::printf("\n-- %s --\n", label);
-  engine::MySQLMini db(cfg);
+  auto db = bench::MustOpenMysql(cfg);
   workload::Tpcc tpcc(tcfg);
-  tpcc.Load(&db);
+  tpcc.Load(db.get());
 
   tprof::SessionConfig sc;
   sc.enabled = kProbes;
@@ -42,7 +41,7 @@ void ProfileConfig(const char* label, engine::MySQLMiniConfig cfg,
   driver.tps = tps;
   driver.num_txns = bench::N(6000);
   driver.warmup_txns = 0;  // profile everything
-  RunConstantRate(&db, &tpcc, driver);
+  RunConstantRate(db.get(), &tpcc, driver);
 
   tprof::TraceData data = tprof::Profiler::Instance().EndSession();
   tprof::VarianceAnalysis analysis(data,

@@ -2,7 +2,6 @@
 // Expectation (Section 4.2): LWLockAcquireOrWait (the WALWriteLock) strongly
 // dominates; ReleasePredicateLocks is a minor inherent contributor.
 #include "bench/bench_util.h"
-#include "pg/pgmini.h"
 #include "tprofiler/analysis.h"
 #include "tprofiler/profiler.h"
 #include "workload/tpcc.h"
@@ -13,14 +12,14 @@ int main(int argc, char** argv) {
   tdp::bench::InitReport(argc, argv, "bench_table2_pg_sources");
   bench::Header("Table 2: key sources of variance in pgmini (TProfiler)");
 
-  pg::PgMini db(core::Toolkit::PgDefault());
+  auto db = bench::MustOpenPg(core::Toolkit::PgDefault());
   // Four warehouses: row contention spread thin (as at the paper's 32-WH
   // scale), so the WAL — global to every committing transaction — is the
   // remaining serialization point.
   workload::TpccConfig tcfg;
   tcfg.warehouses = 4;
   workload::Tpcc tpcc(tcfg);
-  tpcc.Load(&db);
+  tpcc.Load(db.get());
 
   tprof::SessionConfig sc;
   sc.enabled = {"dispatch_command", "ExecSelect",         "heap_update",
@@ -35,7 +34,7 @@ int main(int argc, char** argv) {
   driver.connections = 128;  // pgmini: deep pools destabilize the WAL mutex
   driver.num_txns = bench::N(6000);
   driver.warmup_txns = 0;
-  RunConstantRate(&db, &tpcc, driver);
+  RunConstantRate(db.get(), &tpcc, driver);
 
   tprof::TraceData data = tprof::Profiler::Instance().EndSession();
   tprof::VarianceAnalysis analysis(data,

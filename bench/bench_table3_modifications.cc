@@ -9,8 +9,6 @@
 //   voltmini  [waiting in queue]   -> add worker threads
 #include "bench/bench_util.h"
 #include "common/stats.h"
-#include "engine/mysqlmini.h"
-#include "pg/pgmini.h"
 #include "volt/voltmini.h"
 #include "workload/tpcc.h"
 
@@ -26,7 +24,7 @@ core::Metrics RunMysql(const engine::MySQLMiniConfig& cfg,
   driver.num_txns = n;
   driver.warmup_txns = n / 10;
   return bench::PooledRuns(
-      [&](int) { return std::make_unique<engine::MySQLMini>(cfg); },
+      [&](int) { return bench::MustOpenMysql(cfg); },
       [&](int) { return std::make_unique<workload::Tpcc>(tcfg); }, driver,
       bench::Reps(2));
 }
@@ -38,9 +36,7 @@ core::Metrics RunPg(bool parallel, uint64_t n) {
   driver.num_txns = n;
   driver.warmup_txns = n / 10;
   return bench::PooledRuns(
-      [&](int) {
-        return std::make_unique<pg::PgMini>(core::Toolkit::PgDefault(parallel));
-      },
+      [&](int) { return bench::MustOpenPg(core::Toolkit::PgDefault(parallel)); },
       [&](int) {
         // W=4: the WAL, not a row, is pgmini's serialization point.
         workload::TpccConfig tcfg;

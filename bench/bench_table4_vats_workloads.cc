@@ -5,7 +5,6 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "engine/mysqlmini.h"
 #include "workload/epinions.h"
 #include "workload/seats.h"
 #include "workload/tatp.h"
@@ -30,8 +29,7 @@ core::Metrics RunCase(const WorkloadCase& wc, lock::SchedulerPolicy policy) {
   driver.warmup_txns = driver.num_txns / 10;
   return bench::PooledRuns(
       [&](int) {
-        return std::make_unique<engine::MySQLMini>(
-            core::Toolkit::MysqlDefault(policy));
+        return bench::MustOpenMysql(core::Toolkit::MysqlDefault(policy));
       },
       [&](int) { return wc.make(); }, driver, bench::Reps());
 }

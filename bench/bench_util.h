@@ -14,8 +14,36 @@
 #include "common/metrics.h"
 #include "core/predictability.h"
 #include "core/toolkit.h"
+#include "engine/factory.h"
 
 namespace tdp::bench {
+
+/// Opens a database through the validating factory; a config a bench built
+/// wrong is a startup failure, not a latency artifact three tables deep.
+inline std::unique_ptr<engine::Database> MustOpen(
+    engine::EngineKind kind, const engine::EngineConfig& config) {
+  auto db = engine::OpenDatabase(kind, config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "OpenDatabase(%s): %s\n", engine::EngineKindName(kind),
+                 db.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(db.value());
+}
+
+inline std::unique_ptr<engine::Database> MustOpenMysql(
+    const engine::MySQLMiniConfig& cfg) {
+  engine::EngineConfig config;
+  config.mysql = cfg;
+  return MustOpen(engine::EngineKind::kMySQLMini, config);
+}
+
+inline std::unique_ptr<engine::Database> MustOpenPg(
+    const pg::PgMiniConfig& cfg) {
+  engine::EngineConfig config;
+  config.pg = cfg;
+  return MustOpen(engine::EngineKind::kPgMini, config);
+}
 
 /// True when TDP_QUICK_BENCH=1 — benches shrink their transaction counts so
 /// the whole suite smoke-runs in seconds (used by CI; the default sizes are
@@ -69,6 +97,7 @@ inline json::Value MetricsToJson(const core::Metrics& m) {
   v.Set("p50_ms", json::Value::Number(m.p50_ms));
   v.Set("p95_ms", json::Value::Number(m.p95_ms));
   v.Set("p99_ms", json::Value::Number(m.p99_ms));
+  v.Set("p999_ms", json::Value::Number(m.p999_ms));
   v.Set("max_ms", json::Value::Number(m.max_ms));
   v.Set("achieved_tps", json::Value::Number(m.achieved_tps));
   return v;

@@ -8,7 +8,8 @@
 
 #include "core/predictability.h"
 #include "core/toolkit.h"
-#include "engine/mysqlmini.h"
+#include "engine/factory.h"
+#include "engine/txn.h"
 #include "workload/driver.h"
 #include "workload/tpcc.h"
 
@@ -19,25 +20,37 @@ namespace {
 core::Metrics RunWithPolicy(lock::SchedulerPolicy policy) {
   // 1. Configure the engine. Toolkit provides calibrated defaults; every
   //    knob is a plain struct field.
-  engine::MySQLMiniConfig config = core::Toolkit::MysqlDefault(policy);
+  engine::EngineConfig config;
+  config.mysql = core::Toolkit::MysqlDefault(policy);
 
-  // 2. Open the database and load a workload (a contended TPC-C here; any
-  //    workload::Workload works, or issue transactions by hand as below).
-  engine::MySQLMini db(config);
+  // 2. Open the database through the validating factory and load a workload
+  //    (a contended TPC-C here; any workload::Workload works, or issue
+  //    transactions by hand as below). A bad config — zero buffer pool,
+  //    negative spin budget — comes back as InvalidArgument, not a crash.
+  auto opened = engine::OpenDatabase(engine::EngineKind::kMySQLMini, config);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "OpenDatabase: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<engine::Database> db = std::move(opened.value());
   workload::Tpcc tpcc(core::Toolkit::TpccContended());
-  tpcc.Load(&db);
+  tpcc.Load(db.get());
 
-  // 3. Hand-rolled transaction, to show the raw Connection API:
+  // 3. One transaction through RunTxn, which owns Begin/Commit/Rollback and
+  //    retries deadlock or lock-timeout victims per the RetryPolicy:
   {
-    std::unique_ptr<engine::Connection> conn = db.Connect();
-    conn->Begin();
-    const uint32_t warehouse = db.TableId("warehouse");
-    conn->Select(warehouse, 0);                       // nonlocking read
-    Status s = conn->Update(warehouse, 0, 0, 100);    // X lock + redo
-    if (s.ok()) {
-      conn->Commit();  // durable per the configured flush policy
-    } else {
-      conn->Rollback();
+    std::unique_ptr<engine::Connection> conn = db->Connect();
+    const uint32_t warehouse = db->TableId("warehouse");
+    const Status s = engine::RunTxn(
+        *conn, engine::RetryPolicy{}, [&](engine::Connection& c) {
+          c.Select(warehouse, 0);                // nonlocking read
+          return c.Update(warehouse, 0, 0, 100); // X lock + redo
+        });
+    if (!s.ok()) {
+      std::fprintf(stderr, "txn failed: %s (last_error: %s)\n",
+                   s.ToString().c_str(),
+                   conn->last_error().ToString().c_str());
     }
   }
 
@@ -45,7 +58,7 @@ core::Metrics RunWithPolicy(lock::SchedulerPolicy policy) {
   workload::DriverConfig driver = core::Toolkit::DriverDefault();
   driver.num_txns = 3000;
   driver.warmup_txns = 300;
-  const workload::RunResult run = RunConstantRate(&db, &tpcc, driver);
+  const workload::RunResult run = RunConstantRate(db.get(), &tpcc, driver);
   return core::Metrics::From(run);
 }
 

@@ -11,7 +11,8 @@
 
 #include "common/stats.h"
 #include "core/toolkit.h"
-#include "engine/mysqlmini.h"
+#include "engine/factory.h"
+#include "engine/txn.h"
 
 using namespace tdp;
 
@@ -31,7 +32,15 @@ struct AgencyResult {
 };
 
 AgencyResult RunAgency(lock::SchedulerPolicy policy) {
-  engine::MySQLMini db(core::Toolkit::MysqlDefault(policy));
+  engine::EngineConfig config;
+  config.mysql = core::Toolkit::MysqlDefault(policy);
+  auto opened = engine::OpenDatabase(engine::EngineKind::kMySQLMini, config);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "OpenDatabase: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  engine::Database& db = *opened.value();
   const uint32_t flights = db.CreateTable("flights", 4);
   const uint32_t seats = db.CreateTable("seats", 64);
   const uint32_t bookings = db.CreateTable("bookings", 64);
@@ -46,6 +55,11 @@ AgencyResult RunAgency(lock::SchedulerPolicy policy) {
   std::atomic<uint64_t> violations{0}, booked{0}, sold_out{0},
       next_booking{1};
 
+  // RunTxn owns the retry loop: deadlock and lock-timeout victims rerun,
+  // anything else (including the sold-out NotFound below) is final.
+  engine::RetryPolicy retry;
+  retry.retry_aborted = false;
+
   auto agent = [&](int agent_id) {
     auto conn = db.Connect();
     Rng rng(agent_id + 1);
@@ -53,30 +67,28 @@ AgencyResult RunAgency(lock::SchedulerPolicy policy) {
       const int f = static_cast<int>(rng.Uniform(kFlights));
       const int seat = static_cast<int>(rng.Uniform(kSeatsPerFlight));
       const int64_t t0 = NowNanos();
-      for (;;) {  // retry deadlock victims
-        conn->Begin();
-        // Check availability (nonlocking read)...
-        conn->Select(flights, f);
-        Result<int64_t> left = conn->ReadColumn(flights, f, 0);
-        if (left.ok() && *left <= 0) {
-          conn->Rollback();
-          sold_out.fetch_add(1);
-          break;
-        }
-        // ...then book: seat, booking record, and the hot seats-left row.
-        Status s = conn->Update(seats, uint64_t(f) * 256 + seat, 0, 1);
-        if (s.ok()) {
-          s = conn->Insert(bookings, next_booking.fetch_add(1),
-                           storage::Row{f, seat, agent_id});
-        }
-        if (s.ok()) s = conn->Update(flights, f, 0, -1);
-        if (s.ok()) s = conn->Commit();
-        if (s.ok()) {
-          booked.fetch_add(1);
-          break;
-        }
-        conn->Rollback();
-        if (!s.IsDeadlock() && !s.IsLockTimeout()) break;
+      const Status s =
+          engine::RunTxn(*conn, retry, [&](engine::Connection& c) {
+            // Check availability (nonlocking read)...
+            c.Select(flights, f);
+            Result<int64_t> left = c.ReadColumn(flights, f, 0);
+            if (left.ok() && *left <= 0) {
+              return Status::NotFound("sold out");
+            }
+            // ...then book: seat, booking record, and the hot seats-left
+            // row.
+            Status st = c.Update(seats, uint64_t(f) * 256 + seat, 0, 1);
+            if (st.ok()) {
+              st = c.Insert(bookings, next_booking.fetch_add(1),
+                            storage::Row{f, seat, agent_id});
+            }
+            if (st.ok()) st = c.Update(flights, f, 0, -1);
+            return st;
+          });
+      if (s.ok()) {
+        booked.fetch_add(1);
+      } else if (s.IsNotFound()) {
+        sold_out.fetch_add(1);
       }
       const int64_t dt = NowNanos() - t0;
       latencies.Add(dt);

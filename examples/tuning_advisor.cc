@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/toolkit.h"
-#include "engine/mysqlmini.h"
+#include "engine/factory.h"
 #include "volt/voltmini.h"
 #include "workload/tpcc.h"
 
@@ -24,16 +24,28 @@ struct Setting {
   core::Metrics metrics;
 };
 
+std::unique_ptr<engine::Database> OpenMysql(
+    const engine::MySQLMiniConfig& cfg) {
+  engine::EngineConfig config;
+  config.mysql = cfg;
+  auto db = engine::OpenDatabase(engine::EngineKind::kMySQLMini, config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "OpenDatabase: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(db.value());
+}
+
 core::Metrics Measure(const engine::MySQLMiniConfig& cfg,
                       const workload::TpccConfig& tcfg, double tps) {
-  engine::MySQLMini db(cfg);
+  auto db = OpenMysql(cfg);
   workload::Tpcc tpcc(tcfg);
-  tpcc.Load(&db);
+  tpcc.Load(db.get());
   workload::DriverConfig driver = core::Toolkit::DriverDefault();
   driver.tps = tps;
   driver.num_txns = 2500;
   driver.warmup_txns = 250;
-  return core::Metrics::From(RunConstantRate(&db, &tpcc, driver));
+  return core::Metrics::From(RunConstantRate(db.get(), &tpcc, driver));
 }
 
 void Recommend(const char* knob, const std::vector<Setting>& settings,
@@ -65,10 +77,10 @@ int main() {
       engine::MySQLMiniConfig cfg =
           core::Toolkit::MysqlMemoryContended(lock::SchedulerPolicy::kFCFS);
       workload::Tpcc sizer(core::Toolkit::Tpcc2WH());
-      engine::MySQLMini sizing_db(cfg);
-      sizer.Load(&sizing_db);
+      auto sizing_db = OpenMysql(cfg);
+      sizer.Load(sizing_db.get());
       cfg.buffer_pool_pages =
-          std::max<uint64_t>(8, sizer.DataPages(sizing_db) * pct / 100);
+          std::max<uint64_t>(8, sizer.DataPages(*sizing_db) * pct / 100);
       settings.push_back({std::to_string(pct) + "% of database",
                           Measure(cfg, core::Toolkit::Tpcc2WH(), 400)});
     }

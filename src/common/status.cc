@@ -15,6 +15,7 @@ const char* CodeName(Code code) {
     case Code::kCorruption: return "Corruption";
     case Code::kNotSupported: return "NotSupported";
     case Code::kIOError: return "IOError";
+    case Code::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

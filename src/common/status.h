@@ -21,6 +21,7 @@ enum class Code {
   kCorruption,      ///< Invariant violation detected in on-"disk" state.
   kNotSupported,    ///< Operation not implemented for this configuration.
   kIOError,         ///< Simulated device failure.
+  kOverloaded,      ///< Admission control shed the request (server layer).
 };
 
 /// Outcome of an operation: a code plus an optional human-readable message.
@@ -60,6 +61,9 @@ class Status {
   static Status IOError(std::string msg = "") {
     return Status(Code::kIOError, std::move(msg));
   }
+  static Status Overloaded(std::string msg = "") {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -69,6 +73,7 @@ class Status {
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -16,6 +16,7 @@ Metrics Metrics::FromLatencies(const std::vector<int64_t>& latencies_ns) {
   m.p50_ms = s.p50_ns / 1e6;
   m.p95_ms = s.p95_ns / 1e6;
   m.p99_ms = s.p99_ns / 1e6;
+  m.p999_ms = s.p999_ns / 1e6;
   m.max_ms = s.max_ns / 1e6;
   if (!latencies_ns.empty()) {
     m.lp2_ms = LpNormOf(latencies_ns, 2.0) /

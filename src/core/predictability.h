@@ -21,6 +21,7 @@ struct Metrics {
   double p50_ms = 0;
   double p95_ms = 0;
   double p99_ms = 0;
+  double p999_ms = 0;   ///< The tail the admission-control study targets.
   double max_ms = 0;
   double lp2_ms = 0;    ///< Normalized L2 norm (Section 5.1's loss, p=2).
   double achieved_tps = 0;

@@ -5,7 +5,15 @@
 // against mysqlmini and pgmini. Semantics: strict 2PL with Select taking
 // shared locks, SelectForUpdate/Update/Insert/Delete taking exclusive locks;
 // any operation may return Deadlock or LockTimeout, after which the caller
-// must Rollback (the driver retries).
+// must Rollback (RunTxn in engine/txn.h owns that loop for most callers).
+//
+// The public operations are non-virtual wrappers (NVI) around the engines'
+// Do* hooks so that cross-cutting contracts live in exactly one place:
+//  * last_error() — every failing operation records its Status here, so
+//    generic callers (RunTxn, the server worker pool) can inspect why a
+//    transaction died after the fact without engine-specific casing.
+//  * Rollback() is idempotent in every engine: with no open transaction it
+//    is a no-op, so unconditional cleanup paths need no "is it open" state.
 #pragma once
 
 #include <cstdint>
@@ -22,33 +30,83 @@ class Connection {
  public:
   virtual ~Connection() = default;
 
-  virtual Status Begin() = 0;
+  /// Opens a transaction (clears last_error()).
+  Status Begin() {
+    last_error_ = Status::OK();
+    return Note(DoBegin());
+  }
 
   /// Shared-mode point read.
-  virtual Status Select(uint32_t table, uint64_t key) = 0;
+  Status Select(uint32_t table, uint64_t key) {
+    return Note(DoSelect(table, key));
+  }
   /// Range read over [lo, hi] (inclusive). Nonlocking by default, like
   /// Select; engines cap the span to keep scans bounded.
-  virtual Status SelectRange(uint32_t table, uint64_t lo, uint64_t hi) = 0;
+  Status SelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
+    return Note(DoSelectRange(table, lo, hi));
+  }
   /// Exclusive-mode point read (SELECT ... FOR UPDATE).
-  virtual Status SelectForUpdate(uint32_t table, uint64_t key) = 0;
+  Status SelectForUpdate(uint32_t table, uint64_t key) {
+    return Note(DoSelectForUpdate(table, key));
+  }
   /// Adds `delta` to column `col` of the row (exclusive lock).
-  virtual Status Update(uint32_t table, uint64_t key, size_t col,
-                        int64_t delta) = 0;
+  Status Update(uint32_t table, uint64_t key, size_t col, int64_t delta) {
+    return Note(DoUpdate(table, key, col, delta));
+  }
   /// Inserts a new row (exclusive lock on the new key).
-  virtual Status Insert(uint32_t table, uint64_t key, storage::Row row) = 0;
-  virtual Status Delete(uint32_t table, uint64_t key) = 0;
+  Status Insert(uint32_t table, uint64_t key, storage::Row row) {
+    return Note(DoInsert(table, key, std::move(row)));
+  }
+  Status Delete(uint32_t table, uint64_t key) {
+    return Note(DoDelete(table, key));
+  }
 
-  virtual Status Commit() = 0;
-  virtual void Rollback() = 0;
+  Status Commit() { return Note(DoCommit()); }
+
+  /// Aborts the open transaction. Idempotent: calling with no open
+  /// transaction (never begun, already committed, or already rolled back)
+  /// is a no-op in every engine.
+  void Rollback() { DoRollback(); }
 
   /// Value of column `col` as read under the current transaction's lock.
   /// Valid after a successful Select/SelectForUpdate of that key.
-  virtual Result<int64_t> ReadColumn(uint32_t table, uint64_t key,
-                                     size_t col) = 0;
+  Result<int64_t> ReadColumn(uint32_t table, uint64_t key, size_t col) {
+    Result<int64_t> r = DoReadColumn(table, key, col);
+    Note(r.status());
+    return r;
+  }
+
+  /// The most recent non-OK Status any operation on this connection
+  /// returned since the last Begin() (which clears it). OK when the current
+  /// transaction has seen no failure. Survives Rollback so callers can
+  /// still see why the transaction died.
+  const Status& last_error() const { return last_error_; }
 
   /// Engine transaction id of the currently open (or last) transaction;
   /// 0 when unknown. Used by the age/remaining-time study.
   virtual uint64_t current_txn_id() const { return 0; }
+
+ protected:
+  virtual Status DoBegin() = 0;
+  virtual Status DoSelect(uint32_t table, uint64_t key) = 0;
+  virtual Status DoSelectRange(uint32_t table, uint64_t lo, uint64_t hi) = 0;
+  virtual Status DoSelectForUpdate(uint32_t table, uint64_t key) = 0;
+  virtual Status DoUpdate(uint32_t table, uint64_t key, size_t col,
+                          int64_t delta) = 0;
+  virtual Status DoInsert(uint32_t table, uint64_t key, storage::Row row) = 0;
+  virtual Status DoDelete(uint32_t table, uint64_t key) = 0;
+  virtual Status DoCommit() = 0;
+  virtual void DoRollback() = 0;
+  virtual Result<int64_t> DoReadColumn(uint32_t table, uint64_t key,
+                                       size_t col) = 0;
+
+ private:
+  Status Note(Status s) {
+    if (!s.ok()) last_error_ = s;
+    return s;
+  }
+
+  Status last_error_;
 };
 
 class Database {

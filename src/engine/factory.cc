@@ -1,0 +1,103 @@
+#include "engine/factory.h"
+
+namespace tdp::engine {
+
+namespace {
+
+Status Invalid(const char* field, const char* why) {
+  return Status::InvalidArgument(std::string(field) + " " + why);
+}
+
+Status ValidateLock(const lock::LockManagerConfig& lock) {
+  if (lock.wait_timeout_ns <= 0)
+    return Invalid("lock.wait_timeout_ns", "must be positive");
+  if (lock.num_shards <= 0) return Invalid("lock.num_shards", "must be >= 1");
+  return Status::OK();
+}
+
+Status ValidateDisk(const char* name, const SimDiskConfig& disk) {
+  if (disk.base_latency_ns < 0) return Invalid(name, "base_latency_ns < 0");
+  if (disk.sigma < 0) return Invalid(name, "sigma < 0");
+  if (disk.max_jitter < 0) return Invalid(name, "max_jitter < 0");
+  if (disk.bytes_per_us <= 0) return Invalid(name, "bytes_per_us <= 0");
+  if (disk.flush_barrier_ns < 0) return Invalid(name, "flush_barrier_ns < 0");
+  if (disk.max_concurrency < 1) return Invalid(name, "max_concurrency < 1");
+  return Status::OK();
+}
+
+Status ValidateMysql(const MySQLMiniConfig& c) {
+  if (c.buffer_pool_pages == 0)
+    return Invalid("buffer_pool_pages", "must be >= 1");
+  if (c.llu_spin_budget_ns < 0)
+    return Invalid("llu_spin_budget_ns", "must be >= 0");
+  if (c.lru_critical_work_ns < 0)
+    return Invalid("lru_critical_work_ns", "must be >= 0");
+  if (c.flusher_interval_ns <= 0)
+    return Invalid("flusher_interval_ns", "must be positive");
+  if (c.io_retry.max_attempts < 1)
+    return Invalid("io_retry.max_attempts", "must be >= 1");
+  if (c.rows_per_page == 0) return Invalid("rows_per_page", "must be >= 1");
+  if (c.row_work_ns < 0) return Invalid("row_work_ns", "must be >= 0");
+  Status s = ValidateLock(c.lock);
+  if (!s.ok()) return s;
+  s = ValidateDisk("data_disk", c.data_disk);
+  if (!s.ok()) return s;
+  return ValidateDisk("log_disk", c.log_disk);
+}
+
+Status ValidatePg(const pg::PgMiniConfig& c) {
+  if (c.wal.block_bytes == 0) return Invalid("wal.block_bytes", "must be >= 1");
+  if (c.wal.num_log_sets < 1) return Invalid("wal.num_log_sets", "must be >= 1");
+  if (c.wal.io_retry.max_attempts < 1)
+    return Invalid("wal.io_retry.max_attempts", "must be >= 1");
+  if (c.wal_bytes_per_write == 0)
+    return Invalid("wal_bytes_per_write", "must be >= 1");
+  if (c.rows_per_page == 0) return Invalid("rows_per_page", "must be >= 1");
+  if (c.row_work_ns < 0) return Invalid("row_work_ns", "must be >= 0");
+  if (c.predicate_check_ns < 0)
+    return Invalid("predicate_check_ns", "must be >= 0");
+  Status s = ValidateLock(c.lock);
+  if (!s.ok()) return s;
+  return ValidateDisk("wal.disk", c.wal.disk);
+}
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMySQLMini: return "mysqlmini";
+    case EngineKind::kPgMini: return "pgmini";
+  }
+  return "unknown";
+}
+
+Result<EngineKind> ParseEngineKind(const std::string& name) {
+  if (name == "mysqlmini") return EngineKind::kMySQLMini;
+  if (name == "pgmini") return EngineKind::kPgMini;
+  return Status::InvalidArgument("unknown engine kind: " + name);
+}
+
+Status ValidateEngineConfig(EngineKind kind, const EngineConfig& config) {
+  switch (kind) {
+    case EngineKind::kMySQLMini: return ValidateMysql(config.mysql);
+    case EngineKind::kPgMini: return ValidatePg(config.pg);
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+Result<std::unique_ptr<Database>> OpenDatabase(EngineKind kind,
+                                               const EngineConfig& config) {
+  Status s = ValidateEngineConfig(kind, config);
+  if (!s.ok()) return s;
+  switch (kind) {
+    case EngineKind::kMySQLMini:
+      return std::unique_ptr<Database>(
+          std::make_unique<MySQLMini>(config.mysql));
+    case EngineKind::kPgMini:
+      return std::unique_ptr<Database>(
+          std::make_unique<pg::PgMini>(config.pg));
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+}  // namespace tdp::engine

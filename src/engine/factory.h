@@ -1,0 +1,47 @@
+// OpenDatabase: the one way to construct an engine.
+//
+// Callers name the engine (kMySQLMini / kPgMini) and hand over one
+// EngineConfig; the factory validates the knobs that would otherwise fail
+// deep inside a component constructor (a zero-page buffer pool, a negative
+// spin budget) and returns InvalidArgument with the offending field named
+// instead. Benches, tests, and examples construct engines through here so
+// adding an engine or a validity rule is a one-file change.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/mysqlmini.h"
+#include "pg/pgmini.h"
+
+namespace tdp::engine {
+
+enum class EngineKind {
+  kMySQLMini,
+  kPgMini,
+};
+
+/// "mysqlmini" / "pgmini".
+const char* EngineKindName(EngineKind kind);
+
+/// Inverse of EngineKindName; InvalidArgument on unknown names.
+Result<EngineKind> ParseEngineKind(const std::string& name);
+
+/// Union-style config: only the field matching the requested kind is used.
+struct EngineConfig {
+  MySQLMiniConfig mysql;
+  pg::PgMiniConfig pg;
+};
+
+/// Checks the config fields OpenDatabase would act on. OK means the engine
+/// constructor cannot fail on them.
+Status ValidateEngineConfig(EngineKind kind, const EngineConfig& config);
+
+/// Validates, then constructs. The returned Database is self-contained;
+/// the config is copied.
+Result<std::unique_ptr<Database>> OpenDatabase(EngineKind kind,
+                                               const EngineConfig& config);
+
+}  // namespace tdp::engine

@@ -119,7 +119,7 @@ MySQLSession::~MySQLSession() {
   db_->buffer_pool_->FlushBacklog();
 }
 
-Status MySQLSession::Begin() {
+Status MySQLSession::DoBegin() {
   if (active_) return Status::InvalidArgument("transaction already open");
   auto [id, priority] = db_->NewTxnIdentity();
   txn_ = std::make_unique<lock::TxnContext>(id, priority);
@@ -186,7 +186,7 @@ Status MySQLSession::AccessRow(uint32_t table, uint64_t key,
   return Status::OK();
 }
 
-Status MySQLSession::Select(uint32_t table, uint64_t key) {
+Status MySQLSession::DoSelect(uint32_t table, uint64_t key) {
   TPROF_SCOPE("row_search_for_mysql");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -194,7 +194,7 @@ Status MySQLSession::Select(uint32_t table, uint64_t key) {
                    /*take_lock=*/db_->config_.locking_reads);
 }
 
-Status MySQLSession::SelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
+Status MySQLSession::DoSelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
   TPROF_SCOPE("row_search_for_mysql");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -238,14 +238,14 @@ Status MySQLSession::SelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
   return Status::OK();
 }
 
-Status MySQLSession::SelectForUpdate(uint32_t table, uint64_t key) {
+Status MySQLSession::DoSelectForUpdate(uint32_t table, uint64_t key) {
   TPROF_SCOPE("row_search_for_mysql");
   Status s = EnsureActive();
   if (!s.ok()) return s;
   return AccessRow(table, key, lock::LockMode::kX, /*record_undo=*/false);
 }
 
-Status MySQLSession::Update(uint32_t table, uint64_t key, size_t col,
+Status MySQLSession::DoUpdate(uint32_t table, uint64_t key, size_t col,
                             int64_t delta) {
   TPROF_SCOPE("row_upd_step");
   Status s = EnsureActive();
@@ -272,7 +272,7 @@ Status MySQLSession::Update(uint32_t table, uint64_t key, size_t col,
   return Status::OK();
 }
 
-Status MySQLSession::Insert(uint32_t table, uint64_t key, storage::Row row) {
+Status MySQLSession::DoInsert(uint32_t table, uint64_t key, storage::Row row) {
   TPROF_SCOPE("row_ins_clust_index_entry_low");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -300,7 +300,7 @@ Status MySQLSession::Insert(uint32_t table, uint64_t key, storage::Row row) {
   return Status::OK();
 }
 
-Status MySQLSession::Delete(uint32_t table, uint64_t key) {
+Status MySQLSession::DoDelete(uint32_t table, uint64_t key) {
   TPROF_SCOPE("row_upd_step");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -320,7 +320,7 @@ Status MySQLSession::Delete(uint32_t table, uint64_t key) {
   return Status::OK();
 }
 
-Result<int64_t> MySQLSession::ReadColumn(uint32_t table, uint64_t key,
+Result<int64_t> MySQLSession::DoReadColumn(uint32_t table, uint64_t key,
                                          size_t col) {
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -331,7 +331,7 @@ Result<int64_t> MySQLSession::ReadColumn(uint32_t table, uint64_t key,
   return row->Get(col);
 }
 
-Status MySQLSession::Commit() {
+Status MySQLSession::DoCommit() {
   TPROF_SCOPE("trx_commit");
   if (!active_) return Status::InvalidArgument("no open transaction");
   if (must_abort_) {
@@ -348,7 +348,7 @@ Status MySQLSession::Commit() {
   return Status::OK();
 }
 
-void MySQLSession::Rollback() {
+void MySQLSession::DoRollback() {
   if (!active_) return;
   // Undo in reverse order; X locks are still held so this is safe.
   for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {

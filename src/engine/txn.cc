@@ -1,0 +1,61 @@
+#include "engine/txn.h"
+
+#include <chrono>
+#include <thread>
+
+#include "tprofiler/profiler.h"
+
+namespace tdp::engine {
+
+namespace {
+
+/// One attempt: begin, body, commit/rollback, under the profiler's
+/// transaction root.
+Status ExecuteAttempt(Connection& conn, const TxnBody& body) {
+  // TxnScope must open before (and close after) the root probe, or the
+  // root's exit event is attributed to no transaction and dropped.
+  tprof::TxnScope txn_scope;
+  TPROF_SCOPE("dispatch_command");
+  Status s = conn.Begin();
+  if (!s.ok()) return s;
+  s = body(conn);
+  if (s.ok()) return conn.Commit();
+  conn.Rollback();
+  return s;
+}
+
+}  // namespace
+
+bool RetryableTxnError(const Status& s, const RetryPolicy& policy) {
+  if (s.IsDeadlock() || s.IsLockTimeout()) return true;
+  return policy.retry_aborted && s.IsAborted();
+}
+
+Status RunTxn(Connection& conn, const RetryPolicy& policy, const TxnBody& body,
+              TxnStats* stats) {
+  Status s;
+  int64_t backoff = policy.backoff_ns;
+  for (int attempt = 1;; ++attempt) {
+    s = ExecuteAttempt(conn, body);
+    if (stats) {
+      ++stats->attempts;
+      if (s.IsDeadlock()) {
+        ++stats->deadlock_aborts;
+      } else if (s.IsLockTimeout()) {
+        ++stats->timeout_aborts;
+      } else if (!s.ok()) {
+        ++stats->other_aborts;
+      }
+    }
+    if (s.ok() || !RetryableTxnError(s, policy) ||
+        attempt >= policy.max_attempts) {
+      return s;
+    }
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      backoff *= 2;
+    }
+  }
+}
+
+}  // namespace tdp::engine

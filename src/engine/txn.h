@@ -1,0 +1,52 @@
+// RunTxn: the canonical Begin / body / Commit-or-Rollback-and-retry loop.
+//
+// Under 2PL a transaction can die of Deadlock or LockTimeout at any
+// operation; the correct client response is Rollback and retry. Every
+// driver, example, and the server worker pool used to hand-roll that loop —
+// RunTxn owns it once, with a declarative RetryPolicy and abort accounting
+// that the callers aggregate instead of re-deriving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace tdp::engine {
+
+struct RetryPolicy {
+  /// Total attempts, including the first; 1 means no retry. The driver's
+  /// legacy `max_retries` knob maps to `max_retries + 1`.
+  int max_attempts = 50;
+  /// Sleep before each retry, doubling per attempt. 0 retries immediately
+  /// (the engines' lock waits already provide natural backoff).
+  int64_t backoff_ns = 0;
+  /// Also retry on kAborted (conflict-induced aborts, e.g. a write landing
+  /// on a must-abort transaction). Application-level Aborted returns from
+  /// the body are indistinguishable, so bodies that abort on purpose should
+  /// use a different code (NotFound, InvalidArgument) or set this false.
+  bool retry_aborted = true;
+};
+
+/// Attempt/abort counts across one RunTxn call (all attempts).
+struct TxnStats {
+  int attempts = 0;
+  uint64_t deadlock_aborts = 0;
+  uint64_t timeout_aborts = 0;
+  uint64_t other_aborts = 0;  ///< Non-retryable or kAborted failures.
+};
+
+/// True when `s` is a failure RunTxn would retry under `policy`.
+bool RetryableTxnError(const Status& s, const RetryPolicy& policy);
+
+using TxnBody = std::function<Status(Connection&)>;
+
+/// Runs `body` as a transaction: Begin, body, Commit on success, Rollback
+/// and maybe retry on failure. Returns the final attempt's Status. Each
+/// attempt runs under the profiler's transaction root (tprof::TxnScope +
+/// "dispatch_command"), matching the paper's per-transaction attribution.
+Status RunTxn(Connection& conn, const RetryPolicy& policy, const TxnBody& body,
+              TxnStats* stats = nullptr);
+
+}  // namespace tdp::engine

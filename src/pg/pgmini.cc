@@ -60,7 +60,7 @@ PgSession::~PgSession() {
   if (active_) Rollback();
 }
 
-Status PgSession::Begin() {
+Status PgSession::DoBegin() {
   if (active_) return Status::InvalidArgument("transaction already open");
   auto [id, priority] = db_->NewTxnIdentity();
   txn_ = std::make_unique<lock::TxnContext>(id, priority);
@@ -109,7 +109,7 @@ Status PgSession::AccessRow(uint32_t table, uint64_t key, lock::LockMode mode,
   return Status::OK();
 }
 
-Status PgSession::Select(uint32_t table, uint64_t key) {
+Status PgSession::DoSelect(uint32_t table, uint64_t key) {
   TPROF_SCOPE("ExecSelect");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -119,7 +119,7 @@ Status PgSession::Select(uint32_t table, uint64_t key) {
                    /*take_lock=*/false);
 }
 
-Status PgSession::SelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
+Status PgSession::DoSelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
   TPROF_SCOPE("ExecSelect");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -140,7 +140,7 @@ Status PgSession::SelectRange(uint32_t table, uint64_t lo, uint64_t hi) {
   return Status::OK();
 }
 
-Status PgSession::SelectForUpdate(uint32_t table, uint64_t key) {
+Status PgSession::DoSelectForUpdate(uint32_t table, uint64_t key) {
   TPROF_SCOPE("ExecSelect");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -148,7 +148,7 @@ Status PgSession::SelectForUpdate(uint32_t table, uint64_t key) {
   return AccessRow(table, key, lock::LockMode::kX, /*record_undo=*/false);
 }
 
-Status PgSession::Update(uint32_t table, uint64_t key, size_t col,
+Status PgSession::DoUpdate(uint32_t table, uint64_t key, size_t col,
                          int64_t delta) {
   TPROF_SCOPE("heap_update");
   Status s = EnsureActive();
@@ -166,7 +166,7 @@ Status PgSession::Update(uint32_t table, uint64_t key, size_t col,
   return Status::OK();
 }
 
-Status PgSession::Insert(uint32_t table, uint64_t key, storage::Row row) {
+Status PgSession::DoInsert(uint32_t table, uint64_t key, storage::Row row) {
   TPROF_SCOPE("heap_insert");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -182,7 +182,7 @@ Status PgSession::Insert(uint32_t table, uint64_t key, storage::Row row) {
   return Status::OK();
 }
 
-Status PgSession::Delete(uint32_t table, uint64_t key) {
+Status PgSession::DoDelete(uint32_t table, uint64_t key) {
   TPROF_SCOPE("heap_delete");
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -198,7 +198,7 @@ Status PgSession::Delete(uint32_t table, uint64_t key) {
   return Status::OK();
 }
 
-Result<int64_t> PgSession::ReadColumn(uint32_t table, uint64_t key,
+Result<int64_t> PgSession::DoReadColumn(uint32_t table, uint64_t key,
                                       size_t col) {
   Status s = EnsureActive();
   if (!s.ok()) return s;
@@ -218,7 +218,7 @@ void PgSession::ReleasePredicateLocks() {
   predicate_locks_ = 0;
 }
 
-Status PgSession::Commit() {
+Status PgSession::DoCommit() {
   TPROF_SCOPE("CommitTransaction");
   if (!active_) return Status::InvalidArgument("no open transaction");
   if (must_abort_) {
@@ -237,7 +237,7 @@ Status PgSession::Commit() {
   return Status::OK();
 }
 
-void PgSession::Rollback() {
+void PgSession::DoRollback() {
   if (!active_) return;
   for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
     storage::Table* t = db_->catalog_.GetTable(it->table);

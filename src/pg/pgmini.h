@@ -47,19 +47,21 @@ class PgSession : public engine::Connection {
   explicit PgSession(PgMini* db);
   ~PgSession() override;
 
-  Status Begin() override;
-  Status Select(uint32_t table, uint64_t key) override;
-  Status SelectRange(uint32_t table, uint64_t lo, uint64_t hi) override;
-  Status SelectForUpdate(uint32_t table, uint64_t key) override;
-  Status Update(uint32_t table, uint64_t key, size_t col,
-                int64_t delta) override;
-  Status Insert(uint32_t table, uint64_t key, storage::Row row) override;
-  Status Delete(uint32_t table, uint64_t key) override;
-  Status Commit() override;
-  void Rollback() override;
-  Result<int64_t> ReadColumn(uint32_t table, uint64_t key,
-                             size_t col) override;
   uint64_t current_txn_id() const override;
+
+ protected:
+  Status DoBegin() override;
+  Status DoSelect(uint32_t table, uint64_t key) override;
+  Status DoSelectRange(uint32_t table, uint64_t lo, uint64_t hi) override;
+  Status DoSelectForUpdate(uint32_t table, uint64_t key) override;
+  Status DoUpdate(uint32_t table, uint64_t key, size_t col,
+                  int64_t delta) override;
+  Status DoInsert(uint32_t table, uint64_t key, storage::Row row) override;
+  Status DoDelete(uint32_t table, uint64_t key) override;
+  Status DoCommit() override;
+  void DoRollback() override;
+  Result<int64_t> DoReadColumn(uint32_t table, uint64_t key,
+                               size_t col) override;
 
  private:
   struct UndoEntry {

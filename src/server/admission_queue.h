@@ -1,0 +1,100 @@
+// Bounded admission queue with pluggable dispatch order.
+//
+// The paper's VATS result (Section 5): when contention makes waiting
+// inevitable, serving the *eldest* transaction first minimizes latency
+// variance. The service applies the same principle one layer up, at the
+// front door: under kEldestFirst the queue dispatches the entry with the
+// oldest admission timestamp. For fresh arrivals that is FIFO; the policies
+// diverge when a transaction re-enters the queue after a retryable abort
+// keeping its original admit time — eldest-first pulls those victims ahead
+// of younger work, FIFO sends them to the back.
+//
+// Not thread-safe: TransactionService serializes access under its own
+// mutex. Kept lock-free here so the ordering property is unit-testable in
+// isolation.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tdp::server {
+
+enum class DispatchPolicy {
+  kFifo,         ///< Strict arrival order (requeues go to the back).
+  kEldestFirst,  ///< Oldest admission timestamp first (VATS at admission).
+};
+
+inline const char* DispatchPolicyName(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kFifo: return "fifo";
+    case DispatchPolicy::kEldestFirst: return "eldest_first";
+  }
+  return "unknown";
+}
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  struct Entry {
+    T item;
+    int64_t admit_ns = 0;  ///< First admission time; preserved on requeue.
+    uint64_t seq = 0;      ///< Push order, the FIFO key and the tiebreak.
+  };
+
+  AdmissionQueue(DispatchPolicy policy, size_t max_depth)
+      : after_{policy}, max_depth_(max_depth) {}
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  bool full() const { return heap_.size() >= max_depth_; }
+  size_t max_depth() const { return max_depth_; }
+
+  /// False (and drops nothing in) when the queue is at max depth — the
+  /// caller sheds the request.
+  bool Push(T item, int64_t admit_ns) {
+    if (full()) return false;
+    heap_.push_back(Entry{std::move(item), admit_ns, next_seq_++});
+    std::push_heap(heap_.begin(), heap_.end(), after_);
+    return true;
+  }
+
+  /// Pops the next entry per the dispatch policy. False when empty.
+  bool Pop(Entry* out) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), after_);
+    *out = std::move(heap_.back());
+    heap_.pop_back();
+    return true;
+  }
+
+  /// Drains every entry in dispatch order (shutdown without backlog).
+  std::vector<Entry> PopAll() {
+    std::vector<Entry> out;
+    out.reserve(heap_.size());
+    Entry e;
+    while (Pop(&e)) out.push_back(std::move(e));
+    return out;
+  }
+
+ private:
+  /// Max-heap comparator: true when `a` dispatches after `b`.
+  struct After {
+    DispatchPolicy policy;
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (policy == DispatchPolicy::kEldestFirst && a.admit_ns != b.admit_ns) {
+        return a.admit_ns > b.admit_ns;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  After after_;
+  size_t max_depth_;
+  uint64_t next_seq_ = 0;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace tdp::server

@@ -1,0 +1,214 @@
+#include "server/service.h"
+
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace tdp::server {
+
+TransactionService::TransactionService(engine::Database* db,
+                                       ServiceConfig config)
+    : db_(db),
+      config_(std::move(config)),
+      queue_(config_.policy, config_.max_queue_depth) {
+  auto& reg = metrics::Registry::Global();
+  m_.submitted = reg.GetCounter("server.submitted");
+  m_.admitted = reg.GetCounter("server.admitted");
+  m_.shed = reg.GetCounter("server.shed");
+  m_.expired = reg.GetCounter("server.expired");
+  m_.requeues = reg.GetCounter("server.requeues");
+  m_.completed = reg.GetCounter("server.completed");
+  m_.completed_ok = reg.GetCounter("server.completed.ok");
+  m_.drain_aborted = reg.GetCounter("server.drain_aborted");
+  m_.dispatches_policy = reg.GetCounter(
+      std::string("server.dispatches.") + DispatchPolicyName(config_.policy));
+  m_.queue_depth = reg.GetGauge("server.queue_depth");
+  m_.queue_age_ns = reg.GetHistogram("server.queue_age_ns");
+  m_.latency_ns = reg.GetHistogram("server.latency_ns");
+}
+
+TransactionService::~TransactionService() { Shutdown(); }
+
+void TransactionService::Start() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(config_.workers);
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void TransactionService::Shutdown() {
+  std::vector<Queue::Entry> aborted;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (!config_.drain_completes_backlog) {
+      aborted = queue_.PopAll();
+      metrics::GaugeAdd(m_.queue_depth,
+                        -static_cast<int64_t>(aborted.size()));
+    }
+  }
+  cv_.notify_all();
+  // Unstarted backlog is finalized here, on the caller's thread, after
+  // admission is closed — deterministic regardless of worker progress.
+  const int64_t now = NowNanos();
+  for (Queue::Entry& e : aborted) {
+    drain_aborted_.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.drain_aborted);
+    Complete(std::move(e.item), Status::Aborted("service shutdown"),
+             /*dispatch_ns=*/0, now);
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+Status TransactionService::Submit(engine::TxnBody body, DoneFn done) {
+  const int64_t now = NowNanos();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.submitted);
+    const char* reason = nullptr;
+    if (!started_) {
+      reason = "service not started";
+    } else if (stopping_) {
+      reason = "service shutting down";
+    } else if (queue_.full()) {
+      reason = "admission queue full";
+    }
+    if (reason != nullptr) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.shed);
+      return Status::Overloaded(reason);
+    }
+    auto req = std::make_unique<Request>();
+    req->body = std::move(body);
+    req->done = std::move(done);
+    req->submit_ns = now;
+    queue_.Push(std::move(req), now);
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.admitted);
+    metrics::GaugeAdd(m_.queue_depth, 1);
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+Response TransactionService::Execute(engine::TxnBody body) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Response out;
+  Status s = Submit(std::move(body), [&](const Response& r) {
+    std::lock_guard<std::mutex> g(mu);
+    out = r;
+    ready = true;
+    cv.notify_one();
+  });
+  if (!s.ok()) {
+    const int64_t now = NowNanos();
+    out.status = std::move(s);
+    out.submit_ns = now;
+    out.done_ns = now;
+    return out;
+  }
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return ready; });
+  return out;
+}
+
+size_t TransactionService::queue_depth() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return queue_.size();
+}
+
+TransactionService::Stats TransactionService::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.requeues = requeues_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  s.drain_aborted = drain_aborted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TransactionService::WorkerLoop() {
+  std::unique_ptr<engine::Connection> conn = db_->Connect();
+  for (;;) {
+    Queue::Entry entry;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Only reachable when stopping.
+      queue_.Pop(&entry);
+      metrics::GaugeAdd(m_.queue_depth, -1);
+    }
+
+    const int64_t dispatch_ns = NowNanos();
+    const int64_t age_ns = dispatch_ns - entry.admit_ns;
+    metrics::Observe(m_.queue_age_ns, age_ns);
+
+    if (config_.max_queue_age_ns > 0 && age_ns > config_.max_queue_age_ns &&
+        entry.item->dispatches == 0) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.expired);
+      Complete(std::move(entry.item),
+               Status::Overloaded("queue age deadline exceeded"), dispatch_ns,
+               NowNanos());
+      continue;
+    }
+
+    Request& req = *entry.item;
+    ++req.dispatches;
+    metrics::Inc(m_.dispatches_policy);
+    Status s = engine::RunTxn(*conn, config_.retry, req.body);
+    if (!s.ok() && engine::RetryableTxnError(s, config_.retry) &&
+        req.dispatches < config_.max_dispatches) {
+      req.last_error = s;
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!stopping_ && !queue_.full()) {
+        // Re-enter with the original admission time: under kEldestFirst the
+        // victim outranks younger arrivals (the VATS move); under kFifo it
+        // rejoins at the back.
+        queue_.Push(std::move(entry.item), entry.admit_ns);
+        requeues_.fetch_add(1, std::memory_order_relaxed);
+        metrics::Inc(m_.requeues);
+        metrics::GaugeAdd(m_.queue_depth, 1);
+        lk.unlock();
+        cv_.notify_one();
+        continue;
+      }
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.completed);
+    if (s.ok()) {
+      completed_ok_.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.completed_ok);
+    }
+    Complete(std::move(entry.item), std::move(s), dispatch_ns, NowNanos());
+  }
+}
+
+void TransactionService::Complete(std::unique_ptr<Request> req, Status status,
+                                  int64_t dispatch_ns, int64_t done_ns) {
+  metrics::Observe(m_.latency_ns, done_ns - req->submit_ns);
+  if (!req->done) return;
+  Response r;
+  r.status = std::move(status);
+  r.submit_ns = req->submit_ns;
+  r.dispatch_ns = dispatch_ns;
+  r.done_ns = done_ns;
+  r.dispatches = req->dispatches;
+  req->done(r);
+}
+
+}  // namespace tdp::server

@@ -1,0 +1,158 @@
+// TransactionService: a fixed-size worker pool in front of engine::Database
+// with bounded admission, load shedding, and deterministic drain
+// (DESIGN.md "The server layer").
+//
+// Clients Submit() transaction bodies; a bounded AdmissionQueue absorbs
+// bursts, workers (each owning one engine connection) execute them through
+// engine::RunTxn, and overload is rejected at the door with
+// Status::Overloaded instead of being absorbed as unbounded queueing delay —
+// the top-down predictability move: convert hidden tail latency into an
+// explicit, counted signal.
+//
+// Accounting contract (enforced as bench_runner cross-counter invariants):
+//   server.admitted + server.shed == server.submitted
+//   server.completed + server.expired + server.drain_aborted
+//       == server.admitted
+// "shed" counts door rejections only (queue full / not started / stopping);
+// a request dropped later because it exceeded max_queue_age_ns was already
+// admitted and counts as "expired". Requeues re-enter the queue without
+// touching submitted/admitted — one admission, one completion.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/txn.h"
+#include "server/admission_queue.h"
+
+namespace tdp::server {
+
+struct ServiceConfig {
+  int workers = 4;
+  /// Admission bound: Submit beyond this depth sheds with Overloaded.
+  size_t max_queue_depth = 256;
+  DispatchPolicy policy = DispatchPolicy::kFifo;
+  /// Deadline-based shedding: a request that waited longer than this in the
+  /// queue is dropped at dispatch (completed with Overloaded, counted as
+  /// server.expired). 0 disables.
+  int64_t max_queue_age_ns = 0;
+  /// Inline retry policy per dispatch. The default (1 attempt) makes
+  /// retryable aborts *requeue* instead, which is what lets the dispatch
+  /// policy act on them (an inline retry never revisits the queue).
+  engine::RetryPolicy retry{.max_attempts = 1};
+  /// Total dispatches per request (first + requeues) before its last error
+  /// is returned as final.
+  int max_dispatches = 16;
+  /// Drain semantics: true completes the backlog before workers exit;
+  /// false aborts queued-but-unstarted requests with kAborted
+  /// (server.drain_aborted). In-flight transactions always run to
+  /// completion either way.
+  bool drain_completes_backlog = true;
+};
+
+/// Per-request outcome, timestamped for open-loop latency measurement.
+struct Response {
+  Status status;
+  int64_t submit_ns = 0;    ///< When Submit() accepted (== admit time).
+  int64_t dispatch_ns = 0;  ///< Last dispatch off the queue; 0 if shed.
+  int64_t done_ns = 0;      ///< Completion (callback) time.
+  int dispatches = 0;       ///< Times it left the queue; 0 if shed.
+};
+
+class TransactionService {
+ public:
+  using DoneFn = std::function<void(const Response&)>;
+
+  /// Totals since construction (mirrored into tdp::metrics as server.*).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;           ///< Door rejections (Overloaded at Submit).
+    uint64_t expired = 0;        ///< Admitted, dropped by queue-age deadline.
+    uint64_t requeues = 0;
+    uint64_t completed = 0;      ///< Reached a final status via a worker.
+    uint64_t completed_ok = 0;
+    uint64_t drain_aborted = 0;  ///< Unstarted backlog aborted at shutdown.
+  };
+
+  TransactionService(engine::Database* db, ServiceConfig config);
+  ~TransactionService();  ///< Calls Shutdown().
+
+  TransactionService(const TransactionService&) = delete;
+  TransactionService& operator=(const TransactionService&) = delete;
+
+  void Start();
+
+  /// Stops admission, drains per drain_completes_backlog, joins workers.
+  /// Idempotent; after it returns no callback is pending.
+  void Shutdown();
+
+  /// Enqueues `body`; `done` fires exactly once from a worker thread (or
+  /// from Shutdown for aborted backlog). Returns Overloaded — without
+  /// invoking `done` — when the queue is full or the service is not
+  /// accepting; that rejection is the "shed" count.
+  Status Submit(engine::TxnBody body, DoneFn done = nullptr);
+
+  /// Synchronous convenience: Submit + wait for the response.
+  Response Execute(engine::TxnBody body);
+
+  size_t queue_depth() const;
+  Stats stats() const;
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    engine::TxnBody body;
+    DoneFn done;
+    int dispatches = 0;
+    Status last_error;
+    int64_t submit_ns = 0;
+  };
+  using Queue = AdmissionQueue<std::unique_ptr<Request>>;
+
+  void WorkerLoop();
+  /// Finalizes a request: stats, metrics, callback. `dispatch_ns` is 0 for
+  /// never-dispatched (drain-aborted) requests.
+  void Complete(std::unique_ptr<Request> req, Status status,
+                int64_t dispatch_ns, int64_t done_ns);
+
+  engine::Database* const db_;
+  const ServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Queue queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0}, admitted_{0}, shed_{0}, expired_{0},
+      requeues_{0}, completed_{0}, completed_ok_{0}, drain_aborted_{0};
+
+  struct MetricHandles {
+    metrics::Counter* submitted = nullptr;
+    metrics::Counter* admitted = nullptr;
+    metrics::Counter* shed = nullptr;
+    metrics::Counter* expired = nullptr;
+    metrics::Counter* requeues = nullptr;
+    metrics::Counter* completed = nullptr;
+    metrics::Counter* completed_ok = nullptr;
+    metrics::Counter* drain_aborted = nullptr;
+    metrics::Counter* dispatches_policy = nullptr;
+    metrics::Gauge* queue_depth = nullptr;
+    Histogram* queue_age_ns = nullptr;
+    Histogram* latency_ns = nullptr;
+  };
+  MetricHandles m_;
+};
+
+}  // namespace tdp::server

@@ -1,13 +1,14 @@
 #include "workload/driver.h"
 
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
 
 #include "common/clock.h"
-#include "tprofiler/profiler.h"
+#include "engine/txn.h"
 
 namespace tdp::workload {
 
@@ -49,23 +50,41 @@ struct SharedQueue {
   }
 };
 
-/// One attempt: begin, body, commit/rollback, under the profiler's
-/// transaction root.
-Status ExecuteAttempt(engine::Connection& conn, const Workload::Txn& txn) {
-  // TxnScope must open before (and close after) the root probe, or the
-  // root's exit event is attributed to no transaction and dropped.
-  tprof::TxnScope txn_scope;
-  TPROF_SCOPE("dispatch_command");
-  Status s = conn.Begin();
-  if (!s.ok()) return s;
-  s = txn.body(conn);
-  if (s.ok()) return conn.Commit();
-  conn.Rollback();
-  return s;
-}
+/// Produces the arrival schedule: intended dispatch offset (ns from start)
+/// of transaction i. Constant spacing or exponential gaps, both with mean
+/// 1/tps, both deterministic given the config seed.
+class ArrivalClock {
+ public:
+  explicit ArrivalClock(const DriverConfig& config)
+      : arrival_(config.arrival),
+        interval_ns_(1e9 / config.tps),
+        // Distinct stream from the workload's NextTxn RNG so adding the
+        // Poisson mode never perturbs the transaction mix.
+        rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {}
 
-bool Retryable(const Status& s) {
-  return s.IsDeadlock() || s.IsLockTimeout() || s.IsAborted();
+  int64_t NextOffsetNs() {
+    const int64_t at = static_cast<int64_t>(next_ns_);
+    if (arrival_ == ArrivalProcess::kPoisson) {
+      // Inverse-CDF exponential; NextDouble() is in [0, 1).
+      next_ns_ += -std::log(1.0 - rng_.NextDouble()) * interval_ns_;
+    } else {
+      next_ns_ += interval_ns_;
+    }
+    return at;
+  }
+
+ private:
+  const ArrivalProcess arrival_;
+  const double interval_ns_;
+  Rng rng_;
+  double next_ns_ = 0;
+};
+
+void SleepUntil(int64_t intended_ns) {
+  const int64_t now = NowNanos();
+  if (intended_ns > now) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(intended_ns - now));
+  }
 }
 
 }  // namespace
@@ -83,26 +102,18 @@ RunResult RunConstantRate(engine::Database* db, Workload* wl,
       gave_up{0};
 
   const uint64_t warmup = config.warmup_txns;
+  engine::RetryPolicy retry;
+  retry.max_attempts = config.max_retries + 1;
 
   auto worker_fn = [&] {
     std::unique_ptr<engine::Connection> conn = db->Connect();
     Job job;
     while (queue.Pop(&job)) {
-      Status s;
-      int attempts = 0;
-      do {
-        ++attempts;
-        s = ExecuteAttempt(*conn, job.txn);
-        if (!s.ok()) {
-          if (s.IsDeadlock()) {
-            deadlocks.fetch_add(1, std::memory_order_relaxed);
-          } else if (s.IsLockTimeout()) {
-            timeouts.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            others.fetch_add(1, std::memory_order_relaxed);
-          }
-        }
-      } while (!s.ok() && Retryable(s) && attempts <= config.max_retries);
+      engine::TxnStats ts;
+      const Status s = engine::RunTxn(*conn, retry, job.txn.body, &ts);
+      deadlocks.fetch_add(ts.deadlock_aborts, std::memory_order_relaxed);
+      timeouts.fetch_add(ts.timeout_aborts, std::memory_order_relaxed);
+      others.fetch_add(ts.other_aborts, std::memory_order_relaxed);
 
       if (!s.ok()) {
         gave_up.fetch_add(1, std::memory_order_relaxed);
@@ -134,17 +145,12 @@ RunResult RunConstantRate(engine::Database* db, Workload* wl,
   workers.reserve(config.connections);
   for (int i = 0; i < config.connections; ++i) workers.emplace_back(worker_fn);
 
-  // Dispatcher: one transaction every 1/tps seconds.
   Rng rng(config.seed);
+  ArrivalClock arrivals(config);
   const int64_t start_ns = NowNanos();
-  const double interval_ns = 1e9 / config.tps;
   for (uint64_t i = 0; i < config.num_txns; ++i) {
-    const int64_t intended =
-        start_ns + static_cast<int64_t>(interval_ns * static_cast<double>(i));
-    const int64_t now = NowNanos();
-    if (intended > now) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(intended - now));
-    }
+    const int64_t intended = start_ns + arrivals.NextOffsetNs();
+    SleepUntil(intended);
     queue.Push(Job{i, intended, wl->NextTxn(&rng)});
   }
   queue.Finish();
@@ -156,6 +162,85 @@ RunResult RunConstantRate(engine::Database* db, Workload* wl,
   result.timeout_aborts = timeouts.load();
   result.other_aborts = others.load();
   result.gave_up = gave_up.load();
+  result.elapsed_s = NanosToSeconds(end_ns - start_ns);
+  result.achieved_tps =
+      result.elapsed_s > 0
+          ? static_cast<double>(result.committed) / result.elapsed_s
+          : 0;
+  return result;
+}
+
+RunResult RunService(server::TransactionService* service, Workload* wl,
+                     const DriverConfig& config, const TxnEventHook& hook) {
+  RunResult result;
+  result.offered_tps = config.tps;
+
+  std::mutex mu;  // Guards result + outstanding; callbacks are concurrent.
+  std::condition_variable all_done;
+  uint64_t outstanding = 0;
+  uint64_t committed = 0, gave_up = 0, shed = 0;
+  uint64_t deadlocks = 0, timeouts = 0, others = 0;
+
+  const uint64_t warmup = config.warmup_txns;
+
+  Rng rng(config.seed);
+  ArrivalClock arrivals(config);
+  const int64_t start_ns = NowNanos();
+  for (uint64_t i = 0; i < config.num_txns; ++i) {
+    const int64_t intended = start_ns + arrivals.NextOffsetNs();
+    SleepUntil(intended);
+    Workload::Txn txn = wl->NextTxn(&rng);
+    const char* type = txn.type;
+    {
+      std::lock_guard<std::mutex> g(mu);
+      ++outstanding;
+    }
+    Status s = service->Submit(
+        std::move(txn.body),
+        [&, i, intended, type](const server::Response& r) {
+          std::lock_guard<std::mutex> g(mu);
+          if (r.status.ok()) {
+            ++committed;
+            const int64_t latency = r.done_ns - intended;
+            if (i >= warmup) {
+              result.latencies.push_back(latency);
+              result.by_type[type].push_back(latency);
+              if (hook) {
+                TxnEvent ev;
+                ev.type = type;
+                ev.dispatch_ns = intended;
+                ev.commit_ns = r.done_ns;
+                ev.latency_ns = latency;
+                hook(ev);
+              }
+            }
+          } else {
+            if (r.status.IsDeadlock()) ++deadlocks;
+            else if (r.status.IsLockTimeout()) ++timeouts;
+            else ++others;
+            ++gave_up;
+          }
+          if (--outstanding == 0) all_done.notify_one();
+        });
+    if (!s.ok()) {
+      // Shed at the door: the callback never fires.
+      std::lock_guard<std::mutex> g(mu);
+      --outstanding;
+      ++shed;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    all_done.wait(lk, [&] { return outstanding == 0; });
+  }
+  const int64_t end_ns = NowNanos();
+
+  result.committed = committed;
+  result.deadlock_aborts = deadlocks;
+  result.timeout_aborts = timeouts;
+  result.other_aborts = others;
+  result.gave_up = gave_up;
+  result.shed = shed;
   result.elapsed_s = NanosToSeconds(end_ns - start_ns);
   result.achieved_tps =
       result.elapsed_s > 0

@@ -1,11 +1,15 @@
-// Open-loop constant-rate benchmark driver (the OLTP-Bench substitute).
+// Open-loop benchmark driver (the OLTP-Bench substitute).
 //
-// A dispatcher thread issues transactions at a fixed target rate (the paper
+// A dispatcher thread issues transactions at a target rate (the paper
 // sustains 500 tps) into a queue served by a pool of connection threads
 // (thread-per-connection). Latency is measured from each transaction's
 // *intended* dispatch time to its commit, so queueing delay caused by slow
 // transactions ahead of it is part of the measurement — exactly the
-// open-loop methodology the paper's variance numbers need.
+// open-loop methodology the paper's variance numbers need. Arrivals are
+// either evenly spaced (kConstant) or a Poisson process (kPoisson,
+// exponential inter-arrival gaps at the same mean rate), the natural model
+// for independent clients and the one that exercises admission control
+// with realistic bursts.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +19,15 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "server/service.h"
 #include "workload/workload.h"
 
 namespace tdp::workload {
+
+enum class ArrivalProcess {
+  kConstant,  ///< One transaction every 1/tps seconds exactly.
+  kPoisson,   ///< Exponential gaps with mean 1/tps (open-loop bursts).
+};
 
 struct DriverConfig {
   double tps = 500.0;
@@ -31,6 +41,7 @@ struct DriverConfig {
   /// the system as a fresh transaction (new age), as a real client's retry
   /// would, but the original dispatch time still anchors the measurement.
   int max_retries = 50;
+  ArrivalProcess arrival = ArrivalProcess::kConstant;
 };
 
 /// Raised after every committed, measured transaction.
@@ -53,6 +64,7 @@ struct RunResult {
   uint64_t timeout_aborts = 0;    ///< Attempts aborted by lock timeout.
   uint64_t other_aborts = 0;
   uint64_t gave_up = 0;           ///< Transactions that exhausted retries.
+  uint64_t shed = 0;              ///< Rejected with Overloaded (RunService).
 
   double elapsed_s = 0;
   double offered_tps = 0;
@@ -62,9 +74,20 @@ struct RunResult {
   double LpNorm(double p) const { return LpNormOf(latencies, p); }
 };
 
-/// Runs `wl` (already Loaded) against `db` at a constant rate.
+/// Runs `wl` (already Loaded) against `db` at the configured rate with a
+/// thread-per-connection pool (config.connections threads).
 RunResult RunConstantRate(engine::Database* db, Workload* wl,
                           const DriverConfig& config,
                           const TxnEventHook& hook = nullptr);
+
+/// Same open-loop arrival schedule, but submitted (non-blocking) into a
+/// started TransactionService instead of a private thread pool — requests a
+/// full service sheds appear in `shed` rather than queueing forever, and
+/// latency still anchors at the intended dispatch time. `config.connections`
+/// and `config.max_retries` are ignored (the service's workers / retry
+/// policy govern).
+RunResult RunService(server::TransactionService* service, Workload* wl,
+                     const DriverConfig& config,
+                     const TxnEventHook& hook = nullptr);
 
 }  // namespace tdp::workload

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <mutex>
+#include <vector>
 
-#include "engine/mysqlmini.h"
+#include "engine/factory.h"
 #include "workload/ycsb.h"
 
 namespace tdp::workload {
@@ -22,19 +26,27 @@ engine::MySQLMiniConfig FastEngine() {
   return cfg;
 }
 
+std::unique_ptr<engine::Database> OpenFast() {
+  engine::EngineConfig config;
+  config.mysql = FastEngine();
+  auto db = engine::OpenDatabase(engine::EngineKind::kMySQLMini, config);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db.value());
+}
+
 TEST(DriverTest, RunsRequestedNumberOfTxns) {
-  engine::MySQLMini db(FastEngine());
+  auto db = OpenFast();
   YcsbConfig wcfg;
   wcfg.rows = 2000;
   Ycsb ycsb(wcfg);
-  ycsb.Load(&db);
+  ycsb.Load(db.get());
 
   DriverConfig cfg;
   cfg.tps = 2000;
   cfg.connections = 8;
   cfg.num_txns = 500;
   cfg.warmup_txns = 100;
-  const RunResult result = RunConstantRate(&db, &ycsb, cfg);
+  const RunResult result = RunConstantRate(db.get(), &ycsb, cfg);
 
   EXPECT_EQ(result.committed, 500u);
   EXPECT_EQ(result.latencies.size(), 400u);  // post-warmup only
@@ -43,18 +55,18 @@ TEST(DriverTest, RunsRequestedNumberOfTxns) {
 }
 
 TEST(DriverTest, LatenciesArePositiveAndMeasured) {
-  engine::MySQLMini db(FastEngine());
+  auto db = OpenFast();
   YcsbConfig wcfg;
   wcfg.rows = 2000;
   Ycsb ycsb(wcfg);
-  ycsb.Load(&db);
+  ycsb.Load(db.get());
 
   DriverConfig cfg;
   cfg.tps = 1000;
   cfg.connections = 4;
   cfg.num_txns = 200;
   cfg.warmup_txns = 0;
-  const RunResult result = RunConstantRate(&db, &ycsb, cfg);
+  const RunResult result = RunConstantRate(db.get(), &ycsb, cfg);
   ASSERT_EQ(result.latencies.size(), 200u);
   for (int64_t l : result.latencies) EXPECT_GT(l, 0);
   const LatencySummary sum = result.Summary();
@@ -63,29 +75,29 @@ TEST(DriverTest, LatenciesArePositiveAndMeasured) {
 }
 
 TEST(DriverTest, ByTypeBucketsSumToTotal) {
-  engine::MySQLMini db(FastEngine());
+  auto db = OpenFast();
   YcsbConfig wcfg;
   wcfg.rows = 2000;
   Ycsb ycsb(wcfg);
-  ycsb.Load(&db);
+  ycsb.Load(db.get());
 
   DriverConfig cfg;
   cfg.tps = 2000;
   cfg.connections = 4;
   cfg.num_txns = 300;
   cfg.warmup_txns = 50;
-  const RunResult result = RunConstantRate(&db, &ycsb, cfg);
+  const RunResult result = RunConstantRate(db.get(), &ycsb, cfg);
   size_t total = 0;
   for (const auto& [type, v] : result.by_type) total += v.size();
   EXPECT_EQ(total, result.latencies.size());
 }
 
 TEST(DriverTest, HookFiresPerMeasuredTxn) {
-  engine::MySQLMini db(FastEngine());
+  auto db = OpenFast();
   YcsbConfig wcfg;
   wcfg.rows = 2000;
   Ycsb ycsb(wcfg);
-  ycsb.Load(&db);
+  ycsb.Load(db.get());
 
   std::atomic<uint64_t> events{0};
   DriverConfig cfg;
@@ -93,7 +105,7 @@ TEST(DriverTest, HookFiresPerMeasuredTxn) {
   cfg.connections = 4;
   cfg.num_txns = 300;
   cfg.warmup_txns = 100;
-  RunConstantRate(&db, &ycsb, cfg, [&](const TxnEvent& ev) {
+  RunConstantRate(db.get(), &ycsb, cfg, [&](const TxnEvent& ev) {
     EXPECT_GT(ev.engine_txn_id, 0u);
     EXPECT_GT(ev.latency_ns, 0);
     EXPECT_GE(ev.commit_ns, ev.dispatch_ns);
@@ -102,19 +114,81 @@ TEST(DriverTest, HookFiresPerMeasuredTxn) {
   EXPECT_EQ(events.load(), 200u);
 }
 
-TEST(DriverTest, ApproximatesTargetRate) {
-  engine::MySQLMini db(FastEngine());
+TEST(DriverTest, PoissonArrivalsRunAllTxnsNearTargetRate) {
+  auto db = OpenFast();
   YcsbConfig wcfg;
   wcfg.rows = 2000;
   Ycsb ycsb(wcfg);
-  ycsb.Load(&db);
+  ycsb.Load(db.get());
+
+  DriverConfig cfg;
+  cfg.tps = 1000;
+  cfg.connections = 8;
+  cfg.num_txns = 1000;
+  cfg.warmup_txns = 100;
+  cfg.arrival = ArrivalProcess::kPoisson;
+  const RunResult result = RunConstantRate(db.get(), &ycsb, cfg);
+  EXPECT_EQ(result.committed, 1000u);
+  EXPECT_EQ(result.latencies.size(), 900u);
+  // Exponential gaps average to the same offered rate; generous CI bounds.
+  EXPECT_NEAR(result.achieved_tps, 1000, 400);
+}
+
+TEST(DriverTest, PoissonGapsVaryUnlikeConstantRate) {
+  // The Poisson stream must actually be irregular: with the same seed and
+  // rate, the constant-rate dispatcher has (near-)identical inter-dispatch
+  // gaps while the Poisson one does not. Compare dispatch-time spreads.
+  auto run = [&](ArrivalProcess arrival) {
+    auto db = OpenFast();
+    YcsbConfig wcfg;
+    wcfg.rows = 2000;
+    Ycsb ycsb(wcfg);
+    ycsb.Load(db.get());
+    std::vector<int64_t> dispatch;
+    std::mutex mu;
+    DriverConfig cfg;
+    cfg.tps = 2000;
+    cfg.connections = 1;  // one connection: dispatch times are ordered
+    cfg.num_txns = 300;
+    cfg.warmup_txns = 0;
+    cfg.arrival = arrival;
+    RunConstantRate(db.get(), &ycsb, cfg, [&](const TxnEvent& ev) {
+      std::lock_guard<std::mutex> g(mu);
+      dispatch.push_back(ev.dispatch_ns);
+    });
+    std::sort(dispatch.begin(), dispatch.end());
+    std::vector<double> gaps;
+    for (size_t i = 1; i < dispatch.size(); ++i) {
+      gaps.push_back(static_cast<double>(dispatch[i] - dispatch[i - 1]));
+    }
+    double mean = 0;
+    for (double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    double var = 0;
+    for (double g : gaps) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(gaps.size());
+    return std::sqrt(var) / mean;  // coefficient of variation of the gaps
+  };
+  const double cov_poisson = run(ArrivalProcess::kPoisson);
+  const double cov_constant = run(ArrivalProcess::kConstant);
+  // Exponential gaps have CoV ~1; a paced constant stream is far tighter.
+  EXPECT_GT(cov_poisson, 0.5);
+  EXPECT_LT(cov_constant, cov_poisson);
+}
+
+TEST(DriverTest, ApproximatesTargetRate) {
+  auto db = OpenFast();
+  YcsbConfig wcfg;
+  wcfg.rows = 2000;
+  Ycsb ycsb(wcfg);
+  ycsb.Load(db.get());
 
   DriverConfig cfg;
   cfg.tps = 1000;
   cfg.connections = 8;
   cfg.num_txns = 1000;
   cfg.warmup_txns = 0;
-  const RunResult result = RunConstantRate(&db, &ycsb, cfg);
+  const RunResult result = RunConstantRate(db.get(), &ycsb, cfg);
   // 1000 txns at 1000 tps ≈ 1s elapsed; generous bounds for CI noise.
   EXPECT_GT(result.elapsed_s, 0.8);
   EXPECT_LT(result.elapsed_s, 3.0);

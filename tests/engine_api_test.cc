@@ -1,0 +1,238 @@
+// The unified engine-facing API: OpenDatabase config validation, RunTxn
+// retry semantics, Connection::last_error(), and idempotent Rollback().
+#include "engine/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/txn.h"
+
+namespace tdp::engine {
+namespace {
+
+EngineConfig FastMysql() {
+  EngineConfig config;
+  config.mysql.row_work_ns = 0;
+  config.mysql.btree.level_work_ns = 0;
+  config.mysql.data_disk.base_latency_ns = 0;
+  config.mysql.data_disk.sigma = 0;
+  config.mysql.log_disk.base_latency_ns = 0;
+  config.mysql.log_disk.sigma = 0;
+  config.mysql.log_disk.flush_barrier_ns = 0;
+  return config;
+}
+
+EngineConfig FastPg() {
+  EngineConfig config;
+  config.pg.row_work_ns = 0;
+  config.pg.wal.disk.base_latency_ns = 0;
+  config.pg.wal.disk.sigma = 0;
+  config.pg.wal.disk.flush_barrier_ns = 0;
+  return config;
+}
+
+TEST(EngineFactoryTest, ParseEngineKindRoundTrips) {
+  Result<EngineKind> kind = ParseEngineKind("mysqlmini");
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, EngineKind::kMySQLMini);
+  EXPECT_STREQ(EngineKindName(*kind), "mysqlmini");
+  kind = ParseEngineKind("pgmini");
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, EngineKind::kPgMini);
+  EXPECT_STREQ(EngineKindName(*kind), "pgmini");
+  EXPECT_TRUE(ParseEngineKind("oracle").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseEngineKind("").status().IsInvalidArgument());
+}
+
+TEST(EngineFactoryTest, OpensWorkingDatabases) {
+  for (EngineKind kind : {EngineKind::kMySQLMini, EngineKind::kPgMini}) {
+    auto db = OpenDatabase(
+        kind, kind == EngineKind::kMySQLMini ? FastMysql() : FastPg());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    const uint32_t t = (*db)->CreateTable("t", 16);
+    (*db)->BulkUpsert(t, 1, storage::Row{5});
+    auto conn = (*db)->Connect();
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(conn->Select(t, 1).ok());
+    Result<int64_t> v = conn->ReadColumn(t, 1, 0);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, 5);
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+}
+
+TEST(EngineFactoryTest, RejectsZeroBufferPool) {
+  EngineConfig config = FastMysql();
+  config.mysql.buffer_pool_pages = 0;
+  auto db = OpenDatabase(EngineKind::kMySQLMini, config);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsInvalidArgument()) << db.status().ToString();
+  EXPECT_NE(db.status().message().find("buffer_pool_pages"),
+            std::string::npos);
+}
+
+TEST(EngineFactoryTest, RejectsNegativeSpinBudget) {
+  EngineConfig config = FastMysql();
+  config.mysql.llu_spin_budget_ns = -1;
+  auto db = OpenDatabase(EngineKind::kMySQLMini, config);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(EngineFactoryTest, RejectsBadLockAndDiskConfigs) {
+  {
+    EngineConfig config = FastMysql();
+    config.mysql.lock.wait_timeout_ns = 0;
+    EXPECT_TRUE(OpenDatabase(EngineKind::kMySQLMini, config)
+                    .status()
+                    .IsInvalidArgument());
+  }
+  {
+    EngineConfig config = FastMysql();
+    config.mysql.data_disk.base_latency_ns = -5;
+    EXPECT_TRUE(OpenDatabase(EngineKind::kMySQLMini, config)
+                    .status()
+                    .IsInvalidArgument());
+  }
+  {
+    EngineConfig config = FastPg();
+    config.pg.wal.block_bytes = 0;
+    EXPECT_TRUE(
+        OpenDatabase(EngineKind::kPgMini, config).status().IsInvalidArgument());
+  }
+  {
+    EngineConfig config = FastPg();
+    config.pg.wal.num_log_sets = 0;
+    EXPECT_TRUE(
+        OpenDatabase(EngineKind::kPgMini, config).status().IsInvalidArgument());
+  }
+}
+
+TEST(EngineFactoryTest, ValidateAloneReportsTheField) {
+  EngineConfig config = FastMysql();
+  config.mysql.rows_per_page = 0;
+  const Status s = ValidateEngineConfig(EngineKind::kMySQLMini, config);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("rows_per_page"), std::string::npos);
+}
+
+// --- last_error + idempotent Rollback across engines -----------------------
+
+void ExerciseConnectionContract(Database* db) {
+  const uint32_t t = db->CreateTable("contract", 16);
+  db->BulkUpsert(t, 1, storage::Row{10});
+  auto conn = db->Connect();
+
+  // Begin resets last_error; a failing read records it.
+  ASSERT_TRUE(conn->Begin().ok());
+  EXPECT_TRUE(conn->last_error().ok());
+  EXPECT_TRUE(conn->ReadColumn(t, 999, 0).status().IsNotFound());
+  EXPECT_TRUE(conn->last_error().IsNotFound()) << db->name();
+  conn->Rollback();
+
+  // Rollback is idempotent: back-to-back rollbacks and a rollback with no
+  // open transaction are harmless no-ops.
+  conn->Rollback();
+  conn->Rollback();
+
+  // A fresh Begin clears the sticky error and the connection still works.
+  ASSERT_TRUE(conn->Begin().ok());
+  EXPECT_TRUE(conn->last_error().ok());
+  ASSERT_TRUE(conn->Update(t, 1, 0, 5).ok());
+  ASSERT_TRUE(conn->Commit().ok());
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Select(t, 1).ok());
+  Result<int64_t> v = conn->ReadColumn(t, 1, 0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 15);
+  ASSERT_TRUE(conn->Commit().ok());
+}
+
+TEST(ConnectionContractTest, MysqlLastErrorAndIdempotentRollback) {
+  auto db = OpenDatabase(EngineKind::kMySQLMini, FastMysql());
+  ASSERT_TRUE(db.ok());
+  ExerciseConnectionContract(db->get());
+}
+
+TEST(ConnectionContractTest, PgLastErrorAndIdempotentRollback) {
+  auto db = OpenDatabase(EngineKind::kPgMini, FastPg());
+  ASSERT_TRUE(db.ok());
+  ExerciseConnectionContract(db->get());
+}
+
+// --- RunTxn ----------------------------------------------------------------
+
+TEST(RunTxnTest, CommitsAndReportsSingleAttempt) {
+  auto db = OpenDatabase(EngineKind::kMySQLMini, FastMysql());
+  ASSERT_TRUE(db.ok());
+  const uint32_t t = (*db)->CreateTable("t", 16);
+  (*db)->BulkUpsert(t, 1, storage::Row{0});
+  auto conn = (*db)->Connect();
+  TxnStats stats;
+  const Status s = RunTxn(
+      *conn, RetryPolicy{},
+      [&](Connection& c) { return c.Update(t, 1, 0, 3); }, &stats);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(stats.attempts, 1);
+}
+
+TEST(RunTxnTest, NonRetryableErrorRollsBackAndReturns) {
+  auto db = OpenDatabase(EngineKind::kMySQLMini, FastMysql());
+  ASSERT_TRUE(db.ok());
+  const uint32_t t = (*db)->CreateTable("t", 16);
+  (*db)->BulkUpsert(t, 1, storage::Row{0});
+  auto conn = (*db)->Connect();
+  int calls = 0;
+  const Status s = RunTxn(*conn, RetryPolicy{}, [&](Connection& c) {
+    ++calls;
+    Status st = c.Update(t, 1, 0, 1);  // would commit if body succeeded
+    if (!st.ok()) return st;
+    return Status::NotFound("business rule");
+  });
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(calls, 1);
+  // The failed body's update was rolled back.
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Select(t, 1).ok());
+  EXPECT_EQ(*conn->ReadColumn(t, 1, 0), 0);
+  ASSERT_TRUE(conn->Commit().ok());
+}
+
+TEST(RunTxnTest, RetriesUpToMaxAttemptsOnRetryableError) {
+  auto db = OpenDatabase(EngineKind::kMySQLMini, FastMysql());
+  ASSERT_TRUE(db.ok());
+  auto conn = (*db)->Connect();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  TxnStats stats;
+  const Status s = RunTxn(
+      *conn, policy,
+      [&](Connection&) {
+        ++calls;
+        return Status::Deadlock("synthetic");
+      },
+      &stats);
+  EXPECT_TRUE(s.IsDeadlock());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.deadlock_aborts, 3u);
+}
+
+TEST(RunTxnTest, RetryStopsWhenErrorNotRetryable) {
+  auto db = OpenDatabase(EngineKind::kMySQLMini, FastMysql());
+  ASSERT_TRUE(db.ok());
+  auto conn = (*db)->Connect();
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.retry_aborted = false;
+  int calls = 0;
+  const Status s = RunTxn(*conn, policy, [&](Connection&) {
+    ++calls;
+    return Status::Aborted("no retry wanted");
+  });
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace tdp::engine

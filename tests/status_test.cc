@@ -19,7 +19,17 @@ TEST(StatusTest, FactoriesSetCode) {
   EXPECT_TRUE(Status::Busy().IsBusy());
   EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
   EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::Overloaded().IsOverloaded());
   EXPECT_FALSE(Status::NotFound().ok());
+}
+
+TEST(StatusTest, OverloadedNamedAndDistinct) {
+  const Status s = Status::Overloaded("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "Overloaded: queue full");
+  EXPECT_FALSE(s.IsDeadlock());
+  EXPECT_FALSE(s.IsBusy());
+  EXPECT_FALSE(Status::Busy().IsOverloaded());
 }
 
 TEST(StatusTest, MessagePreserved) {

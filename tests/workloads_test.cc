@@ -4,7 +4,7 @@
 
 #include <map>
 
-#include "engine/mysqlmini.h"
+#include "engine/factory.h"
 #include "workload/epinions.h"
 #include "workload/seats.h"
 #include "workload/tatp.h"
@@ -27,12 +27,20 @@ engine::MySQLMiniConfig FastEngine() {
   return cfg;
 }
 
+std::unique_ptr<engine::Database> OpenFast() {
+  engine::EngineConfig config;
+  config.mysql = FastEngine();
+  auto db = engine::OpenDatabase(engine::EngineKind::kMySQLMini, config);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db.value());
+}
+
 // Runs `n` generated transactions serially; every one must commit (or be a
 // tolerated benign failure handled inside the body).
 void RunSerial(Workload* wl, int n, uint64_t seed = 42) {
-  engine::MySQLMini db(FastEngine());
-  wl->Load(&db);
-  auto conn = db.Connect();
+  auto db = OpenFast();
+  wl->Load(db.get());
+  auto conn = db->Connect();
   Rng rng(seed);
   std::map<std::string, int> type_counts;
   for (int i = 0; i < n; ++i) {
@@ -51,7 +59,8 @@ TEST(TpccTest, LoadCreatesExpectedRowCounts) {
   TpccConfig cfg;
   cfg.warehouses = 2;
   Tpcc tpcc(cfg);
-  engine::MySQLMini db(FastEngine());
+  auto dbp = OpenFast();
+  engine::Database& db = *dbp;
   tpcc.Load(&db);
   EXPECT_EQ(db.TableRowCount(db.TableId("warehouse")), 2u);
   EXPECT_EQ(db.TableRowCount(db.TableId("district")), 20u);
@@ -98,7 +107,8 @@ TEST(TpccTest, NewOrderAdvancesDistrictCounterAndInsertsOrder) {
   cfg.warehouses = 1;
   cfg.pure_new_order = true;
   Tpcc tpcc(cfg);
-  engine::MySQLMini db(FastEngine());
+  auto dbp = OpenFast();
+  engine::Database& db = *dbp;
   tpcc.Load(&db);
   auto conn = db.Connect();
   Rng rng(3);
@@ -175,7 +185,8 @@ TEST(YcsbTest, KeysWithinRange) {
   YcsbConfig cfg;
   cfg.rows = 1000;
   Ycsb ycsb(cfg);
-  engine::MySQLMini db(FastEngine());
+  auto dbp = OpenFast();
+  engine::Database& db = *dbp;
   ycsb.Load(&db);
   EXPECT_EQ(db.TableRowCount(db.TableId("usertable")), 1000u);
 }

@@ -12,8 +12,10 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "core/toolkit.h"
+#include "engine/factory.h"
 #include "engine/mysqlmini.h"
 #include "pg/pgmini.h"
+#include "server/service.h"
 #include "volt/voltmini.h"
 #include "workload/tpcc.h"
 
@@ -48,18 +50,35 @@ json::Value RunExperiment(const std::string& name, const std::string& engine,
   return e;
 }
 
+/// Constructs an engine through the validating factory; a rejected config
+/// is a bug in the suite itself, so it aborts loudly.
+std::unique_ptr<engine::Database> MustOpen(engine::EngineKind kind,
+                                           const engine::EngineConfig& cfg) {
+  auto db = engine::OpenDatabase(kind, cfg);
+  if (!db.ok()) {
+    std::fprintf(stderr, "bench_suites: OpenDatabase(%s): %s\n",
+                 engine::EngineKindName(kind), db.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(db.value());
+}
+
 core::Metrics RunMysql(engine::MySQLMiniConfig cfg, workload::TpccConfig tcfg,
                        workload::DriverConfig driver) {
-  engine::MySQLMini db(cfg);
+  engine::EngineConfig ecfg;
+  ecfg.mysql = std::move(cfg);
+  auto db = MustOpen(engine::EngineKind::kMySQLMini, ecfg);
   workload::Tpcc wl(tcfg);
-  return core::LoadAndRun(&db, &wl, driver).metrics;
+  return core::LoadAndRun(db.get(), &wl, driver).metrics;
 }
 
 core::Metrics RunPg(pg::PgMiniConfig cfg, workload::TpccConfig tcfg,
                     workload::DriverConfig driver) {
-  pg::PgMini db(cfg);
+  engine::EngineConfig ecfg;
+  ecfg.pg = std::move(cfg);
+  auto db = MustOpen(engine::EngineKind::kPgMini, ecfg);
   workload::Tpcc wl(tcfg);
-  return core::LoadAndRun(&db, &wl, driver).metrics;
+  return core::LoadAndRun(db.get(), &wl, driver).metrics;
 }
 
 /// Open-loop voltmini run mirroring bench_fig6_outofbox's third leg, sized
@@ -164,6 +183,49 @@ json::Value Fig4Experiment(bool parallel, uint64_t n) {
                        });
 }
 
+/// TPC-C through the TransactionService (server layer): an open-loop
+/// Poisson arrival stream submitted into a bounded admission queue. The
+/// overload variant offers far beyond the 2-worker capacity into a shallow
+/// queue so the door must shed (the invariant checks Overloaded > 0);
+/// the policy variants offer a feasible load into a deep queue.
+json::Value ServerExperiment(server::DispatchPolicy policy, bool overload,
+                             uint64_t n) {
+  json::Value p = json::Value::Object();
+  p.Set("policy", json::Value::Str(server::DispatchPolicyName(policy)));
+  p.Set("backend", json::Value::Str("mysqlmini"));
+  p.Set("overload", json::Value::Bool(overload));
+  const std::string name = std::string("server.") +
+                           (overload ? "overload" : server::DispatchPolicyName(policy));
+  return RunExperiment(name, "server", std::move(p), [&] {
+    engine::EngineConfig ecfg;
+    ecfg.mysql = core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS);
+    // Capacity shaped by per-row CPU work, not the serial log device, so
+    // the overload leg saturates the same way on any machine.
+    ecfg.mysql.flush_policy = log::FlushPolicy::kLazyFlush;
+    ecfg.mysql.row_work_ns = 150000;
+    auto db = MustOpen(engine::EngineKind::kMySQLMini, ecfg);
+    workload::Tpcc wl(core::Toolkit::TpccContended());
+    wl.Load(db.get());
+
+    server::ServiceConfig scfg;
+    scfg.workers = overload ? 2 : 8;
+    scfg.policy = policy;
+    scfg.max_queue_depth = overload ? 8 : 4096;
+    scfg.retry.max_attempts = 1;  // Retryable aborts requeue.
+    server::TransactionService svc(db.get(), scfg);
+    svc.Start();
+
+    workload::DriverConfig driver;
+    driver.tps = overload ? 5000 : 300;
+    driver.num_txns = n;
+    driver.warmup_txns = n / 10;
+    driver.arrival = workload::ArrivalProcess::kPoisson;
+    const workload::RunResult run = workload::RunService(&svc, &wl, driver);
+    svc.Shutdown();
+    return core::Metrics::From(run);
+  });
+}
+
 json::Value Fig6VoltExperiment(uint64_t n) {
   return RunExperiment("fig6.voltmini", "voltmini", json::Value::Object(),
                        [&] { return RunVolt(/*workers=*/2, n); });
@@ -180,7 +242,7 @@ json::Value SuiteDoc(const std::string& suite) {
 }  // namespace
 
 std::vector<std::string> ListSuites() {
-  return {"smoke", "fig2", "fig3", "fig4", "fig6"};
+  return {"smoke", "fig2", "fig3", "fig4", "fig6", "server-smoke"};
 }
 
 bool HasSuite(const std::string& suite) {
@@ -223,6 +285,17 @@ json::Value RunSuite(const std::string& suite) {
   } else if (suite == "fig4") {
     experiments.Append(Fig4Experiment(/*parallel=*/false, SuiteN(6000)));
     experiments.Append(Fig4Experiment(/*parallel=*/true, SuiteN(6000)));
+  } else if (suite == "server-smoke") {
+    // The admission-control story end to end: both dispatch policies at a
+    // feasible offered load, then a shallow queue under heavy overload so
+    // the shed path (and its counters) must fire.
+    const uint64_t n = SuiteN(3000);
+    experiments.Append(
+        ServerExperiment(server::DispatchPolicy::kFifo, /*overload=*/false, n));
+    experiments.Append(ServerExperiment(server::DispatchPolicy::kEldestFirst,
+                                        /*overload=*/false, n));
+    experiments.Append(ServerExperiment(server::DispatchPolicy::kFifo,
+                                        /*overload=*/true, SuiteN(4000)));
   } else {  // fig6
     const uint64_t n = SuiteN(6000);
     workload::DriverConfig driver = core::Toolkit::DriverDefault();
@@ -431,6 +504,28 @@ std::vector<std::string> CheckInvariants(const json::Value& doc) {
         RequireEq(exp, "wal.bytes_written != wal.blocks_written * block",
                   Counter(exp, "wal.bytes_written"),
                   Counter(exp, "wal.blocks_written") * block, &problems);
+      }
+    } else if (engine == "server") {
+      // Admission accounting is exact: every submission is either admitted
+      // or shed at the door, and every admission reaches exactly one final
+      // outcome (completion, queue-age expiry, or drain abort).
+      RequireEq(exp, "server.admitted + server.shed != server.submitted",
+                Counter(exp, "server.admitted") + Counter(exp, "server.shed"),
+                Counter(exp, "server.submitted"), &problems);
+      RequireEq(exp,
+                "server.completed + server.expired + server.drain_aborted != "
+                "server.admitted",
+                Counter(exp, "server.completed") +
+                    Counter(exp, "server.expired") +
+                    Counter(exp, "server.drain_aborted"),
+                Counter(exp, "server.admitted"), &problems);
+      RequireEq(exp, "server.queue_depth not drained at quiesce",
+                GaugeValue(exp, "server.queue_depth"), 0, &problems);
+      RequirePositive(exp, "server.submitted", &problems);
+      RequirePositive(exp, "server.completed.ok", &problems);
+      if (ParamBool(exp, "overload")) {
+        // A 2x-capacity offered load into a shallow bounded queue must shed.
+        RequirePositive(exp, "server.shed", &problems);
       }
     } else if (engine == "voltmini") {
       RequireEq(exp, "volt.submits != volt.completions",

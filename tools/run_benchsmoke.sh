@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
-# CI smoke gate (ctest label: bench-smoke): runs bench_runner's smoke suite
-# in quick mode, validates the emitted BENCH_smoke.json against the
-# checked-in schema, and enforces the cross-counter invariants. Any schema
-# drift or invariant violation fails the build.
+# CI smoke gate (ctest label: bench-smoke): runs a bench_runner suite in
+# quick mode, validates the emitted BENCH_*.json against the checked-in
+# schema, and enforces the cross-counter invariants. Any schema drift or
+# invariant violation fails the build.
 #
-# Usage: run_benchsmoke.sh <bench_runner> <schema.json> [out.json]
+# Usage: run_benchsmoke.sh <bench_runner> <schema.json> [out.json] [suite]
 set -euo pipefail
 
 RUNNER=$1
 SCHEMA=$2
 OUT=${3:-BENCH_smoke.json}
+SUITE=${4:-smoke}
 
-TDP_QUICK_BENCH=1 "$RUNNER" --suite=smoke --out="$OUT" --schema="$SCHEMA" --check
+TDP_QUICK_BENCH=1 "$RUNNER" --suite="$SUITE" --out="$OUT" --schema="$SCHEMA" --check

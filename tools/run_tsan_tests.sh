@@ -10,9 +10,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-tsan
 
 # The races worth hunting live in the lock manager, buffer pool, log/WAL
-# group commit, and the fault-injection retry paths.
+# group commit, the fault-injection retry paths, and the server layer's
+# admission queue + worker pool.
 TESTS=(
   metrics_test
+  server_admission_test
   llu_backlog_property_test
   spinlock_test
   lock_manager_test

@@ -15,8 +15,7 @@
 #include <string>
 
 #include "core/toolkit.h"
-#include "engine/mysqlmini.h"
-#include "pg/pgmini.h"
+#include "engine/factory.h"
 #include "tprofiler/analysis.h"
 #include "tprofiler/profiler.h"
 #include "workload/epinions.h"
@@ -101,10 +100,18 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<engine::Database> db;
+  engine::EngineConfig config;
   std::vector<std::string> probes = {"dispatch_command"};
   if (opt.engine == "mysql") {
-    db = std::make_unique<engine::MySQLMini>(
-        core::Toolkit::MysqlDefault(PolicyFromName(opt.policy)));
+    config.mysql = core::Toolkit::MysqlDefault(PolicyFromName(opt.policy));
+    auto opened =
+        engine::OpenDatabase(engine::EngineKind::kMySQLMini, config);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "OpenDatabase: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(opened.value());
     probes.insert(probes.end(),
                   {"row_search_for_mysql", "row_upd_step",
                    "row_ins_clust_index_entry_low", "lock_wait_suspend_thread",
@@ -113,7 +120,14 @@ int main(int argc, char** argv) {
                    "buf_LRU_add_block", "buf_page_make_young", "trx_commit",
                    "log_write_up_to", "fil_flush"});
   } else if (opt.engine == "pg") {
-    db = std::make_unique<pg::PgMini>(core::Toolkit::PgDefault());
+    config.pg = core::Toolkit::PgDefault();
+    auto opened = engine::OpenDatabase(engine::EngineKind::kPgMini, config);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "OpenDatabase: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(opened.value());
     probes.insert(probes.end(),
                   {"ExecSelect", "heap_update", "heap_insert", "heap_delete",
                    "CommitTransaction", "LWLockAcquireOrWait", "XLogFlush",
