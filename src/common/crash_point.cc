@@ -1,0 +1,96 @@
+#include "common/crash_point.h"
+
+#include "common/metrics.h"
+
+namespace tdp {
+
+CrashPoints& CrashPoints::Global() {
+  static CrashPoints instance;
+  return instance;
+}
+
+void CrashPoints::Arm(std::string point, uint64_t occurrence) {
+  std::lock_guard<std::mutex> g(mu_);
+  armed_ = true;
+  armed_point_ = std::move(point);
+  armed_countdown_ = occurrence == 0 ? 1 : occurrence;
+  triggered_by_.clear();
+  triggered_.store(false, std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+}
+
+void CrashPoints::Disarm() {
+  std::lock_guard<std::mutex> g(mu_);
+  armed_ = false;
+  armed_point_.clear();
+  armed_countdown_ = 0;
+  active_.store(recording_, std::memory_order_release);
+}
+
+void CrashPoints::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  armed_ = false;
+  recording_ = false;
+  armed_point_.clear();
+  armed_countdown_ = 0;
+  triggered_by_.clear();
+  recorded_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  triggered_.store(false, std::memory_order_release);
+  active_.store(false, std::memory_order_release);
+}
+
+void CrashPoints::Trigger(const char* via) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (triggered_.load(std::memory_order_relaxed)) return;
+    triggered_by_ = via;
+    triggered_.store(true, std::memory_order_release);
+  }
+  static metrics::Counter* const crashes =
+      metrics::Registry::Global().GetCounter("crash.triggered");
+  metrics::Inc(crashes);
+}
+
+std::string CrashPoints::triggered_by() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return triggered_by_;
+}
+
+void CrashPoints::SetRecording(bool on) {
+  std::lock_guard<std::mutex> g(mu_);
+  recording_ = on;
+  active_.store(recording_ || armed_, std::memory_order_release);
+}
+
+std::map<std::string, uint64_t> CrashPoints::RecordedHits() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return recorded_;
+}
+
+void CrashPoints::Hit(const char* name) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bool trip = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (recording_) ++recorded_[name];
+    if (armed_ && armed_point_ == name && armed_countdown_ > 0) {
+      if (--armed_countdown_ == 0) {
+        armed_ = false;
+        triggered_by_ = armed_point_;
+        trip = true;
+      }
+    }
+  }
+  if (trip) {
+    triggered_.store(true, std::memory_order_release);
+    static metrics::Counter* const crashes =
+        metrics::Registry::Global().GetCounter("crash.triggered");
+    metrics::Inc(crashes);
+  }
+  static metrics::Counter* const hits =
+      metrics::Registry::Global().GetCounter("crash.points_hit");
+  metrics::Inc(hits);
+}
+
+}  // namespace tdp

@@ -1,0 +1,103 @@
+// Named crash points: the deterministic "pull the plug here" hooks of the
+// crash-recovery harness (docs/recovery.md).
+//
+// Durability code marks the instants where a real process death would be
+// interesting — just before a log flush, between a checkpoint's header and
+// body, right before the commit acknowledgement — with
+// TDP_CRASH_POINT("redo.pre_flush"). tools/tdp_crashtest arms one
+// (point, occurrence) pair per seed; when that hit count is reached the
+// process-wide crash flag trips. An in-process "crash" cannot tear threads
+// down mid-instruction, so the flag instead makes the simulated I/O stack
+// go dark — SimDisk fails every subsequent request, the log/WAL strict
+// retry loops stop waiting for a device that will never come back — and the
+// harness stops the workload, takes the durable log images, and reboots
+// into recovery. Nothing reaches the "medium" after the crash instant,
+// which is the property recovery is tested against.
+//
+// Unarmed cost is one relaxed atomic load per crash point, so the hooks can
+// stay in the commit hot path permanently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdp {
+
+class CrashPoints {
+ public:
+  /// Process-wide instance: crash points are global for the same reason a
+  /// real crash is — one process, one plug.
+  static CrashPoints& Global();
+
+  /// Arms the schedule: the crash flag trips on the `occurrence`-th time
+  /// (1-based) `point` is hit. Replaces any previous arming; clears a
+  /// previously tripped flag.
+  void Arm(std::string point, uint64_t occurrence = 1);
+
+  /// Disarms without clearing the tripped flag (the "crashed" state
+  /// persists until Reset — recovery code must be able to observe it).
+  void Disarm();
+
+  /// Clears everything: arming, tripped flag, and recorded hit counts.
+  /// The harness's "reboot".
+  void Reset();
+
+  /// Trips the crash flag directly (FaultInjector's kCrash events and
+  /// tests). `via` names the trigger for diagnostics.
+  void Trigger(const char* via);
+
+  /// True once the crash instant has passed. The I/O stack and the strict
+  /// flush-retry loops consult this.
+  bool triggered() const {
+    return triggered_.load(std::memory_order_acquire);
+  }
+
+  /// The point (or kCrash trigger) that tripped the flag; empty if none.
+  std::string triggered_by() const;
+
+  /// When true, every hit is counted per point name (calibration runs that
+  /// enumerate the crash-point space for a workload). Costs a mutex per
+  /// hit; leave off outside calibration.
+  void SetRecording(bool on);
+  /// Snapshot of recorded hit counts (point name -> hits).
+  std::map<std::string, uint64_t> RecordedHits() const;
+
+  /// Called by TDP_CRASH_POINT. Out-of-line slow path; the macro's inline
+  /// guard keeps the unarmed cost to one atomic load.
+  void Hit(const char* name);
+
+  /// True when Hit() must do work (armed or recording).
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+  /// Total hits processed while active (crash.points_hit mirror).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  CrashPoints() = default;
+
+  std::atomic<bool> active_{false};
+  std::atomic<bool> triggered_{false};
+  std::atomic<uint64_t> hits_{0};
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  bool recording_ = false;
+  std::string armed_point_;
+  uint64_t armed_countdown_ = 0;
+  std::string triggered_by_;
+  std::map<std::string, uint64_t> recorded_;
+};
+
+}  // namespace tdp
+
+/// Marks a named crash point. `name` must be a string literal (the catalog
+/// in docs/recovery.md lists them all).
+#define TDP_CRASH_POINT(name)                         \
+  do {                                                \
+    ::tdp::CrashPoints& cp = ::tdp::CrashPoints::Global(); \
+    if (cp.active()) cp.Hit(name);                    \
+  } while (0)

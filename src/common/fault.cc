@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/crash_point.h"
+
 namespace tdp {
 
 const char* FaultKindName(FaultKind k) {
@@ -12,6 +14,7 @@ const char* FaultKindName(FaultKind k) {
     case FaultKind::kWriteError: return "write_error";
     case FaultKind::kTornFlush: return "torn_flush";
     case FaultKind::kReadError: return "read_error";
+    case FaultKind::kCrash: return "crash";
   }
   return "unknown";
 }
@@ -26,6 +29,7 @@ FaultInjector::FaultInjector(std::vector<FaultEvent> schedule)
   m_.write_errors = reg.GetCounter("fault.write_errors");
   m_.torn_flushes = reg.GetCounter("fault.torn_flushes");
   m_.read_errors = reg.GetCounter("fault.read_errors");
+  m_.crashes = reg.GetCounter("fault.crashes");
 }
 
 void NoteIoRetries(int extra_attempts) {
@@ -36,6 +40,14 @@ void NoteIoRetries(int extra_attempts) {
   static metrics::Counter* const retries =
       metrics::Registry::Global().GetCounter("io.retries");
   metrics::Inc(retries, static_cast<uint64_t>(extra_attempts));
+}
+
+Rng& RetryBackoffRng() {
+  static std::atomic<uint64_t> stream{0};
+  thread_local Rng rng(0xB0FFC0DEull +
+                       0x9E3779B97F4A7C15ull *
+                           stream.fetch_add(1, std::memory_order_relaxed));
+  return rng;
 }
 
 void FaultInjector::AddEvent(const FaultEvent& e) { schedule_.push_back(e); }
@@ -66,6 +78,12 @@ void FaultInjector::AddTornFlush(int64_t start_ns, int64_t duration_ns,
                                  double written_fraction) {
   schedule_.push_back(
       {FaultKind::kTornFlush, start_ns, duration_ns, written_fraction});
+}
+
+void FaultInjector::AddCrash(int64_t start_ns, int64_t duration_ns,
+                             double written_fraction) {
+  schedule_.push_back(
+      {FaultKind::kCrash, start_ns, duration_ns, written_fraction});
 }
 
 std::vector<FaultEvent> FaultInjector::RandomSchedule(
@@ -179,6 +197,16 @@ FaultInjector::Perturbation FaultInjector::Evaluate(IoOp op, int64_t now_ns) {
           stats_.torn_flushes.fetch_add(1, std::memory_order_relaxed);
           metrics::Inc(m_.torn_flushes);
         }
+        break;
+      case FaultKind::kCrash:
+        // One crash per process lifetime: Trigger is idempotent, but only
+        // the tripping I/O is counted/torn here — once the flag is up,
+        // SimDisk fails everything at the door without reaching Evaluate.
+        p.fail = true;
+        p.written_fraction = std::clamp(e.magnitude, 0.0, 1.0);
+        stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+        metrics::Inc(m_.crashes);
+        CrashPoints::Global().Trigger("fault.crash");
         break;
     }
   }

@@ -36,6 +36,10 @@ enum class FaultKind {
   kWriteError,    ///< Writes/flushes fail with IOError (prob = `magnitude`).
   kTornFlush,     ///< Flush persists only `magnitude` of its payload, fails.
   kReadError,     ///< Reads fail with IOError (prob = `magnitude`).
+  kCrash,         ///< First I/O in the window trips the process-wide crash
+                  ///< flag (CrashPoints): the op persists `magnitude` of its
+                  ///< payload, fails, and the device goes dark until
+                  ///< CrashPoints::Reset() — docs/recovery.md.
 };
 
 const char* FaultKindName(FaultKind k);
@@ -87,6 +91,11 @@ class FaultInjector {
                     double probability = 1.0);
   void AddTornFlush(int64_t start_ns, int64_t duration_ns,
                     double written_fraction = 0.5);
+  /// Crash window: the first I/O issued inside it "pulls the plug"
+  /// (CrashPoints::Trigger). `written_fraction` of that op's payload still
+  /// reaches the medium — the torn tail a mid-write crash leaves behind.
+  void AddCrash(int64_t start_ns, int64_t duration_ns,
+                double written_fraction = 0.0);
 
   /// Deterministic pseudo-random schedule: fault starts are drawn with
   /// exponential gaps (mean_gap_ns), kinds by weight, durations uniform in
@@ -135,6 +144,7 @@ class FaultInjector {
     std::atomic<uint64_t> write_errors{0};
     std::atomic<uint64_t> torn_flushes{0};
     std::atomic<uint64_t> read_errors{0};
+    std::atomic<uint64_t> crashes{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -153,6 +163,7 @@ class FaultInjector {
     metrics::Counter* write_errors = nullptr;
     metrics::Counter* torn_flushes = nullptr;
     metrics::Counter* read_errors = nullptr;
+    metrics::Counter* crashes = nullptr;
   };
   MetricHandles m_;
 };
@@ -168,29 +179,66 @@ void NoteIoRetries(int extra_attempts);
 struct IoRetryPolicy {
   /// Total attempts (first try included). >= 1.
   int max_attempts = 4;
-  /// Sleep before the first retry; doubles per subsequent retry.
+  /// Base backoff: the first retry sleeps at least this long.
   int64_t backoff_ns = 50000;  // 50 us
+  /// Cap on any single backoff sleep (0 = uncapped).
+  int64_t max_backoff_ns = MillisToNanos(2);
+  /// Decorrelated jitter: each sleep is drawn uniformly from
+  /// [backoff_ns, 3 * previous sleep] instead of deterministic doubling, so
+  /// committers that failed on the same shared device stall do not come
+  /// back in lockstep and re-collide. Off = classic doubling.
+  bool jitter = true;
   /// A device stall expected to outlast this is not waited out on a commit
   /// path: the caller degrades (lazy-flush fallback) instead of freezing.
   int64_t stall_deadline_ns = MillisToNanos(5);
 };
 
-/// Runs `op` with bounded retries and exponential backoff on kIOError.
-/// Success and non-I/O errors return immediately. When `attempts` is given
-/// it receives the number of invocations of `op`.
+/// The next backoff sleep after a sleep of `prev_ns` (0 before the first
+/// retry). Pure given the Rng state, so schedules are unit-testable with a
+/// seeded generator.
+inline int64_t NextBackoffNanos(const IoRetryPolicy& policy, int64_t prev_ns,
+                                Rng* rng) {
+  const int64_t base = policy.backoff_ns;
+  if (base <= 0) return 0;
+  int64_t next;
+  if (policy.jitter) {
+    // Decorrelated jitter (the AWS builders'-library variant): spread over
+    // [base, 3*prev], growing about as fast as doubling in expectation but
+    // desynchronized across callers.
+    const int64_t anchor = prev_ns > base ? prev_ns : base;
+    const int64_t hi = anchor > INT64_MAX / 3 ? INT64_MAX : anchor * 3;
+    next = rng->UniformRange(base, hi);
+  } else {
+    next = prev_ns <= 0 ? base
+                        : (prev_ns > INT64_MAX / 2 ? INT64_MAX : prev_ns * 2);
+  }
+  if (policy.max_backoff_ns > 0 && next > policy.max_backoff_ns) {
+    next = policy.max_backoff_ns;
+  }
+  return next;
+}
+
+/// Per-thread backoff Rng: threads get distinct streams so concurrent
+/// retriers decorrelate; the stream assignment is process-deterministic
+/// (thread creation order), keeping single-threaded tests reproducible.
+Rng& RetryBackoffRng();
+
+/// Runs `op` with bounded retries and jittered exponential backoff on
+/// kIOError. Success and non-I/O errors return immediately. When `attempts`
+/// is given it receives the number of invocations of `op`.
 template <typename Fn>
 Status RetryIo(const IoRetryPolicy& policy, Fn&& op, int* attempts = nullptr) {
   const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
-  int64_t backoff = policy.backoff_ns;
   Status s;
   int tries = 0;
+  int64_t backoff = 0;
   for (int i = 0; i < max_attempts; ++i) {
     s = op();
     ++tries;
     if (s.code() != Code::kIOError) break;
-    if (i + 1 < max_attempts && backoff > 0) {
+    if (i + 1 < max_attempts && policy.backoff_ns > 0) {
+      backoff = NextBackoffNanos(policy, backoff, &RetryBackoffRng());
       std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
-      backoff *= 2;
     }
   }
   if (attempts != nullptr) *attempts = tries;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/crash_point.h"
 
 namespace tdp {
 
@@ -32,6 +33,14 @@ int64_t SimDisk::StallRemainingNanos() const {
 }
 
 Status SimDisk::Service(IoOp op, uint64_t bytes, int64_t extra_ns) {
+  // After the simulated crash instant the device is gone: nothing reaches
+  // the medium, every request fails immediately (docs/recovery.md). The
+  // check costs one relaxed load on the normal path.
+  if (CrashPoints::Global().triggered()) {
+    stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_lost.fetch_add(bytes, std::memory_order_relaxed);
+    return Status::IOError("simdisk: crashed");
+  }
   const int64_t start = NowNanos();
   waiting_.fetch_add(1, std::memory_order_relaxed);
   const int slots = config_.max_concurrency < 1 ? 1 : config_.max_concurrency;

@@ -16,6 +16,8 @@ const char* CodeName(Code code) {
     case Code::kNotSupported: return "NotSupported";
     case Code::kIOError: return "IOError";
     case Code::kOverloaded: return "Overloaded";
+    case Code::kDataLoss: return "DataLoss";
+    case Code::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

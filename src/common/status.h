@@ -22,6 +22,10 @@ enum class Code {
   kNotSupported,    ///< Operation not implemented for this configuration.
   kIOError,         ///< Simulated device failure.
   kOverloaded,      ///< Admission control shed the request (server layer).
+  kDataLoss,        ///< Durable state failed its checksum / framing check:
+                    ///< recovery stopped at the last valid prefix.
+  kUnavailable,     ///< Service exists but cannot take work yet (e.g.,
+                    ///< recovery in progress). Retry later; not overload.
 };
 
 /// Outcome of an operation: a code plus an optional human-readable message.
@@ -64,6 +68,12 @@ class Status {
   static Status Overloaded(std::string msg = "") {
     return Status(Code::kOverloaded, std::move(msg));
   }
+  static Status DataLoss(std::string msg = "") {
+    return Status(Code::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -74,6 +84,8 @@ class Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsOverloaded() const { return code_ == Code::kOverloaded; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -86,23 +86,16 @@ uint64_t MySQLMini::NewRngSeed() {
 }
 
 void MySQLMini::RecoverInto(const std::vector<log::RecoveredTxn>& recovered,
-                            Database* target) {
+                            Database* target, uint64_t start_after_lsn) {
   // Records are in LSN order and carry after-images, so replay is a simple
-  // idempotent sweep.
-  for (const log::RecoveredTxn& txn : recovered) {
-    for (const log::RedoOp& op : txn.ops) {
-      storage::Table* t = nullptr;
-      if (auto* mysql = dynamic_cast<MySQLMini*>(target)) {
-        t = mysql->catalog_.GetTable(op.table);
-      }
-      if (t == nullptr) continue;
-      if (op.kind == log::RedoOp::Kind::kPut) {
-        t->Upsert(op.key, op.after);
-      } else {
-        (void)t->Delete(op.key);
-      }
-    }
-  }
+  // idempotent sweep (shared with pgmini).
+  auto* mysql = dynamic_cast<MySQLMini*>(target);
+  if (mysql == nullptr) return;
+  ReplayRedo(recovered, &mysql->catalog_, start_after_lsn);
+}
+
+Checkpoint MySQLMini::TakeCheckpoint() {
+  return CaptureCheckpoint(catalog_, redo_log_->durable_lsn());
 }
 
 // ---------------------------------------------------------------------------

@@ -26,6 +26,7 @@
 #include "common/random.h"
 #include "common/sim_disk.h"
 #include "engine/database.h"
+#include "engine/recovery.h"
 #include "lock/lock_manager.h"
 #include "log/redo_log.h"
 #include "storage/btree_model.h"
@@ -155,8 +156,16 @@ class MySQLMini : public Database {
   /// Crash recovery: replays the durable committed transactions from
   /// `recovered` (see RedoLog::RecoverCommitted) into `target`, which must
   /// have been created with the same schema (same CreateTable order).
+  /// Records with lsn <= start_after_lsn are skipped — they are covered by
+  /// a restored checkpoint.
   static void RecoverInto(const std::vector<log::RecoveredTxn>& recovered,
-                          Database* target);
+                          Database* target, uint64_t start_after_lsn = 0);
+
+  /// Fuzzy checkpoint of the current table state (docs/recovery.md). The
+  /// caller must quiesce writers; the covered LSN is the log's durable LSN
+  /// at capture, so suffix replay after a restore may re-apply snapshotted
+  /// transactions (idempotent after-images make that harmless).
+  Checkpoint TakeCheckpoint();
 
  private:
   friend class MySQLSession;

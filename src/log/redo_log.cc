@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/crash_point.h"
+#include "log/log_codec.h"
 #include "tprofiler/profiler.h"
 
 namespace tdp::log {
@@ -50,15 +52,24 @@ void RedoLog::Start() {
 
 void RedoLog::Stop() {
   if (!running_.exchange(false)) return;
+  // The empty critical section orders the store against the flusher's
+  // predicate check, so the notify below can't slip into the window between
+  // its check and its block (which would cost one full nap interval).
+  { std::lock_guard<std::mutex> g(stop_mu_); }
+  stop_cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
 }
 
 void RedoLog::FlusherLoop() {
   while (running_.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(config_.flusher_interval_ns));
-    // Re-check after the sleep: a Stop() (crash simulation) during the nap
-    // must not be followed by one final flush.
+    {
+      std::unique_lock<std::mutex> lk(stop_mu_);
+      stop_cv_.wait_for(
+          lk, std::chrono::nanoseconds(config_.flusher_interval_ns),
+          [this] { return !running_.load(std::memory_order_relaxed); });
+    }
+    // Re-check after the nap: a Stop() (crash simulation) during it must
+    // not be followed by one final flush.
     if (!running_.load(std::memory_order_relaxed)) break;
     const uint64_t target = next_lsn_.load(std::memory_order_relaxed) - 1;
     if (target > durable_lsn_.load(std::memory_order_relaxed)) {
@@ -72,6 +83,7 @@ Status RedoLog::FlushToDevice(uint64_t bytes) {
   // (Table 1's fil_flush). Retries stay inside the probe: the latency a
   // committer pays for a flaky device is flush latency.
   TPROF_SCOPE("fil_flush");
+  TDP_CRASH_POINT("redo.pre_flush");
   if (!config_.disk) return Status::OK();
   int attempts = 0;
   // A torn flush may have dropped part of the payload, so every attempt
@@ -94,6 +106,8 @@ Status RedoLog::FlushToDevice(uint64_t bytes) {
   if (!s.ok()) {
     stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
     metrics::Inc(m_.io_errors);
+  } else {
+    TDP_CRASH_POINT("redo.post_flush");
   }
   return s;
 }
@@ -144,6 +158,13 @@ Status RedoLog::WriteAndFlushUpTo(uint64_t target) {
         result = s;
         break;
       }
+      if (CrashPoints::Global().triggered()) {
+        // The process "crashed": the device is dark until reboot, so the
+        // strict wait-for-durability loop can never succeed. Escape so the
+        // crash harness can unwind instead of hanging.
+        result = s;
+        break;
+      }
       // Strict mode: keep leading until the device comes back. Each round
       // is paced by the device's own service time, so this does not spin.
     }
@@ -162,9 +183,15 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
   {
     std::lock_guard<std::mutex> g(mu_);
     my_lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
-    records_.push_back(Record{txn_id, my_lsn, bytes, std::move(ops)});
+    // Frame the record into the log image before the policy decides when it
+    // reaches the device. LSN assignment and the append share mu_, so frame
+    // order in image_ is LSN order.
+    AppendLogFrame(my_lsn, txn_id, ops, &image_);
+    records_.push_back(
+        Record{txn_id, my_lsn, bytes, std::move(ops), image_.size()});
     unwritten_bytes_ += bytes;
   }
+  TDP_CRASH_POINT("redo.append");
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
   metrics::Inc(m_.commits);
 
@@ -210,8 +237,11 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
           unwritten_bytes_ -= std::min<uint64_t>(bytes, unwritten_bytes_);
         }
         Status s = FlushToDevice(bytes);
-        while (!s.ok() && !config_.fallback_lazy_on_stall) {
-          // Strict mode: block until this commit's redo is durable.
+        while (!s.ok() && !config_.fallback_lazy_on_stall &&
+               !CrashPoints::Global().triggered()) {
+          // Strict mode: block until this commit's redo is durable. A
+          // triggered crash point means the device stays dark until reboot,
+          // so the wait would never end — escape undurable instead.
           s = FlushToDevice(bytes);
         }
         if (s.ok()) {
@@ -234,20 +264,31 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
 }
 
 std::vector<RecoveredTxn> RedoLog::RecoverCommitted() {
-  Stop();
-  const uint64_t durable = durable_lsn_.load(std::memory_order_relaxed);
+  // Recover through the framed image rather than the in-memory records so
+  // every recovery — test or crash harness — pays the checksum toll.
+  const std::vector<uint8_t> image = CrashImage();
   std::vector<RecoveredTxn> out;
-  std::lock_guard<std::mutex> g(mu_);
-  for (const Record& r : records_) {
-    if (r.lsn > durable) continue;
-    RecoveredTxn t;
-    t.txn_id = r.txn_id;
-    t.lsn = r.lsn;
-    t.ops = r.ops;
-    out.push_back(std::move(t));
-  }
-  // records_ is already in LSN (append) order.
+  DecodeLogImage(image, &out);  // durable prefix: decodes clean by invariant
   return out;
+}
+
+std::vector<uint8_t> RedoLog::CrashImage(uint64_t extra_tail_bytes) {
+  Stop();
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t durable = durable_lsn_.load(std::memory_order_relaxed);
+  // LSNs are dense from 1 in append order, so the durable LSN's frame ends
+  // at records_[durable - 1].image_end.
+  const size_t durable_end =
+      durable == 0 ? 0 : records_[static_cast<size_t>(durable) - 1].image_end;
+  const size_t end =
+      std::min(image_.size(), durable_end + static_cast<size_t>(extra_tail_bytes));
+  return std::vector<uint8_t>(image_.begin(),
+                              image_.begin() + static_cast<ptrdiff_t>(end));
+}
+
+size_t RedoLog::image_bytes() {
+  std::lock_guard<std::mutex> g(mu_);
+  return image_.size();
 }
 
 std::vector<uint64_t> RedoLog::SimulateCrash() {

@@ -97,8 +97,22 @@ class RedoLog {
   std::vector<uint64_t> SimulateCrash();
 
   /// Stops the log and returns the durable committed transactions with
-  /// their redo payloads, in LSN order — what recovery replays.
+  /// their redo payloads, in LSN order — what recovery replays. Implemented
+  /// by decoding the framed log image (CrashImage), so it exercises the
+  /// same checksummed path a post-crash recovery does.
   std::vector<RecoveredTxn> RecoverCommitted();
+
+  /// Stops the log and returns the byte image a post-crash read of the log
+  /// device would see: every frame the device acknowledged durable, plus up
+  /// to `extra_tail_bytes` of the written-but-never-fsynced tail — the torn
+  /// remnant a crash mid-write leaves behind. Decode with
+  /// log::DecodeLogImage (torn tails stop replay cleanly; corrupted bytes
+  /// surface as Status::DataLoss).
+  std::vector<uint8_t> CrashImage(uint64_t extra_tail_bytes = 0);
+
+  /// Bytes of framed log appended so far (durable or not); the upper bound
+  /// for CrashImage's tail parameter.
+  size_t image_bytes();
 
   struct Stats {
     std::atomic<uint64_t> commits{0};
@@ -118,6 +132,7 @@ class RedoLog {
     uint64_t lsn;
     uint64_t bytes;
     std::vector<RedoOp> ops;
+    size_t image_end;  ///< End offset of this record's frame in image_.
   };
 
   /// Writes (if needed) and flushes everything up to the current end of log.
@@ -132,11 +147,15 @@ class RedoLog {
 
   RedoLogConfig config_;
 
-  std::mutex mu_;  ///< Guards records_ and the LSN advance protocol.
+  std::mutex mu_;  ///< Guards records_, image_ and the LSN advance protocol.
   std::condition_variable flush_cv_;
   bool flush_in_progress_ = false;
   uint64_t unwritten_bytes_ = 0;  ///< Appended but not yet written.
   std::vector<Record> records_;
+  /// The framed byte image of the log "file" (docs/recovery.md). LSNs are
+  /// assigned under mu_ in append order, so frame order == LSN order and
+  /// records_[lsn - 1].image_end maps the durable LSN to a byte offset.
+  std::vector<uint8_t> image_;
 
   std::atomic<uint64_t> next_lsn_{1};
   std::atomic<uint64_t> written_lsn_{0};
@@ -144,6 +163,10 @@ class RedoLog {
 
   std::atomic<bool> running_{false};
   std::thread flusher_;
+  /// Interrupts the flusher's inter-round nap so Stop() returns promptly
+  /// even under a long flusher interval.
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
 
   Stats stats_;
   // Registry handles (null when metrics are disarmed or compiled out).

@@ -50,6 +50,17 @@ std::pair<uint64_t, uint64_t> PgMini::NewTxnIdentity() {
   return {id, rng_.Next()};
 }
 
+void PgMini::RecoverInto(const std::vector<log::RecoveredTxn>& recovered,
+                         Database* target, uint64_t start_after_lsn) {
+  auto* pg = dynamic_cast<PgMini*>(target);
+  if (pg == nullptr) return;
+  engine::ReplayRedo(recovered, &pg->catalog_, start_after_lsn);
+}
+
+engine::Checkpoint PgMini::TakeCheckpoint() {
+  return engine::CaptureCheckpoint(catalog_, wal_->last_lsn());
+}
+
 // ---------------------------------------------------------------------------
 // PgSession
 // ---------------------------------------------------------------------------
@@ -69,6 +80,7 @@ Status PgSession::DoBegin() {
   wal_bytes_ = 0;
   predicate_locks_ = 0;
   undo_.clear();
+  redo_ops_.clear();
   return Status::OK();
 }
 
@@ -156,11 +168,18 @@ Status PgSession::DoUpdate(uint32_t table, uint64_t key, size_t col,
   s = AccessRow(table, key, lock::LockMode::kX, /*record_undo=*/true);
   if (!s.ok()) return s;
   storage::Table* t = db_->catalog_.GetTable(table);
-  s = t->Update(key,
-                [&](storage::Row* row) { row->Set(col, row->Get(col) + delta); });
+  storage::Row after;
+  s = t->Update(key, [&](storage::Row* row) {
+    row->Set(col, row->Get(col) + delta);
+    if (db_->config_.logical_redo) after = *row;
+  });
   if (!s.ok()) {
     undo_.pop_back();
     return s;
+  }
+  if (db_->config_.logical_redo) {
+    redo_ops_.push_back(log::RedoOp{log::RedoOp::Kind::kPut, table, key,
+                                    std::move(after)});
   }
   wal_bytes_ += db_->config_.wal_bytes_per_write;
   return Status::OK();
@@ -173,10 +192,16 @@ Status PgSession::DoInsert(uint32_t table, uint64_t key, storage::Row row) {
   s = AccessRow(table, key, lock::LockMode::kX, /*record_undo=*/true);
   if (!s.ok()) return s;
   storage::Table* t = db_->catalog_.GetTable(table);
+  storage::Row after;
+  if (db_->config_.logical_redo) after = row;
   s = t->Insert(key, std::move(row));
   if (!s.ok()) {
     undo_.pop_back();
     return s;
+  }
+  if (db_->config_.logical_redo) {
+    redo_ops_.push_back(log::RedoOp{log::RedoOp::Kind::kPut, table, key,
+                                    std::move(after)});
   }
   wal_bytes_ += db_->config_.wal_bytes_per_write;
   return Status::OK();
@@ -193,6 +218,10 @@ Status PgSession::DoDelete(uint32_t table, uint64_t key) {
   if (!s.ok()) {
     undo_.pop_back();
     return s;
+  }
+  if (db_->config_.logical_redo) {
+    redo_ops_.push_back(
+        log::RedoOp{log::RedoOp::Kind::kDelete, table, key, storage::Row{}});
   }
   wal_bytes_ += db_->config_.wal_bytes_per_write;
   return Status::OK();
@@ -229,7 +258,9 @@ Status PgSession::DoCommit() {
     // A degraded flush (device stalled or erroring past its retry budget)
     // still commits, just without synchronous durability — the same promise
     // synchronous_commit=off makes. WalManager counts degraded_commits.
-    Status ws = db_->wal_->CommitFlush(wal_bytes_);
+    Status ws = db_->config_.logical_redo
+                    ? db_->wal_->CommitFlush(txn_->id, wal_bytes_, redo_ops_)
+                    : db_->wal_->CommitFlush(wal_bytes_);
     (void)ws;
   }
   ReleasePredicateLocks();
@@ -258,6 +289,7 @@ void PgSession::ReleaseAndReset() {
   must_abort_ = false;
   wal_bytes_ = 0;
   undo_.clear();
+  redo_ops_.clear();
 }
 
 }  // namespace tdp::pg

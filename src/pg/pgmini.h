@@ -15,6 +15,7 @@
 
 #include "common/random.h"
 #include "engine/database.h"
+#include "engine/recovery.h"
 #include "lock/lock_manager.h"
 #include "pg/wal.h"
 #include "storage/btree_model.h"
@@ -36,6 +37,11 @@ struct PgMiniConfig {
 
   /// Cost per predicate lock checked during ReleasePredicateLocks.
   int64_t predicate_check_ns = 400;
+
+  /// Capture logical after-image redo payloads and frame them into the WAL
+  /// at commit, enabling RecoverInto() after a crash. Off by default
+  /// (benchmarks don't pay for the copies).
+  bool logical_redo = false;
 
   uint64_t seed = 1;
 };
@@ -84,6 +90,7 @@ class PgSession : public engine::Connection {
   uint64_t wal_bytes_ = 0;
   uint64_t predicate_locks_ = 0;
   std::vector<UndoEntry> undo_;
+  std::vector<log::RedoOp> redo_ops_;  ///< Only when config.logical_redo.
 };
 
 class PgMini : public engine::Database {
@@ -104,6 +111,20 @@ class PgMini : public engine::Database {
   const PgMiniConfig& config() const { return config_; }
 
   std::pair<uint64_t, uint64_t> NewTxnIdentity();
+
+  /// Crash recovery: replays the merged durable WAL stream (see
+  /// WalManager::RecoverCommitted) into `target`, which must have been
+  /// created with the same schema (same CreateTable order). Records with
+  /// lsn <= start_after_lsn are skipped — they are covered by a restored
+  /// checkpoint.
+  static void RecoverInto(const std::vector<log::RecoveredTxn>& recovered,
+                          Database* target, uint64_t start_after_lsn = 0);
+
+  /// Fuzzy checkpoint of the current table state (docs/recovery.md). The
+  /// caller must quiesce writers. Table effects are applied before the WAL
+  /// frame is written, so every assigned LSN is reflected in the snapshot
+  /// and the checkpoint covers wal().last_lsn().
+  engine::Checkpoint TakeCheckpoint();
 
  private:
   friend class PgSession;

@@ -1,5 +1,8 @@
 #include "pg/wal.h"
 
+#include <algorithm>
+
+#include "common/crash_point.h"
 #include "tprofiler/profiler.h"
 
 namespace tdp::pg {
@@ -33,13 +36,16 @@ WalManager::WalManager(WalConfig config) : config_(config) {
 
 Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
   TPROF_SCOPE("XLogFlush");
+  TDP_CRASH_POINT("wal.pre_flush");
   const uint64_t blocks =
       bytes == 0 ? 1 : (bytes + config_.block_bytes - 1) / config_.block_bytes;
   auto attempt_op = [&](auto&& op) -> Status {
     int attempts = 0;
     Status s;
     // Strict mode blocks until the WAL is down: retry rounds repeat until
-    // the device recovers (each round is paced by device service time).
+    // the device recovers (each round is paced by device service time). A
+    // triggered crash point means the device is dark until reboot, so the
+    // loop escapes instead of hanging the crash harness.
     do {
       s = RetryIo(config_.io_retry, op, &attempts);
       if (attempts > 1) {
@@ -47,7 +53,8 @@ Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
                                     std::memory_order_relaxed);
         metrics::Inc(m_.io_retries, static_cast<uint64_t>(attempts - 1));
       }
-    } while (!s.ok() && !config_.degrade_on_stall);
+    } while (!s.ok() && !config_.degrade_on_stall &&
+             !CrashPoints::Global().triggered());
     return s;
   };
   for (uint64_t i = 0; i < blocks; ++i) {
@@ -65,11 +72,28 @@ Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
   if (!s.ok()) {
     stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
     metrics::Inc(m_.io_errors);
+  } else {
+    // The barrier covers every byte written to this set so far, including
+    // frames left behind by earlier degraded commits.
+    set->durable_bytes = set->image.size();
+    TDP_CRASH_POINT("wal.post_flush");
   }
   return s;
 }
 
 Status WalManager::CommitFlush(uint64_t bytes) {
+  return CommitFlushInternal(0, bytes, nullptr, nullptr);
+}
+
+Status WalManager::CommitFlush(uint64_t txn_id, uint64_t bytes,
+                               const std::vector<log::RedoOp>& ops,
+                               uint64_t* out_lsn) {
+  return CommitFlushInternal(txn_id, bytes, &ops, out_lsn);
+}
+
+Status WalManager::CommitFlushInternal(uint64_t txn_id, uint64_t bytes,
+                                       const std::vector<log::RedoOp>* ops,
+                                       uint64_t* out_lsn) {
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
   metrics::Inc(m_.commits);
   metrics::Inc(m_.commit_bytes, bytes);
@@ -127,6 +151,17 @@ Status WalManager::CommitFlush(uint64_t bytes) {
     metrics::Observe(m_.queue_depth[chosen_index],
                      chosen->disk.queue_length());
   }
+  if (ops != nullptr) {
+    // XLogInsert: frame the record into the set's image before the flush
+    // decision — a degraded commit's record is still "in the WAL buffer"
+    // and becomes durable with the set's next successful barrier. The LSN
+    // is assigned under the set's WALWriteLock, so each set's image stays
+    // in increasing LSN order (globally gappy; recovery merges by LSN).
+    const uint64_t lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+    log::AppendLogFrame(lsn, txn_id, *ops, &chosen->image);
+    if (out_lsn != nullptr) *out_lsn = lsn;
+    TDP_CRASH_POINT("wal.append");
+  }
   if (config_.degrade_on_stall &&
       chosen->disk.StallRemainingNanos() > config_.io_retry.stall_deadline_ns) {
     // The device is frozen past the deadline: skip the synchronous flush
@@ -143,6 +178,46 @@ Status WalManager::CommitFlush(uint64_t bytes) {
     metrics::Inc(m_.degraded_commits);
   }
   return s;
+}
+
+std::vector<std::vector<uint8_t>> WalManager::CrashImages(
+    const std::vector<uint64_t>& extra_tails) {
+  std::vector<std::vector<uint8_t>> images;
+  images.reserve(sets_.size());
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    LogSet* set = sets_[i].get();
+    std::lock_guard<std::mutex> g(set->mu);
+    const uint64_t extra = i < extra_tails.size() ? extra_tails[i] : 0;
+    const size_t end = std::min(
+        set->image.size(), set->durable_bytes + static_cast<size_t>(extra));
+    images.emplace_back(set->image.begin(),
+                        set->image.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return images;
+}
+
+WalManager::RecoveryResult WalManager::RecoverCommitted(
+    const std::vector<std::vector<uint8_t>>& images,
+    std::vector<log::RecoveredTxn>* out) {
+  RecoveryResult r;
+  r.status = Status::OK();
+  std::vector<log::RecoveredTxn> merged;
+  for (const std::vector<uint8_t>& image : images) {
+    const log::LogDecodeResult d = log::DecodeLogImage(image, &merged);
+    r.frames += d.frames;
+    if (d.torn_tail) ++r.torn_sets;
+    // First corruption wins; later sets' valid prefixes are still merged.
+    if (!d.status.ok() && r.status.ok()) r.status = d.status;
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const log::RecoveredTxn& a, const log::RecoveredTxn& b) {
+                     return a.lsn < b.lsn;
+                   });
+  if (out != nullptr) {
+    out->insert(out->end(), std::make_move_iterator(merged.begin()),
+                std::make_move_iterator(merged.end()));
+  }
+  return r;
 }
 
 }  // namespace tdp::pg

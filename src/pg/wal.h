@@ -22,6 +22,8 @@
 
 #include "common/metrics.h"
 #include "common/sim_disk.h"
+#include "log/log_codec.h"
+#include "log/redo_record.h"
 
 namespace tdp::pg {
 
@@ -53,6 +55,41 @@ class WalManager {
   /// fired, kIOError when a write/flush exhausted its retries.
   Status CommitFlush(uint64_t bytes);
 
+  /// Like CommitFlush(bytes), but also frames `txn_id`'s logical redo
+  /// payload into the chosen set's log image (docs/recovery.md) so the
+  /// transaction is crash-recoverable. Returns the assigned LSN via
+  /// `out_lsn` (optional). A degraded commit still appends its frame — the
+  /// record is "in the WAL buffer" — and a later successful flush on the
+  /// same set makes it durable (flush-up-to semantics).
+  Status CommitFlush(uint64_t txn_id, uint64_t bytes,
+                     const std::vector<log::RedoOp>& ops,
+                     uint64_t* out_lsn = nullptr);
+
+  /// The byte images a post-crash read of each set's log disk would see:
+  /// per set, the durable prefix plus up to extra_tails[i] bytes of the
+  /// written-but-unflushed tail (a torn remnant). extra_tails may be empty
+  /// or shorter than the set count; missing entries mean no tail.
+  std::vector<std::vector<uint8_t>> CrashImages(
+      const std::vector<uint64_t>& extra_tails = {});
+
+  /// Outcome of merging several set images back into one redo stream.
+  struct RecoveryResult {
+    /// DataLoss when any set's image failed a checksum mid-stream; the
+    /// valid prefixes of every set are still merged into `out`.
+    Status status;
+    uint64_t frames = 0;  ///< Total frames recovered across all sets.
+    int torn_sets = 0;    ///< Sets whose image ended in a torn frame.
+  };
+
+  /// Decodes each set image and merges the recovered transactions by LSN —
+  /// parallel logging spreads consecutive LSNs across disks, so the merge
+  /// is what reconstructs commit order. Tolerates torn tails (clean stop
+  /// per set) and reports — but does not propagate garbage from — corrupt
+  /// frames.
+  static RecoveryResult RecoverCommitted(
+      const std::vector<std::vector<uint8_t>>& images,
+      std::vector<log::RecoveredTxn>* out);
+
   struct Stats {
     std::atomic<uint64_t> commits{0};
     std::atomic<uint64_t> blocks_written{0};
@@ -66,6 +103,10 @@ class WalManager {
 
   uint64_t block_bytes() const { return config_.block_bytes; }
   int num_log_sets() const { return static_cast<int>(sets_.size()); }
+  /// Highest LSN assigned so far (0 before the first framed commit).
+  uint64_t last_lsn() const {
+    return next_lsn_.load(std::memory_order_relaxed) - 1;
+  }
 
  private:
   struct LogSet {
@@ -73,14 +114,28 @@ class WalManager {
     std::mutex mu;                ///< The WALWriteLock for this set.
     std::atomic<int> waiters{0};
     SimDisk disk;
+    /// Framed log image for this set (guarded by mu). LSNs are globally
+    /// assigned, so a set's image holds an increasing but gappy LSN
+    /// subsequence; recovery merges the sets by LSN.
+    std::vector<uint8_t> image;
+    /// Bytes of `image` covered by a successful flush (guarded by mu). A
+    /// flush is a device barrier for the whole set, so success advances
+    /// this to image.size() — including frames from earlier degraded
+    /// commits on the same set.
+    size_t durable_bytes = 0;
   };
 
   /// Writes the block-aligned payload and issues the barrier, with bounded
   /// retries per operation. The caller must hold `set`'s mutex.
   Status WriteAndFlush(LogSet* set, uint64_t bytes);
 
+  Status CommitFlushInternal(uint64_t txn_id, uint64_t bytes,
+                             const std::vector<log::RedoOp>* ops,
+                             uint64_t* out_lsn);
+
   WalConfig config_;
   std::vector<std::unique_ptr<LogSet>> sets_;
+  std::atomic<uint64_t> next_lsn_{1};  ///< Global WAL insert position.
   Stats stats_;
   // Registry handles (null when metrics are disarmed or compiled out).
   // `wal.commit_bytes` is requested payload; `wal.bytes_written` is the

@@ -16,6 +16,7 @@ TransactionService::TransactionService(engine::Database* db,
   m_.submitted = reg.GetCounter("server.submitted");
   m_.admitted = reg.GetCounter("server.admitted");
   m_.shed = reg.GetCounter("server.shed");
+  m_.rejected_recovering = reg.GetCounter("server.rejected_recovering");
   m_.expired = reg.GetCounter("server.expired");
   m_.requeues = reg.GetCounter("server.requeues");
   m_.completed = reg.GetCounter("server.completed");
@@ -74,6 +75,13 @@ Status TransactionService::Submit(engine::TxnBody body, DoneFn done) {
     std::lock_guard<std::mutex> g(mu_);
     submitted_.fetch_add(1, std::memory_order_relaxed);
     metrics::Inc(m_.submitted);
+    if (recovering_.load(std::memory_order_acquire)) {
+      // Not overload: the service exists but is replaying its log. Clients
+      // should retry after recovery, not back off as if the queue were full.
+      rejected_recovering_.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.rejected_recovering);
+      return Status::Unavailable("service recovering; retry later");
+    }
     const char* reason = nullptr;
     if (!started_) {
       reason = "service not started";
@@ -123,6 +131,14 @@ Response TransactionService::Execute(engine::TxnBody body) {
   return out;
 }
 
+void TransactionService::BeginRecovery() {
+  recovering_.store(true, std::memory_order_release);
+}
+
+void TransactionService::EndRecovery() {
+  recovering_.store(false, std::memory_order_release);
+}
+
 size_t TransactionService::queue_depth() const {
   std::lock_guard<std::mutex> g(mu_);
   return queue_.size();
@@ -133,6 +149,7 @@ TransactionService::Stats TransactionService::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.admitted = admitted_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.rejected_recovering = rejected_recovering_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.requeues = requeues_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);

@@ -10,13 +10,19 @@
 // explicit, counted signal.
 //
 // Accounting contract (enforced as bench_runner cross-counter invariants):
-//   server.admitted + server.shed == server.submitted
+//   server.admitted + server.shed + server.rejected_recovering
+//       == server.submitted
 //   server.completed + server.expired + server.drain_aborted
 //       == server.admitted
 // "shed" counts door rejections only (queue full / not started / stopping);
 // a request dropped later because it exceeded max_queue_age_ns was already
 // admitted and counts as "expired". Requeues re-enter the queue without
 // touching submitted/admitted — one admission, one completion.
+//
+// Startup recovery barrier: between BeginRecovery() and EndRecovery() the
+// door returns Status::Unavailable instead of Overloaded — "come back
+// later", not "back off" — counted as server.rejected_recovering, never as
+// shed (recovery is not load).
 #pragma once
 
 #include <atomic>
@@ -77,6 +83,9 @@ class TransactionService {
     uint64_t submitted = 0;
     uint64_t admitted = 0;
     uint64_t shed = 0;           ///< Door rejections (Overloaded at Submit).
+    uint64_t rejected_recovering = 0;  ///< Door rejections during the
+                                       ///< startup recovery barrier
+                                       ///< (Unavailable at Submit).
     uint64_t expired = 0;        ///< Admitted, dropped by queue-age deadline.
     uint64_t requeues = 0;
     uint64_t completed = 0;      ///< Reached a final status via a worker.
@@ -104,6 +113,16 @@ class TransactionService {
 
   /// Synchronous convenience: Submit + wait for the response.
   Response Execute(engine::TxnBody body);
+
+  /// Raises the startup recovery barrier: Submit returns
+  /// Status::Unavailable (counted as server.rejected_recovering) until
+  /// EndRecovery(). Call before Start() when the engine is replaying its
+  /// log, so clients see "recovering" rather than overload.
+  void BeginRecovery();
+  void EndRecovery();
+  bool recovering() const {
+    return recovering_.load(std::memory_order_acquire);
+  }
 
   size_t queue_depth() const;
   Stats stats() const;
@@ -133,15 +152,18 @@ class TransactionService {
   Queue queue_;
   bool started_ = false;
   bool stopping_ = false;
+  std::atomic<bool> recovering_{false};
   std::vector<std::thread> workers_;
 
-  std::atomic<uint64_t> submitted_{0}, admitted_{0}, shed_{0}, expired_{0},
-      requeues_{0}, completed_{0}, completed_ok_{0}, drain_aborted_{0};
+  std::atomic<uint64_t> submitted_{0}, admitted_{0}, shed_{0},
+      rejected_recovering_{0}, expired_{0}, requeues_{0}, completed_{0},
+      completed_ok_{0}, drain_aborted_{0};
 
   struct MetricHandles {
     metrics::Counter* submitted = nullptr;
     metrics::Counter* admitted = nullptr;
     metrics::Counter* shed = nullptr;
+    metrics::Counter* rejected_recovering = nullptr;
     metrics::Counter* expired = nullptr;
     metrics::Counter* requeues = nullptr;
     metrics::Counter* completed = nullptr;

@@ -55,4 +55,19 @@ Status Table::Delete(uint64_t key) {
   return Status::OK();
 }
 
+void Table::ForEach(const std::function<void(uint64_t, const Row&)>& fn) const {
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    for (const auto& [key, row] : sh.rows) fn(key, row);
+  }
+}
+
+void Table::Clear() {
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    row_count_.fetch_sub(sh.rows.size(), std::memory_order_relaxed);
+    sh.rows.clear();
+  }
+}
+
 }  // namespace tdp::storage

@@ -60,6 +60,15 @@ class Table {
 
   Status Delete(uint64_t key);
 
+  /// Applies `fn` to every row, one shard at a time under that shard's
+  /// mutex. Iteration order is unspecified. Checkpoint capture; callers
+  /// wanting a consistent snapshot must quiesce writers first.
+  void ForEach(const std::function<void(uint64_t, const Row&)>& fn) const;
+
+  /// Removes every row (checkpoint restore clears before reloading, so
+  /// rows deleted after the snapshot do not survive).
+  void Clear();
+
   uint64_t row_count() const {
     return row_count_.load(std::memory_order_relaxed);
   }

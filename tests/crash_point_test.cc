@@ -1,0 +1,149 @@
+// CrashPoints: arming semantics (nth occurrence, replace, reset), the
+// kCrash fault kind tripping the process-wide flag through SimDisk, and the
+// strict flush-retry loops escaping instead of waiting out a device that
+// will never come back (docs/recovery.md).
+#include "common/crash_point.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/sim_disk.h"
+#include "engine/mysqlmini.h"
+
+namespace tdp {
+namespace {
+
+// The singleton is process-wide state; every test starts and ends clean.
+class CrashPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CrashPoints::Global().Reset(); }
+  void TearDown() override { CrashPoints::Global().Reset(); }
+};
+
+TEST_F(CrashPointTest, TripsOnNthOccurrence) {
+  CrashPoints& cp = CrashPoints::Global();
+  cp.Arm("test.point", /*occurrence=*/3);
+  TDP_CRASH_POINT("test.point");
+  TDP_CRASH_POINT("other.point");  // different name: not counted
+  TDP_CRASH_POINT("test.point");
+  EXPECT_FALSE(cp.triggered());
+  TDP_CRASH_POINT("test.point");
+  EXPECT_TRUE(cp.triggered());
+  EXPECT_EQ(cp.triggered_by(), "test.point");
+}
+
+TEST_F(CrashPointTest, UnarmedHitsAreFree) {
+  CrashPoints& cp = CrashPoints::Global();
+  EXPECT_FALSE(cp.active());
+  TDP_CRASH_POINT("test.point");
+  EXPECT_FALSE(cp.triggered());
+  EXPECT_EQ(cp.hits(), 0u);
+}
+
+TEST_F(CrashPointTest, ArmReplacesPreviousSchedule) {
+  CrashPoints& cp = CrashPoints::Global();
+  cp.Arm("a", 1);
+  cp.Arm("b", 2);  // replaces: "a" no longer trips
+  TDP_CRASH_POINT("a");
+  EXPECT_FALSE(cp.triggered());
+  TDP_CRASH_POINT("b");
+  TDP_CRASH_POINT("b");
+  EXPECT_TRUE(cp.triggered());
+  EXPECT_EQ(cp.triggered_by(), "b");
+}
+
+TEST_F(CrashPointTest, DisarmKeepsTriggeredUntilReset) {
+  CrashPoints& cp = CrashPoints::Global();
+  cp.Arm("p", 1);
+  TDP_CRASH_POINT("p");
+  ASSERT_TRUE(cp.triggered());
+  cp.Disarm();
+  EXPECT_TRUE(cp.triggered());  // the "crashed" state persists
+  cp.Reset();
+  EXPECT_FALSE(cp.triggered());
+  EXPECT_EQ(cp.triggered_by(), "");
+}
+
+TEST_F(CrashPointTest, RecordingCountsHitsPerPoint) {
+  CrashPoints& cp = CrashPoints::Global();
+  cp.SetRecording(true);
+  TDP_CRASH_POINT("x");
+  TDP_CRASH_POINT("x");
+  TDP_CRASH_POINT("y");
+  const auto hits = cp.RecordedHits();
+  EXPECT_EQ(hits.at("x"), 2u);
+  EXPECT_EQ(hits.at("y"), 1u);
+  EXPECT_FALSE(cp.triggered());  // recording alone never trips
+  cp.SetRecording(false);
+}
+
+TEST_F(CrashPointTest, FaultCrashTripsThroughSimDisk) {
+  FaultInjector inj;
+  inj.AddCrash(/*start_ns=*/0, /*duration_ns=*/MillisToNanos(60000),
+               /*written_fraction=*/0.5);
+  inj.Arm();
+  SimDiskConfig cfg;
+  cfg.base_latency_ns = 1000;
+  cfg.sigma = 0;
+  cfg.fault = &inj;
+  SimDisk disk(cfg);
+  EXPECT_FALSE(disk.Write(4096).ok());  // first I/O in the window crashes
+  EXPECT_TRUE(CrashPoints::Global().triggered());
+  EXPECT_EQ(CrashPoints::Global().triggered_by(), "fault.crash");
+  EXPECT_EQ(inj.stats().crashes.load(), 1u);
+  // The plug stays pulled: every subsequent request fails too, even on a
+  // disk with no fault injector of its own.
+  SimDiskConfig clean;
+  clean.base_latency_ns = 1000;
+  clean.sigma = 0;
+  SimDisk other(clean);
+  EXPECT_FALSE(other.Write(1).ok());
+  EXPECT_FALSE(other.Read(1).ok());
+  EXPECT_FALSE(other.Flush().ok());
+}
+
+// The strict (no-fallback) redo commit loop retries flush failures forever
+// by design — except after a crash, where the device will never recover.
+// The loop must notice and return instead of hanging the committer.
+TEST_F(CrashPointTest, StrictRedoCommitEscapesAfterCrash) {
+  engine::MySQLMiniConfig cfg;
+  cfg.logical_redo = true;
+  cfg.flush_policy = log::FlushPolicy::kEagerFlush;
+  cfg.log_group_commit = false;
+  cfg.log_fallback_lazy_on_stall = false;  // strict: retry until durable
+  cfg.row_work_ns = 0;
+  cfg.btree.level_work_ns = 0;
+  cfg.data_disk.base_latency_ns = 0;
+  cfg.data_disk.sigma = 0;
+  cfg.log_disk.base_latency_ns = 1000;
+  cfg.log_disk.sigma = 0;
+  cfg.log_disk.flush_barrier_ns = 0;
+  cfg.io_retry.backoff_ns = 1000;
+  engine::MySQLMini db(cfg);
+  db.CreateTable("t", 64);
+  const uint32_t t = db.TableId("t");
+  db.BulkUpsert(t, 1, storage::Row{0});
+
+  auto conn = db.Connect();
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Update(t, 1, 0, 1).ok());
+  ASSERT_TRUE(conn->Commit().ok());
+  ASSERT_EQ(db.redo_log().durable_lsn(), 1u);
+
+  CrashPoints::Global().Arm("redo.pre_flush", 1);
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Update(t, 1, 0, 1).ok());
+  // Without the triggered() escape this would spin forever on a dead disk.
+  ASSERT_TRUE(conn->Commit().ok());  // acked to client, but not durable
+  EXPECT_TRUE(CrashPoints::Global().triggered());
+  EXPECT_EQ(db.redo_log().durable_lsn(), 1u);
+
+  // Reboot: the durable image holds exactly the pre-crash commit.
+  CrashPoints::Global().Reset();
+  const auto recovered = db.redo_log().RecoverCommitted();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].lsn, 1u);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,253 @@
+// pg WAL crash recovery: framed logical redo through WalManager, the torn-
+// flush × durable-prefix combo on the pg path, two-disk parallel logging
+// with one torn disk tail (the LSN merge), mid-stream corruption detection,
+// and checkpoint + suffix recovery via PgMini::TakeCheckpoint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "engine/recovery.h"
+#include "pg/pgmini.h"
+
+namespace tdp::pg {
+namespace {
+
+PgMiniConfig FastConfig(int num_log_sets) {
+  PgMiniConfig cfg;
+  cfg.logical_redo = true;
+  cfg.row_work_ns = 0;
+  cfg.predicate_check_ns = 0;
+  cfg.btree.level_work_ns = 0;
+  cfg.wal.block_bytes = 4096;
+  cfg.wal.num_log_sets = num_log_sets;
+  cfg.wal.disk.base_latency_ns = 1000;
+  cfg.wal.disk.sigma = 0;
+  cfg.wal.disk.flush_barrier_ns = 0;
+  return cfg;
+}
+
+void CreateSchema(engine::Database* db) { db->CreateTable("acct", 64); }
+
+// One committed txn per key: put acct[key] = {100 + key}.
+void CommitPuts(engine::Database* db, uint64_t first_key, int count) {
+  auto conn = db->Connect();
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(conn->Insert(db->TableId("acct"), first_key + i,
+                             storage::Row{100 + static_cast<int64_t>(
+                                                    first_key + i)})
+                    .ok());
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+}
+
+TEST(PgRecoveryTest, CommittedTransactionsSurviveViaWalImage) {
+  PgMini db(FastConfig(1));
+  CreateSchema(&db);
+  const uint32_t acct = db.TableId("acct");
+  CommitPuts(&db, 0, 4);
+  EXPECT_EQ(db.wal().last_lsn(), 4u);
+
+  std::vector<log::RecoveredTxn> recovered;
+  const WalManager::RecoveryResult r =
+      WalManager::RecoverCommitted(db.wal().CrashImages(), &recovered);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.frames, 4u);
+  EXPECT_EQ(r.torn_sets, 0);
+  ASSERT_EQ(recovered.size(), 4u);
+  // The merge hands back commit order.
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].lsn, i + 1);
+  }
+
+  PgMini fresh(FastConfig(1));
+  CreateSchema(&fresh);
+  PgMini::RecoverInto(recovered, &fresh);
+  EXPECT_EQ(fresh.TableRowCount(acct), 4u);
+  auto check = fresh.Connect();
+  ASSERT_TRUE(check->Begin().ok());
+  for (uint64_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(*check->ReadColumn(acct, k, 0),
+              100 + static_cast<int64_t>(k));
+  }
+  ASSERT_TRUE(check->Commit().ok());
+}
+
+// The satellite combo test on the pg path: with torn flushes armed past the
+// retry budget, degraded commits append frames but stay undurable, and
+// recovery from the crash images reconstructs exactly the durable prefix.
+TEST(PgRecoveryFaultComboTest, TornFlushRecoversExactlyTheDurablePrefix) {
+  FaultInjector inj;
+  inj.AddTornFlush(0, MillisToNanos(60000), 1.0);
+
+  PgMiniConfig cfg = FastConfig(1);
+  cfg.wal.degrade_on_stall = true;  // give up instead of retrying forever
+  cfg.wal.io_retry.max_attempts = 2;
+  cfg.wal.io_retry.backoff_ns = 1000;
+  cfg.wal.disk.fault = &inj;
+  PgMini db(cfg);
+  CreateSchema(&db);
+  const uint32_t acct = db.TableId("acct");
+
+  constexpr int kDurable = 3, kTotal = 6;
+  CommitPuts(&db, 0, kDurable);
+  inj.Arm();
+  CommitPuts(&db, kDurable, kTotal - kDurable);  // degraded: acked, undurable
+  EXPECT_GE(db.wal().stats().degraded_commits.load(),
+            static_cast<uint64_t>(kTotal - kDurable));
+
+  std::vector<log::RecoveredTxn> recovered;
+  const WalManager::RecoveryResult r =
+      WalManager::RecoverCommitted(db.wal().CrashImages(), &recovered);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(recovered.size(), static_cast<size_t>(kDurable));
+
+  PgMini fresh(FastConfig(1));
+  CreateSchema(&fresh);
+  PgMini::RecoverInto(recovered, &fresh);
+  EXPECT_EQ(fresh.TableRowCount(acct), static_cast<uint64_t>(kDurable));
+
+  // A post-crash read may also surface part of the unflushed tail. A tail
+  // cut mid-frame is a torn tail, not extra transactions.
+  std::vector<log::RecoveredTxn> with_tail;
+  const WalManager::RecoveryResult torn = WalManager::RecoverCommitted(
+      db.wal().CrashImages({/*extra_tails=*/5}), &with_tail);
+  ASSERT_TRUE(torn.status.ok());
+  EXPECT_EQ(torn.torn_sets, 1);
+  EXPECT_EQ(with_tail.size(), static_cast<size_t>(kDurable));
+}
+
+// Two-disk parallel logging: consecutive LSNs spread across disks, one disk
+// loses its tail, and the merge still reconstructs every surviving frame in
+// LSN order. An uncontended committer always wins set 0's try_lock, so two
+// concurrent committers are what puts frames on the second disk.
+TEST(PgRecoveryTest, TwoDiskMergeToleratesOneTornTail) {
+  WalConfig wcfg;
+  wcfg.block_bytes = 4096;
+  wcfg.num_log_sets = 2;
+  wcfg.disk.base_latency_ns = 1000;
+  wcfg.disk.sigma = 0;
+  wcfg.disk.flush_barrier_ns = 0;
+  WalManager wal(wcfg);
+
+  constexpr int kPerThread = 12;
+  auto commit_range = [&](uint64_t first_key) {
+    for (int i = 0; i < kPerThread; ++i) {
+      std::vector<log::RedoOp> ops(1);
+      ops[0].kind = log::RedoOp::Kind::kPut;
+      ops[0].table = 0;
+      ops[0].key = first_key + i;
+      ops[0].after = storage::Row{static_cast<int64_t>(first_key + i)};
+      EXPECT_TRUE(wal.CommitFlush(first_key + i, 512, ops).ok());
+    }
+  };
+  // Rounds of two concurrent committers until the second disk has frames
+  // (overlap is overwhelmingly likely per round but not guaranteed).
+  uint64_t committed = 0;
+  uint64_t next_key = 0;
+  while (wal.stats().second_log_used.load() == 0 && next_key < 1000) {
+    std::thread a(commit_range, next_key);
+    std::thread b(commit_range, next_key + 500000);
+    a.join();
+    b.join();
+    committed += 2 * kPerThread;
+    next_key += 100;
+  }
+  ASSERT_GT(wal.stats().second_log_used.load(), 0u);
+
+  std::vector<std::vector<uint8_t>> images = wal.CrashImages();
+  ASSERT_EQ(images.size(), 2u);
+  ASSERT_FALSE(images[0].empty());
+  ASSERT_FALSE(images[1].empty());
+
+  // Which transaction dies with disk 1's tail? The last frame of its image.
+  std::vector<log::RecoveredTxn> set1;
+  ASSERT_TRUE(log::DecodeLogImage(images[1], &set1).status.ok());
+  ASSERT_FALSE(set1.empty());
+  const uint64_t lost_key = set1.back().ops.at(0).key;
+
+  images[1].resize(images[1].size() - 1);  // the torn disk tail
+  std::vector<log::RecoveredTxn> recovered;
+  const WalManager::RecoveryResult r =
+      WalManager::RecoverCommitted(images, &recovered);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.torn_sets, 1);
+  ASSERT_EQ(recovered.size(), static_cast<size_t>(committed - 1));
+  EXPECT_TRUE(std::is_sorted(recovered.begin(), recovered.end(),
+                             [](const log::RecoveredTxn& a,
+                                const log::RecoveredTxn& b) {
+                               return a.lsn < b.lsn;
+                             }));
+
+  storage::Catalog catalog;
+  catalog.CreateTable("acct");
+  engine::ReplayRedo(recovered, &catalog);
+  storage::Table* acct = catalog.GetTable(uint32_t{0});
+  EXPECT_EQ(acct->row_count(), static_cast<uint64_t>(committed - 1));
+  EXPECT_FALSE(acct->Exists(lost_key));
+  for (const log::RecoveredTxn& t : recovered) {
+    const uint64_t k = t.ops.at(0).key;
+    ASSERT_TRUE(acct->Exists(k)) << "key " << k;
+    EXPECT_EQ(acct->Read(k).value().Get(0), static_cast<int64_t>(k));
+  }
+}
+
+TEST(PgRecoveryTest, MidStreamCorruptionIsDataLossNotGarbage) {
+  PgMini db(FastConfig(2));
+  CreateSchema(&db);
+  CommitPuts(&db, 0, 6);
+  std::vector<std::vector<uint8_t>> images = db.wal().CrashImages();
+  // Damage an early byte of set 0: its later frames are unreachable, but
+  // set 1's frames all survive the merge.
+  ASSERT_GT(images[0].size(), log::kFrameHeaderBytes);
+  images[0][log::kFrameHeaderBytes / 2] ^= 0x40;
+  std::vector<log::RecoveredTxn> recovered;
+  const WalManager::RecoveryResult r =
+      WalManager::RecoverCommitted(images, &recovered);
+  EXPECT_TRUE(r.status.IsDataLoss());
+  std::vector<log::RecoveredTxn> set1_only;
+  ASSERT_TRUE(log::DecodeLogImage(images[1], &set1_only).status.ok());
+  EXPECT_GE(recovered.size(), set1_only.size());
+  EXPECT_LT(recovered.size(), 6u);
+}
+
+TEST(PgRecoveryTest, CheckpointPlusSuffixMatchesFullReplay) {
+  PgMini db(FastConfig(1));
+  CreateSchema(&db);
+  const uint32_t acct = db.TableId("acct");
+  CommitPuts(&db, 0, 3);
+  const engine::Checkpoint ckpt = db.TakeCheckpoint();
+  EXPECT_EQ(ckpt.lsn, 3u);
+  CommitPuts(&db, 3, 3);
+
+  std::vector<log::RecoveredTxn> recovered;
+  ASSERT_TRUE(
+      WalManager::RecoverCommitted(db.wal().CrashImages(), &recovered)
+          .status.ok());
+
+  PgMini via_ckpt(FastConfig(1));
+  CreateSchema(&via_ckpt);
+  engine::RestoreCheckpoint(ckpt, &via_ckpt.catalog());
+  PgMini::RecoverInto(recovered, &via_ckpt, /*start_after_lsn=*/ckpt.lsn);
+
+  PgMini via_full(FastConfig(1));
+  CreateSchema(&via_full);
+  PgMini::RecoverInto(recovered, &via_full);
+
+  auto a = via_ckpt.Connect();
+  auto b = via_full.Connect();
+  ASSERT_TRUE(a->Begin().ok());
+  ASSERT_TRUE(b->Begin().ok());
+  for (uint64_t k = 0; k < 6; ++k) {
+    EXPECT_EQ(*a->ReadColumn(acct, k, 0), *b->ReadColumn(acct, k, 0));
+    EXPECT_EQ(*a->ReadColumn(acct, k, 0), 100 + static_cast<int64_t>(k));
+  }
+  ASSERT_TRUE(a->Commit().ok());
+  ASSERT_TRUE(b->Commit().ok());
+}
+
+}  // namespace
+}  // namespace tdp::pg

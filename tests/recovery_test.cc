@@ -2,12 +2,15 @@
 // recovery under injected torn flushes (the durable-prefix contract).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "engine/mysqlmini.h"
+#include "engine/recovery.h"
+#include "log/log_codec.h"
 #include "workload/driver.h"
 #include "workload/tpcc.h"
 
@@ -266,6 +269,94 @@ TEST(RecoveryFaultComboTest, TornFlushRecoversExactlyTheDurablePrefix) {
   EXPECT_EQ(snap.counter("log.degraded_commits"),
             static_cast<uint64_t>(kRows - kDurable));
 #endif
+}
+
+// Checkpoint + log-suffix recovery on the mysql engine: restoring the
+// snapshot and replaying only lsn > checkpoint.lsn matches full replay.
+TEST(RecoveryTest, CheckpointPlusSuffixMatchesFullReplay) {
+  MySQLMini db(RecoveryConfig(log::FlushPolicy::kEagerFlush));
+  CreateSchema(&db);
+  const uint32_t acct = db.TableId("acct");
+  auto conn = db.Connect();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(conn->Insert(acct, i, storage::Row{i}).ok());
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+  const Checkpoint ckpt = db.TakeCheckpoint();
+  EXPECT_EQ(ckpt.lsn, 3u);
+  for (int i = 3; i < 6; ++i) {
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(conn->Insert(acct, i, storage::Row{i}).ok());
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+  // Survive one torn checkpoint write: the two-slot store falls back.
+  CheckpointStore store;
+  store.Save(EncodeCheckpoint(ckpt));
+  store.Save(EncodeCheckpoint(db.TakeCheckpoint()));
+  store.TearNewest(7);
+  const auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->lsn, ckpt.lsn);
+
+  const auto recovered = db.redo_log().RecoverCommitted();
+  MySQLMini via_ckpt(RecoveryConfig(log::FlushPolicy::kEagerFlush));
+  CreateSchema(&via_ckpt);
+  RestoreCheckpoint(*loaded, &via_ckpt.catalog());
+  MySQLMini::RecoverInto(recovered, &via_ckpt, loaded->lsn);
+
+  MySQLMini via_full(RecoveryConfig(log::FlushPolicy::kEagerFlush));
+  CreateSchema(&via_full);
+  MySQLMini::RecoverInto(recovered, &via_full);
+
+  auto a = via_ckpt.Connect();
+  auto b = via_full.Connect();
+  ASSERT_TRUE(a->Begin().ok());
+  ASSERT_TRUE(b->Begin().ok());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(*a->ReadColumn(acct, i, 0), i);
+    EXPECT_EQ(*b->ReadColumn(acct, i, 0), i);
+  }
+  ASSERT_TRUE(a->Commit().ok());
+  ASSERT_TRUE(b->Commit().ok());
+}
+
+// Torn-tail sweep: a post-crash read of the log device surfaces the durable
+// prefix plus 0..N bytes of the unflushed tail. Every cut must decode to a
+// clean prefix of the commit sequence — torn or clean, never garbage.
+TEST(RecoveryTest, CrashImageTailSweepYieldsOnlyCleanPrefixes) {
+  MySQLMiniConfig cfg = RecoveryConfig(log::FlushPolicy::kLazyWrite);
+  cfg.flusher_interval_ns = MillisToNanos(1000000);  // flusher never runs
+  MySQLMini db(cfg);
+  CreateSchema(&db);
+  const uint32_t acct = db.TableId("acct");
+  constexpr int kTxns = 4;
+  auto conn = db.Connect();
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(conn->Insert(acct, i, storage::Row{i}).ok());
+    ASSERT_TRUE(conn->Commit().ok());
+  }
+  ASSERT_EQ(db.redo_log().durable_lsn(), 0u);  // nothing flushed
+
+  const size_t total = db.redo_log().image_bytes();
+  ASSERT_GT(total, 0u);
+  uint64_t max_frames = 0;
+  for (size_t extra = 0; extra <= total; ++extra) {
+    const std::vector<uint8_t> image = db.redo_log().CrashImage(extra);
+    ASSERT_EQ(image.size(), extra);  // durable prefix is empty
+    std::vector<log::RecoveredTxn> out;
+    const log::LogDecodeResult r = log::DecodeLogImage(image, &out);
+    ASSERT_TRUE(r.status.ok()) << "extra=" << extra;
+    ASSERT_EQ(out.size(), r.frames);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].lsn, i + 1) << "extra=" << extra;
+      EXPECT_EQ(out[i].ops.at(0).key, i) << "extra=" << extra;
+    }
+    EXPECT_GE(r.frames, max_frames);  // monotone in the tail length
+    max_frames = std::max(max_frames, r.frames);
+  }
+  EXPECT_EQ(max_frames, static_cast<uint64_t>(kTxns));
 }
 
 }  // namespace

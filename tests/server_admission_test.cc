@@ -389,5 +389,45 @@ TEST(TransactionServiceTest, ExecuteReturnsTimestampedResponse) {
   svc.Shutdown();
 }
 
+// --- startup recovery barrier ----------------------------------------------
+
+TEST(TransactionServiceTest, RecoveryBarrierRejectsWithUnavailableNotShed) {
+  auto db = OpenFast();
+  const uint32_t table = LoadOneTable(db.get());
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  TransactionService svc(db.get(), cfg);
+  svc.Start();
+  svc.BeginRecovery();
+  EXPECT_TRUE(svc.recovering());
+
+  bool callback_ran = false;
+  const Status s = svc.Submit(
+      [&](engine::Connection& c) { return c.Update(table, 0, 0, 1); },
+      [&](const Response&) { callback_ran = true; });
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_FALSE(s.IsOverloaded());
+  EXPECT_FALSE(callback_ran);  // rejected before admission: no callback
+
+  // Counted under its own bucket, not shed — and the accounting identity
+  // holds with the third rejection class.
+  TransactionService::Stats st = svc.stats();
+  EXPECT_EQ(st.rejected_recovering, 1u);
+  EXPECT_EQ(st.shed, 0u);
+  EXPECT_EQ(st.admitted + st.shed + st.rejected_recovering, st.submitted);
+
+  svc.EndRecovery();
+  EXPECT_FALSE(svc.recovering());
+  const Response r = svc.Execute(
+      [&](engine::Connection& c) { return c.Update(table, 0, 0, 1); });
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  svc.Shutdown();
+
+  st = svc.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.admitted, 1u);
+  EXPECT_EQ(st.admitted + st.shed + st.rejected_recovering, st.submitted);
+}
+
 }  // namespace
 }  // namespace tdp::server

@@ -20,7 +20,30 @@ TEST(StatusTest, FactoriesSetCode) {
   EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
   EXPECT_TRUE(Status::Corruption().IsCorruption());
   EXPECT_TRUE(Status::Overloaded().IsOverloaded());
+  EXPECT_TRUE(Status::DataLoss().IsDataLoss());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
   EXPECT_FALSE(Status::NotFound().ok());
+}
+
+TEST(StatusTest, DataLossIsDistinctFromCorruptionAndIoError) {
+  // DataLoss is the post-hoc verdict (durable bytes failed their checksum);
+  // Corruption/IOError are live-path failures. Recovery code branches on
+  // the difference, so the codes must not alias.
+  const Status s = Status::DataLoss("wal frame crc mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_EQ(s.ToString(), "DataLoss: wal frame crc mismatch");
+  EXPECT_FALSE(Status::Corruption().IsDataLoss());
+}
+
+TEST(StatusTest, UnavailableIsDistinctFromOverloadedAndBusy) {
+  // Unavailable = "not taking work yet" (recovery barrier); Overloaded =
+  // "shedding load". Clients back off differently, so no aliasing.
+  const Status s = Status::Unavailable("service recovering");
+  EXPECT_FALSE(s.IsOverloaded());
+  EXPECT_FALSE(s.IsBusy());
+  EXPECT_EQ(s.ToString(), "Unavailable: service recovering");
+  EXPECT_FALSE(Status::Overloaded().IsUnavailable());
 }
 
 TEST(StatusTest, OverloadedNamedAndDistinct) {

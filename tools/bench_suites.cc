@@ -507,10 +507,15 @@ std::vector<std::string> CheckInvariants(const json::Value& doc) {
       }
     } else if (engine == "server") {
       // Admission accounting is exact: every submission is either admitted
-      // or shed at the door, and every admission reaches exactly one final
-      // outcome (completion, queue-age expiry, or drain abort).
-      RequireEq(exp, "server.admitted + server.shed != server.submitted",
-                Counter(exp, "server.admitted") + Counter(exp, "server.shed"),
+      // or rejected at the door (shed on overload, rejected_recovering
+      // during the startup recovery barrier), and every admission reaches
+      // exactly one final outcome (completion, queue-age expiry, or drain
+      // abort).
+      RequireEq(exp,
+                "server.admitted + server.shed + server.rejected_recovering"
+                " != server.submitted",
+                Counter(exp, "server.admitted") + Counter(exp, "server.shed") +
+                    Counter(exp, "server.rejected_recovering"),
                 Counter(exp, "server.submitted"), &problems);
       RequireEq(exp,
                 "server.completed + server.expired + server.drain_aborted != "

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke gate: run the deterministic crash-point fuzzer over a
+# seed sweep covering both engines (including two-disk pg parallel logging),
+# torn tails, corrupt frames, and checkpoint recovery. Any seed that loses an
+# acked transaction, resurrects an unacked one, or decodes a corrupted image
+# cleanly fails the gate.
+#
+# Usage: run_crashsmoke.sh <tdp_crashtest-binary> [seeds]
+set -euo pipefail
+
+BIN="${1:?usage: run_crashsmoke.sh <tdp_crashtest-binary> [seeds]}"
+SEEDS="${2:-250}"
+
+"${BIN}" --seeds="${SEEDS}" --engine=both

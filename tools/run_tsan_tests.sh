@@ -24,6 +24,9 @@ TESTS=(
   llu_test
   redo_log_test
   wal_test
+  recovery_test
+  pg_recovery_test
+  crash_point_test
   histogram_test
   sim_disk_test
   fault_injection_test

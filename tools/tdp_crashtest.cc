@@ -1,0 +1,591 @@
+// tdp_crashtest: deterministic crash-point fuzzer for the recovery stack
+// (docs/recovery.md).
+//
+// Each seed runs one crash-recovery experiment end to end:
+//
+//   1. Build a fresh engine (mysqlmini or pgmini; pgmini alternates between
+//      one and two WAL disks) with logical redo enabled, plus a shadow-model
+//      oracle of the same schema.
+//   2. Schedule a crash: arm a named crash point on its Nth hit, or arm a
+//      FaultInjector kCrash window on the log device (some seeds run clean
+//      to cover the no-crash path).
+//   3. Run a single-threaded workload of small insert/update/delete
+//      transactions, checkpointing every few transactions on half the
+//      seeds. The oracle records every transaction whose commit call
+//      returned without rolling back, and marks as *acked* those whose
+//      Commit() returned OK before the crash flag tripped.
+//   4. "Reboot": take the durable log image(s) — optionally with a torn
+//      tail of unflushed bytes, optionally with one flipped bit
+//      (corruption) — decode, restore the newest decodable checkpoint
+//      (optionally tearing the newest to exercise the two-slot fallback),
+//      and replay into a fresh engine.
+//   5. Verify against the oracle:
+//        * the recovered state equals the oracle's state after some prefix
+//          of the committed transactions (never a non-prefix, never
+//          garbage),
+//        * the prefix covers every acked transaction (durability), except
+//          on corruption seeds where durable bytes were deliberately
+//          destroyed,
+//        * corruption is always detected (DataLoss or a torn-tail stop —
+//          never a clean decode of a flipped image),
+//        * when a checkpoint was used, checkpoint+suffix recovery equals
+//          full-log replay.
+//
+// Every decision derives from the seed, so a failing seed replays exactly:
+//   tdp_crashtest --start_seed=<seed> --seeds=1 --verbose
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/crash_point.h"
+#include "common/fault.h"
+#include "common/random.h"
+#include "engine/mysqlmini.h"
+#include "engine/recovery.h"
+#include "log/log_codec.h"
+#include "pg/pgmini.h"
+
+namespace tdp {
+namespace {
+
+constexpr uint32_t kTables = 2;
+constexpr uint64_t kKeySpace = 24;
+constexpr int kMaxTxns = 48;
+
+// One table's contents: key -> columns.
+using TableState = std::map<uint64_t, std::vector<int64_t>>;
+using DbState = std::vector<TableState>;  // index == table id
+
+struct OracleOp {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind = Kind::kInsert;
+  uint32_t table = 0;
+  uint64_t key = 0;
+  std::vector<int64_t> after;  // valid for inserts/updates
+  int64_t delta = 0;           // valid for updates (col 0 increment)
+};
+
+struct OracleTxn {
+  std::vector<OracleOp> ops;
+  bool acked = false;  ///< Commit() returned OK before the crash tripped.
+};
+
+void ApplyTxn(const OracleTxn& txn, DbState* state) {
+  for (const OracleOp& op : txn.ops) {
+    if (op.kind == OracleOp::Kind::kDelete) {
+      (*state)[op.table].erase(op.key);
+    } else {
+      (*state)[op.table][op.key] = op.after;
+    }
+  }
+}
+
+DbState PreloadState() {
+  DbState state(kTables);
+  for (uint32_t t = 0; t < kTables; ++t) {
+    for (uint64_t k = 0; k < 8; ++k) {
+      state[t][k] = {static_cast<int64_t>(k * 10 + t), 0};
+    }
+  }
+  return state;
+}
+
+void SetupSchema(engine::Database* db) {
+  db->CreateTable("t0", 64);
+  db->CreateTable("t1", 64);
+  const DbState preload = PreloadState();
+  for (uint32_t t = 0; t < kTables; ++t) {
+    for (const auto& [key, cols] : preload[t]) {
+      storage::Row row;
+      row.cols = cols;
+      db->BulkUpsert(t, key, row);
+    }
+  }
+}
+
+DbState ExtractState(const storage::Catalog& catalog) {
+  DbState state(kTables);
+  for (uint32_t t = 0; t < kTables; ++t) {
+    const storage::Table* table = catalog.GetTable(t);
+    if (table == nullptr) continue;
+    table->ForEach([&](uint64_t key, const storage::Row& row) {
+      state[t][key] = row.cols;
+    });
+  }
+  return state;
+}
+
+std::string DescribeDiff(const DbState& got, const DbState& want) {
+  for (uint32_t t = 0; t < kTables; ++t) {
+    for (const auto& [key, cols] : want[t]) {
+      auto it = got[t].find(key);
+      if (it == got[t].end()) {
+        return "missing t" + std::to_string(t) + "/" + std::to_string(key);
+      }
+      if (it->second != cols) {
+        return "wrong row t" + std::to_string(t) + "/" + std::to_string(key);
+      }
+    }
+    for (const auto& [key, cols] : got[t]) {
+      (void)cols;
+      if (want[t].find(key) == want[t].end()) {
+        return "resurrected t" + std::to_string(t) + "/" + std::to_string(key);
+      }
+    }
+  }
+  return "equal";
+}
+
+struct SeedPlan {
+  bool use_pg = false;
+  int pg_log_sets = 1;
+  bool group_commit = true;     // mysql only
+  bool use_checkpoints = false;
+  uint64_t checkpoint_every = 6;
+  // Crash scheduling: exactly one of crash_point / fault_crash, or neither
+  // (clean run).
+  std::string crash_point;
+  uint64_t crash_occurrence = 1;
+  bool fault_crash = false;
+  double fault_written_fraction = 0.0;
+  int64_t fault_start_ns = 0;
+  // Post-crash image mutations.
+  bool torn_tail = false;
+  bool corrupt = false;
+  bool tear_checkpoint = false;
+};
+
+SeedPlan MakePlan(uint64_t seed, const std::string& engine_filter, Rng* rng) {
+  SeedPlan plan;
+  if (engine_filter == "pg") {
+    plan.use_pg = true;
+  } else if (engine_filter != "mysql") {
+    plan.use_pg = (seed % 2) == 1;
+  }
+  plan.pg_log_sets = ((seed >> 1) % 2) == 1 ? 2 : 1;
+  plan.group_commit = rng->Bernoulli(0.5);
+  plan.use_checkpoints = rng->Bernoulli(0.5);
+  plan.checkpoint_every = 4 + rng->Uniform(8);
+  const double crash_mode = rng->NextDouble();
+  if (crash_mode < 0.55) {
+    static const char* kMysqlPoints[] = {"redo.append", "redo.pre_flush",
+                                         "redo.post_flush"};
+    static const char* kPgPoints[] = {"wal.append", "wal.pre_flush",
+                                      "wal.post_flush"};
+    plan.crash_point = plan.use_pg ? kPgPoints[rng->Uniform(3)]
+                                   : kMysqlPoints[rng->Uniform(3)];
+    plan.crash_occurrence = 1 + rng->Uniform(3 * kMaxTxns);
+  } else if (crash_mode < 0.80) {
+    plan.fault_crash = true;
+    plan.fault_written_fraction = rng->NextDouble();
+    plan.fault_start_ns = static_cast<int64_t>(rng->Uniform(2000000));
+  }  // else: clean run
+  plan.torn_tail = rng->Bernoulli(0.5);
+  plan.corrupt = rng->Bernoulli(0.15);
+  plan.tear_checkpoint = rng->Bernoulli(0.3);
+  return plan;
+}
+
+/// Flips one bit somewhere in the image. Returns false when there is
+/// nothing to corrupt.
+bool FlipOneBit(std::vector<uint8_t>* image, Rng* rng) {
+  if (image->empty()) return false;
+  const size_t byte = rng->Uniform(image->size());
+  (*image)[byte] ^= static_cast<uint8_t>(1u << rng->Uniform(8));
+  return true;
+}
+
+struct SeedResult {
+  bool ok = true;
+  std::string error;
+  bool crashed = false;
+  uint64_t committed = 0;
+  uint64_t acked = 0;
+  uint64_t recovered_prefix = 0;
+};
+
+SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
+                   bool verbose) {
+  SeedResult result;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xC0FFEE);
+  const SeedPlan plan = MakePlan(seed, engine_filter, &rng);
+
+  CrashPoints::Global().Reset();
+
+  SimDiskConfig quick_disk;
+  quick_disk.base_latency_ns = 1000;
+  quick_disk.sigma = 0.0;
+  quick_disk.flush_barrier_ns = 2000;
+  quick_disk.seed = seed + 7;
+
+  FaultInjector injector;
+  if (plan.fault_crash) {
+    // The window opens mid-workload and stays open: the first log I/O
+    // inside it trips the process-wide crash flag.
+    injector.AddCrash(plan.fault_start_ns, int64_t{1} << 40,
+                      plan.fault_written_fraction);
+  }
+  SimDiskConfig log_disk = quick_disk;
+  if (plan.fault_crash) log_disk.fault = &injector;
+
+  // --- build the engine under test ---------------------------------------
+  std::unique_ptr<engine::MySQLMini> mysql;
+  std::unique_ptr<pg::PgMini> pgdb;
+  engine::Database* db = nullptr;
+  if (plan.use_pg) {
+    pg::PgMiniConfig cfg;
+    cfg.logical_redo = true;
+    cfg.row_work_ns = 0;
+    cfg.predicate_check_ns = 0;
+    cfg.wal.block_bytes = 4096;
+    cfg.wal.num_log_sets = plan.pg_log_sets;
+    cfg.wal.disk = log_disk;
+    cfg.seed = seed + 1;
+    pgdb = std::make_unique<pg::PgMini>(cfg);
+    db = pgdb.get();
+  } else {
+    engine::MySQLMiniConfig cfg;
+    cfg.logical_redo = true;
+    cfg.row_work_ns = 0;
+    cfg.flush_policy = log::FlushPolicy::kEagerFlush;
+    cfg.log_group_commit = plan.group_commit;
+    cfg.data_disk = quick_disk;
+    cfg.log_disk = log_disk;
+    cfg.seed = seed + 1;
+    mysql = std::make_unique<engine::MySQLMini>(cfg);
+    db = mysql.get();
+  }
+  SetupSchema(db);
+
+  if (!plan.crash_point.empty()) {
+    CrashPoints::Global().Arm(plan.crash_point, plan.crash_occurrence);
+  }
+  if (plan.fault_crash) injector.Arm();
+
+  // --- workload ------------------------------------------------------------
+  std::vector<OracleTxn> committed;
+  DbState shadow = PreloadState();
+  engine::CheckpointStore ckpt_store;
+  uint64_t ckpt_saves = 0;
+  auto conn = db->Connect();
+
+  for (int i = 0; i < kMaxTxns; ++i) {
+    if (CrashPoints::Global().triggered()) break;
+    // Build the transaction against a scratch copy of the shadow, so the
+    // oracle's after-images match what the engine computes.
+    DbState scratch = shadow;
+    OracleTxn txn;
+    const int nops = 1 + static_cast<int>(rng.Uniform(3));
+    for (int o = 0; o < nops; ++o) {
+      OracleOp op;
+      op.table = static_cast<uint32_t>(rng.Uniform(kTables));
+      op.key = rng.Uniform(kKeySpace);
+      TableState& ts = scratch[op.table];
+      auto it = ts.find(op.key);
+      if (it == ts.end()) {
+        op.kind = OracleOp::Kind::kInsert;
+        op.after = {static_cast<int64_t>(op.key * 3 + 1),
+                    static_cast<int64_t>(seed & 0xFF)};
+        ts[op.key] = op.after;
+      } else if (rng.Bernoulli(0.2)) {
+        op.kind = OracleOp::Kind::kDelete;
+        ts.erase(it);
+      } else {
+        // Delta update of col 0; the after-image the engine will log is the
+        // scratch row after the increment (engine and shadow rows agree by
+        // induction: every committed mutation is mirrored).
+        op.kind = OracleOp::Kind::kUpdate;
+        op.delta = static_cast<int64_t>(1 + rng.Uniform(9));
+        op.after = it->second;
+        op.after[0] += op.delta;
+        it->second = op.after;
+      }
+      txn.ops.push_back(std::move(op));
+    }
+
+    if (!conn->Begin().ok()) break;
+    bool op_failed = false;
+    for (const OracleOp& op : txn.ops) {
+      Status s;
+      switch (op.kind) {
+        case OracleOp::Kind::kDelete:
+          s = conn->Delete(op.table, op.key);
+          break;
+        case OracleOp::Kind::kUpdate:
+          s = conn->Update(op.table, op.key, 0, op.delta);
+          break;
+        case OracleOp::Kind::kInsert: {
+          storage::Row row;
+          row.cols = op.after;
+          s = conn->Insert(op.table, op.key, row);
+          break;
+        }
+      }
+      if (!s.ok()) {
+        op_failed = true;
+        break;
+      }
+    }
+    if (op_failed) {
+      conn->Rollback();
+      if (CrashPoints::Global().triggered()) break;
+      continue;
+    }
+    const Status cs = conn->Commit();
+    const bool crashed_now = CrashPoints::Global().triggered();
+    if (cs.ok()) {
+      // Engine state now includes this transaction (commit did not roll
+      // back), whether or not it is durable.
+      txn.acked = !crashed_now;
+      committed.push_back(txn);
+      shadow = std::move(scratch);
+    }
+    if (crashed_now) break;
+
+    if (plan.use_checkpoints &&
+        committed.size() % plan.checkpoint_every == 0 && !committed.empty()) {
+      const engine::Checkpoint ckpt =
+          plan.use_pg ? pgdb->TakeCheckpoint() : mysql->TakeCheckpoint();
+      ckpt_store.Save(engine::EncodeCheckpoint(ckpt));
+      ++ckpt_saves;
+    }
+  }
+
+  result.crashed = CrashPoints::Global().triggered();
+  result.committed = committed.size();
+  for (const OracleTxn& t : committed) {
+    if (t.acked) ++result.acked;
+  }
+  const std::string crashed_by = CrashPoints::Global().triggered_by();
+
+  // --- reboot --------------------------------------------------------------
+  // Images are cut from the durable watermarks, so reading them after Reset
+  // is exactly what a post-reboot log scan would see.
+  std::vector<std::vector<uint8_t>> images;
+  if (plan.use_pg) {
+    std::vector<uint64_t> tails;
+    if (plan.torn_tail) {
+      for (int i = 0; i < plan.pg_log_sets; ++i) {
+        tails.push_back(rng.Uniform(4 * 1024));
+      }
+    }
+    images = pgdb->wal().CrashImages(tails);
+  } else {
+    const uint64_t tail = plan.torn_tail ? rng.Uniform(4 * 1024) : 0;
+    images.push_back(mysql->redo_log().CrashImage(tail));
+  }
+  bool corrupted = false;
+  if (plan.corrupt) {
+    // Flip one bit in one image (two-disk pg: only one disk corrupted, the
+    // other must still contribute its prefix).
+    std::vector<uint8_t>* victim = &images[rng.Uniform(images.size())];
+    corrupted = FlipOneBit(victim, &rng);
+  }
+  CrashPoints::Global().Reset();
+
+  // --- decode + replay -----------------------------------------------------
+  std::vector<log::RecoveredTxn> recovered;
+  bool decode_detected_damage = false;
+  size_t image_total = 0, valid_total = 0;
+  if (plan.use_pg) {
+    const pg::WalManager::RecoveryResult rr =
+        pg::WalManager::RecoverCommitted(images, &recovered);
+    decode_detected_damage = !rr.status.ok() || rr.torn_sets > 0;
+    for (const auto& img : images) image_total += img.size();
+    valid_total = image_total;  // per-set valid bytes not surfaced; use flag
+  } else {
+    const log::LogDecodeResult dr = log::DecodeLogImage(images[0], &recovered);
+    decode_detected_damage =
+        !dr.status.ok() || dr.torn_tail || dr.valid_bytes < images[0].size();
+    image_total = images[0].size();
+    valid_total = dr.valid_bytes;
+  }
+  (void)valid_total;
+
+  std::optional<engine::Checkpoint> ckpt;
+  if (plan.use_checkpoints && ckpt_saves > 0) {
+    if (plan.tear_checkpoint) {
+      ckpt_store.TearNewest(rng.Uniform(64));
+    }
+    ckpt = ckpt_store.LoadLatest();
+    if (!ckpt.has_value() && !plan.tear_checkpoint) {
+      result.ok = false;
+      result.error = "saved checkpoint failed to decode";
+      return result;
+    }
+    if (!ckpt.has_value() && ckpt_saves >= 2) {
+      // Tearing destroys at most the newest slot; with two saves the older
+      // slot must still decode.
+      result.ok = false;
+      result.error = "two-slot store lost both checkpoints to one tear";
+      return result;
+    }
+  }
+
+  auto make_target = [&]() -> std::pair<std::unique_ptr<engine::Database>,
+                                        storage::Catalog*> {
+    if (plan.use_pg) {
+      pg::PgMiniConfig cfg;
+      cfg.logical_redo = true;
+      cfg.row_work_ns = 0;
+      cfg.predicate_check_ns = 0;
+      cfg.wal.num_log_sets = plan.pg_log_sets;
+      cfg.seed = seed + 2;
+      auto target = std::make_unique<pg::PgMini>(cfg);
+      storage::Catalog* cat = &target->catalog();
+      SetupSchema(target.get());
+      return {std::move(target), cat};
+    }
+    engine::MySQLMiniConfig cfg;
+    cfg.logical_redo = true;
+    cfg.row_work_ns = 0;
+    cfg.seed = seed + 2;
+    auto target = std::make_unique<engine::MySQLMini>(cfg);
+    storage::Catalog* cat = &target->catalog();
+    SetupSchema(target.get());
+    return {std::move(target), cat};
+  };
+
+  auto recover_into = [&](engine::Database* target, uint64_t start_after) {
+    if (plan.use_pg) {
+      pg::PgMini::RecoverInto(recovered, target, start_after);
+    } else {
+      engine::MySQLMini::RecoverInto(recovered, target, start_after);
+    }
+  };
+
+  auto [target, target_catalog] = make_target();
+  if (ckpt.has_value()) {
+    engine::RestoreCheckpoint(*ckpt, target_catalog);
+    recover_into(target.get(), ckpt->lsn);
+  } else {
+    recover_into(target.get(), 0);
+  }
+  const DbState recovered_state = ExtractState(*target_catalog);
+
+  // --- verification --------------------------------------------------------
+  // (1) Prefix property: the recovered state must equal the oracle state
+  // after some prefix of the committed transactions.
+  DbState prefix_state = PreloadState();
+  std::optional<uint64_t> matched_prefix;
+  if (recovered_state == prefix_state) matched_prefix = 0;
+  for (size_t k = 0; k < committed.size(); ++k) {
+    ApplyTxn(committed[k], &prefix_state);
+    if (recovered_state == prefix_state) matched_prefix = k + 1;
+  }
+  if (!matched_prefix.has_value()) {
+    result.ok = false;
+    result.error =
+        "recovered state matches no committed prefix (" +
+        DescribeDiff(recovered_state, prefix_state) + " vs full state)";
+    return result;
+  }
+  result.recovered_prefix = *matched_prefix;
+
+  // (2) Durability: every acked transaction is recovered. Waived when we
+  // deliberately destroyed durable bytes (corruption seeds).
+  if (!corrupted && *matched_prefix < result.acked) {
+    result.ok = false;
+    result.error = "acked transaction lost: recovered prefix " +
+                   std::to_string(*matched_prefix) + " < acked " +
+                   std::to_string(result.acked) +
+                   (crashed_by.empty() ? "" : " (crash via " + crashed_by + ")");
+    return result;
+  }
+
+  // (3) Corruption detection: a flipped bit never decodes cleanly.
+  if (corrupted && !decode_detected_damage) {
+    result.ok = false;
+    result.error = "silent corruption: flipped image decoded clean";
+    return result;
+  }
+
+  // (4) Checkpoint path agrees with full replay. Skipped on corruption
+  // seeds: a checkpoint covering transactions the damaged log can no longer
+  // reconstruct is the point of checkpoints, not a divergence.
+  if (ckpt.has_value() && !corrupted) {
+    auto [full, full_catalog] = make_target();
+    recover_into(full.get(), 0);
+    const DbState full_state = ExtractState(*full_catalog);
+    if (full_state != recovered_state) {
+      result.ok = false;
+      result.error = "checkpoint+suffix recovery diverges from full replay (" +
+                     DescribeDiff(recovered_state, full_state) + ")";
+      return result;
+    }
+  }
+
+  if (verbose) {
+    std::printf(
+        "seed %llu: engine=%s%s committed=%llu acked=%llu prefix=%llu "
+        "crash=%s ckpt=%s torn=%d corrupt=%d image=%zu\n",
+        static_cast<unsigned long long>(seed), plan.use_pg ? "pg" : "mysql",
+        plan.use_pg ? ("/" + std::to_string(plan.pg_log_sets)).c_str() : "",
+        static_cast<unsigned long long>(result.committed),
+        static_cast<unsigned long long>(result.acked),
+        static_cast<unsigned long long>(result.recovered_prefix),
+        crashed_by.empty() ? "none" : crashed_by.c_str(),
+        ckpt.has_value() ? "yes" : "no", plan.torn_tail ? 1 : 0,
+        corrupted ? 1 : 0, image_total);
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace tdp
+
+int main(int argc, char** argv) {
+  uint64_t seeds = 200;
+  uint64_t start_seed = 0;
+  std::string engine = "both";
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* name) -> const char* {
+      const size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--seeds=")) {
+      seeds = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--start_seed=")) {
+      start_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--engine=")) {
+      engine = v;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: tdp_crashtest [--seeds=N] [--start_seed=N] "
+                   "[--engine=mysql|pg|both] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  uint64_t failures = 0, crashes = 0, committed = 0, acked = 0;
+  for (uint64_t seed = start_seed; seed < start_seed + seeds; ++seed) {
+    const tdp::SeedResult r = tdp::RunSeed(seed, engine, verbose);
+    crashes += r.crashed ? 1 : 0;
+    committed += r.committed;
+    acked += r.acked;
+    if (!r.ok) {
+      ++failures;
+      std::fprintf(stderr, "FAIL seed %llu: %s\n",
+                   static_cast<unsigned long long>(seed), r.error.c_str());
+    }
+  }
+  tdp::CrashPoints::Global().Reset();
+  std::printf(
+      "tdp_crashtest: %llu seeds, %llu crashed, %llu txns committed "
+      "(%llu acked), %llu failures\n",
+      static_cast<unsigned long long>(seeds),
+      static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
