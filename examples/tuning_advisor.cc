@@ -1,138 +1,139 @@
-// tuning_advisor: variance-aware tuning (Section 6.3) as a tool.
+// tuning_advisor: variance-aware tuning (Section 6.3) on the closed-loop
+// auto-tuner in src/tuning (docs/tuning.md).
 //
-// Sweeps the tuning knobs the paper identifies — buffer-pool size, redo
-// flush policy, and (for the event-based engine) worker threads — measures
-// mean and variance for each setting, and prints a recommendation per knob.
+// Earlier versions of this example hand-rolled the sweep: open an engine
+// per setting, run the workload, compare variances by eye. It now drives
+// the real tuner — declarative KnobSpace, TrialRunner replicates,
+// bootstrap-CI objective, successive halving — for the two mysqlmini knobs,
+// and shows the TrialSource seam by plugging a custom voltmini
+// worker-count measurement into the same search.
 //
 //   $ ./build/examples/tuning_advisor
+#include <chrono>
 #include <cstdio>
 #include <memory>
-#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/random.h"
 #include "core/toolkit.h"
-#include "engine/factory.h"
+#include "tuning/knobs.h"
+#include "tuning/objective.h"
+#include "tuning/search.h"
+#include "tuning/trial.h"
 #include "volt/voltmini.h"
-#include "workload/tpcc.h"
 
 using namespace tdp;
 
 namespace {
 
-struct Setting {
-  std::string label;
-  core::Metrics metrics;
-};
-
-std::unique_ptr<engine::Database> OpenMysql(
-    const engine::MySQLMiniConfig& cfg) {
-  engine::EngineConfig config;
-  config.mysql = cfg;
-  auto db = engine::OpenDatabase(engine::EngineKind::kMySQLMini, config);
-  if (!db.ok()) {
-    std::fprintf(stderr, "OpenDatabase: %s\n", db.status().ToString().c_str());
-    std::exit(1);
-  }
-  return std::move(db.value());
+// Example-sized search: one replicate to screen, one rung to confirm.
+tuning::SearchConfig QuickSearch() {
+  tuning::SearchConfig s;
+  s.initial_replicates = 1;
+  s.max_rungs = 2;
+  return s;
 }
 
-core::Metrics Measure(const engine::MySQLMiniConfig& cfg,
-                      const workload::TpccConfig& tcfg, double tps) {
-  auto db = OpenMysql(cfg);
-  workload::Tpcc tpcc(tcfg);
-  tpcc.Load(db.get());
-  workload::DriverConfig driver = core::Toolkit::DriverDefault();
-  driver.tps = tps;
-  driver.num_txns = 2500;
-  driver.warmup_txns = 250;
-  return core::Metrics::From(RunConstantRate(db.get(), &tpcc, driver));
+void RunSearch(const char* knob, tuning::TrialSource& source,
+               const tuning::KnobSpace& space, const tuning::Objective& obj,
+               const char* caveat) {
+  const tuning::TuneResult result =
+      tuning::SuccessiveHalving(source, space, obj, QuickSearch());
+  std::printf("\n%s:\n%s", knob,
+              tuning::RecommendationTable(result, obj).c_str());
+  std::printf("=> %s — %s\n", result.arms[result.best].knobs.Label().c_str(),
+              caveat);
 }
 
-void Recommend(const char* knob, const std::vector<Setting>& settings,
-               const char* caveat = nullptr) {
-  std::printf("\n%s:\n", knob);
-  size_t best = 0;
-  for (size_t i = 0; i < settings.size(); ++i) {
-    std::printf("  %-24s mean=%8.3fms  var=%10.4fms^2  p99=%8.3fms\n",
-                settings[i].label.c_str(), settings[i].metrics.mean_ms,
-                settings[i].metrics.variance_ms2, settings[i].metrics.p99_ms);
-    if (settings[i].metrics.variance_ms2 <
-        settings[best].metrics.variance_ms2) {
-      best = i;
+// The TrialSource seam: voltmini is not one of TrialRunner's engines, but
+// any measurement that can fill a TrialMeasurement can ride the same
+// objective + halving machinery. knobs.workers is the swept knob.
+class VoltWorkerSource : public tuning::TrialSource {
+ public:
+  tuning::TrialMeasurement Measure(const tuning::KnobConfig& knobs,
+                                   int replicate) override {
+    volt::VoltMini db(core::Toolkit::VoltDefault(knobs.workers));
+    db.Start();
+    Rng rng(5 + static_cast<uint64_t>(replicate));
+    std::vector<std::shared_ptr<volt::VoltMini::Ticket>> tickets;
+    const int64_t start = NowNanos();
+    int64_t next = start;
+    for (int i = 0; i < 800; ++i) {
+      const int64_t now = NowNanos();
+      if (next > now)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(next - now));
+      next += 2200000;  // ~450 txns/s offered
+      const int64_t us = 1000 + static_cast<int64_t>(rng.Uniform(4000));
+      tickets.push_back(db.Submit(static_cast<int>(rng.Uniform(8)), [us] {
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      }));
     }
+    Histogram lat;
+    for (auto& t : tickets) {
+      t->Wait();
+      lat.Add(t->latency_ns());
+    }
+    db.Stop();
+    tuning::TrialMeasurement m;
+    m.latency = lat.Snapshot();
+    m.committed = tickets.size();
+    m.achieved_tps =
+        static_cast<double>(tickets.size()) * 1e9 / (NowNanos() - start);
+    return m;
   }
-  std::printf("  => lowest variance: %s%s%s\n", settings[best].label.c_str(),
-              caveat ? " — " : "", caveat ? caveat : "");
-}
+};
 
 }  // namespace
 
 int main() {
   std::printf("variance-aware tuning advisor (TPC-C probe workload)\n");
 
-  // Knob 1: buffer pool size (2-WH, memory-constrained baseline).
+  // Knob 1: redo flush policy — minimize p99.9 subject to keeping the
+  // offered throughput.
   {
-    std::vector<Setting> settings;
-    for (int pct : {33, 66, 100}) {
-      engine::MySQLMiniConfig cfg =
-          core::Toolkit::MysqlMemoryContended(lock::SchedulerPolicy::kFCFS);
-      workload::Tpcc sizer(core::Toolkit::Tpcc2WH());
-      auto sizing_db = OpenMysql(cfg);
-      sizer.Load(sizing_db.get());
-      cfg.buffer_pool_pages =
-          std::max<uint64_t>(8, sizer.DataPages(*sizing_db) * pct / 100);
-      settings.push_back({std::to_string(pct) + "% of database",
-                          Measure(cfg, core::Toolkit::Tpcc2WH(), 400)});
-    }
-    Recommend("buffer pool size", settings,
-              "bigger pools cut both misses and LRU contention");
-  }
-
-  // Knob 2: redo flush policy.
-  {
-    std::vector<Setting> settings;
-    for (auto policy : {log::FlushPolicy::kEagerFlush,
-                        log::FlushPolicy::kLazyFlush,
-                        log::FlushPolicy::kLazyWrite}) {
-      engine::MySQLMiniConfig cfg =
-          core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS);
-      cfg.flush_policy = policy;
-      settings.push_back({log::FlushPolicyName(policy),
-                          Measure(cfg, core::Toolkit::TpccContended(), 520)});
-    }
-    Recommend("redo flush policy", settings,
+    tuning::KnobSpace space;
+    space.flush_policies = {log::FlushPolicy::kEagerFlush,
+                            log::FlushPolicy::kLazyFlush,
+                            log::FlushPolicy::kLazyWrite};
+    tuning::TrialConfig trial;
+    trial.tps = 420;
+    trial.num_txns = 1200;
+    trial.warmup_txns = 120;
+    tuning::TrialRunner runner(trial);
+    tuning::Objective obj;
+    obj.min_tps = 280;
+    RunSearch("redo flush policy", runner, space, obj,
               "lazy policies lose forward progress on a crash (Appendix B)");
   }
 
-  // Knob 3: voltmini worker threads.
+  // Knob 2: buffer pool size, on the memory-constrained 2-WH baseline.
   {
-    std::vector<Setting> settings;
-    for (int workers : {2, 8, 16}) {
-      volt::VoltMini db(core::Toolkit::VoltDefault(workers));
-      db.Start();
-      Rng rng(5);
-      std::vector<std::shared_ptr<volt::VoltMini::Ticket>> tickets;
-      int64_t next = NowNanos();
-      for (int i = 0; i < 2500; ++i) {
-        const int64_t now = NowNanos();
-        if (next > now)
-          std::this_thread::sleep_for(std::chrono::nanoseconds(next - now));
-        next += 2200000;
-        const int64_t us = 1000 + static_cast<int64_t>(rng.Uniform(4000));
-        tickets.push_back(db.Submit(static_cast<int>(rng.Uniform(8)), [us] {
-          std::this_thread::sleep_for(std::chrono::microseconds(us));
-        }));
-      }
-      std::vector<int64_t> lat;
-      for (auto& t : tickets) {
-        t->Wait();
-        lat.push_back(t->latency_ns());
-      }
-      db.Stop();
-      settings.push_back({std::to_string(workers) + " workers",
-                          core::Metrics::FromLatencies(lat)});
-    }
-    Recommend("voltmini worker threads", settings,
+    tuning::KnobSpace space;
+    space.buffer_pool_pages = {96, 224, 512};
+    tuning::TrialConfig trial;
+    trial.tps = 420;
+    trial.num_txns = 1200;
+    trial.warmup_txns = 120;
+    trial.memory_contended = true;
+    tuning::TrialRunner runner(trial);
+    tuning::Objective obj;
+    obj.min_tps = 280;
+    RunSearch("buffer pool size", runner, space, obj,
+              "bigger pools cut both misses and LRU contention");
+  }
+
+  // Knob 3: voltmini worker threads, via a custom TrialSource. Queue wait
+  // is ~all of the event-based engine's variance, so tune for CoV.
+  {
+    tuning::KnobSpace space;
+    space.workers = {2, 8, 16};
+    VoltWorkerSource source;
+    tuning::Objective obj;
+    obj.goal = tuning::Goal::kMinCoV;
+    RunSearch("voltmini worker threads", source, space, obj,
               "queue wait is ~all of the event-based engine's variance");
   }
   return 0;

@@ -52,14 +52,18 @@ std::vector<int64_t> LatencySample::Sorted() const {
 }
 
 double PercentileSorted(const std::vector<int64_t>& sorted, double pct) {
+  // Ceil-rank, clamped at both ends. The old linear-interpolation form cast
+  // a negative rank straight to size_t for pct < 0 (wrapping to a huge
+  // index) and indexed one past the end for pct > 100 — both out-of-bounds
+  // reads — and disagreed with Histogram::Percentile everywhere else.
   if (sorted.empty()) return 0;
-  if (sorted.size() == 1) return static_cast<double>(sorted[0]);
-  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
-         static_cast<double>(sorted[hi]) * frac;
+  if (pct <= 0) return static_cast<double>(sorted.front());
+  if (pct >= 100) return static_cast<double>(sorted.back());
+  const double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::ceil(pct / 100.0 * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return static_cast<double>(sorted[rank - 1]);
 }
 
 LatencySummary LatencySample::Summarize() const {
@@ -145,7 +149,8 @@ void OnlineStats::MergeFrom(const OnlineStats& other) {
 }
 
 double OnlineStats::variance() const {
-  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0;
+  if (n_ == 0 || m2_ <= 0) return 0;  // cancellation can leave m2_ < 0
+  return m2_ / static_cast<double>(n_);
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
@@ -166,17 +171,32 @@ double Variance(const std::vector<double>& x) {
 }
 
 double Covariance(const std::vector<double>& x, const std::vector<double>& y) {
-  if (x.empty() || x.size() != y.size()) return 0;
-  const double mx = Mean(x), my = Mean(y);
+  // Mismatched lengths truncate to the common prefix; both means are taken
+  // over that prefix (mixing a prefix sum with a full-vector mean would
+  // bias the statistic). See the header for why truncation beats the old
+  // silent zero.
+  const size_t n = std::min(x.size(), y.size());
+  if (n == 0) return 0;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
   double acc = 0;
-  for (size_t i = 0; i < x.size(); ++i) acc += (x[i] - mx) * (y[i] - my);
-  return acc / static_cast<double>(x.size());
+  for (size_t i = 0; i < n; ++i) acc += (x[i] - mx) * (y[i] - my);
+  return acc / static_cast<double>(n);
 }
 
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y) {
-  const double cov = Covariance(x, y);
-  const double vx = Variance(x), vy = Variance(y);
+  const size_t n = std::min(x.size(), y.size());
+  if (n == 0) return 0;
+  const std::vector<double> xs(x.begin(), x.begin() + static_cast<ptrdiff_t>(n));
+  const std::vector<double> ys(y.begin(), y.begin() + static_cast<ptrdiff_t>(n));
+  const double cov = Covariance(xs, ys);
+  const double vx = Variance(xs), vy = Variance(ys);
   if (vx <= 0 || vy <= 0) return 0;
   return cov / std::sqrt(vx * vy);
 }

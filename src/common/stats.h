@@ -70,7 +70,10 @@ class OnlineStats {
 
   uint64_t count() const { return n_; }
   double mean() const { return mean_; }
-  /// Population variance (0 when count < 1).
+  /// Population variance (0 when count < 1). Clamped non-negative: the m2
+  /// accumulator is a sum of squares up to rounding, but floating-point
+  /// cancellation on near-constant series can leave it a hair below zero,
+  /// and stddev() must never surface that as NaN.
   double variance() const;
   double stddev() const;
 
@@ -80,10 +83,15 @@ class OnlineStats {
   double m2_ = 0;
 };
 
-/// Population covariance of two equally long vectors.
+/// Population covariance of two paired series. Mismatched lengths are
+/// truncated to the common prefix (both means are recomputed over that
+/// prefix): callers pair series sample-by-sample, and a one-off tail — a
+/// dropped final measurement — must shorten the statistic, not silently
+/// zero it. Returns 0 only when the common prefix is empty.
 double Covariance(const std::vector<double>& x, const std::vector<double>& y);
 
-/// Pearson correlation coefficient; returns 0 when either variance is 0.
+/// Pearson correlation coefficient over the common prefix (same truncation
+/// rule as Covariance); returns 0 when either prefix variance is 0.
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y);
 
@@ -91,7 +99,11 @@ double PearsonCorrelation(const std::vector<double>& x,
 double Mean(const std::vector<double>& x);
 double Variance(const std::vector<double>& x);
 
-/// Exact percentile (linear interpolation) over a *sorted* vector.
+/// Exact ceil-rank percentile over a *sorted* vector: the smallest sample
+/// with at least ceil(pct/100 * n) samples at or below it — the same
+/// convention as Histogram::Percentile, so the tuner can compare a raw
+/// sample vector against a registry histogram of the same data. pct <= 0
+/// returns the minimum, pct >= 100 the maximum; empty input returns 0.
 double PercentileSorted(const std::vector<int64_t>& sorted, double pct);
 
 /// Summary of a raw sample vector (copied and sorted internally).

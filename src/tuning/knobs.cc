@@ -1,0 +1,287 @@
+#include "tuning/knobs.h"
+
+#include <cstdio>
+
+namespace tdp::tuning {
+
+Result<lock::SchedulerPolicy> ParseSchedulerPolicy(const std::string& name) {
+  for (lock::SchedulerPolicy p :
+       {lock::SchedulerPolicy::kFCFS, lock::SchedulerPolicy::kVATS,
+        lock::SchedulerPolicy::kRS, lock::SchedulerPolicy::kCATS}) {
+    if (name == lock::SchedulerPolicyName(p)) return p;
+  }
+  return Status::InvalidArgument("unknown scheduler policy: " + name);
+}
+
+Result<log::FlushPolicy> ParseFlushPolicy(const std::string& name) {
+  for (log::FlushPolicy p :
+       {log::FlushPolicy::kEagerFlush, log::FlushPolicy::kLazyFlush,
+        log::FlushPolicy::kLazyWrite}) {
+    if (name == log::FlushPolicyName(p)) return p;
+  }
+  return Status::InvalidArgument("unknown flush policy: " + name);
+}
+
+std::string KnobConfig::Label() const {
+  char buf[160];
+  if (engine == engine::EngineKind::kMySQLMini) {
+    std::snprintf(buf, sizeof(buf), "mysql sched=%s bp=%llu flush=%s gc=%d w=%d",
+                  lock::SchedulerPolicyName(scheduler),
+                  static_cast<unsigned long long>(buffer_pool_pages),
+                  log::FlushPolicyName(flush_policy), group_commit ? 1 : 0,
+                  workers);
+  } else {
+    std::snprintf(buf, sizeof(buf), "pg sched=%s block=%llu sets=%d w=%d",
+                  lock::SchedulerPolicyName(scheduler),
+                  static_cast<unsigned long long>(wal_block_bytes),
+                  num_log_sets, workers);
+  }
+  return buf;
+}
+
+json::Value KnobConfig::ToJson() const {
+  json::Value v = json::Value::Object();
+  v.Set("engine", json::Value::Str(engine::EngineKindName(engine)));
+  v.Set("scheduler",
+        json::Value::Str(lock::SchedulerPolicyName(scheduler)));
+  v.Set("buffer_pool_pages",
+        json::Value::Int(static_cast<int64_t>(buffer_pool_pages)));
+  v.Set("flush_policy", json::Value::Str(log::FlushPolicyName(flush_policy)));
+  v.Set("group_commit", json::Value::Bool(group_commit));
+  v.Set("wal_block_bytes",
+        json::Value::Int(static_cast<int64_t>(wal_block_bytes)));
+  v.Set("num_log_sets", json::Value::Int(num_log_sets));
+  v.Set("workers", json::Value::Int(workers));
+  return v;
+}
+
+namespace {
+
+// Shared field readers: absent keys keep defaults, type mismatches fail.
+// The error names the offending key so a hand-edited space file is
+// debuggable from the message alone.
+Status ReadInt(const json::Value& v, const char* key, int64_t* out) {
+  const json::Value* f = v.Find(key);
+  if (f == nullptr) return Status::OK();
+  if (!f->is_number()) {
+    return Status::InvalidArgument(std::string(key) + ": expected number");
+  }
+  *out = f->as_int();
+  return Status::OK();
+}
+
+Status ReadBool(const json::Value& v, const char* key, bool* out) {
+  const json::Value* f = v.Find(key);
+  if (f == nullptr) return Status::OK();
+  if (!f->is_bool()) {
+    return Status::InvalidArgument(std::string(key) + ": expected bool");
+  }
+  *out = f->as_bool();
+  return Status::OK();
+}
+
+Status ReadStr(const json::Value& v, const char* key, std::string* out) {
+  const json::Value* f = v.Find(key);
+  if (f == nullptr) return Status::OK();
+  if (!f->is_string()) {
+    return Status::InvalidArgument(std::string(key) + ": expected string");
+  }
+  *out = f->as_string();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("knobs: expected object");
+  KnobConfig out;
+
+  std::string engine_name = engine::EngineKindName(out.engine);
+  Status s = ReadStr(v, "engine", &engine_name);
+  if (!s.ok()) return s;
+  Result<engine::EngineKind> ek = engine::ParseEngineKind(engine_name);
+  if (!ek.ok()) return ek.status();
+  out.engine = ek.value();
+
+  std::string sched_name = lock::SchedulerPolicyName(out.scheduler);
+  s = ReadStr(v, "scheduler", &sched_name);
+  if (!s.ok()) return s;
+  Result<lock::SchedulerPolicy> sp = ParseSchedulerPolicy(sched_name);
+  if (!sp.ok()) return sp.status();
+  out.scheduler = sp.value();
+
+  std::string flush_name = log::FlushPolicyName(out.flush_policy);
+  s = ReadStr(v, "flush_policy", &flush_name);
+  if (!s.ok()) return s;
+  Result<log::FlushPolicy> fp = ParseFlushPolicy(flush_name);
+  if (!fp.ok()) return fp.status();
+  out.flush_policy = fp.value();
+
+  int64_t bp = static_cast<int64_t>(out.buffer_pool_pages);
+  int64_t block = static_cast<int64_t>(out.wal_block_bytes);
+  int64_t sets = out.num_log_sets;
+  int64_t workers = out.workers;
+  for (Status st : {ReadInt(v, "buffer_pool_pages", &bp),
+                    ReadInt(v, "wal_block_bytes", &block),
+                    ReadInt(v, "num_log_sets", &sets),
+                    ReadInt(v, "workers", &workers),
+                    ReadBool(v, "group_commit", &out.group_commit)}) {
+    if (!st.ok()) return st;
+  }
+  if (bp < 0) return Status::InvalidArgument("buffer_pool_pages: negative");
+  if (block < 0) return Status::InvalidArgument("wal_block_bytes: negative");
+  if (sets < 0) return Status::InvalidArgument("num_log_sets: negative");
+  if (workers < 1) return Status::InvalidArgument("workers: must be >= 1");
+  out.buffer_pool_pages = static_cast<uint64_t>(bp);
+  out.wal_block_bytes = static_cast<uint64_t>(block);
+  out.num_log_sets = static_cast<int>(sets);
+  out.workers = static_cast<int>(workers);
+  return out;
+}
+
+std::vector<KnobConfig> KnobSpace::Enumerate() const {
+  std::vector<KnobConfig> out;
+  for (lock::SchedulerPolicy sched : schedulers) {
+    for (uint64_t bp : buffer_pool_pages) {
+      for (log::FlushPolicy fp : flush_policies) {
+        for (bool gc : group_commit) {
+          for (uint64_t block : wal_block_bytes) {
+            for (int sets : num_log_sets) {
+              for (int w : workers) {
+                KnobConfig k;
+                k.engine = engine;
+                k.scheduler = sched;
+                k.buffer_pool_pages = bp;
+                k.flush_policy = fp;
+                k.group_commit = gc;
+                k.wal_block_bytes = block;
+                k.num_log_sets = sets;
+                k.workers = w;
+                out.push_back(k);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+json::Value KnobSpace::ToJson() const {
+  json::Value v = json::Value::Object();
+  v.Set("engine", json::Value::Str(engine::EngineKindName(engine)));
+  json::Value scheds = json::Value::Array();
+  for (lock::SchedulerPolicy p : schedulers) {
+    scheds.Append(json::Value::Str(lock::SchedulerPolicyName(p)));
+  }
+  v.Set("schedulers", std::move(scheds));
+  json::Value bps = json::Value::Array();
+  for (uint64_t bp : buffer_pool_pages) {
+    bps.Append(json::Value::Int(static_cast<int64_t>(bp)));
+  }
+  v.Set("buffer_pool_pages", std::move(bps));
+  json::Value fps = json::Value::Array();
+  for (log::FlushPolicy p : flush_policies) {
+    fps.Append(json::Value::Str(log::FlushPolicyName(p)));
+  }
+  v.Set("flush_policies", std::move(fps));
+  json::Value gcs = json::Value::Array();
+  for (bool gc : group_commit) gcs.Append(json::Value::Bool(gc));
+  v.Set("group_commit", std::move(gcs));
+  json::Value blocks = json::Value::Array();
+  for (uint64_t b : wal_block_bytes) {
+    blocks.Append(json::Value::Int(static_cast<int64_t>(b)));
+  }
+  v.Set("wal_block_bytes", std::move(blocks));
+  json::Value setss = json::Value::Array();
+  for (int s : num_log_sets) setss.Append(json::Value::Int(s));
+  v.Set("num_log_sets", std::move(setss));
+  json::Value ws = json::Value::Array();
+  for (int w : workers) ws.Append(json::Value::Int(w));
+  v.Set("workers", std::move(ws));
+  return v;
+}
+
+namespace {
+
+// Array readers for KnobSpace: an absent key keeps the default candidate
+// list; a present key must be a non-empty array of the right element type.
+template <typename T, typename ParseFn>
+Status ReadArray(const json::Value& v, const char* key, std::vector<T>* out,
+                 ParseFn parse) {
+  const json::Value* f = v.Find(key);
+  if (f == nullptr) return Status::OK();
+  if (!f->is_array() || f->items().empty()) {
+    return Status::InvalidArgument(std::string(key) +
+                                   ": expected non-empty array");
+  }
+  std::vector<T> parsed;
+  for (const json::Value& item : f->items()) {
+    Result<T> r = parse(item);
+    if (!r.ok()) return r.status();
+    parsed.push_back(r.value());
+  }
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KnobSpace> KnobSpace::FromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("space: expected object");
+  KnobSpace out;
+
+  std::string engine_name = engine::EngineKindName(out.engine);
+  Status s = ReadStr(v, "engine", &engine_name);
+  if (!s.ok()) return s;
+  Result<engine::EngineKind> ek = engine::ParseEngineKind(engine_name);
+  if (!ek.ok()) return ek.status();
+  out.engine = ek.value();
+
+  auto parse_sched = [](const json::Value& item) -> Result<lock::SchedulerPolicy> {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("schedulers: expected string");
+    }
+    return ParseSchedulerPolicy(item.as_string());
+  };
+  auto parse_flush = [](const json::Value& item) -> Result<log::FlushPolicy> {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("flush_policies: expected string");
+    }
+    return ParseFlushPolicy(item.as_string());
+  };
+  auto parse_u64 = [](const json::Value& item) -> Result<uint64_t> {
+    if (!item.is_number() || item.as_int() < 0) {
+      return Status::InvalidArgument("expected non-negative number");
+    }
+    return static_cast<uint64_t>(item.as_int());
+  };
+  auto parse_int = [](const json::Value& item) -> Result<int> {
+    if (!item.is_number() || item.as_int() < 0) {
+      return Status::InvalidArgument("expected non-negative number");
+    }
+    return static_cast<int>(item.as_int());
+  };
+  auto parse_bool = [](const json::Value& item) -> Result<bool> {
+    if (!item.is_bool()) return Status::InvalidArgument("expected bool");
+    return item.as_bool();
+  };
+
+  for (Status st :
+       {ReadArray(v, "schedulers", &out.schedulers, parse_sched),
+        ReadArray(v, "buffer_pool_pages", &out.buffer_pool_pages, parse_u64),
+        ReadArray(v, "flush_policies", &out.flush_policies, parse_flush),
+        ReadArray(v, "group_commit", &out.group_commit, parse_bool),
+        ReadArray(v, "wal_block_bytes", &out.wal_block_bytes, parse_u64),
+        ReadArray(v, "num_log_sets", &out.num_log_sets, parse_int),
+        ReadArray(v, "workers", &out.workers, parse_int)}) {
+    if (!st.ok()) return st;
+  }
+  for (int w : out.workers) {
+    if (w < 1) return Status::InvalidArgument("workers: must be >= 1");
+  }
+  return out;
+}
+
+}  // namespace tdp::tuning

@@ -1,0 +1,84 @@
+// Declarative knob space for the variance-aware auto-tuner (docs/tuning.md).
+//
+// A KnobConfig names one point in the paper's §7 tuning space: the knobs
+// whose settings the paper shows trading mean throughput against tail
+// predictability — buffer-pool size, redo flush policy, group commit, WAL
+// block size / parallel log sets, scheduler policy, and service worker
+// count. A KnobSpace is the cross-product of per-knob candidate lists; the
+// search driver (search.h) enumerates it and the TrialRunner (trial.h)
+// materializes each point into a real engine + service.
+//
+// Both types serialize to/from tdp::json so a tuning run's exact search
+// space rides along in the TUNE_*.json output and can be replayed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "engine/factory.h"
+#include "lock/lock_manager.h"
+#include "log/redo_log.h"
+
+namespace tdp::tuning {
+
+/// Inverse of SchedulerPolicyName; InvalidArgument on unknown names.
+Result<lock::SchedulerPolicy> ParseSchedulerPolicy(const std::string& name);
+
+/// Inverse of FlushPolicyName; InvalidArgument on unknown names.
+Result<log::FlushPolicy> ParseFlushPolicy(const std::string& name);
+
+/// One point in the tuning space. Zero-valued size knobs mean "keep the
+/// engine's canonical default" (Toolkit::MysqlDefault / PgDefault), so a
+/// space can vary one knob while the rest stay calibrated.
+struct KnobConfig {
+  engine::EngineKind engine = engine::EngineKind::kMySQLMini;
+  lock::SchedulerPolicy scheduler = lock::SchedulerPolicy::kFCFS;
+
+  // mysqlmini knobs.
+  uint64_t buffer_pool_pages = 0;  ///< 0 = engine default.
+  log::FlushPolicy flush_policy = log::FlushPolicy::kEagerFlush;
+  bool group_commit = false;
+
+  // pgmini knobs.
+  uint64_t wal_block_bytes = 0;  ///< 0 = engine default.
+  int num_log_sets = 0;          ///< 0 = engine default (serial WAL).
+
+  /// TransactionService worker-pool size (the volt-style worker knob).
+  int workers = 4;
+
+  /// Stable human-readable identity; used as the arm name in TUNE_*.json
+  /// and the recommendation table.
+  std::string Label() const;
+
+  json::Value ToJson() const;
+  /// Missing members keep their defaults; wrong types or unknown enum names
+  /// are InvalidArgument.
+  static Result<KnobConfig> FromJson(const json::Value& v);
+};
+
+/// The search space: per-knob candidate lists, expanded by Enumerate() into
+/// the cross-product of KnobConfigs. Single-element lists (the defaults)
+/// keep a knob fixed.
+struct KnobSpace {
+  engine::EngineKind engine = engine::EngineKind::kMySQLMini;
+  std::vector<lock::SchedulerPolicy> schedulers = {
+      lock::SchedulerPolicy::kFCFS};
+  std::vector<uint64_t> buffer_pool_pages = {0};
+  std::vector<log::FlushPolicy> flush_policies = {
+      log::FlushPolicy::kEagerFlush};
+  std::vector<bool> group_commit = {false};
+  std::vector<uint64_t> wal_block_bytes = {0};
+  std::vector<int> num_log_sets = {0};
+  std::vector<int> workers = {4};
+
+  /// Cross-product, in deterministic order (outermost knob varies slowest).
+  std::vector<KnobConfig> Enumerate() const;
+
+  json::Value ToJson() const;
+  static Result<KnobSpace> FromJson(const json::Value& v);
+};
+
+}  // namespace tdp::tuning

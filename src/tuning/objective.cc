@@ -1,0 +1,166 @@
+#include "tuning/objective.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tdp::tuning {
+
+const char* GoalName(Goal g) {
+  switch (g) {
+    case Goal::kMinP999: return "p999";
+    case Goal::kMinCoV: return "cov";
+  }
+  return "?";
+}
+
+Result<Goal> ParseGoal(const std::string& name) {
+  if (name == "p999") return Goal::kMinP999;
+  if (name == "cov") return Goal::kMinCoV;
+  return Status::InvalidArgument("unknown tuning goal: " + name);
+}
+
+namespace {
+
+// Mean / stddev from a bucketed distribution, each sample approximated by
+// its bucket's lower bound (the same ~4% relative-error contract every
+// histogram consumer accepts).
+struct BucketMoments {
+  double mean = 0;
+  double stddev = 0;
+};
+
+BucketMoments MomentsOf(const std::array<uint64_t, kHistogramBuckets>& buckets,
+                        uint64_t count) {
+  BucketMoments out;
+  if (count == 0) return out;
+  double sum = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    sum += static_cast<double>(buckets[i]) *
+           static_cast<double>(HistogramSnapshot::BucketLowerBound(i));
+  }
+  out.mean = sum / static_cast<double>(count);
+  double m2 = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double d =
+        static_cast<double>(HistogramSnapshot::BucketLowerBound(i)) - out.mean;
+    m2 += static_cast<double>(buckets[i]) * d * d;
+  }
+  out.stddev = std::sqrt(m2 / static_cast<double>(count));
+  return out;
+}
+
+// Ceil-rank percentile over a bucket-count array (same convention as
+// HistogramSnapshot::Percentile, usable on resampled counts).
+double PercentileOf(const std::array<uint64_t, kHistogramBuckets>& buckets,
+                    uint64_t count, double pct) {
+  if (count == 0) return 0;
+  uint64_t rank = 1;
+  if (pct > 0) {
+    rank = static_cast<uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(count)));
+    if (rank < 1) rank = 1;
+    if (rank > count) rank = count;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return static_cast<double>(HistogramSnapshot::BucketLowerBound(i));
+    }
+  }
+  return 0;
+}
+
+double GoalStat(Goal goal,
+                const std::array<uint64_t, kHistogramBuckets>& buckets,
+                uint64_t count) {
+  if (goal == Goal::kMinP999) return PercentileOf(buckets, count, 99.9);
+  const BucketMoments m = MomentsOf(buckets, count);
+  return m.mean > 0 ? m.stddev / m.mean : 0;
+}
+
+}  // namespace
+
+ArmScore Objective::Score(
+    const std::vector<TrialMeasurement>& replicates) const {
+  ArmScore out;
+  if (replicates.empty()) return out;
+
+  // Pool the replicate histograms: bucket-wise sums, summed counts. Pooling
+  // before taking percentiles weights each replicate by its sample count,
+  // which is what "the arm's distribution" means.
+  std::array<uint64_t, kHistogramBuckets> pooled{};
+  uint64_t count = 0;
+  double tps_sum = 0;
+  for (const TrialMeasurement& r : replicates) {
+    for (int i = 0; i < kHistogramBuckets; ++i) pooled[i] += r.latency.buckets[i];
+    count += r.latency.count;
+    tps_sum += r.achieved_tps;
+  }
+  out.samples = count;
+  out.mean_tps = tps_sum / static_cast<double>(replicates.size());
+  out.feasible = min_tps <= 0 || out.mean_tps >= min_tps;
+  if (count == 0) {
+    out.feasible = false;
+    return out;
+  }
+
+  const BucketMoments moments = MomentsOf(pooled, count);
+  out.mean_ns = moments.mean;
+  out.cov = moments.mean > 0 ? moments.stddev / moments.mean : 0;
+  out.p999_ns = PercentileOf(pooled, count, 99.9);
+  out.score = GoalStat(goal, pooled, count);
+
+  // Percentile-bootstrap CI: resample `count` draws from the pooled bucket
+  // distribution, recompute the goal statistic, take the percentile
+  // interval of the resampled statistics. Deterministic by seed.
+  const int resamples = std::max(bootstrap_resamples, 1);
+  std::vector<double> stats;
+  stats.reserve(static_cast<size_t>(resamples));
+  Rng rng(bootstrap_seed);
+  // Cumulative bucket counts for inverse-CDF sampling.
+  std::vector<uint64_t> cdf(kHistogramBuckets);
+  uint64_t acc = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    acc += pooled[i];
+    cdf[static_cast<size_t>(i)] = acc;
+  }
+  for (int r = 0; r < resamples; ++r) {
+    std::array<uint64_t, kHistogramBuckets> re{};
+    for (uint64_t d = 0; d < count; ++d) {
+      const uint64_t u = rng.Uniform(count) + 1;  // rank in [1, count]
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      re[static_cast<size_t>(it - cdf.begin())] += 1;
+    }
+    stats.push_back(GoalStat(goal, re, count));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - ci_level) / 2.0;
+  const auto at = [&stats](double q) {
+    const double idx = q * static_cast<double>(stats.size() - 1);
+    return stats[static_cast<size_t>(idx + 0.5)];
+  };
+  out.ci_lo = at(alpha);
+  out.ci_hi = at(1.0 - alpha);
+  // The point estimate always lies inside the reported interval (resampling
+  // granularity can nudge the percentile band past it).
+  out.ci_lo = std::min(out.ci_lo, out.score);
+  out.ci_hi = std::max(out.ci_hi, out.score);
+  return out;
+}
+
+int Objective::Compare(const ArmScore& a, const ArmScore& b) {
+  if (a.feasible != b.feasible) return a.feasible ? -1 : 1;
+  if (!a.feasible) return 0;  // both infeasible: nothing to rank
+  if (a.ci_hi < b.ci_lo) return -1;
+  if (b.ci_hi < a.ci_lo) return 1;
+  return 0;
+}
+
+}  // namespace tdp::tuning

@@ -1,0 +1,67 @@
+// Variance-aware objective for the auto-tuner (docs/tuning.md).
+//
+// The paper's §7 point: tuning for mean throughput picks the wrong config
+// when the goal is predictability. The tuner therefore scores an arm on a
+// tail statistic — p99.9 latency or the coefficient of variation — subject
+// to a throughput floor, and treats the score as an *interval*, not a
+// number: replicate measurements are pooled and a bootstrap confidence
+// interval is resampled from the pooled histogram, so two arms are only
+// ranked when their intervals separate. Noise shows up as "not yet
+// distinguishable" instead of a coin-flip recommendation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuning/trial.h"
+
+namespace tdp::tuning {
+
+enum class Goal {
+  kMinP999,  ///< Minimize pooled p99.9 latency (ns).
+  kMinCoV,   ///< Minimize pooled coefficient of variation (dimensionless).
+};
+
+/// "p999" / "cov".
+const char* GoalName(Goal g);
+Result<Goal> ParseGoal(const std::string& name);
+
+/// An arm's scored outcome: point estimate plus bootstrap interval.
+struct ArmScore {
+  double score = 0;  ///< Point estimate of the goal statistic (lower wins).
+  double ci_lo = 0;  ///< Bootstrap CI lower bound on the goal statistic.
+  double ci_hi = 0;  ///< Bootstrap CI upper bound.
+  double p999_ns = 0;
+  double cov = 0;
+  double mean_ns = 0;
+  double mean_tps = 0;  ///< Mean achieved throughput across replicates.
+  uint64_t samples = 0;
+  bool feasible = false;  ///< mean_tps met the throughput floor.
+};
+
+struct Objective {
+  Goal goal = Goal::kMinP999;
+  /// Arms whose mean achieved tps falls below this are infeasible and lose
+  /// to any feasible arm regardless of score. 0 disables the floor.
+  double min_tps = 0;
+  /// Bootstrap resamples per CI. Each resample redraws `count` samples from
+  /// the pooled histogram's bucket distribution and recomputes the goal
+  /// statistic; the CI is the percentile interval of those statistics.
+  int bootstrap_resamples = 200;
+  uint64_t bootstrap_seed = 1737;  ///< Deterministic resampling stream.
+  double ci_level = 0.95;
+
+  /// Pools the replicates and scores them (empty replicates → infeasible
+  /// score with zero samples).
+  ArmScore Score(const std::vector<TrialMeasurement>& replicates) const;
+
+  /// CI-aware comparison: -1 when `a` is confidently better (feasible and
+  /// a.ci_hi < b.ci_lo, or `b` infeasible), +1 mirrored, 0 when the
+  /// intervals overlap (statistically indistinguishable) or both are
+  /// infeasible.
+  static int Compare(const ArmScore& a, const ArmScore& b);
+};
+
+}  // namespace tdp::tuning

@@ -1,0 +1,255 @@
+#include "tuning/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+
+namespace tdp::tuning {
+
+namespace {
+
+/// Ranking order within a rung: feasible arms first, then by point
+/// estimate, index as the deterministic tie-break.
+bool RankBefore(const TunedArm& a, size_t ia, const TunedArm& b, size_t ib) {
+  if (a.score.feasible != b.score.feasible) return a.score.feasible;
+  if (a.score.score != b.score.score) return a.score.score < b.score.score;
+  return ia < ib;
+}
+
+/// Merges replicate registry deltas for the report: counters and histogram
+/// buckets sum (event totals over the arm), gauges keep the last replicate's
+/// instantaneous value and the max watermark seen.
+metrics::MetricsSnapshot MergeDeltas(
+    const std::vector<TrialMeasurement>& replicates) {
+  metrics::MetricsSnapshot out;
+  for (const TrialMeasurement& r : replicates) {
+    for (const auto& [name, v] : r.delta.counters) out.counters[name] += v;
+    for (const auto& [name, gv] : r.delta.gauges) {
+      auto& slot = out.gauges[name];
+      slot.value = gv.value;
+      slot.max = std::max(slot.max, gv.max);
+    }
+    for (const auto& [name, h] : r.delta.histograms) {
+      auto& slot = out.histograms[name];
+      for (int i = 0; i < kHistogramBuckets; ++i) {
+        slot.buckets[i] += h.buckets[i];
+      }
+      slot.count += h.count;
+      slot.sum += h.sum;
+      slot.max = std::max(slot.max, h.max);
+    }
+  }
+  return out;
+}
+
+core::Metrics MetricsFromScore(const ArmScore& s,
+                               const std::vector<TrialMeasurement>& reps) {
+  // Pool the replicate histograms once more for the percentile fields the
+  // schema's latency block wants beyond what ArmScore carries.
+  HistogramSnapshot pooled;
+  for (const TrialMeasurement& r : reps) {
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      pooled.buckets[i] += r.latency.buckets[i];
+    }
+    pooled.count += r.latency.count;
+    pooled.sum += r.latency.sum;
+    pooled.max = std::max(pooled.max, r.latency.max);
+  }
+  core::Metrics m;
+  m.count = pooled.count;
+  m.mean_ms = s.mean_ns / 1e6;
+  m.stddev_ms = s.cov * s.mean_ns / 1e6;
+  m.variance_ms2 = m.stddev_ms * m.stddev_ms;
+  m.cov = s.cov;
+  m.p50_ms = static_cast<double>(pooled.Percentile(50)) / 1e6;
+  m.p95_ms = static_cast<double>(pooled.Percentile(95)) / 1e6;
+  m.p99_ms = static_cast<double>(pooled.Percentile(99)) / 1e6;
+  m.p999_ms = s.p999_ns / 1e6;
+  m.max_ms = static_cast<double>(pooled.max) / 1e6;
+  m.achieved_tps = s.mean_tps;
+  return m;
+}
+
+/// Gauge encoding of the best objective value: nanoseconds for the latency
+/// goal, parts-per-million for the dimensionless CoV goal (gauges are
+/// integers; ppm keeps four significant digits of a typical CoV).
+int64_t GaugeEncode(Goal goal, double score) {
+  if (goal == Goal::kMinP999) return static_cast<int64_t>(score);
+  return static_cast<int64_t>(std::llround(score * 1e6));
+}
+
+}  // namespace
+
+TuneResult SuccessiveHalving(TrialSource& source, const KnobSpace& space,
+                             const Objective& objective,
+                             const SearchConfig& search) {
+  auto& reg = metrics::Registry::Global();
+  metrics::Counter* trials_pruned = reg.GetCounter("tuning.trials_pruned");
+  Histogram* replicates_per_arm = reg.GetHistogram("tuning.replicates_per_arm");
+  metrics::Gauge* best_objective = reg.GetGauge("tuning.best_objective");
+
+  TuneResult result;
+  for (const KnobConfig& k : space.Enumerate()) {
+    TunedArm arm;
+    arm.knobs = k;
+    result.arms.push_back(std::move(arm));
+  }
+  if (result.arms.empty()) return result;
+
+  int target = std::max(search.initial_replicates, 1);
+  for (int rung = 0; rung < std::max(search.max_rungs, 1); ++rung) {
+    std::vector<size_t> active;
+    for (size_t i = 0; i < result.arms.size(); ++i) {
+      if (!result.arms[i].pruned) active.push_back(i);
+    }
+    if (active.size() <= 1 && rung > 0) break;
+    result.rungs_run = rung + 1;
+
+    // Top each active arm up to this rung's replicate budget and rescore.
+    for (size_t idx : active) {
+      TunedArm& arm = result.arms[idx];
+      while (static_cast<int>(arm.replicates.size()) < target) {
+        const int replicate = static_cast<int>(arm.replicates.size());
+        arm.replicates.push_back(source.Measure(arm.knobs, replicate));
+      }
+      arm.score = objective.Score(arm.replicates);
+    }
+
+    std::sort(active.begin(), active.end(), [&result](size_t a, size_t b) {
+      return RankBefore(result.arms[a], a, result.arms[b], b);
+    });
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(static_cast<double>(active.size()) /
+                         static_cast<double>(std::max(search.eta, 2)))));
+    const ArmScore& leader = result.arms[active.front()].score;
+    for (size_t pos = keep; pos < active.size(); ++pos) {
+      TunedArm& arm = result.arms[active[pos]];
+      // Variance-aware pruning: only drop an arm the leader beats with
+      // separated bootstrap intervals. Overlap means "can't tell yet" —
+      // the arm survives to the next rung's larger budget.
+      if (Objective::Compare(leader, arm.score) == -1) {
+        arm.pruned = true;
+        arm.rung_pruned = rung;
+        metrics::Inc(trials_pruned);
+      }
+    }
+    target *= std::max(search.replicate_growth, 1);
+  }
+
+  // Final pick by point estimate among the surviving (unpruned) arms.
+  size_t best = 0;
+  bool have = false;
+  for (size_t i = 0; i < result.arms.size(); ++i) {
+    if (result.arms[i].pruned) continue;
+    if (!have || RankBefore(result.arms[i], i, result.arms[best], best)) {
+      best = i;
+      have = true;
+    }
+  }
+  result.best = best;
+  for (const TunedArm& arm : result.arms) {
+    metrics::Observe(replicates_per_arm,
+                     static_cast<int64_t>(arm.replicates.size()));
+  }
+  if (best_objective != nullptr) {
+    best_objective->Set(
+        GaugeEncode(objective.goal, result.arms[best].score.score));
+  }
+  return result;
+}
+
+json::Value TuneReport(const TuneResult& result, const KnobSpace& space,
+                       const Objective& objective,
+                       const std::string& space_name, bool quick) {
+  json::Value doc = json::Value::Object();
+  doc.Set("schema_version", json::Value::Int(1));
+  doc.Set("suite", json::Value::Str("tune." + space_name));
+  doc.Set("quick", json::Value::Bool(quick));
+  doc.Set("space", space.ToJson());
+
+  json::Value experiments = json::Value::Array();
+  for (const TunedArm& arm : result.arms) {
+    json::Value exp = json::Value::Object();
+    exp.Set("name", json::Value::Str("tune." + arm.knobs.Label()));
+    exp.Set("engine", json::Value::Str("tuning"));
+
+    json::Value params = arm.knobs.ToJson();
+    params.Set("replicates",
+               json::Value::Int(static_cast<int64_t>(arm.replicates.size())));
+    params.Set("pruned", json::Value::Bool(arm.pruned));
+    params.Set("rung_pruned", json::Value::Int(arm.rung_pruned));
+    params.Set("objective", json::Value::Str(GoalName(objective.goal)));
+    params.Set("min_tps", json::Value::Number(objective.min_tps));
+    params.Set("score", json::Value::Number(arm.score.score));
+    params.Set("ci_lo", json::Value::Number(arm.score.ci_lo));
+    params.Set("ci_hi", json::Value::Number(arm.score.ci_hi));
+    params.Set("feasible", json::Value::Bool(arm.score.feasible));
+    exp.Set("params", std::move(params));
+
+    exp.Set("latency",
+            bench::MetricsToJson(MetricsFromScore(arm.score, arm.replicates)));
+    exp.Set("metrics", bench::SnapshotToJson(MergeDeltas(arm.replicates)));
+    experiments.Append(std::move(exp));
+  }
+  doc.Set("experiments", std::move(experiments));
+
+  const TunedArm& best = result.arms[result.best];
+  json::Value rec = json::Value::Object();
+  rec.Set("label", json::Value::Str(best.knobs.Label()));
+  rec.Set("knobs", best.knobs.ToJson());
+  rec.Set("objective", json::Value::Str(GoalName(objective.goal)));
+  rec.Set("score", json::Value::Number(best.score.score));
+  rec.Set("ci_lo", json::Value::Number(best.score.ci_lo));
+  rec.Set("ci_hi", json::Value::Number(best.score.ci_hi));
+  rec.Set("mean_tps", json::Value::Number(best.score.mean_tps));
+  rec.Set("rungs_run", json::Value::Int(result.rungs_run));
+  doc.Set("recommendation", std::move(rec));
+  return doc;
+}
+
+std::string RecommendationTable(const TuneResult& result,
+                                const Objective& objective) {
+  std::vector<size_t> order;
+  for (size_t i = 0; i < result.arms.size(); ++i) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&result](size_t a, size_t b) {
+    const TunedArm& x = result.arms[a];
+    const TunedArm& y = result.arms[b];
+    if (x.pruned != y.pruned) return !x.pruned;  // survivors first
+    return RankBefore(x, a, y, b);
+  });
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-4s %-44s %12s %26s %10s %s\n", "rank",
+                "arm", GoalName(objective.goal), "ci95", "tps", "status");
+  out += buf;
+  int rank = 1;
+  for (size_t idx : order) {
+    const TunedArm& arm = result.arms[idx];
+    std::string status = "survived";
+    if (arm.pruned) {
+      std::snprintf(buf, sizeof(buf), "pruned@rung%d", arm.rung_pruned);
+      status = buf;
+    } else if (idx == result.best) {
+      status = "RECOMMENDED";
+    } else if (!arm.score.feasible) {
+      status = "infeasible";
+    }
+    const double scale = objective.goal == Goal::kMinP999 ? 1e6 : 1.0;
+    const char* unit = objective.goal == Goal::kMinP999 ? "ms" : "";
+    std::snprintf(buf, sizeof(buf),
+                  "%-4d %-44s %10.3f%s [%10.3f, %10.3f] %8.1f %s\n", rank,
+                  arm.knobs.Label().c_str(), arm.score.score / scale, unit,
+                  arm.score.ci_lo / scale, arm.score.ci_hi / scale,
+                  arm.score.mean_tps, status.c_str());
+    out += buf;
+    ++rank;
+  }
+  return out;
+}
+
+}  // namespace tdp::tuning

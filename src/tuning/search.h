@@ -1,0 +1,61 @@
+// Successive-halving search over a KnobSpace (docs/tuning.md).
+//
+// Classic successive halving spends a small replicate budget on every arm,
+// keeps the best 1/eta fraction, doubles the budget, and repeats. The
+// variance-aware twist here: an arm is only pruned when the objective's
+// bootstrap interval says the incumbent beats it *confidently*
+// (Objective::Compare == -1). Arms that merely look worse but overlap the
+// leader survive to the next rung, where more replicates shrink the
+// intervals — the search never discards a config on noise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "tuning/knobs.h"
+#include "tuning/objective.h"
+#include "tuning/trial.h"
+
+namespace tdp::tuning {
+
+struct SearchConfig {
+  int initial_replicates = 2;  ///< Replicates per arm at the first rung.
+  int replicate_growth = 2;    ///< Budget multiplier per rung.
+  int eta = 2;                 ///< Keep ceil(active/eta) arms per rung.
+  int max_rungs = 3;
+};
+
+/// One arm's full trajectory through the search.
+struct TunedArm {
+  KnobConfig knobs;
+  std::vector<TrialMeasurement> replicates;
+  ArmScore score;          ///< Score over all replicates run so far.
+  bool pruned = false;
+  int rung_pruned = -1;    ///< Rung index at which it was pruned; -1 if not.
+};
+
+struct TuneResult {
+  std::vector<TunedArm> arms;  ///< In enumeration order.
+  size_t best = 0;             ///< Index into arms.
+  int rungs_run = 0;
+};
+
+/// Runs the search. Publishes tuning.trials_pruned / tuning.replicates_per_arm
+/// / tuning.best_objective into the metrics registry (tuning.trials_run is
+/// the TrialRunner's).
+TuneResult SuccessiveHalving(TrialSource& source, const KnobSpace& space,
+                             const Objective& objective,
+                             const SearchConfig& search);
+
+/// bench_schema.json-conformant document: one experiment per arm (engine
+/// field "tuning"), plus the search space and the recommendation block.
+json::Value TuneReport(const TuneResult& result, const KnobSpace& space,
+                       const Objective& objective,
+                       const std::string& space_name, bool quick);
+
+/// Human-readable ranking table (one line per arm, winner first).
+std::string RecommendationTable(const TuneResult& result,
+                                const Objective& objective);
+
+}  // namespace tdp::tuning

@@ -1,0 +1,105 @@
+#include "tuning/trial.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/toolkit.h"
+#include "server/service.h"
+#include "workload/tpcc.h"
+
+namespace tdp::tuning {
+
+engine::EngineConfig MaterializeEngineConfig(const KnobConfig& knobs,
+                                             const TrialConfig& trial,
+                                             uint64_t seed) {
+  engine::EngineConfig cfg;
+  if (knobs.engine == engine::EngineKind::kMySQLMini) {
+    cfg.mysql = trial.memory_contended
+                    ? core::Toolkit::MysqlMemoryContended(knobs.scheduler)
+                    : core::Toolkit::MysqlDefault(knobs.scheduler);
+    if (knobs.buffer_pool_pages > 0) {
+      cfg.mysql.buffer_pool_pages = knobs.buffer_pool_pages;
+    }
+    cfg.mysql.flush_policy = knobs.flush_policy;
+    cfg.mysql.log_group_commit = knobs.group_commit;
+    cfg.mysql.seed = seed;
+  } else {
+    cfg.pg = core::Toolkit::PgDefault(
+        knobs.num_log_sets > 1,
+        knobs.wal_block_bytes > 0 ? knobs.wal_block_bytes : 8192);
+    if (knobs.num_log_sets > 0) cfg.pg.wal.num_log_sets = knobs.num_log_sets;
+    cfg.pg.lock.policy = knobs.scheduler;
+    cfg.pg.seed = seed;
+  }
+  return cfg;
+}
+
+TrialRunner::TrialRunner(TrialConfig config) : config_(config) {
+  trials_run_ = metrics::Registry::Global().GetCounter("tuning.trials_run");
+}
+
+TrialMeasurement TrialRunner::Measure(const KnobConfig& knobs, int replicate) {
+  // Paired seeds: replicate i draws the same workload in every arm.
+  const uint64_t seed =
+      config_.base_seed + 7919 * static_cast<uint64_t>(replicate + 1);
+
+  const metrics::MetricsSnapshot before =
+      metrics::Registry::Global().TakeSnapshot();
+
+  const engine::EngineConfig cfg =
+      MaterializeEngineConfig(knobs, config_, seed);
+  auto db = engine::OpenDatabase(knobs.engine, cfg);
+  if (!db.ok()) {
+    // A knob point the factory rejects is a caller error in the space
+    // definition, not a measurement — fail loudly.
+    std::fprintf(stderr, "tuning: OpenDatabase(%s): %s\n",
+                 knobs.Label().c_str(), db.status().ToString().c_str());
+    std::abort();
+  }
+
+  workload::TpccConfig tpcc_cfg = config_.memory_contended
+                                      ? core::Toolkit::Tpcc2WH()
+                                      : core::Toolkit::TpccContended();
+  workload::Tpcc tpcc(tpcc_cfg);
+  tpcc.Load(db.value().get());
+
+  server::ServiceConfig svc_cfg;
+  svc_cfg.workers = knobs.workers;
+  svc_cfg.max_queue_depth = config_.max_queue_depth;
+  svc_cfg.policy = config_.dispatch;
+  // One dispatch per attempt so retryable aborts requeue and the dispatch
+  // policy acts on them (the service-layer measurement posture).
+  svc_cfg.retry.max_attempts = 1;
+  server::TransactionService svc(db.value().get(), svc_cfg);
+  svc.Start();
+
+  workload::DriverConfig driver;
+  driver.tps = config_.tps;
+  driver.num_txns = config_.num_txns;
+  driver.warmup_txns = config_.warmup_txns;
+  driver.seed = seed;
+  driver.arrival = config_.arrival;
+  const workload::RunResult run = workload::RunService(&svc, &tpcc, driver);
+  svc.Shutdown();
+
+  // Count the trial before the closing snapshot so this replicate's delta
+  // carries its own tuning.trials_run increment (the invariant the bench
+  // checker audits per arm).
+  metrics::Inc(trials_run_);
+  const metrics::MetricsSnapshot after =
+      metrics::Registry::Global().TakeSnapshot();
+
+  TrialMeasurement out;
+  out.delta = metrics::MetricsSnapshot::Delta(before, after);
+  // The scored latency distribution is the service's own histogram: queueing
+  // plus execution, warmup included (every arm carries the same warmup, so
+  // pairing cancels it).
+  out.latency = out.delta.histogram("server.latency_ns");
+  out.achieved_tps = run.achieved_tps;
+  out.committed = run.committed;
+  out.shed = run.shed;
+  return out;
+}
+
+}  // namespace tdp::tuning

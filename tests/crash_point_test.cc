@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "common/fault.h"
 #include "common/sim_disk.h"
 #include "engine/mysqlmini.h"
+#include "log/redo_log.h"
 
 namespace tdp {
 namespace {
@@ -143,6 +147,73 @@ TEST_F(CrashPointTest, StrictRedoCommitEscapesAfterCrash) {
   const auto recovered = db.redo_log().RecoverCommitted();
   ASSERT_EQ(recovered.size(), 1u);
   EXPECT_EQ(recovered[0].lsn, 1u);
+}
+
+// The audit this pins: RedoLog::Stop() must interrupt the flusher's
+// inter-round nap (stop_cv_.wait_for with the !running_ predicate) even when
+// the crash flag is already up. A 10-second flusher interval makes a wedge
+// observable — if Stop() ever waited out the nap instead of interrupting
+// it, this test would blow well past the bound.
+TEST_F(CrashPointTest, StopInterruptsLongFlusherNapAfterCrashTrigger) {
+  log::RedoLogConfig cfg;
+  cfg.policy = log::FlushPolicy::kLazyFlush;
+  cfg.disk = nullptr;  // deviceless: nothing but the nap can block Stop
+  cfg.flusher_interval_ns = MillisToNanos(10000);
+  cfg.os_write_latency_ns = 0;
+  log::RedoLog redo(cfg);
+  redo.Start();
+  redo.Commit(/*txn_id=*/1, /*bytes=*/128);
+
+  CrashPoints::Global().Trigger("test.simulated-crash");
+  const auto t0 = std::chrono::steady_clock::now();
+  redo.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(2))
+      << "Stop() waited out the flusher nap instead of interrupting it";
+}
+
+// Companion case: the flusher thread itself trips the armed crash point
+// mid-flush (redo.pre_flush inside its own WriteAndFlushUpTo round). The
+// strict retry loop must escape on triggered() and return to the nap so a
+// subsequent Stop() still joins promptly, and nothing reaches the device
+// after the crash instant.
+TEST_F(CrashPointTest, StopReturnsWhenFlusherItselfTripsTheCrashPoint) {
+  SimDiskConfig disk_cfg;
+  disk_cfg.base_latency_ns = 1000;
+  disk_cfg.sigma = 0;
+  SimDisk disk(disk_cfg);
+
+  log::RedoLogConfig cfg;
+  cfg.policy = log::FlushPolicy::kLazyFlush;
+  cfg.disk = &disk;
+  cfg.flusher_interval_ns = MillisToNanos(2);
+  cfg.os_write_latency_ns = 0;
+  cfg.io_retry.backoff_ns = 1000;
+  log::RedoLog redo(cfg);
+  redo.Start();
+
+  CrashPoints::Global().Arm("redo.pre_flush", 1);
+  redo.Commit(/*txn_id=*/1, /*bytes=*/256);
+
+  // Bounded spin: the next flusher round (<= 2ms away) hits the armed point.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!CrashPoints::Global().triggered() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(CrashPoints::Global().triggered());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  redo.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(2))
+      << "Stop() wedged behind a flusher stuck in its retry loop";
+
+  // The crash preceded the flush, so nothing became durable.
+  EXPECT_EQ(redo.durable_lsn(), 0u);
+  CrashPoints::Global().Reset();
+  EXPECT_TRUE(redo.RecoverCommitted().empty());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -387,6 +388,128 @@ TEST(TransactionServiceTest, ExecuteReturnsTimestampedResponse) {
   EXPECT_GE(r.done_ns, r.dispatch_ns);
   EXPECT_EQ(r.dispatches, 1);
   svc.Shutdown();
+}
+
+// --- requeue vs. queue-age deadline ----------------------------------------
+
+// The audit this pins: a retryable abort requeues with the ORIGINAL admit
+// time, so by its second dispatch a request can be far past max_queue_age_ns.
+// The expiry check must exempt already-dispatched requests
+// (entry.item->dispatches == 0 guard) — otherwise the request would be
+// counted in server.expired after its dispatch already started the path to
+// server.completed, double-counting it against server.admitted.
+TEST(TransactionServiceTest, RequeuePastDeadlineCompletesExactlyOnce) {
+  auto db = OpenFast();
+  const uint32_t table = LoadOneTable(db.get());
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue_depth = 64;
+  cfg.max_queue_age_ns = MillisToNanos(50);
+  cfg.retry.max_attempts = 1;  // retryable aborts requeue, not retry inline
+  TransactionService svc(db.get(), cfg);
+  svc.Start();
+
+  // First dispatch: hold the request well past the deadline, then fail with
+  // a retryable error so it requeues with its original admit time. Second
+  // dispatch: its queue age is ~120ms > 50ms — the deadline would fire if
+  // the dispatches==0 exemption were missing.
+  std::atomic<int> calls{0};
+  const Response r = svc.Execute([&](engine::Connection& c) -> Status {
+    if (calls.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      return Status::Deadlock("synthetic retryable failure");
+    }
+    return c.Update(table, 0, 0, 1);
+  });
+  svc.Shutdown();
+
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.dispatches, 2);
+  EXPECT_EQ(calls.load(), 2);
+
+  const TransactionService::Stats st = svc.stats();
+  EXPECT_EQ(st.admitted, 1u);
+  EXPECT_EQ(st.requeues, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.completed_ok, 1u);
+  EXPECT_EQ(st.expired, 0u);  // the double-count the audit rules out
+  EXPECT_EQ(st.completed + st.expired + st.drain_aborted, st.admitted);
+}
+
+// Mixed stress: expiring first-dispatch requests and requeueing victims race
+// on the same queue, and the accounting identities must stay exact — each
+// admitted request reaches exactly one of {completed, expired,
+// drain_aborted} and fires exactly one callback.
+TEST(TransactionServiceTest, RequeueAndExpiryRaceKeepsAccountingExact) {
+  auto db = OpenFast();
+  const uint32_t table = LoadOneTable(db.get());
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue_depth = 256;
+  cfg.max_queue_age_ns = MillisToNanos(1);
+  cfg.retry.max_attempts = 1;
+  TransactionService svc(db.get(), cfg);
+  svc.Start();
+
+  // Pin both workers so the backlog ages past the 1ms deadline; the pinned
+  // bodies themselves fail retryable once, covering requeue-under-pressure.
+  Gate gate;
+  std::atomic<int> entered{0};
+  std::atomic<uint64_t> callbacks{0};
+  auto done = [&](const Response&) { callbacks.fetch_add(1); };
+  std::atomic<int> pinned_calls{0};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(svc.Submit([&](engine::Connection& c) -> Status {
+                      if (pinned_calls.fetch_add(1) < 2) {
+                        entered.fetch_add(1);
+                        gate.Wait();
+                        return Status::Deadlock("synthetic");
+                      }
+                      return c.Update(table, 0, 0, 1);
+                    },
+                           done)
+                    .ok());
+  }
+  while (entered.load() < 2) std::this_thread::yield();
+
+  Rng rng(42);
+  uint64_t admitted_by_test = 2;
+  for (int i = 0; i < 60; ++i) {
+    const bool flaky = rng.Bernoulli(0.3);
+    auto counter = std::make_shared<std::atomic<int>>(0);
+    const Status s = svc.Submit(
+        [&, flaky, counter](engine::Connection& c) -> Status {
+          if (flaky && counter->fetch_add(1) == 0) {
+            return Status::Deadlock("synthetic");
+          }
+          return c.Update(table, 1 + rng.Uniform(8), 0, 1);
+        },
+        done);
+    if (s.ok()) ++admitted_by_test;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  // Let every admitted request reach its final status while the service is
+  // still running — a stopping service refuses requeues, which would turn
+  // the pinned bodies' deadlocks into plain failures instead of requeues.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (callbacks.load() < admitted_by_test &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  svc.Shutdown();
+
+  const TransactionService::Stats st = svc.stats();
+  EXPECT_EQ(st.admitted, admitted_by_test);
+  EXPECT_EQ(st.admitted + st.shed + st.rejected_recovering, st.submitted);
+  EXPECT_EQ(st.completed + st.expired + st.drain_aborted, st.admitted);
+  EXPECT_EQ(callbacks.load(), st.admitted);  // exactly one outcome each
+  EXPECT_GT(st.expired, 0u);   // the aged backlog did expire
+  EXPECT_GT(st.requeues, 0u);  // and retryable victims did requeue
+  EXPECT_EQ(svc.queue_depth(), 0u);
 }
 
 // --- startup recovery barrier ----------------------------------------------

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
 
 namespace tdp {
 namespace {
@@ -120,10 +125,29 @@ TEST(CovarianceTest, ZeroVarianceGivesZeroCorrelation) {
   EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
 }
 
-TEST(CovarianceTest, MismatchedLengthsGiveZero) {
+// Regression: mismatched lengths used to silently return 0 (indistinguishable
+// from genuinely uncorrelated series). They now truncate to the common prefix,
+// with both means recomputed over that prefix.
+TEST(CovarianceTest, MismatchedLengthsTruncateToCommonPrefix) {
   std::vector<double> x = {1, 2};
-  std::vector<double> y = {1, 2, 3};
-  EXPECT_EQ(Covariance(x, y), 0.0);
+  std::vector<double> y = {1, 2, 1000};
+  EXPECT_NEAR(Covariance(x, y), Covariance({1, 2}, {1, 2}), 1e-12);
+  EXPECT_NEAR(Covariance(x, y), 0.25, 1e-12);
+  // Symmetric in which argument is longer.
+  EXPECT_NEAR(Covariance(y, x), Covariance(x, y), 1e-12);
+  // Pearson follows the same truncation rule: the tail can't flip the sign.
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  // An empty common prefix is the only zero-by-fiat case.
+  EXPECT_EQ(Covariance({}, y), 0.0);
+  EXPECT_EQ(Covariance(x, {}), 0.0);
+}
+
+// The prefix means must be recomputed, not reused from the full vectors:
+// a huge dropped tail element would otherwise bias every residual.
+TEST(CovarianceTest, TruncationRecomputesMeansOverPrefix) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 6, 8, 1e9};
+  EXPECT_NEAR(Covariance(x, y), Covariance(x, {4, 6, 8}), 1e-9);
 }
 
 // The decomposition TProfiler relies on: Var(X+Y) = Var X + Var Y + 2Cov.
@@ -136,11 +160,83 @@ TEST(CovarianceTest, VarianceOfSumIdentity) {
               Variance(x) + Variance(y) + 2 * Covariance(x, y), 1e-9);
 }
 
-TEST(PercentileTest, InterpolatesBetweenPoints) {
+// Regression: PercentileSorted used to linearly interpolate (p50 of {10,20}
+// was 15), disagreeing with Histogram::Percentile's ceil-rank convention that
+// every other latency path uses — and it read out of bounds for pct outside
+// [0, 100]. It is now exact ceil-rank.
+TEST(PercentileTest, CeilRankConvention) {
   std::vector<int64_t> v = {10, 20};
-  EXPECT_NEAR(PercentileSorted(v, 50), 15.0, 1e-9);
+  EXPECT_NEAR(PercentileSorted(v, 50), 10.0, 1e-9);  // ceil(0.5*2)=1st sample
+  EXPECT_NEAR(PercentileSorted(v, 50.1), 20.0, 1e-9);
   EXPECT_NEAR(PercentileSorted(v, 0), 10.0, 1e-9);
   EXPECT_NEAR(PercentileSorted(v, 100), 20.0, 1e-9);
+}
+
+TEST(PercentileTest, EdgeCases) {
+  EXPECT_EQ(PercentileSorted({}, 50), 0.0);
+  std::vector<int64_t> one = {42};
+  for (double pct : {-10.0, 0.0, 0.001, 50.0, 99.9, 100.0, 1000.0}) {
+    EXPECT_EQ(PercentileSorted(one, pct), 42.0) << "pct=" << pct;
+  }
+  // Out-of-range pct clamps to min/max instead of indexing out of bounds
+  // (pct < 0 used to wrap a negative rank through size_t).
+  std::vector<int64_t> v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(PercentileSorted(v, -50), 1.0);
+  EXPECT_EQ(PercentileSorted(v, 250), 5.0);
+  // Tiny positive pct is the minimum (rank clamps up to 1).
+  EXPECT_EQ(PercentileSorted(v, 1e-9), 1.0);
+}
+
+// Shared property test: the tuner's objective reads percentiles both from raw
+// sample vectors (PercentileSorted) and registry histograms
+// (Histogram::Percentile). With values in [0, 16) — where histogram buckets
+// are exact — the two must agree everywhere.
+TEST(PercentileTest, AgreesWithHistogramOnExactBuckets) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.Uniform(40);
+    std::vector<int64_t> samples;
+    Histogram h;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t v = static_cast<int64_t>(rng.Uniform(16));
+      samples.push_back(v);
+      h.Add(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double pct : {0.0, 0.5, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+      EXPECT_EQ(static_cast<int64_t>(PercentileSorted(samples, pct)),
+                h.Percentile(pct))
+          << "n=" << n << " pct=" << pct << " trial=" << trial;
+    }
+  }
+}
+
+// Welford with a huge common offset: the naive sum-of-squares formula loses
+// all precision here; Welford must not, and variance() must clamp the m2
+// accumulator's rounding residue so stddev() can never be NaN.
+TEST(OnlineStatsTest, NearConstantSeriesNoCatastrophicCancellation) {
+  OnlineStats o;
+  for (int i = 0; i < 1000; ++i) o.Add(1e15 + (i % 2));
+  EXPECT_NEAR(o.variance(), 0.25, 1e-3);
+  EXPECT_GE(o.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(o.stddev()));
+}
+
+TEST(OnlineStatsTest, ConstantHugeSeriesVarianceIsZeroNotNegative) {
+  OnlineStats o;
+  for (int i = 0; i < 257; ++i) o.Add(9.007199254740993e15);
+  EXPECT_GE(o.variance(), 0.0);
+  EXPECT_EQ(o.stddev(), 0.0);
+  EXPECT_FALSE(std::isnan(o.stddev()));
+}
+
+TEST(OnlineStatsTest, MergeOfNearConstantHalvesStaysNonNegative) {
+  OnlineStats a, b;
+  for (int i = 0; i < 100; ++i) a.Add(1e15);
+  for (int i = 0; i < 100; ++i) b.Add(1e15 + 1e-3);
+  a.MergeFrom(b);
+  EXPECT_GE(a.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(a.stddev()));
 }
 
 TEST(SummarizeVectorTest, MatchesSample) {

@@ -1,0 +1,315 @@
+// The variance-aware auto-tuner (docs/tuning.md): knob-space JSON
+// round-trips, CI-aware objective ranking over synthetic histograms,
+// successive halving pruning only provably-worse arms, bit-exact seeded
+// determinism of the TUNE report, knob materialization onto the Toolkit
+// base configs, and one small real TrialRunner run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "core/toolkit.h"
+#include "tuning/knobs.h"
+#include "tuning/objective.h"
+#include "tuning/search.h"
+#include "tuning/trial.h"
+
+namespace tdp::tuning {
+namespace {
+
+// A synthetic replicate: `n` latencies uniform in [center, center + spread)
+// drawn from a seeded stream, plus a claimed throughput. The histogram
+// quantizes to ~4% buckets, which is exactly what the objective consumes.
+TrialMeasurement Synthetic(uint64_t seed, int64_t center_ns, int64_t spread_ns,
+                           double tps, int n = 400) {
+  Histogram h;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    h.Add(center_ns + static_cast<int64_t>(rng.Uniform(
+                          static_cast<uint64_t>(spread_ns))));
+  }
+  TrialMeasurement m;
+  m.latency = h.Snapshot();
+  m.achieved_tps = tps;
+  m.committed = static_cast<uint64_t>(n);
+  return m;
+}
+
+// --- knob serialization -----------------------------------------------------
+
+TEST(TuningKnobsTest, KnobConfigJsonRoundTrip) {
+  KnobConfig k;
+  k.engine = engine::EngineKind::kPgMini;
+  k.scheduler = lock::SchedulerPolicy::kVATS;
+  k.buffer_pool_pages = 224;
+  k.flush_policy = log::FlushPolicy::kLazyFlush;
+  k.group_commit = true;
+  k.wal_block_bytes = 16384;
+  k.num_log_sets = 2;
+  k.workers = 8;
+
+  const auto r = KnobConfig::FromJson(k.ToJson());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const KnobConfig& b = r.value();
+  EXPECT_EQ(b.engine, k.engine);
+  EXPECT_EQ(b.scheduler, k.scheduler);
+  EXPECT_EQ(b.buffer_pool_pages, k.buffer_pool_pages);
+  EXPECT_EQ(b.flush_policy, k.flush_policy);
+  EXPECT_EQ(b.group_commit, k.group_commit);
+  EXPECT_EQ(b.wal_block_bytes, k.wal_block_bytes);
+  EXPECT_EQ(b.num_log_sets, k.num_log_sets);
+  EXPECT_EQ(b.workers, k.workers);
+  EXPECT_EQ(b.Label(), k.Label());
+}
+
+TEST(TuningKnobsTest, KnobSpaceJsonRoundTripPreservesEnumeration) {
+  KnobSpace s;
+  s.schedulers = {lock::SchedulerPolicy::kFCFS, lock::SchedulerPolicy::kVATS};
+  s.flush_policies = {log::FlushPolicy::kEagerFlush,
+                      log::FlushPolicy::kLazyFlush};
+  s.workers = {2, 4};
+  const std::vector<KnobConfig> arms = s.Enumerate();
+  ASSERT_EQ(arms.size(), 8u);  // 2 schedulers x 2 policies x 2 worker counts
+
+  const auto r = KnobSpace::FromJson(s.ToJson());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::vector<KnobConfig> again = r.value().Enumerate();
+  ASSERT_EQ(again.size(), arms.size());
+  for (size_t i = 0; i < arms.size(); ++i) {
+    EXPECT_EQ(again[i].Label(), arms[i].Label()) << "arm " << i;
+  }
+}
+
+TEST(TuningKnobsTest, FromJsonRejectsBadEnumAndWrongType) {
+  json::Value bad_enum = KnobConfig().ToJson();
+  bad_enum.Set("flush_policy", json::Value::Str("bogus"));
+  EXPECT_FALSE(KnobConfig::FromJson(bad_enum).ok());
+
+  json::Value bad_type = KnobConfig().ToJson();
+  bad_type.Set("workers", json::Value::Str("four"));
+  EXPECT_FALSE(KnobConfig::FromJson(bad_type).ok());
+
+  // Missing members keep defaults rather than failing.
+  const auto sparse = KnobConfig::FromJson(json::Value::Object());
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse.value().workers, 4);
+  EXPECT_EQ(sparse.value().engine, engine::EngineKind::kMySQLMini);
+}
+
+// --- objective --------------------------------------------------------------
+
+TEST(TuningObjectiveTest, SeparatedIntervalsRankConfidently) {
+  Objective obj;  // p999 goal, no floor
+  // Two paired replicates each: a tight 4ms arm vs a wide 30ms arm.
+  const ArmScore fast = obj.Score({Synthetic(11, 4000000, 500000, 430),
+                                   Synthetic(12, 4000000, 500000, 430)});
+  const ArmScore slow = obj.Score({Synthetic(11, 30000000, 8000000, 430),
+                                   Synthetic(12, 30000000, 8000000, 430)});
+  EXPECT_TRUE(fast.feasible);
+  EXPECT_TRUE(slow.feasible);
+  EXPECT_EQ(fast.samples, 800u);
+  EXPECT_LE(fast.ci_lo, fast.score);
+  EXPECT_LE(fast.score, fast.ci_hi);
+  EXPECT_LT(fast.score, slow.score);
+  EXPECT_LT(fast.ci_hi, slow.ci_lo);  // the intervals really separate
+  EXPECT_EQ(Objective::Compare(fast, slow), -1);
+  EXPECT_EQ(Objective::Compare(slow, fast), 1);
+}
+
+TEST(TuningObjectiveTest, IdenticalDistributionsAreIndistinguishable) {
+  Objective obj;
+  const ArmScore a = obj.Score({Synthetic(7, 4000000, 500000, 430)});
+  const ArmScore b = obj.Score({Synthetic(7, 4000000, 500000, 430)});
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(Objective::Compare(a, b), 0);  // overlap -> no confident winner
+}
+
+TEST(TuningObjectiveTest, ThroughputFloorBeatsABetterTail) {
+  Objective obj;
+  obj.min_tps = 280;
+  // The fast arm misses the floor; the slow arm meets it and must win.
+  const ArmScore fast_starved = obj.Score({Synthetic(3, 2000000, 100000, 90)});
+  const ArmScore slow_feasible =
+      obj.Score({Synthetic(3, 25000000, 4000000, 430)});
+  EXPECT_FALSE(fast_starved.feasible);
+  EXPECT_TRUE(slow_feasible.feasible);
+  EXPECT_EQ(Objective::Compare(slow_feasible, fast_starved), -1);
+  EXPECT_EQ(Objective::Compare(fast_starved, slow_feasible), 1);
+  // Two infeasible arms cannot be ranked.
+  EXPECT_EQ(Objective::Compare(fast_starved, fast_starved), 0);
+}
+
+TEST(TuningObjectiveTest, CovGoalPrefersTheNarrowDistribution) {
+  Objective obj;
+  obj.goal = Goal::kMinCoV;
+  // Same mean neighborhood, very different dispersion.
+  const ArmScore narrow = obj.Score({Synthetic(5, 10000000, 200000, 430)});
+  const ArmScore wide = obj.Score({Synthetic(5, 2000000, 30000000, 430)});
+  EXPECT_LT(narrow.score, wide.score);
+  EXPECT_EQ(Objective::Compare(narrow, wide), -1);
+}
+
+TEST(TuningObjectiveTest, EmptyReplicatesAreInfeasible) {
+  const ArmScore empty = Objective{}.Score({});
+  EXPECT_FALSE(empty.feasible);
+  EXPECT_EQ(empty.samples, 0u);
+  const ArmScore real = Objective{}.Score({Synthetic(1, 4000000, 500000, 430)});
+  EXPECT_EQ(Objective::Compare(real, empty), -1);
+}
+
+// --- successive halving -----------------------------------------------------
+
+// Deterministic measurement seam: eager flush draws a wide 30ms
+// distribution, both lazy families draw the *same* tight 4ms stream (so
+// they are genuinely indistinguishable and must both survive).
+class SyntheticSource : public TrialSource {
+ public:
+  TrialMeasurement Measure(const KnobConfig& knobs, int replicate) override {
+    ++trials_;
+    const bool eager = knobs.flush_policy == log::FlushPolicy::kEagerFlush;
+    const uint64_t seed = 1000 + static_cast<uint64_t>(replicate);
+    return eager ? Synthetic(seed, 30000000, 8000000, 420)
+                 : Synthetic(seed, 4000000, 500000, 430);
+  }
+  int trials() const { return trials_; }
+
+ private:
+  int trials_ = 0;
+};
+
+KnobSpace FlushSpace() {
+  KnobSpace s;
+  s.flush_policies = {log::FlushPolicy::kEagerFlush,
+                      log::FlushPolicy::kLazyFlush,
+                      log::FlushPolicy::kLazyWrite};
+  return s;
+}
+
+TEST(TuningSearchTest, HalvingPrunesProvablyWorseArmKeepsOverlappingOnes) {
+  SyntheticSource source;
+  Objective obj;
+  obj.min_tps = 300;
+  SearchConfig search;  // 2 replicates, x2 per rung, eta 2, 3 rungs
+
+  const TuneResult result =
+      SuccessiveHalving(source, FlushSpace(), obj, search);
+  ASSERT_EQ(result.arms.size(), 3u);
+
+  // Arm 0 (eager) is confidently worse: pruned at the first rung.
+  EXPECT_TRUE(result.arms[0].pruned);
+  EXPECT_EQ(result.arms[0].rung_pruned, 0);
+  // The two lazy arms share a distribution — neither can be pruned on a
+  // separated interval, so both must survive every rung.
+  EXPECT_FALSE(result.arms[1].pruned);
+  EXPECT_FALSE(result.arms[2].pruned);
+  EXPECT_TRUE(result.best == 1 || result.best == 2);
+  EXPECT_NE(result.arms[result.best].knobs.flush_policy,
+            log::FlushPolicy::kEagerFlush);
+
+  // The budget concentrated on survivors: 2 replicates spent on the pruned
+  // arm, the full 2 -> 4 -> 8 ladder on each survivor.
+  EXPECT_EQ(result.arms[0].replicates.size(), 2u);
+  EXPECT_EQ(result.arms[1].replicates.size(), 8u);
+  EXPECT_EQ(result.arms[2].replicates.size(), 8u);
+  EXPECT_EQ(source.trials(), 18);
+  EXPECT_EQ(result.rungs_run, 3);
+}
+
+TEST(TuningSearchTest, SeededRunsProduceBitIdenticalReports) {
+  Objective obj;
+  obj.min_tps = 300;
+  const SearchConfig search;
+  const KnobSpace space = FlushSpace();
+
+  SyntheticSource s1;
+  const TuneResult r1 = SuccessiveHalving(s1, space, obj, search);
+  SyntheticSource s2;
+  const TuneResult r2 = SuccessiveHalving(s2, space, obj, search);
+
+  const std::string d1 =
+      TuneReport(r1, space, obj, "fig3-flush", true).Dump(/*pretty=*/true);
+  const std::string d2 =
+      TuneReport(r2, space, obj, "fig3-flush", true).Dump(/*pretty=*/true);
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1.find("\"recommendation\""), std::string::npos);
+  EXPECT_EQ(RecommendationTable(r1, obj), RecommendationTable(r2, obj));
+}
+
+// --- knob materialization ---------------------------------------------------
+
+TEST(TuningTrialTest, MaterializeAppliesMysqlKnobsOntoToolkitBase) {
+  KnobConfig k;
+  k.scheduler = lock::SchedulerPolicy::kVATS;
+  k.buffer_pool_pages = 512;
+  k.flush_policy = log::FlushPolicy::kLazyFlush;
+  k.group_commit = true;
+  const engine::EngineConfig cfg =
+      MaterializeEngineConfig(k, TrialConfig{}, /*seed=*/99);
+  EXPECT_EQ(cfg.mysql.lock.policy, lock::SchedulerPolicy::kVATS);
+  EXPECT_EQ(cfg.mysql.buffer_pool_pages, 512u);
+  EXPECT_EQ(cfg.mysql.flush_policy, log::FlushPolicy::kLazyFlush);
+  EXPECT_TRUE(cfg.mysql.log_group_commit);
+  EXPECT_EQ(cfg.mysql.seed, 99u);
+
+  // Zero-valued size knobs keep the calibrated base.
+  KnobConfig defaults;
+  const engine::EngineConfig base =
+      MaterializeEngineConfig(defaults, TrialConfig{}, 1);
+  EXPECT_EQ(base.mysql.buffer_pool_pages,
+            core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS)
+                .buffer_pool_pages);
+
+  TrialConfig contended;
+  contended.memory_contended = true;
+  const engine::EngineConfig small =
+      MaterializeEngineConfig(defaults, contended, 1);
+  EXPECT_EQ(small.mysql.buffer_pool_pages,
+            core::Toolkit::MysqlMemoryContended(lock::SchedulerPolicy::kFCFS)
+                .buffer_pool_pages);
+}
+
+TEST(TuningTrialTest, MaterializeAppliesPgKnobsOntoToolkitBase) {
+  KnobConfig k;
+  k.engine = engine::EngineKind::kPgMini;
+  k.scheduler = lock::SchedulerPolicy::kCATS;
+  k.wal_block_bytes = 16384;
+  k.num_log_sets = 2;
+  const engine::EngineConfig cfg =
+      MaterializeEngineConfig(k, TrialConfig{}, /*seed=*/7);
+  EXPECT_EQ(cfg.pg.wal.block_bytes, 16384u);
+  EXPECT_EQ(cfg.pg.wal.num_log_sets, 2);
+  EXPECT_TRUE(cfg.pg.wal.parallel_logging);
+  EXPECT_EQ(cfg.pg.lock.policy, lock::SchedulerPolicy::kCATS);
+  EXPECT_EQ(cfg.pg.seed, 7u);
+}
+
+// --- the real runner --------------------------------------------------------
+
+TEST(TuningTrialTest, TrialRunnerMeasuresARealService) {
+  TrialConfig trial;
+  trial.tps = 2000;
+  trial.num_txns = 120;
+  trial.warmup_txns = 0;
+  trial.base_seed = 3;
+
+  KnobConfig knobs;
+  knobs.flush_policy = log::FlushPolicy::kLazyFlush;
+
+  TrialRunner runner(trial);
+  const TrialMeasurement m = runner.Measure(knobs, /*replicate=*/0);
+  EXPECT_GT(m.latency.count, 0u);
+  EXPECT_GT(m.committed, 0u);
+  EXPECT_GT(m.achieved_tps, 0.0);
+  // The delta carries the service counters for exactly this replicate.
+  EXPECT_EQ(m.delta.counter("server.submitted"), 120u);
+  EXPECT_EQ(m.delta.counter("tuning.trials_run"), 1u);
+  EXPECT_EQ(m.delta.counter("server.completed") +
+                m.delta.counter("server.expired") +
+                m.delta.counter("server.drain_aborted"),
+            m.delta.counter("server.admitted"));
+}
+
+}  // namespace
+}  // namespace tdp::tuning

@@ -539,6 +539,31 @@ std::vector<std::string> CheckInvariants(const json::Value& doc) {
       RequireEq(exp, "volt.queue_depth not drained at quiesce",
                 GaugeValue(exp, "volt.queue_depth"), 0, &problems);
       RequirePositive(exp, "volt.submits", &problems);
+    } else if (engine == "tuning") {
+      // A tdp_tune arm: its metrics block is the merged registry delta over
+      // the arm's replicates, so the TrialRunner's per-trial counter must
+      // sum to exactly the replicate count, and each replicate's service
+      // run obeys the same admission accounting as the server suite.
+      RequireEq(exp, "tuning.trials_run != replicates",
+                Counter(exp, "tuning.trials_run"),
+                ParamInt(exp, "replicates"), &problems);
+      RequireEq(exp,
+                "server.admitted + server.shed + server.rejected_recovering"
+                " != server.submitted",
+                Counter(exp, "server.admitted") + Counter(exp, "server.shed") +
+                    Counter(exp, "server.rejected_recovering"),
+                Counter(exp, "server.submitted"), &problems);
+      RequireEq(exp,
+                "server.completed + server.expired + server.drain_aborted != "
+                "server.admitted",
+                Counter(exp, "server.completed") +
+                    Counter(exp, "server.expired") +
+                    Counter(exp, "server.drain_aborted"),
+                Counter(exp, "server.admitted"), &problems);
+      RequireEq(exp, "server.queue_depth not drained at quiesce",
+                GaugeValue(exp, "server.queue_depth"), 0, &problems);
+      RequirePositive(exp, "server.submitted", &problems);
+      RequirePositive(exp, "server.completed.ok", &problems);
     }
   }
   return problems;

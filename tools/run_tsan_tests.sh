@@ -10,11 +10,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build-tsan
 
 # The races worth hunting live in the lock manager, buffer pool, log/WAL
-# group commit, the fault-injection retry paths, and the server layer's
-# admission queue + worker pool.
+# group commit, the fault-injection retry paths, the server layer's
+# admission queue + worker pool, and the tuner's engine+service lifecycles.
 TESTS=(
   metrics_test
   server_admission_test
+  tuning_test
   llu_backlog_property_test
   spinlock_test
   lock_manager_test

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI tuning gate (ctest label: tune-smoke): runs tdp_tune on the fig3
+# flush-policy space in quick mode under a fixed seed, validates the emitted
+# TUNE_*.json against the schema, enforces the tuning.*/server.*
+# cross-counter invariants, and asserts the paper's qualitative §7 result:
+# the lazy-flush family beats eager flush on p99.9 at an equal throughput
+# floor, so the recommendation must land on a flush=lazy arm.
+#
+# Usage: run_tunesmoke.sh <tdp_tune> <schema.json> [out.json] [space]
+set -euo pipefail
+
+TUNER=$1
+SCHEMA=$2
+OUT=${3:-TUNE_fig3_flush.json}
+SPACE=${4:-fig3-flush}
+
+LOG=$(mktemp)
+trap 'rm -f "$LOG"' EXIT
+
+TDP_QUICK_BENCH=1 "$TUNER" --space="$SPACE" --out="$OUT" --schema="$SCHEMA" \
+  --check --seed=7 | tee "$LOG"
+
+if [ "$SPACE" = "fig3-flush" ]; then
+  if ! grep -q "^recommendation: .*flush=lazy" "$LOG"; then
+    echo "tune_smoke: expected a lazy-flush-family recommendation" >&2
+    exit 1
+  fi
+fi
