@@ -61,4 +61,30 @@ void BM_MakeYoungPath(benchmark::State& state) {
 }
 BENCHMARK(BM_MakeYoungPath)->Arg(0)->Arg(1);
 
+void BM_ConcurrentFetchHit(benchmark::State& state) {
+  // Hit-path scalability of the page-hash: threads fetch mostly-disjoint
+  // resident pages, so the contended state is the table's bucket locks plus
+  // the (lazy) LRU backlog. The old per-shard mutex serialized this.
+  static BufferPool* pool = [] {
+    BufferPoolConfig cfg;
+    cfg.capacity_pages = 8192;
+    cfg.lazy_lru = true;
+    auto* p = new BufferPool(cfg);
+    for (uint64_t i = 0; i < 4096; ++i) {
+      (void)p->Fetch({0, i});
+      p->Unpin({0, i});
+    }
+    return p;
+  }();
+  const uint64_t tid = static_cast<uint64_t>(state.thread_index());
+  uint64_t k = 0;
+  for (auto _ : state) {
+    const PageId id{0, (tid * 512 + (k++ % 512)) % 4096};
+    benchmark::DoNotOptimize(pool->Fetch(id));
+    pool->Unpin(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentFetchHit)->Threads(1)->Threads(8);
+
 }  // namespace

@@ -1,6 +1,7 @@
 #include "buffer/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
 
 #include "common/work.h"
 #include "tprofiler/profiler.h"
@@ -9,6 +10,8 @@ namespace tdp::buffer {
 
 namespace {
 std::atomic<uint64_t> g_pool_generation{1};
+
+constexpr size_t kDefaultHashBuckets = 256;
 
 /// Thread-local LLU backlog. A thread's backlog belongs to one pool at a
 /// time (identified by pointer + generation, so pools recycled at the same
@@ -23,7 +26,10 @@ thread_local LluBacklog t_backlog;
 }  // namespace
 
 BufferPool::BufferPool(BufferPoolConfig config)
-    : config_(config), generation_(g_pool_generation.fetch_add(1)) {
+    : config_(config),
+      generation_(g_pool_generation.fetch_add(1)),
+      table_(config.hash_buckets > 0 ? config.hash_buckets
+                                     : kDefaultHashBuckets) {
   assert(config_.capacity_pages > 0);
   auto& reg = metrics::Registry::Global();
   m_.hits = reg.GetCounter("buf.hits");
@@ -123,13 +129,10 @@ void BufferPool::DrainBacklogLocked() {
   if (backlog.empty()) return;
   for (const PageId& id : backlog) {
     Frame* frame = nullptr;
-    {
-      HashShard& sh = ShardFor(id);
-      std::lock_guard<std::mutex> g(sh.mu);
-      auto it = sh.table.find(id);
-      if (it == sh.table.end() || it->second->io_fixed) continue;  // evicted
-      frame = it->second;
-    }
+    table_.WithSlotIfPresent(id, [&](Frame*& f) {
+      if (!f->io_fixed) frame = f;
+    });
+    if (frame == nullptr) continue;  // evicted (or mid-read) meanwhile
     // We hold the LRU lock, so the frame cannot be evicted concurrently
     // (eviction requires this lock).
     MoveToYoungHeadLocked(frame);
@@ -182,12 +185,16 @@ BufferPool::Frame* BufferPool::PickVictimLocked() {
   auto scan = [&](std::list<Frame*>& list) -> Frame* {
     for (auto it = list.rbegin(); it != list.rend(); ++it) {
       Frame* f = *it;
-      HashShard& sh = ShardFor(f->id);
-      std::lock_guard<std::mutex> g(sh.mu);
-      if (f->pin_count > 0 || f->io_fixed) continue;
-      sh.table.erase(f->id);
-      f->erased = true;
-      f->in_lru = false;
+      // Pin/io_fix checks and the table erase are one bucket critical
+      // section, so a racing Fetch either pins before we look (we skip) or
+      // misses after the erase (it re-reads the page).
+      const bool evicted = table_.EraseIf(f->id, [&](Frame*& entry) {
+        if (entry != f || f->pin_count > 0 || f->io_fixed) return false;
+        f->erased = true;
+        f->in_lru = false;
+        return true;
+      });
+      if (!evicted) continue;
       list.erase(std::next(it).base());
       resident_.fetch_sub(1, std::memory_order_relaxed);
       return f;
@@ -202,31 +209,43 @@ BufferPool::Frame* BufferPool::PickVictimLocked() {
 }
 
 Status BufferPool::Fetch(PageId id) {
-  HashShard& sh = ShardFor(id);
   Frame* nf = nullptr;
-  {
-    std::unique_lock<std::mutex> lk(sh.mu);
-    for (;;) {
-      auto it = sh.table.find(id);
-      if (it == sh.table.end()) break;
-      Frame* f = it->second;
-      if (f->io_fixed) {
-        sh.cv.wait(lk);
-        continue;
+  for (;;) {
+    Frame* hit = nullptr;
+    bool was_old = false;
+    bool io_wait = false;
+    table_.WithSlot(id, [&](Frame*& entry, bool inserted) {
+      if (inserted) {
+        nf = new Frame();
+        nf->id = id;
+        nf->io_fixed = true;
+        nf->pin_count = 1;
+        entry = nf;
+        return;
       }
-      ++f->pin_count;
-      const bool was_old = f->in_old.load(std::memory_order_relaxed);
-      lk.unlock();
+      if (entry->io_fixed) {
+        io_wait = true;  // another thread is reading this page in
+        return;
+      }
+      ++entry->pin_count;
+      was_old = entry->in_old.load(std::memory_order_relaxed);
+      hit = entry;
+    });
+    if (io_wait) {
+      // Bounded park: the publisher notifies after clearing io_fixed, but a
+      // notify between our bucket-lock release and this wait would be lost —
+      // the bound turns that race into a 50 µs stall, not a hang.
+      std::unique_lock<std::mutex> lk(io_mu_);
+      io_cv_.wait_for(lk, std::chrono::microseconds(50));
+      continue;
+    }
+    if (hit != nullptr) {
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
       metrics::Inc(m_.hits);
-      if (was_old) MakeYoung(f);
+      if (was_old) MakeYoung(hit);
       return Status::OK();
     }
-    nf = new Frame();
-    nf->id = id;
-    nf->io_fixed = true;
-    nf->pin_count = 1;
-    sh.table.emplace(id, nf);
+    break;  // inserted a fresh io-fixed frame; fall through to the miss path
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
   metrics::Inc(m_.misses);
@@ -290,12 +309,12 @@ Status BufferPool::Fetch(PageId id) {
       // io_fixed restart with a fresh miss instead of seeing garbage.
       stats_.read_failures.fetch_add(1, std::memory_order_relaxed);
       metrics::Inc(m_.read_failures);
-      {
-        std::lock_guard<std::mutex> g(sh.mu);
-        sh.table.erase(id);
-        nf->erased = true;
-      }
-      sh.cv.notify_all();
+      table_.EraseIf(id, [&](Frame*& entry) {
+        entry->erased = true;
+        return true;
+      });
+      { std::lock_guard<std::mutex> g(io_mu_); }
+      io_cv_.notify_all();
       delete nf;
       return rs;
     }
@@ -319,11 +338,9 @@ Status BufferPool::Fetch(PageId id) {
     LruUnlock();
   }
 
-  {
-    std::lock_guard<std::mutex> g(sh.mu);
-    nf->io_fixed = false;
-  }
-  sh.cv.notify_all();
+  table_.WithSlotIfPresent(id, [](Frame*& entry) { entry->io_fixed = false; });
+  { std::lock_guard<std::mutex> g(io_mu_); }
+  io_cv_.notify_all();
   return Status::OK();
 }
 
@@ -334,19 +351,13 @@ Result<BufferPool::PageGuard> BufferPool::Pin(PageId id) {
 }
 
 void BufferPool::MarkDirty(PageId id) {
-  HashShard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
-  auto it = sh.table.find(id);
-  if (it != sh.table.end()) it->second->dirty = true;
+  table_.WithSlotIfPresent(id, [](Frame*& entry) { entry->dirty = true; });
 }
 
 void BufferPool::Unpin(PageId id) {
-  HashShard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
-  auto it = sh.table.find(id);
-  if (it != sh.table.end() && it->second->pin_count > 0) {
-    --it->second->pin_count;
-  }
+  table_.WithSlotIfPresent(id, [](Frame*& entry) {
+    if (entry->pin_count > 0) --entry->pin_count;
+  });
 }
 
 void BufferPool::FlushBacklog() {
@@ -371,11 +382,12 @@ std::pair<size_t, size_t> BufferPool::SublistLengths() const {
 }
 
 bool BufferPool::InOldSublist(PageId id) const {
-  const HashShard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
-  auto it = sh.table.find(id);
-  if (it == sh.table.end()) return false;
-  return it->second->in_old.load(std::memory_order_relaxed);
+  auto* self = const_cast<BufferPool*>(this);
+  bool in_old = false;
+  self->table_.WithSlotIfPresent(id, [&](Frame*& entry) {
+    in_old = entry->in_old.load(std::memory_order_relaxed);
+  });
+  return in_old;
 }
 
 }  // namespace tdp::buffer

@@ -21,11 +21,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/sharded_hash_table.h"
 #include "common/sim_disk.h"
 #include "common/spinlock.h"
 #include "common/status.h"
@@ -68,6 +68,11 @@ struct BufferPoolConfig {
   /// real buf_pool mutex hold covers; raising it reproduces the LRU-mutex
   /// contention of the paper's 2-WH configuration at laptop op rates.
   int64_t lru_critical_work_ns = 0;
+
+  /// Buckets in the page hash (tdp::ShardedHashTable, one spinlock per
+  /// bucket; rounded up to a power of two). 0 picks the default (256).
+  /// A tuning knob: more buckets spread concurrent Fetch/Unpin traffic.
+  size_t hash_buckets = 0;
 
   /// Device backing page reads and dirty writebacks. Not owned. May be null
   /// for purely in-memory tests (misses then cost nothing).
@@ -157,28 +162,14 @@ class BufferPool {
  private:
   struct Frame {
     PageId id;
-    int pin_count = 0;       // guarded by its hash shard mutex
-    bool io_fixed = false;   // guarded by its hash shard mutex
-    bool dirty = false;      // guarded by its hash shard mutex
-    bool erased = false;     // guarded by its hash shard mutex
+    int pin_count = 0;       // guarded by its page-hash bucket lock
+    bool io_fixed = false;   // guarded by its page-hash bucket lock
+    bool dirty = false;      // guarded by its page-hash bucket lock
+    bool erased = false;     // guarded by its page-hash bucket lock
     std::atomic<bool> in_old{false};
     bool in_lru = false;     // guarded by the LRU lock
     std::list<Frame*>::iterator lru_pos;  // guarded by the LRU lock
   };
-
-  static constexpr int kHashShards = 16;
-  struct HashShard {
-    mutable std::mutex mu;
-    std::condition_variable cv;  ///< io_fix completion
-    std::unordered_map<PageId, Frame*, PageIdHash> table;
-  };
-
-  HashShard& ShardFor(PageId id) {
-    return shards_[PageIdHash{}(id) % kHashShards];
-  }
-  const HashShard& ShardFor(PageId id) const {
-    return shards_[PageIdHash{}(id) % kHashShards];
-  }
 
   // --- LRU lock: mutex (original) or bounded spin (LLU) -------------------
   void LruLockBlocking();
@@ -209,7 +200,18 @@ class BufferPool {
   BufferPoolConfig config_;
   const uint64_t generation_;
 
-  HashShard shards_[kHashShards];
+  /// Page hash: PageId -> Frame* under per-bucket spinlocks. Frame pointers
+  /// are stable until erased (chain nodes own only the pointer). A bucket
+  /// lock may be taken while holding the LRU lock (victim scan, backlog
+  /// drain) — never the reverse.
+  ShardedHashTable<PageId, Frame*, PageIdHash> table_;
+
+  /// io_fix waiters park here (bucket spinlocks cannot host a condvar).
+  /// Publishers clear io_fixed under the bucket lock, then notify; waiters
+  /// use a bounded wait_for + re-check loop, so a missed notify costs at
+  /// most one bound, never a hang.
+  std::mutex io_mu_;
+  std::condition_variable io_cv_;
 
   std::mutex lru_mu_;       ///< Original-mode LRU ("buf_pool") mutex.
   SpinLock lru_spin_;       ///< LLU-mode LRU lock.

@@ -1,0 +1,166 @@
+// tdp::ShardedHashTable — a fixed-shape chaining hash table with one
+// SpinLock per bucket, replacing the coarse "std::mutex + std::unordered_map
+// per shard" pattern on the two hottest lookup structures (the lock table
+// and the buffer-pool page map). The paper's Table 1 charges both to mutex
+// convoying (`buf_pool_mutex_enter`); per-bucket spinlocks shrink the
+// protected region to a single chain so concurrent lookups of different
+// keys never serialize.
+//
+// Shape and contract:
+//  * The bucket array is sized once at construction (rounded up to a power
+//    of two) and never resized, so bucket addresses are stable and lookups
+//    never take a global lock. Pick the bucket count >= expected concurrent
+//    keys; chains absorb overflow gracefully.
+//  * Values live in heap-allocated chain nodes: a `V*` handed to a callback
+//    stays valid until the key is erased, even while other keys churn. This
+//    is what lets the buffer pool keep raw Frame pointers and the lock
+//    manager keep per-record queues with waiting threads parked inside.
+//  * All access is through WithSlot / WithSlotIfPresent / EraseIf, which
+//    run the caller's callback *while holding the bucket lock* — the
+//    callback is the critical section. Callbacks must not touch the same
+//    table again (self-deadlock) and should stay short; blocking waits
+//    belong outside, on state the callback published.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/spinlock.h"
+
+namespace tdp {
+
+template <typename K, typename V, typename H>
+class ShardedHashTable {
+ public:
+  explicit ShardedHashTable(size_t num_buckets = 1024)
+      : buckets_(RoundUpPow2(num_buckets)), mask_(buckets_.size() - 1) {}
+
+  ~ShardedHashTable() {
+    for (Bucket& b : buckets_) {
+      Node* n = b.head;
+      while (n != nullptr) {
+        Node* next = n->next;
+        delete n;
+        n = next;
+      }
+    }
+  }
+
+  ShardedHashTable(const ShardedHashTable&) = delete;
+  ShardedHashTable& operator=(const ShardedHashTable&) = delete;
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Find-or-create: runs `fn(V& value, bool inserted)` under the bucket
+  /// lock and returns its result. A fresh value is value-initialized.
+  template <typename Fn>
+  decltype(auto) WithSlot(const K& key, Fn&& fn) {
+    Bucket& b = BucketFor(key);
+    SpinGuard g(b.lock);
+    Node* n = Find(b, key);
+    bool inserted = false;
+    if (n == nullptr) {
+      n = new Node{key, V{}, b.head};
+      b.head = n;
+      size_.fetch_add(1, std::memory_order_relaxed);
+      inserted = true;
+    }
+    return fn(n->value, inserted);
+  }
+
+  /// Runs `fn(V& value)` under the bucket lock if the key is present.
+  /// Returns whether it was.
+  template <typename Fn>
+  bool WithSlotIfPresent(const K& key, Fn&& fn) {
+    Bucket& b = BucketFor(key);
+    SpinGuard g(b.lock);
+    Node* n = Find(b, key);
+    if (n == nullptr) return false;
+    fn(n->value);
+    return true;
+  }
+
+  /// Runs `fn(V& value)` under the bucket lock if present and erases the
+  /// entry when fn returns true — mutation and the emptiness decision happen
+  /// in one critical section, so no other thread can slip a new waiter into
+  /// a queue between "it looks empty" and the erase. Returns whether the
+  /// entry was erased.
+  template <typename Fn>
+  bool EraseIf(const K& key, Fn&& fn) {
+    Bucket& b = BucketFor(key);
+    Node* doomed = nullptr;
+    {
+      SpinGuard g(b.lock);
+      Node** link = &b.head;
+      while (*link != nullptr && !((*link)->key == key)) {
+        link = &(*link)->next;
+      }
+      Node* n = *link;
+      if (n == nullptr) return false;
+      if (!fn(n->value)) return false;
+      *link = n->next;
+      doomed = n;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    delete doomed;  // destructor runs outside the bucket lock
+    return true;
+  }
+
+  /// Unconditional erase. Returns whether the key was present.
+  bool Erase(const K& key) {
+    return EraseIf(key, [](V&) { return true; });
+  }
+
+  /// Visits every entry as `fn(const K&, V&)`, one bucket lock at a time.
+  /// Entries inserted into already-visited buckets during the sweep are
+  /// missed — acceptable for stats/debug walks, not a consistent snapshot.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Bucket& b : buckets_) {
+      SpinGuard g(b.lock);
+      for (Node* n = b.head; n != nullptr; n = n->next) fn(n->key, n->value);
+    }
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    Node* next;
+  };
+  struct Bucket {
+    SpinLock lock;
+    Node* head = nullptr;  ///< Chain of entries, guarded by `lock`.
+  };
+  struct SpinGuard {
+    explicit SpinGuard(SpinLock& l) : lock(l) { lock.lock(); }
+    ~SpinGuard() { lock.unlock(); }
+    SpinLock& lock;
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n && p < (size_t{1} << 20)) p <<= 1;
+    return p;
+  }
+
+  Bucket& BucketFor(const K& key) {
+    return buckets_[H{}(key)&mask_];
+  }
+
+  static Node* Find(Bucket& b, const K& key) {
+    for (Node* n = b.head; n != nullptr; n = n->next) {
+      if (n->key == key) return n;
+    }
+    return nullptr;
+  }
+
+  std::vector<Bucket> buckets_;
+  const size_t mask_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace tdp

@@ -63,6 +63,23 @@ class Connection {
 
   Status Commit() { return Note(DoCommit()); }
 
+  /// Durability acknowledgement for CommitAsync. See the contract there.
+  using CommitAckFn = std::function<void(const Status&)>;
+
+  /// Asynchronous commit (docs/group_commit.md): the transaction commits
+  /// logically — locks released, session reset — and the call returns as
+  /// soon as its redo is in the log buffer; `ack` fires exactly once, off
+  /// this thread, when the commit's durability is decided (OK iff its log
+  /// record reached the device). Contract: a non-OK *return* means the
+  /// commit failed before logical commit and `ack` will never fire; an OK
+  /// return means `ack` fires exactly once (engines without an epoch
+  /// thread fall back to a synchronous commit and fire it inline).
+  /// Early lock release is sound here because log records are ordered by
+  /// commit order and acks fire only for durable prefixes.
+  Status CommitAsync(CommitAckFn ack) {
+    return Note(DoCommitAsync(std::move(ack)));
+  }
+
   /// Aborts the open transaction. Idempotent: calling with no open
   /// transaction (never begun, already committed, or already rolled back)
   /// is a no-op in every engine.
@@ -96,6 +113,14 @@ class Connection {
   virtual Status DoInsert(uint32_t table, uint64_t key, storage::Row row) = 0;
   virtual Status DoDelete(uint32_t table, uint64_t key) = 0;
   virtual Status DoCommit() = 0;
+  /// Default: synchronous commit with an inline ack on success — correct
+  /// for engines with no async log path, and the exactly-once ack contract
+  /// holds unchanged.
+  virtual Status DoCommitAsync(CommitAckFn ack) {
+    Status s = DoCommit();
+    if (s.ok()) ack(s);
+    return s;
+  }
   virtual void DoRollback() = 0;
   virtual Result<int64_t> DoReadColumn(uint32_t table, uint64_t key,
                                        size_t col) = 0;

@@ -24,6 +24,9 @@ MySQLMini::MySQLMini(MySQLMiniConfig config)
   bp.lru_critical_work_ns = config_.lru_critical_work_ns;
   bp.disk = data_disk_.get();
   bp.io_retry = config_.io_retry;
+  if (config_.buffer_hash_buckets > 0) {
+    bp.hash_buckets = config_.buffer_hash_buckets;
+  }
   buffer_pool_ = std::make_unique<buffer::BufferPool>(bp);
 
   log::RedoLogConfig lg;
@@ -32,6 +35,8 @@ MySQLMini::MySQLMini(MySQLMiniConfig config)
   lg.group_commit = config_.log_group_commit;
   lg.io_retry = config_.io_retry;
   lg.fallback_lazy_on_stall = config_.log_fallback_lazy_on_stall;
+  lg.async_commit = config_.log_async_commit;
+  lg.epoch_interval_ns = config_.log_epoch_interval_ns;
   lg.disk = log_disk_.get();
   redo_log_ = std::make_unique<log::RedoLog>(lg);
   redo_log_->Start();
@@ -94,7 +99,12 @@ void MySQLMini::RecoverInto(const std::vector<log::RecoveredTxn>& recovered,
   ReplayRedo(recovered, &mysql->catalog_, start_after_lsn);
 }
 
-Checkpoint MySQLMini::TakeCheckpoint() {
+Result<Checkpoint> MySQLMini::TakeCheckpoint() {
+  // Write-ahead rule: the snapshot reflects every assigned LSN (table
+  // effects precede the log append), so all of them must be durable before
+  // the snapshot may be published with a covering LSN.
+  const Status s = redo_log_->ForceDurable();
+  if (!s.ok()) return s;
   return CaptureCheckpoint(catalog_, redo_log_->durable_lsn());
 }
 
@@ -338,6 +348,30 @@ Status MySQLSession::DoCommit() {
     db_->redo_log_->Commit(txn_->id, redo_bytes_, std::move(redo_ops_));
   }
   ReleaseAndReset();
+  return Status::OK();
+}
+
+Status MySQLSession::DoCommitAsync(CommitAckFn ack) {
+  TPROF_SCOPE("trx_commit");
+  if (!active_) return Status::InvalidArgument("no open transaction");
+  if (must_abort_) {
+    Rollback();
+    return Status::Aborted("transaction had failed; rolled back");
+  }
+  if (redo_bytes_ > 0) {
+    metrics::Inc(db_->m_.redo_bytes, redo_bytes_);
+    // Early lock release: the commit record is appended (LSN assigned in
+    // commit order under the log mutex) before locks drop, and the epoch
+    // only acks durable prefixes — so no transaction can ack durable while
+    // one it read from is still pending. The ack carries durability.
+    db_->redo_log_->CommitAsync(txn_->id, redo_bytes_, std::move(redo_ops_),
+                                std::move(ack));
+    ReleaseAndReset();
+    return Status::OK();
+  }
+  // Read-only (or redo-free) transaction: nothing to make durable.
+  ReleaseAndReset();
+  ack(Status::OK());
   return Status::OK();
 }
 

@@ -52,6 +52,15 @@ struct MySQLMiniConfig {
   /// See RedoLogConfig::fallback_lazy_on_stall: eager commits degrade to
   /// lazy flush instead of waiting out a stalled log device.
   bool log_fallback_lazy_on_stall = false;
+  /// Epoch-based async group commit (docs/group_commit.md): CommitAsync
+  /// parks its durability ack on the redo log's epoch thread instead of
+  /// blocking the committer. See RedoLogConfig::async_commit.
+  bool log_async_commit = false;
+  /// Epoch length when log_async_commit is on (a tuning knob).
+  int64_t log_epoch_interval_ns = 50 * 1000;
+  /// Buffer-pool page-map buckets (0 = BufferPoolConfig default); with the
+  /// lock manager's num_shards this is the "table shards" tuning knob.
+  size_t buffer_hash_buckets = 0;
 
   storage::BTreeModelConfig btree;
   uint64_t rows_per_page = 64;
@@ -97,6 +106,7 @@ class MySQLSession : public Connection {
   Status DoInsert(uint32_t table, uint64_t key, storage::Row row) override;
   Status DoDelete(uint32_t table, uint64_t key) override;
   Status DoCommit() override;
+  Status DoCommitAsync(CommitAckFn ack) override;
   void DoRollback() override;
   Result<int64_t> DoReadColumn(uint32_t table, uint64_t key,
                                size_t col) override;
@@ -162,10 +172,14 @@ class MySQLMini : public Database {
                           Database* target, uint64_t start_after_lsn = 0);
 
   /// Fuzzy checkpoint of the current table state (docs/recovery.md). The
-  /// caller must quiesce writers; the covered LSN is the log's durable LSN
-  /// at capture, so suffix replay after a restore may re-apply snapshotted
-  /// transactions (idempotent after-images make that harmless).
-  Checkpoint TakeCheckpoint();
+  /// caller must quiesce writers. Enforces the write-ahead rule first: the
+  /// redo log is forced durable through the last assigned LSN, so the
+  /// snapshot never covers a record a crash could lose (async/lazy commit
+  /// would otherwise let recovery resurrect unacked transactions — or mix
+  /// them with older replayed frames into a state matching no commit
+  /// prefix). Fails when the force cannot complete; publishing a snapshot
+  /// of un-durable state has no sound covering LSN.
+  Result<Checkpoint> TakeCheckpoint();
 
  private:
   friend class MySQLSession;

@@ -24,6 +24,20 @@ Status ExecuteAttempt(Connection& conn, const TxnBody& body) {
   return s;
 }
 
+/// One attempt with an asynchronous commit: on body success the ack is
+/// handed to CommitAsync (consumed only if it returns OK).
+Status ExecuteAttemptAsync(Connection& conn, const TxnBody& body,
+                           const Connection::CommitAckFn& ack) {
+  tprof::TxnScope txn_scope;
+  TPROF_SCOPE("dispatch_command");
+  Status s = conn.Begin();
+  if (!s.ok()) return s;
+  s = body(conn);
+  if (s.ok()) return conn.CommitAsync(ack);
+  conn.Rollback();
+  return s;
+}
+
 }  // namespace
 
 bool RetryableTxnError(const Status& s, const RetryPolicy& policy) {
@@ -37,6 +51,34 @@ Status RunTxn(Connection& conn, const RetryPolicy& policy, const TxnBody& body,
   int64_t backoff = policy.backoff_ns;
   for (int attempt = 1;; ++attempt) {
     s = ExecuteAttempt(conn, body);
+    if (stats) {
+      ++stats->attempts;
+      if (s.IsDeadlock()) {
+        ++stats->deadlock_aborts;
+      } else if (s.IsLockTimeout()) {
+        ++stats->timeout_aborts;
+      } else if (!s.ok()) {
+        ++stats->other_aborts;
+      }
+    }
+    if (s.ok() || !RetryableTxnError(s, policy) ||
+        attempt >= policy.max_attempts) {
+      return s;
+    }
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      backoff *= 2;
+    }
+  }
+}
+
+Status RunTxnAsync(Connection& conn, const RetryPolicy& policy,
+                   const TxnBody& body, Connection::CommitAckFn ack,
+                   TxnStats* stats) {
+  Status s;
+  int64_t backoff = policy.backoff_ns;
+  for (int attempt = 1;; ++attempt) {
+    s = ExecuteAttemptAsync(conn, body, ack);
     if (stats) {
       ++stats->attempts;
       if (s.IsDeadlock()) {

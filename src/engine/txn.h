@@ -49,4 +49,14 @@ using TxnBody = std::function<Status(Connection&)>;
 Status RunTxn(Connection& conn, const RetryPolicy& policy, const TxnBody& body,
               TxnStats* stats = nullptr);
 
+/// Like RunTxn, but commits through Connection::CommitAsync: the body (and
+/// any retries of a *failed* body or failed async submission) runs on the
+/// calling thread, while durability is signalled later through `ack`.
+/// Contract mirrors CommitAsync: an OK return means the logical commit
+/// succeeded and `ack` fires exactly once with the durability outcome; a
+/// non-OK return is the final attempt's failure and `ack` never fires.
+Status RunTxnAsync(Connection& conn, const RetryPolicy& policy,
+                   const TxnBody& body, Connection::CommitAckFn ack,
+                   TxnStats* stats = nullptr);
+
 }  // namespace tdp::engine

@@ -126,4 +126,11 @@ size_t DeadlockDetector::num_waiters() const {
   return waits_for_.size();
 }
 
+size_t DeadlockDetector::num_edges() const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t n = 0;
+  for (const auto& [waiter, blockers] : waits_for_) n += blockers.size();
+  return n;
+}
+
 }  // namespace tdp::lock

@@ -51,6 +51,11 @@ class DeadlockDetector {
   /// Number of transactions with outgoing edges (waiting). For tests.
   size_t num_waiters() const;
 
+  /// Total wait-for edges in the graph. Each edge contributed +1 to its
+  /// blocker's CATS weight, so at any quiesce num_edges() must equal the
+  /// lock manager's TotalBlockedWeight() (and both must be 0).
+  size_t num_edges() const;
+
  private:
   void SetEdgesLocked(uint64_t waiter, const std::vector<uint64_t>& blockers);
   uint64_t DetectLocked(uint64_t start,

@@ -17,7 +17,10 @@ const char* SchedulerPolicyName(SchedulerPolicy p) {
   return "?";
 }
 
-LockManager::LockManager(LockManagerConfig config) : config_(config) {
+LockManager::LockManager(LockManagerConfig config)
+    : config_(config),
+      table_(static_cast<size_t>(config.num_shards < 1 ? 1
+                                                       : config.num_shards)) {
   if (config_.num_shards < 1) config_.num_shards = 1;
   if (config_.policy == SchedulerPolicy::kCATS) {
     // CATS needs the wait-for graph to maintain weights.
@@ -29,9 +32,6 @@ LockManager::LockManager(LockManagerConfig config) : config_(config) {
       if (w <= 0) blocked_weight_.erase(blocker);
     });
   }
-  shards_.reserve(config_.num_shards);
-  for (int i = 0; i < config_.num_shards; ++i)
-    shards_.push_back(std::make_unique<Shard>());
 
   auto& reg = metrics::Registry::Global();
   m_.grants_total = reg.GetCounter("lock.grants.total");
@@ -51,15 +51,14 @@ int LockManager::BlockedWeight(uint64_t txn_id) const {
   return it == blocked_weight_.end() ? 0 : it->second;
 }
 
+int LockManager::TotalBlockedWeight() const {
+  std::lock_guard<std::mutex> g(weights_mu_);
+  int total = 0;
+  for (const auto& [tid, w] : blocked_weight_) total += w;
+  return total;
+}
+
 LockManager::~LockManager() = default;
-
-LockManager::Shard& LockManager::ShardFor(RecordId rec) {
-  return *shards_[RecordIdHash{}(rec) % shards_.size()];
-}
-
-const LockManager::Shard& LockManager::ShardFor(RecordId rec) const {
-  return *shards_[RecordIdHash{}(rec) % shards_.size()];
-}
 
 void LockManager::SetWaitObserver(
     std::function<void(const WaitObservation&)> obs) {
@@ -277,12 +276,11 @@ bool LockManager::RemoveWaiting(Queue* q, const Request* req) {
 }
 
 Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
-  Shard& shard = ShardFor(rec);
   RequestPtr req;
-  {
-    std::lock_guard<std::mutex> g(shard.mu);
-    Queue& q = shard.queues[rec];
-
+  bool granted_inline = false;
+  // Enqueue-or-grant runs as the record's bucket critical section; the wait
+  // itself happens below, outside any table lock.
+  table_.WithSlot(rec, [&](Queue& q, bool /*inserted*/) {
     // Re-entrant / upgrade handling.
     RequestPtr mine;
     for (const RequestPtr& gr : q.granted) {
@@ -294,7 +292,8 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
     if (mine) {
       if (Covers(mine->mode, mode)) {
         metrics::Inc(m_.grants_total);
-        return Status::OK();
+        granted_inline = true;
+        return;
       }
       const LockMode desired = Supremum(mine->mode, mode);
       bool compatible = true;
@@ -309,7 +308,8 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
         stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
         metrics::Inc(m_.upgrades);
         metrics::Inc(m_.grants_total);
-        return Status::OK();
+        granted_inline = true;
+        return;
       }
       req = std::make_shared<Request>();
       req->txn = txn;
@@ -339,7 +339,8 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
         stats_.immediate_grants.fetch_add(1, std::memory_order_relaxed);
         metrics::Inc(m_.grants_immediate);
         metrics::Inc(m_.grants_total);
-        return Status::OK();
+        granted_inline = true;
+        return;
       }
       req = std::make_shared<Request>();
       req->txn = txn;
@@ -369,7 +370,8 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
         UpdateWaitEdges(q, req);
       }
     }
-  }
+  });
+  if (granted_inline) return Status::OK();
 
   // --- suspended: wait on the transaction's event --------------------------
   stats_.waits.fetch_add(1, std::memory_order_relaxed);
@@ -407,15 +409,14 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
   } else {
     // Deadlock victim or timeout: remove our request and re-run the grant
     // pass — our queued (conflicting) request may have been blocking others.
+    // A queue this departure leaves fully empty is erased in the same
+    // critical section.
     std::vector<RequestPtr> woken;
-    {
-      std::lock_guard<std::mutex> g(shard.mu);
-      auto qit = shard.queues.find(rec);
-      if (qit != shard.queues.end()) {
-        RemoveWaiting(&qit->second, req.get());
-        GrantPass(&qit->second, &woken);
-      }
-    }
+    table_.EraseIf(rec, [&](Queue& q) {
+      RemoveWaiting(&q, req.get());
+      GrantPass(&q, &woken);
+      return q.granted.empty() && q.waiting.empty();
+    });
     NotifyWoken(woken);
     detector_.Remove(txn->id);
     if (state == kDeadlockState) {
@@ -446,14 +447,8 @@ void LockManager::ReleaseAll(TxnContext* txn) {
   // A record may appear once in held_records per successful acquisition;
   // upgrades do not add duplicates.
   for (const RecordId& rec : txn->held_records) {
-    Shard& shard = ShardFor(rec);
     std::vector<RequestPtr> woken;
-    std::vector<RequestPtr> refresh;
-    {
-      std::lock_guard<std::mutex> g(shard.mu);
-      auto it = shard.queues.find(rec);
-      if (it == shard.queues.end()) continue;
-      Queue& q = it->second;
+    table_.EraseIf(rec, [&](Queue& q) {
       q.granted.erase(std::remove_if(q.granted.begin(), q.granted.end(),
                                      [&](const RequestPtr& r) {
                                        return r->txn->id == txn->id;
@@ -461,14 +456,15 @@ void LockManager::ReleaseAll(TxnContext* txn) {
                       q.granted.end());
       GrantPass(&q, &woken);
       if (config_.detect_deadlocks && config_.refresh_edges_on_release) {
+        std::vector<RequestPtr> refresh;
         for (const RequestPtr& w : q.waiting) {
           if (w->state.load(std::memory_order_acquire) == kWaiting)
             refresh.push_back(w);
         }
         for (const RequestPtr& w : refresh) UpdateWaitEdges(q, w);
       }
-      if (q.granted.empty() && q.waiting.empty()) shard.queues.erase(it);
-    }
+      return q.granted.empty() && q.waiting.empty();
+    });
     NotifyWoken(woken);
   }
   txn->held_records.clear();
@@ -476,11 +472,12 @@ void LockManager::ReleaseAll(TxnContext* txn) {
 }
 
 std::pair<size_t, size_t> LockManager::QueueDepths(RecordId rec) const {
-  const Shard& shard = ShardFor(rec);
-  std::lock_guard<std::mutex> g(shard.mu);
-  auto it = shard.queues.find(rec);
-  if (it == shard.queues.end()) return {0, 0};
-  return {it->second.granted.size(), it->second.waiting.size()};
+  auto* self = const_cast<LockManager*>(this);
+  std::pair<size_t, size_t> out{0, 0};
+  self->table_.WithSlotIfPresent(rec, [&](Queue& q) {
+    out = {q.granted.size(), q.waiting.size()};
+  });
+  return out;
 }
 
 }  // namespace tdp::lock

@@ -29,6 +29,7 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/sharded_hash_table.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "lock/deadlock.h"
@@ -70,6 +71,11 @@ struct LockManagerConfig {
   /// this deep (the refresh is O(queue²); beyond the bound, cycles fall
   /// back to the wait timeout).
   size_t insertion_refresh_max_queue = 64;
+  /// Buckets in the record-queue hash (tdp::ShardedHashTable, one spinlock
+  /// per bucket; rounded up to a power of two). Historically the number of
+  /// mutex-protected shards — per-bucket locking keeps the name as the
+  /// tuning knob. More buckets shrink the chance two hot records share a
+  /// critical section.
   int num_shards = 64;
 };
 
@@ -106,6 +112,14 @@ class LockManager {
 
   /// CATS weight of a transaction (waiters currently blocked by it).
   int BlockedWeight(uint64_t txn_id) const;
+
+  /// Sum of all CATS weights — equals the number of live wait-for edges, so
+  /// a quiesced manager must report 0 (weight-conservation property test).
+  int TotalBlockedWeight() const;
+
+  /// Wait-for edges currently registered with the deadlock detector
+  /// (tests: must be 0 at quiesce).
+  size_t NumWaitEdges() const { return detector_.num_edges(); }
 
   // --- statistics ---------------------------------------------------------
   struct Stats {
@@ -151,28 +165,20 @@ class LockManager {
     std::vector<RequestPtr> waiting;
   };
 
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<RecordId, Queue, RecordIdHash> queues;
-  };
-
-  Shard& ShardFor(RecordId rec);
-  const Shard& ShardFor(RecordId rec) const;
-
   /// Waiting list sorted per the configured policy (upgrades first).
   std::vector<RequestPtr> ScheduleOrder(const Queue& q) const;
 
   /// Grants every schedulable waiter; returns the woken requests so the
-  /// caller can notify outside the shard lock. Must hold the shard mutex.
+  /// caller can notify outside the record's bucket lock. Must hold it.
   void GrantPass(Queue* q, std::vector<RequestPtr>* woken);
 
   /// Transactions blocking `req`: conflicting granted holders plus
-  /// conflicting waiters ahead of it in schedule order. Shard mutex held.
+  /// conflicting waiters ahead of it in schedule order. Bucket lock held.
   std::vector<uint64_t> BlockersOf(const Queue& q, const Request& req) const;
 
   /// Registers/refreshes req's wait edges; if a deadlock is found, signals
   /// the chosen victim (possibly req's own transaction — the victim's wait
-  /// then returns immediately). Shard mutex held for req's shard.
+  /// then returns immediately). Bucket lock held for req's record.
   void UpdateWaitEdges(const Queue& q, const RequestPtr& req);
 
   /// Two-phase edge refresh + detection for every live waiter of a queue
@@ -192,7 +198,12 @@ class LockManager {
   static bool RemoveWaiting(Queue* q, const Request* req);
 
   LockManagerConfig config_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Record -> lock queue under per-bucket spinlocks (the hot-path table;
+  /// previously num_shards mutex-protected unordered_maps). The queue
+  /// callbacks may take waiters_mu_ / weights_mu_ / the detector's internal
+  /// lock while holding a bucket lock — never the reverse, and never a
+  /// second bucket.
+  ShardedHashTable<RecordId, Queue, RecordIdHash> table_;
   DeadlockDetector detector_;
 
   // Registry of currently waiting transactions, for victim signalling and

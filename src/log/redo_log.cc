@@ -35,7 +35,10 @@ RedoLog::RedoLog(RedoLogConfig config) : config_(config) {
   m_.io_errors = reg.GetCounter("log.io_errors");
   m_.degraded_commits = reg.GetCounter("log.degraded_commits");
   m_.bytes_written = reg.GetCounter("log.bytes_written");
+  m_.async_commits = reg.GetCounter("log.async_commits");
+  m_.epoch_flushes = reg.GetCounter("log.epoch_flushes");
   m_.group_commit_batch = reg.GetHistogram("log.group_commit_batch");
+  m_.epoch_batch = reg.GetHistogram("log.epoch_batch");
 }
 
 RedoLog::~RedoLog() { Stop(); }
@@ -48,6 +51,9 @@ void RedoLog::Start() {
       config_.fallback_lazy_on_stall) {
     flusher_ = std::thread([this] { FlusherLoop(); });
   }
+  if (config_.async_commit) {
+    epoch_ = std::thread([this] { EpochLoop(); });
+  }
 }
 
 void RedoLog::Stop() {
@@ -58,6 +64,23 @@ void RedoLog::Stop() {
   { std::lock_guard<std::mutex> g(stop_mu_); }
   stop_cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
+  if (epoch_.joinable()) epoch_.join();
+  // Resolve parked acks. Stop does NOT flush (crash simulation relies on
+  // that), so a waiter an earlier epoch already covered acks OK and every
+  // other waiter acks non-OK — an acked-OK-but-lost commit is impossible.
+  std::vector<EpochWaiter> covered, lost;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    const uint64_t durable = durable_lsn_.load(std::memory_order_relaxed);
+    for (EpochWaiter& w : epoch_waiters_) {
+      (w.lsn <= durable ? covered : lost).push_back(std::move(w));
+    }
+    epoch_waiters_.clear();
+  }
+  for (EpochWaiter& w : covered) w.ack(Status::OK());
+  for (EpochWaiter& w : lost) {
+    w.ack(Status::Aborted("log stopped before epoch flush"));
+  }
 }
 
 void RedoLog::FlusherLoop() {
@@ -76,6 +99,61 @@ void RedoLog::FlusherLoop() {
       WriteAndFlushUpTo(target);
     }
   }
+}
+
+void RedoLog::EpochLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lk(stop_mu_);
+      stop_cv_.wait_for(
+          lk, std::chrono::nanoseconds(config_.epoch_interval_ns),
+          [this] { return !running_.load(std::memory_order_relaxed); });
+    }
+    if (!running_.load(std::memory_order_relaxed)) break;
+    DrainEpoch();
+  }
+}
+
+void RedoLog::DrainEpoch() {
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (epoch_waiters_.empty()) return;
+    target = epoch_waiters_.back().lsn;
+  }
+  // The whole parked batch rides one leader flush. A crash armed here loses
+  // the entire un-flushed epoch atomically: no ack has fired yet, and none
+  // will fire OK unless the flush lands (crash_point_test pins this).
+  TDP_CRASH_POINT("epoch.pre_flush");
+  WriteAndFlushUpTo(target);
+  // Fire exactly the acks the flush made durable; on a failed/degraded
+  // flush the uncovered tail stays parked for the next epoch (or Stop).
+  std::vector<EpochWaiter> fire;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    const uint64_t durable = durable_lsn_.load(std::memory_order_relaxed);
+    size_t n = 0;  // waiters are in LSN order (parked under mu_)
+    while (n < epoch_waiters_.size() && epoch_waiters_[n].lsn <= durable) ++n;
+    if (n == 0) return;
+    fire.assign(std::make_move_iterator(epoch_waiters_.begin()),
+                std::make_move_iterator(epoch_waiters_.begin() +
+                                        static_cast<ptrdiff_t>(n)));
+    epoch_waiters_.erase(epoch_waiters_.begin(),
+                         epoch_waiters_.begin() + static_cast<ptrdiff_t>(n));
+  }
+  stats_.epoch_flushes.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(m_.epoch_flushes);
+  metrics::Observe(m_.epoch_batch, static_cast<int64_t>(fire.size()));
+  for (EpochWaiter& w : fire) w.ack(Status::OK());
+}
+
+void RedoLog::AdvanceDurableLocked(uint64_t floor) {
+  uint64_t d = std::max(durable_lsn_.load(std::memory_order_relaxed), floor);
+  while (!completed_lsns_.empty() && *completed_lsns_.begin() <= d + 1) {
+    if (*completed_lsns_.begin() == d + 1) ++d;
+    completed_lsns_.erase(completed_lsns_.begin());
+  }
+  AtomicMax(&durable_lsn_, d);
 }
 
 Status RedoLog::FlushToDevice(uint64_t bytes) {
@@ -147,7 +225,10 @@ Status RedoLog::WriteAndFlushUpTo(uint64_t target) {
       metrics::Observe(m_.group_commit_batch,
                        static_cast<int64_t>(flush_target - durable_before));
       AtomicMax(&written_lsn_, flush_target);
-      AtomicMax(&durable_lsn_, flush_target);
+      // The batch covered *all* unwritten bytes up to flush_target —
+      // including holes a failed per-commit fsync left behind — so the
+      // whole prefix is durable (plus any out-of-order completions beyond).
+      AdvanceDurableLocked(flush_target);
       flush_cv_.notify_all();
     } else {
       // Give the unflushed batch back so the next leader (or the flusher)
@@ -174,6 +255,18 @@ Status RedoLog::WriteAndFlushUpTo(uint64_t target) {
     metrics::Inc(m_.group_commit_riders);
   }
   return result;
+}
+
+Status RedoLog::ForceDurable() {
+  const uint64_t target = next_lsn_.load(std::memory_order_acquire) - 1;
+  if (target == 0 || durable_lsn_.load(std::memory_order_acquire) >= target) {
+    return Status::OK();
+  }
+  const Status s = WriteAndFlushUpTo(target);
+  if (!s.ok()) return s;
+  return durable_lsn_.load(std::memory_order_acquire) >= target
+             ? Status::OK()
+             : Status::Busy("force-durable flush fell short");
 }
 
 uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
@@ -250,7 +343,15 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
           metrics::Inc(m_.bytes_written, bytes);
           metrics::Observe(m_.group_commit_batch, 1);
           AtomicMax(&written_lsn_, my_lsn);
-          AtomicMax(&durable_lsn_, my_lsn);
+          // Only this commit's bytes hit the device. An earlier LSN's bytes
+          // may still be in flight — or back in unwritten_bytes_ after a
+          // failed flush — so jumping durable_lsn_ straight to my_lsn would
+          // declare a prefix durable that is not on disk (CrashImage would
+          // then resurrect frames that were never written). Record the
+          // completion and advance only across the contiguous prefix.
+          std::lock_guard<std::mutex> g(mu_);
+          completed_lsns_.insert(my_lsn);
+          AdvanceDurableLocked(durable_lsn_.load(std::memory_order_relaxed));
         } else {
           std::lock_guard<std::mutex> g(mu_);
           unwritten_bytes_ += bytes;
@@ -259,6 +360,44 @@ uint64_t RedoLog::Commit(uint64_t txn_id, uint64_t bytes,
         }
       }
       break;
+  }
+  return my_lsn;
+}
+
+uint64_t RedoLog::CommitAsync(uint64_t txn_id, uint64_t bytes,
+                              std::vector<RedoOp> ops, CommitAckFn ack) {
+  TPROF_SCOPE("log_write_up_to");
+  uint64_t my_lsn;
+  bool parked = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    my_lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+    AppendLogFrame(my_lsn, txn_id, ops, &image_);
+    records_.push_back(
+        Record{txn_id, my_lsn, bytes, std::move(ops), image_.size()});
+    unwritten_bytes_ += bytes;
+    // Park under the same mu_ that assigned the LSN so epoch_waiters_ stays
+    // LSN-ordered. running_ is re-checked here: once Stop() has flipped it,
+    // parking would strand the ack past Stop's drain, so fall back to a
+    // synchronous flush below instead.
+    if (config_.async_commit && running_.load(std::memory_order_relaxed)) {
+      epoch_waiters_.push_back(EpochWaiter{my_lsn, std::move(ack)});
+      parked = true;
+    }
+  }
+  TDP_CRASH_POINT("redo.append");
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  stats_.async_commits.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(m_.commits);
+  metrics::Inc(m_.async_commits);
+  if (!parked) {
+    // No epoch thread to cover us: lead a flush ourselves and ack inline.
+    // The ack still reports exactly what is durable.
+    WriteAndFlushUpTo(my_lsn);
+    const bool durable =
+        durable_lsn_.load(std::memory_order_acquire) >= my_lsn;
+    ack(durable ? Status::OK()
+                : Status::Aborted("log stopped before epoch flush"));
   }
   return my_lsn;
 }

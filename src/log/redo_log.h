@@ -18,7 +18,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -62,6 +64,16 @@ struct RedoLogConfig {
   /// the device recovers. Off by default: a strict eager commit blocks
   /// until its redo is durable, however long the device misbehaves.
   bool fallback_lazy_on_stall = false;
+  /// Epoch-based asynchronous group commit (docs/group_commit.md): when
+  /// true, Start() spawns an epoch thread and CommitAsync parks the
+  /// caller's ack on the current epoch instead of blocking the committer.
+  /// Once per epoch_interval_ns the epoch thread leads one flush covering
+  /// every parked commit and fires their acks. The committing thread is
+  /// freed at append time; durability is signalled by the ack.
+  bool async_commit = false;
+  /// Epoch length for async_commit. Shorter epochs mean lower ack latency
+  /// but smaller flush batches; a tuning knob (docs/tuning.md).
+  int64_t epoch_interval_ns = 50 * 1000;
 };
 
 class RedoLog {
@@ -83,6 +95,26 @@ class RedoLog {
   /// transaction's logical redo payload, kept for crash recovery.
   uint64_t Commit(uint64_t txn_id, uint64_t bytes,
                   std::vector<RedoOp> ops = {});
+
+  /// Durability acknowledgement for CommitAsync. Fired exactly once, off
+  /// the committing thread (epoch thread or Stop), with OK iff the record
+  /// is durable. Never fired OK for a record a crash image would lose.
+  using CommitAckFn = std::function<void(const Status&)>;
+
+  /// Appends the commit record like Commit but returns immediately; the
+  /// caller's ack parks on the current epoch and fires once an epoch flush
+  /// covers the record (config.async_commit, docs/group_commit.md). When
+  /// the epoch thread is not running (async_commit off, or the log is
+  /// stopped), degrades to a synchronous leader flush with an inline ack,
+  /// so the exactly-once ack contract holds in every configuration.
+  uint64_t CommitAsync(uint64_t txn_id, uint64_t bytes,
+                       std::vector<RedoOp> ops, CommitAckFn ack);
+
+  /// Flushes until every assigned LSN is durable (the write-ahead rule for
+  /// checkpoints: a snapshot that includes a record must not be published
+  /// before that record's bytes are on disk). Non-OK means the durable
+  /// watermark may still trail the last assigned LSN.
+  Status ForceDurable();
 
   uint64_t next_lsn() const { return next_lsn_.load(std::memory_order_relaxed); }
   uint64_t written_lsn() const {
@@ -123,6 +155,8 @@ class RedoLog {
     std::atomic<uint64_t> io_errors{0};    ///< Flush rounds that gave up.
     std::atomic<uint64_t> degraded_commits{0};  ///< Commits returned without
                                                 ///< durability (fallback).
+    std::atomic<uint64_t> async_commits{0};  ///< CommitAsync calls.
+    std::atomic<uint64_t> epoch_flushes{0};  ///< Epoch rounds that fired acks.
   };
   const Stats& stats() const { return stats_; }
 
@@ -144,6 +178,16 @@ class RedoLog {
   /// the fil_flush probe. OK when the log is deviceless.
   Status FlushToDevice(uint64_t bytes);
   void FlusherLoop();
+  void EpochLoop();
+  /// One epoch round: lead a flush covering every parked commit, then fire
+  /// the acks the flush made durable. No-op on an empty epoch.
+  void DrainEpoch();
+  /// Advances durable_lsn_ to `floor`, then further across the contiguous
+  /// prefix of out-of-order per-commit flush completions (completed_lsns_).
+  /// durable_lsn_ is a *prefix* claim — every LSN <= durable is on the
+  /// device — so it must never skip over an LSN whose bytes a concurrent
+  /// committer has not flushed yet (or failed to flush). Caller holds mu_.
+  void AdvanceDurableLocked(uint64_t floor);
 
   RedoLogConfig config_;
 
@@ -152,6 +196,18 @@ class RedoLog {
   bool flush_in_progress_ = false;
   uint64_t unwritten_bytes_ = 0;  ///< Appended but not yet written.
   std::vector<Record> records_;
+  /// Per-commit fsync completions that landed beyond the durable prefix
+  /// (an earlier committer's bytes are still in flight or failed). Drained
+  /// into durable_lsn_ by AdvanceDurableLocked once the gap closes.
+  std::set<uint64_t> completed_lsns_;
+  /// Commits parked on the epoch (LSN order — appended under mu_). Their
+  /// acks fire when an epoch flush covers them, or at Stop (non-OK if the
+  /// record never became durable).
+  struct EpochWaiter {
+    uint64_t lsn;
+    CommitAckFn ack;
+  };
+  std::vector<EpochWaiter> epoch_waiters_;
   /// The framed byte image of the log "file" (docs/recovery.md). LSNs are
   /// assigned under mu_ in append order, so frame order == LSN order and
   /// records_[lsn - 1].image_end maps the durable LSN to a byte offset.
@@ -163,6 +219,7 @@ class RedoLog {
 
   std::atomic<bool> running_{false};
   std::thread flusher_;
+  std::thread epoch_;  ///< Async group-commit epoch thread (async_commit).
   /// Interrupts the flusher's inter-round nap so Stop() returns promptly
   /// even under a long flusher interval.
   std::mutex stop_mu_;
@@ -183,7 +240,10 @@ class RedoLog {
     metrics::Counter* io_errors = nullptr;
     metrics::Counter* degraded_commits = nullptr;
     metrics::Counter* bytes_written = nullptr;
+    metrics::Counter* async_commits = nullptr;
+    metrics::Counter* epoch_flushes = nullptr;
     Histogram* group_commit_batch = nullptr;
+    Histogram* epoch_batch = nullptr;  ///< Acks fired per epoch flush.
   };
   MetricHandles m_;
 };

@@ -11,6 +11,7 @@ PgMini::PgMini(PgMiniConfig config)
     : config_(config), rng_(config.seed * 0xD1B54A32D192ED03ull + 1) {
   lock_manager_ = std::make_unique<lock::LockManager>(config_.lock);
   wal_ = std::make_unique<WalManager>(config_.wal);
+  wal_->Start();  // spawns the epoch thread when wal.async_commit is set
   btree_ = storage::BTreeModel(config_.btree);
   m_.lock_acquisitions =
       metrics::Registry::Global().GetCounter("pg.lock_acquisitions");
@@ -57,7 +58,12 @@ void PgMini::RecoverInto(const std::vector<log::RecoveredTxn>& recovered,
   engine::ReplayRedo(recovered, &pg->catalog_, start_after_lsn);
 }
 
-engine::Checkpoint PgMini::TakeCheckpoint() {
+Result<engine::Checkpoint> PgMini::TakeCheckpoint() {
+  // Write-ahead rule: every assigned LSN is in the snapshot, so every set
+  // must be barriered durable before the snapshot may claim to cover
+  // last_lsn().
+  const Status s = wal_->ForceDurable();
+  if (!s.ok()) return s;
   return engine::CaptureCheckpoint(catalog_, wal_->last_lsn());
 }
 
@@ -262,6 +268,31 @@ Status PgSession::DoCommit() {
                     ? db_->wal_->CommitFlush(txn_->id, wal_bytes_, redo_ops_)
                     : db_->wal_->CommitFlush(wal_bytes_);
     (void)ws;
+  }
+  ReleasePredicateLocks();
+  ReleaseAndReset();
+  return Status::OK();
+}
+
+Status PgSession::DoCommitAsync(CommitAckFn ack) {
+  TPROF_SCOPE("CommitTransaction");
+  if (!active_) return Status::InvalidArgument("no open transaction");
+  if (must_abort_) {
+    Rollback();
+    return Status::Aborted("transaction had failed; rolled back");
+  }
+  if (wal_bytes_ > 0) {
+    // XLogInsert happens before locks drop (frame order on the chosen set
+    // is commit order) and the epoch barrier acks only covered frames, so
+    // early lock release cannot produce an acked-but-lost dependency.
+    static const std::vector<log::RedoOp> kNoOps;
+    const std::vector<log::RedoOp>& ops =
+        db_->config_.logical_redo ? redo_ops_ : kNoOps;
+    Status ws = db_->wal_->CommitFlushAsync(txn_->id, wal_bytes_, ops,
+                                            std::move(ack));
+    (void)ws;  // the ack carries the durability outcome
+  } else {
+    ack(Status::OK());  // nothing to make durable
   }
   ReleasePredicateLocks();
   ReleaseAndReset();

@@ -65,6 +65,7 @@ class PgSession : public engine::Connection {
   Status DoInsert(uint32_t table, uint64_t key, storage::Row row) override;
   Status DoDelete(uint32_t table, uint64_t key) override;
   Status DoCommit() override;
+  Status DoCommitAsync(CommitAckFn ack) override;
   void DoRollback() override;
   Result<int64_t> DoReadColumn(uint32_t table, uint64_t key,
                                size_t col) override;
@@ -123,8 +124,12 @@ class PgMini : public engine::Database {
   /// Fuzzy checkpoint of the current table state (docs/recovery.md). The
   /// caller must quiesce writers. Table effects are applied before the WAL
   /// frame is written, so every assigned LSN is reflected in the snapshot
-  /// and the checkpoint covers wal().last_lsn().
-  engine::Checkpoint TakeCheckpoint();
+  /// and the checkpoint covers wal().last_lsn(). Enforces the write-ahead
+  /// rule first: every set is barriered durable through its appended
+  /// frames, so the covering LSN is never ahead of what a crash preserves
+  /// (async commit would otherwise let a checkpoint resurrect transactions
+  /// whose epoch the crash lost). Fails when the force cannot complete.
+  Result<engine::Checkpoint> TakeCheckpoint();
 
  private:
   friend class PgSession;

@@ -1,6 +1,7 @@
 #include "pg/wal.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/crash_point.h"
 #include "tprofiler/profiler.h"
@@ -27,11 +28,93 @@ WalManager::WalManager(WalConfig config) : config_(config) {
   m_.io_retries = reg.GetCounter("wal.io_retries");
   m_.io_errors = reg.GetCounter("wal.io_errors");
   m_.degraded_commits = reg.GetCounter("wal.degraded_commits");
+  m_.async_commits = reg.GetCounter("wal.async_commits");
+  m_.epoch_flushes = reg.GetCounter("wal.epoch_flushes");
+  m_.epoch_batch = reg.GetHistogram("wal.epoch_batch");
   m_.queue_depth.reserve(sets_.size());
   for (size_t i = 0; i < sets_.size(); ++i) {
     m_.queue_depth.push_back(
         reg.GetHistogram("wal.queue_depth.set" + std::to_string(i)));
   }
+}
+
+WalManager::~WalManager() { Stop(); }
+
+void WalManager::Start() {
+  if (running_.exchange(true)) return;
+  if (config_.async_commit) {
+    epoch_ = std::thread([this] { EpochLoop(); });
+  }
+}
+
+void WalManager::Stop() {
+  if (!running_.exchange(false)) return;
+  { std::lock_guard<std::mutex> g(stop_mu_); }
+  stop_cv_.notify_all();
+  if (epoch_.joinable()) epoch_.join();
+  // Resolve parked acks. Stop does NOT flush (crash simulation relies on
+  // that): a waiter whose frame an earlier barrier covered acks OK, every
+  // other waiter acks non-OK.
+  std::vector<CommitAckFn> covered, lost;
+  for (std::unique_ptr<LogSet>& set : sets_) {
+    std::lock_guard<std::mutex> g(set->mu);
+    for (LogSet::EpochWaiter& w : set->epoch_waiters) {
+      (w.offset <= set->durable_bytes ? covered : lost)
+          .push_back(std::move(w.ack));
+    }
+    set->epoch_waiters.clear();
+  }
+  for (CommitAckFn& ack : covered) ack(Status::OK());
+  for (CommitAckFn& ack : lost) {
+    ack(Status::Aborted("wal stopped before epoch flush"));
+  }
+}
+
+void WalManager::EpochLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lk(stop_mu_);
+      stop_cv_.wait_for(
+          lk, std::chrono::nanoseconds(config_.epoch_interval_ns),
+          [this] { return !running_.load(std::memory_order_relaxed); });
+    }
+    if (!running_.load(std::memory_order_relaxed)) break;
+    for (std::unique_ptr<LogSet>& set : sets_) DrainEpochSet(set.get());
+  }
+}
+
+void WalManager::DrainEpochSet(LogSet* set) {
+  std::vector<LogSet::EpochWaiter> fire;
+  {
+    std::unique_lock<std::mutex> lk(set->mu);
+    if (set->epoch_waiters.empty()) return;
+    // The whole parked batch rides one barrier. A crash armed here loses
+    // the entire un-flushed epoch atomically: no parked ack has fired, and
+    // none will fire OK unless the barrier lands.
+    TDP_CRASH_POINT("epoch.pre_flush");
+    const uint64_t bytes = set->pending_bytes;
+    set->pending_bytes = 0;
+    const Status s = WriteAndFlush(set, bytes);
+    if (!s.ok()) set->pending_bytes += bytes;
+    // Fire exactly the acks the barrier covered (all of them on success;
+    // possibly an earlier-covered prefix on failure).
+    size_t n = 0;  // waiters are in frame order (parked under mu)
+    while (n < set->epoch_waiters.size() &&
+           set->epoch_waiters[n].offset <= set->durable_bytes) {
+      ++n;
+    }
+    if (n == 0) return;
+    fire.assign(std::make_move_iterator(set->epoch_waiters.begin()),
+                std::make_move_iterator(set->epoch_waiters.begin() +
+                                        static_cast<ptrdiff_t>(n)));
+    set->epoch_waiters.erase(
+        set->epoch_waiters.begin(),
+        set->epoch_waiters.begin() + static_cast<ptrdiff_t>(n));
+  }
+  stats_.epoch_flushes.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(m_.epoch_flushes);
+  metrics::Observe(m_.epoch_batch, static_cast<int64_t>(fire.size()));
+  for (LogSet::EpochWaiter& w : fire) w.ack(Status::OK());
 }
 
 Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
@@ -81,6 +164,22 @@ Status WalManager::WriteAndFlush(LogSet* set, uint64_t bytes) {
   return s;
 }
 
+Status WalManager::ForceDurable() {
+  Status result = Status::OK();
+  for (std::unique_ptr<LogSet>& set : sets_) {
+    std::lock_guard<std::mutex> g(set->mu);
+    if (set->durable_bytes >= set->image.size()) continue;
+    const uint64_t bytes = set->pending_bytes;
+    set->pending_bytes = 0;
+    const Status s = WriteAndFlush(set.get(), bytes);
+    if (!s.ok()) {
+      set->pending_bytes += bytes;
+      if (result.ok()) result = s;
+    }
+  }
+  return result;
+}
+
 Status WalManager::CommitFlush(uint64_t bytes) {
   return CommitFlushInternal(0, bytes, nullptr, nullptr);
 }
@@ -91,6 +190,56 @@ Status WalManager::CommitFlush(uint64_t txn_id, uint64_t bytes,
   return CommitFlushInternal(txn_id, bytes, &ops, out_lsn);
 }
 
+WalManager::LogSet* WalManager::AcquireSet(size_t* index) {
+  LogSet* chosen = nullptr;
+  size_t chosen_index = 0;
+  TPROF_SCOPE("LWLockAcquireOrWait");
+  if (sets_.size() == 1) {
+    // Single log set: all committers serialize on one WALWriteLock.
+    sets_[0]->waiters.fetch_add(1, std::memory_order_relaxed);
+    sets_[0]->mu.lock();
+    sets_[0]->waiters.fetch_sub(1, std::memory_order_relaxed);
+    chosen = sets_[0].get();
+  } else {
+    // Parallel logging: take a free set if any; otherwise wait on the set
+    // with the fewest waiters (Section 6.2).
+    for (size_t i = 0; i < sets_.size() && chosen == nullptr; ++i) {
+      if (sets_[i]->mu.try_lock()) {
+        chosen = sets_[i].get();
+        chosen_index = i;
+      }
+    }
+    if (chosen == nullptr) {
+      // Tie-break equal waiter counts by device queue depth: a set whose
+      // disk still has a request in service is a worse bet than one whose
+      // disk is truly idle (queue_length() counts in-service requests).
+      size_t best = 0;
+      int best_waiters = sets_[0]->waiters.load(std::memory_order_relaxed);
+      int best_depth = sets_[0]->disk.queue_length();
+      for (size_t i = 1; i < sets_.size(); ++i) {
+        const int w = sets_[i]->waiters.load(std::memory_order_relaxed);
+        const int d = sets_[i]->disk.queue_length();
+        if (w < best_waiters || (w == best_waiters && d < best_depth)) {
+          best = i;
+          best_waiters = w;
+          best_depth = d;
+        }
+      }
+      chosen = sets_[best].get();
+      chosen_index = best;
+      chosen->waiters.fetch_add(1, std::memory_order_relaxed);
+      chosen->mu.lock();
+      chosen->waiters.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (chosen_index > 0) {
+      stats_.second_log_used.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.second_log_used);
+    }
+  }
+  *index = chosen_index;
+  return chosen;
+}
+
 Status WalManager::CommitFlushInternal(uint64_t txn_id, uint64_t bytes,
                                        const std::vector<log::RedoOp>* ops,
                                        uint64_t* out_lsn) {
@@ -98,53 +247,8 @@ Status WalManager::CommitFlushInternal(uint64_t txn_id, uint64_t bytes,
   metrics::Inc(m_.commits);
   metrics::Inc(m_.commit_bytes, bytes);
 
-  LogSet* chosen = nullptr;
   size_t chosen_index = 0;
-  {
-    TPROF_SCOPE("LWLockAcquireOrWait");
-    if (sets_.size() == 1) {
-      // Single log set: all committers serialize on one WALWriteLock.
-      sets_[0]->waiters.fetch_add(1, std::memory_order_relaxed);
-      sets_[0]->mu.lock();
-      sets_[0]->waiters.fetch_sub(1, std::memory_order_relaxed);
-      chosen = sets_[0].get();
-    } else {
-      // Parallel logging: take a free set if any; otherwise wait on the set
-      // with the fewest waiters (Section 6.2).
-      for (size_t i = 0; i < sets_.size() && chosen == nullptr; ++i) {
-        if (sets_[i]->mu.try_lock()) {
-          chosen = sets_[i].get();
-          chosen_index = i;
-        }
-      }
-      if (chosen == nullptr) {
-        // Tie-break equal waiter counts by device queue depth: a set whose
-        // disk still has a request in service is a worse bet than one whose
-        // disk is truly idle (queue_length() counts in-service requests).
-        size_t best = 0;
-        int best_waiters = sets_[0]->waiters.load(std::memory_order_relaxed);
-        int best_depth = sets_[0]->disk.queue_length();
-        for (size_t i = 1; i < sets_.size(); ++i) {
-          const int w = sets_[i]->waiters.load(std::memory_order_relaxed);
-          const int d = sets_[i]->disk.queue_length();
-          if (w < best_waiters || (w == best_waiters && d < best_depth)) {
-            best = i;
-            best_waiters = w;
-            best_depth = d;
-          }
-        }
-        chosen = sets_[best].get();
-        chosen_index = best;
-        chosen->waiters.fetch_add(1, std::memory_order_relaxed);
-        chosen->mu.lock();
-        chosen->waiters.fetch_sub(1, std::memory_order_relaxed);
-      }
-      if (chosen_index > 0) {
-        stats_.second_log_used.fetch_add(1, std::memory_order_relaxed);
-        metrics::Inc(m_.second_log_used);
-      }
-    }
-  }
+  LogSet* chosen = AcquireSet(&chosen_index);
   if (chosen_index < m_.queue_depth.size()) {
     // Device queue depth observed by each commit on its chosen set — the
     // congestion signal parallel logging is meant to halve (Fig. 4).
@@ -178,6 +282,56 @@ Status WalManager::CommitFlushInternal(uint64_t txn_id, uint64_t bytes,
     metrics::Inc(m_.degraded_commits);
   }
   return s;
+}
+
+Status WalManager::CommitFlushAsync(uint64_t txn_id, uint64_t bytes,
+                                    const std::vector<log::RedoOp>& ops,
+                                    CommitAckFn ack, uint64_t* out_lsn) {
+  if (!config_.async_commit || !running_.load(std::memory_order_acquire)) {
+    // No epoch thread to cover us: synchronous commit, ack inline. The
+    // running_ re-check under the set lock below closes the Stop race; this
+    // early check just spares the common stopped/disabled case the park.
+    Status s = ops.empty() ? CommitFlushInternal(txn_id, bytes, nullptr, out_lsn)
+                           : CommitFlushInternal(txn_id, bytes, &ops, out_lsn);
+    ack(s);
+    return Status::OK();
+  }
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  stats_.async_commits.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(m_.commits);
+  metrics::Inc(m_.async_commits);
+  metrics::Inc(m_.commit_bytes, bytes);
+
+  size_t chosen_index = 0;
+  LogSet* chosen = AcquireSet(&chosen_index);
+  if (chosen_index < m_.queue_depth.size()) {
+    metrics::Observe(m_.queue_depth[chosen_index],
+                     chosen->disk.queue_length());
+  }
+  if (!ops.empty()) {
+    // XLogInsert only: the epoch barrier does the device work later.
+    const uint64_t lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+    log::AppendLogFrame(lsn, txn_id, ops, &chosen->image);
+    if (out_lsn != nullptr) *out_lsn = lsn;
+    TDP_CRASH_POINT("wal.append");
+  }
+  if (!running_.load(std::memory_order_relaxed)) {
+    // Stop() already drained this set's waiters; parking now would strand
+    // the ack. Flush synchronously instead (same path a stopped log takes).
+    const Status s = WriteAndFlush(chosen, bytes);
+    chosen->mu.unlock();
+    if (!s.ok()) {
+      stats_.degraded_commits.fetch_add(1, std::memory_order_relaxed);
+      metrics::Inc(m_.degraded_commits);
+    }
+    ack(s);
+    return Status::OK();
+  }
+  chosen->pending_bytes += bytes;
+  chosen->epoch_waiters.push_back(
+      LogSet::EpochWaiter{chosen->image.size(), std::move(ack)});
+  chosen->mu.unlock();
+  return Status::OK();
 }
 
 std::vector<std::vector<uint8_t>> WalManager::CrashImages(

@@ -15,9 +15,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
@@ -44,11 +47,30 @@ struct WalConfig {
   /// error instead of blocking. Off by default: a strict commit keeps
   /// retrying until its WAL is down.
   bool degrade_on_stall = false;
+  /// Epoch-based asynchronous group commit (docs/group_commit.md): when
+  /// true, Start() spawns an epoch thread and CommitFlushAsync parks the
+  /// caller's ack on its chosen set's current epoch. Once per
+  /// epoch_interval_ns the epoch thread writes each set's pending payload,
+  /// issues one barrier per set, and fires the covered acks.
+  bool async_commit = false;
+  /// Epoch length for async_commit (a tuning knob, docs/tuning.md).
+  int64_t epoch_interval_ns = 50 * 1000;
 };
 
 class WalManager {
  public:
   explicit WalManager(WalConfig config);
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Starts the epoch thread (needed for async_commit; no-op otherwise).
+  void Start();
+  /// Stops the epoch thread *without* flushing pending epochs, then
+  /// resolves every parked ack: OK iff an earlier barrier covered its
+  /// frame, non-OK otherwise — an acked-OK-but-lost commit is impossible.
+  void Stop();
 
   /// Flushes `bytes` of WAL for a committing transaction, per the mode.
   /// Non-OK only in degraded mode: kBusy when the device stall deadline
@@ -64,6 +86,26 @@ class WalManager {
   Status CommitFlush(uint64_t txn_id, uint64_t bytes,
                      const std::vector<log::RedoOp>& ops,
                      uint64_t* out_lsn = nullptr);
+
+  /// Durability acknowledgement for CommitFlushAsync: fired exactly once,
+  /// OK iff the commit's frame is covered by a successful barrier.
+  using CommitAckFn = std::function<void(const Status&)>;
+
+  /// Like CommitFlush(txn_id, ...) but returns as soon as the frame is in
+  /// the chosen set's WAL buffer; the ack parks on that set's epoch and
+  /// fires once an epoch barrier covers it (config.async_commit,
+  /// docs/group_commit.md). Without a running epoch thread this degrades
+  /// to a synchronous flush with an inline ack. Pass empty `ops` for a
+  /// byte-only commit (no recoverable payload).
+  Status CommitFlushAsync(uint64_t txn_id, uint64_t bytes,
+                          const std::vector<log::RedoOp>& ops,
+                          CommitAckFn ack, uint64_t* out_lsn = nullptr);
+
+  /// Barriers every log set until its whole image is durable (the
+  /// write-ahead rule for checkpoints, docs/group_commit.md). Returns the
+  /// first failure; on non-OK some set's durable watermark may still trail
+  /// its appended frames.
+  Status ForceDurable();
 
   /// The byte images a post-crash read of each set's log disk would see:
   /// per set, the durable prefix plus up to extra_tails[i] bytes of the
@@ -98,6 +140,8 @@ class WalManager {
     std::atomic<uint64_t> io_errors{0};   ///< Commits that gave up on I/O.
     std::atomic<uint64_t> degraded_commits{0};  ///< Commits that skipped or
                                                 ///< abandoned the flush.
+    std::atomic<uint64_t> async_commits{0};  ///< CommitFlushAsync calls.
+    std::atomic<uint64_t> epoch_flushes{0};  ///< Epoch rounds that fired acks.
   };
   const Stats& stats() const { return stats_; }
 
@@ -123,6 +167,17 @@ class WalManager {
     /// this to image.size() — including frames from earlier degraded
     /// commits on the same set.
     size_t durable_bytes = 0;
+    /// Async-commit payload bytes appended but not yet written; drained by
+    /// the next epoch barrier on this set (guarded by mu).
+    uint64_t pending_bytes = 0;
+    /// Acks parked on this set's epoch, in frame order (guarded by mu).
+    /// `offset` is the end of the commit's frame in `image`; the ack fires
+    /// OK once durable_bytes >= offset.
+    struct EpochWaiter {
+      size_t offset;
+      CommitAckFn ack;
+    };
+    std::vector<EpochWaiter> epoch_waiters;
   };
 
   /// Writes the block-aligned payload and issues the barrier, with bounded
@@ -132,10 +187,22 @@ class WalManager {
   Status CommitFlushInternal(uint64_t txn_id, uint64_t bytes,
                              const std::vector<log::RedoOp>* ops,
                              uint64_t* out_lsn);
+  /// Takes a set per the Section 6.2 protocol (free set, else fewest
+  /// waiters) and returns it *locked*; `index` gets its position.
+  LogSet* AcquireSet(size_t* index);
+  void EpochLoop();
+  /// One epoch round on one set: write its pending payload, barrier, fire
+  /// covered acks. No-op when the set has no parked commits.
+  void DrainEpochSet(LogSet* set);
 
   WalConfig config_;
   std::vector<std::unique_ptr<LogSet>> sets_;
   std::atomic<uint64_t> next_lsn_{1};  ///< Global WAL insert position.
+  std::atomic<bool> running_{false};
+  std::thread epoch_;  ///< Async group-commit epoch thread (async_commit).
+  /// Interrupts the epoch thread's inter-round nap so Stop() is prompt.
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
   Stats stats_;
   // Registry handles (null when metrics are disarmed or compiled out).
   // `wal.commit_bytes` is requested payload; `wal.bytes_written` is the
@@ -153,6 +220,9 @@ class WalManager {
     metrics::Counter* io_retries = nullptr;
     metrics::Counter* io_errors = nullptr;
     metrics::Counter* degraded_commits = nullptr;
+    metrics::Counter* async_commits = nullptr;
+    metrics::Counter* epoch_flushes = nullptr;
+    Histogram* epoch_batch = nullptr;  ///< Acks fired per epoch barrier.
     std::vector<Histogram*> queue_depth;  ///< wal.queue_depth.set<i>
   };
   MetricHandles m_;

@@ -22,6 +22,8 @@ TransactionService::TransactionService(engine::Database* db,
   m_.completed = reg.GetCounter("server.completed");
   m_.completed_ok = reg.GetCounter("server.completed.ok");
   m_.drain_aborted = reg.GetCounter("server.drain_aborted");
+  m_.async_acks = reg.GetCounter("server.async_acks");
+  m_.sync_acks = reg.GetCounter("server.sync_acks");
   m_.dispatches_policy = reg.GetCounter(
       std::string("server.dispatches.") + DispatchPolicyName(config_.policy));
   m_.queue_depth = reg.GetGauge("server.queue_depth");
@@ -67,6 +69,12 @@ void TransactionService::Shutdown() {
     if (t.joinable()) t.join();
   }
   workers_.clear();
+  // Async-ack requests whose durability is still parked on an epoch: wait
+  // for their acks so no callback is pending after Shutdown returns.
+  std::unique_lock<std::mutex> lk(ack_mu_);
+  ack_cv_.wait(lk, [this] {
+    return outstanding_acks_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 Status TransactionService::Submit(engine::TxnBody body, DoneFn done) {
@@ -155,6 +163,8 @@ TransactionService::Stats TransactionService::stats() const {
   s.completed = completed_.load(std::memory_order_relaxed);
   s.completed_ok = completed_ok_.load(std::memory_order_relaxed);
   s.drain_aborted = drain_aborted_.load(std::memory_order_relaxed);
+  s.async_acks = async_acks_.load(std::memory_order_relaxed);
+  s.sync_acks = sync_acks_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -187,7 +197,52 @@ void TransactionService::WorkerLoop() {
     Request& req = *entry.item;
     ++req.dispatches;
     metrics::Inc(m_.dispatches_policy);
-    Status s = engine::RunTxn(*conn, config_.retry, req.body);
+    Status s;
+    if (config_.async_ack) {
+      // Hand the request's completion to the commit ack: the worker is free
+      // to dispatch the next request while durability is in flight on the
+      // log's epoch. Ownership moves into the closure *before* the call —
+      // the ack may fire inline (read-only txn, sync-fallback engine) and
+      // must not race the worker's unique_ptr. done_ns is stamped when the
+      // ack fires, so epoch parking lands in server.latency_ns.
+      outstanding_acks_.fetch_add(1, std::memory_order_acq_rel);
+      Request* raw = entry.item.release();
+      s = engine::RunTxnAsync(
+          *conn, config_.retry, raw->body,
+          [this, raw, dispatch_ns](const Status& st) {
+            std::unique_ptr<Request> owned(raw);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            metrics::Inc(m_.completed);
+            if (st.ok()) {
+              completed_ok_.fetch_add(1, std::memory_order_relaxed);
+              metrics::Inc(m_.completed_ok);
+            }
+            async_acks_.fetch_add(1, std::memory_order_relaxed);
+            metrics::Inc(m_.async_acks);
+            Complete(std::move(owned), st, dispatch_ns, NowNanos());
+            // Decrement and notify under ack_mu_: Shutdown's waiter can
+            // only observe zero while holding the lock, so it cannot return
+            // (and let the destructor free ack_cv_) before notify_all here
+            // has completed.
+            std::lock_guard<std::mutex> g(ack_mu_);
+            if (outstanding_acks_.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+              ack_cv_.notify_all();
+            }
+          });
+      if (s.ok()) continue;  // The ack owns the request now (or already did).
+      // The logical commit failed: the ack never fires. Reclaim the request
+      // and fall through to the shared requeue / sync-completion path.
+      entry.item.reset(raw);
+      {
+        std::lock_guard<std::mutex> g(ack_mu_);
+        if (outstanding_acks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          ack_cv_.notify_all();
+        }
+      }
+    } else {
+      s = engine::RunTxn(*conn, config_.retry, req.body);
+    }
     if (!s.ok() && engine::RetryableTxnError(s, config_.retry) &&
         req.dispatches < config_.max_dispatches) {
       req.last_error = s;
@@ -211,6 +266,8 @@ void TransactionService::WorkerLoop() {
       completed_ok_.fetch_add(1, std::memory_order_relaxed);
       metrics::Inc(m_.completed_ok);
     }
+    sync_acks_.fetch_add(1, std::memory_order_relaxed);
+    metrics::Inc(m_.sync_acks);
     Complete(std::move(entry.item), std::move(s), dispatch_ns, NowNanos());
   }
 }

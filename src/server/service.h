@@ -63,6 +63,14 @@ struct ServiceConfig {
   /// (server.drain_aborted). In-flight transactions always run to
   /// completion either way.
   bool drain_completes_backlog = true;
+  /// Asynchronous acknowledgement (docs/group_commit.md): workers commit
+  /// through engine::RunTxnAsync and hand the request's DoneFn to the log's
+  /// epoch instead of blocking on the flush — the worker dispatches the
+  /// next admitted request while durability is in flight. done_ns (and the
+  /// server.latency_ns the tuner minimizes) is stamped at ack time, so
+  /// epoch parking is part of the measured latency. Invariant:
+  /// server.async_acks + server.sync_acks == server.completed.
+  bool async_ack = false;
 };
 
 /// Per-request outcome, timestamped for open-loop latency measurement.
@@ -91,6 +99,8 @@ class TransactionService {
     uint64_t completed = 0;      ///< Reached a final status via a worker.
     uint64_t completed_ok = 0;
     uint64_t drain_aborted = 0;  ///< Unstarted backlog aborted at shutdown.
+    uint64_t async_acks = 0;     ///< Completions delivered by a commit ack.
+    uint64_t sync_acks = 0;      ///< Completions delivered inline by a worker.
   };
 
   TransactionService(engine::Database* db, ServiceConfig config);
@@ -157,7 +167,15 @@ class TransactionService {
 
   std::atomic<uint64_t> submitted_{0}, admitted_{0}, shed_{0},
       rejected_recovering_{0}, expired_{0}, requeues_{0}, completed_{0},
-      completed_ok_{0}, drain_aborted_{0};
+      completed_ok_{0}, drain_aborted_{0}, async_acks_{0}, sync_acks_{0};
+
+  // Async-ack drain barrier: Shutdown joins the workers, then waits here
+  // until every ack handed to an epoch has fired (the engine's epoch thread
+  // delivers them; engine Stop() resolves any leftovers, so the wait is
+  // bounded by the engine's lifetime, which must exceed the service's).
+  std::atomic<int64_t> outstanding_acks_{0};
+  mutable std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
 
   struct MetricHandles {
     metrics::Counter* submitted = nullptr;
@@ -169,6 +187,8 @@ class TransactionService {
     metrics::Counter* completed = nullptr;
     metrics::Counter* completed_ok = nullptr;
     metrics::Counter* drain_aborted = nullptr;
+    metrics::Counter* async_acks = nullptr;
+    metrics::Counter* sync_acks = nullptr;
     metrics::Counter* dispatches_policy = nullptr;
     metrics::Gauge* queue_depth = nullptr;
     Histogram* queue_age_ns = nullptr;

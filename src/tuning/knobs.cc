@@ -23,18 +23,22 @@ Result<log::FlushPolicy> ParseFlushPolicy(const std::string& name) {
 }
 
 std::string KnobConfig::Label() const {
-  char buf[160];
+  char buf[200];
   if (engine == engine::EngineKind::kMySQLMini) {
-    std::snprintf(buf, sizeof(buf), "mysql sched=%s bp=%llu flush=%s gc=%d w=%d",
+    std::snprintf(buf, sizeof(buf),
+                  "mysql sched=%s bp=%llu flush=%s gc=%d w=%d ep=%lld ts=%d",
                   lock::SchedulerPolicyName(scheduler),
                   static_cast<unsigned long long>(buffer_pool_pages),
                   log::FlushPolicyName(flush_policy), group_commit ? 1 : 0,
-                  workers);
+                  workers, static_cast<long long>(epoch_interval_ns),
+                  table_shards);
   } else {
-    std::snprintf(buf, sizeof(buf), "pg sched=%s block=%llu sets=%d w=%d",
+    std::snprintf(buf, sizeof(buf),
+                  "pg sched=%s block=%llu sets=%d w=%d ep=%lld ts=%d",
                   lock::SchedulerPolicyName(scheduler),
                   static_cast<unsigned long long>(wal_block_bytes),
-                  num_log_sets, workers);
+                  num_log_sets, workers,
+                  static_cast<long long>(epoch_interval_ns), table_shards);
   }
   return buf;
 }
@@ -52,6 +56,8 @@ json::Value KnobConfig::ToJson() const {
         json::Value::Int(static_cast<int64_t>(wal_block_bytes)));
   v.Set("num_log_sets", json::Value::Int(num_log_sets));
   v.Set("workers", json::Value::Int(workers));
+  v.Set("epoch_interval_ns", json::Value::Int(epoch_interval_ns));
+  v.Set("table_shards", json::Value::Int(table_shards));
   return v;
 }
 
@@ -121,10 +127,14 @@ Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
   int64_t block = static_cast<int64_t>(out.wal_block_bytes);
   int64_t sets = out.num_log_sets;
   int64_t workers = out.workers;
+  int64_t epoch = out.epoch_interval_ns;
+  int64_t shards = out.table_shards;
   for (Status st : {ReadInt(v, "buffer_pool_pages", &bp),
                     ReadInt(v, "wal_block_bytes", &block),
                     ReadInt(v, "num_log_sets", &sets),
                     ReadInt(v, "workers", &workers),
+                    ReadInt(v, "epoch_interval_ns", &epoch),
+                    ReadInt(v, "table_shards", &shards),
                     ReadBool(v, "group_commit", &out.group_commit)}) {
     if (!st.ok()) return st;
   }
@@ -132,10 +142,14 @@ Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
   if (block < 0) return Status::InvalidArgument("wal_block_bytes: negative");
   if (sets < 0) return Status::InvalidArgument("num_log_sets: negative");
   if (workers < 1) return Status::InvalidArgument("workers: must be >= 1");
+  if (epoch < 0) return Status::InvalidArgument("epoch_interval_ns: negative");
+  if (shards < 0) return Status::InvalidArgument("table_shards: negative");
   out.buffer_pool_pages = static_cast<uint64_t>(bp);
   out.wal_block_bytes = static_cast<uint64_t>(block);
   out.num_log_sets = static_cast<int>(sets);
   out.workers = static_cast<int>(workers);
+  out.epoch_interval_ns = epoch;
+  out.table_shards = static_cast<int>(shards);
   return out;
 }
 
@@ -148,16 +162,22 @@ std::vector<KnobConfig> KnobSpace::Enumerate() const {
           for (uint64_t block : wal_block_bytes) {
             for (int sets : num_log_sets) {
               for (int w : workers) {
-                KnobConfig k;
-                k.engine = engine;
-                k.scheduler = sched;
-                k.buffer_pool_pages = bp;
-                k.flush_policy = fp;
-                k.group_commit = gc;
-                k.wal_block_bytes = block;
-                k.num_log_sets = sets;
-                k.workers = w;
-                out.push_back(k);
+                for (int64_t ep : epoch_interval_ns) {
+                  for (int ts : table_shards) {
+                    KnobConfig k;
+                    k.engine = engine;
+                    k.scheduler = sched;
+                    k.buffer_pool_pages = bp;
+                    k.flush_policy = fp;
+                    k.group_commit = gc;
+                    k.wal_block_bytes = block;
+                    k.num_log_sets = sets;
+                    k.workers = w;
+                    k.epoch_interval_ns = ep;
+                    k.table_shards = ts;
+                    out.push_back(k);
+                  }
+                }
               }
             }
           }
@@ -200,6 +220,12 @@ json::Value KnobSpace::ToJson() const {
   json::Value ws = json::Value::Array();
   for (int w : workers) ws.Append(json::Value::Int(w));
   v.Set("workers", std::move(ws));
+  json::Value eps = json::Value::Array();
+  for (int64_t e : epoch_interval_ns) eps.Append(json::Value::Int(e));
+  v.Set("epoch_interval_ns", std::move(eps));
+  json::Value tss = json::Value::Array();
+  for (int t : table_shards) tss.Append(json::Value::Int(t));
+  v.Set("table_shards", std::move(tss));
   return v;
 }
 
@@ -268,6 +294,13 @@ Result<KnobSpace> KnobSpace::FromJson(const json::Value& v) {
     return item.as_bool();
   };
 
+  auto parse_i64 = [](const json::Value& item) -> Result<int64_t> {
+    if (!item.is_number() || item.as_int() < 0) {
+      return Status::InvalidArgument("expected non-negative number");
+    }
+    return item.as_int();
+  };
+
   for (Status st :
        {ReadArray(v, "schedulers", &out.schedulers, parse_sched),
         ReadArray(v, "buffer_pool_pages", &out.buffer_pool_pages, parse_u64),
@@ -275,7 +308,9 @@ Result<KnobSpace> KnobSpace::FromJson(const json::Value& v) {
         ReadArray(v, "group_commit", &out.group_commit, parse_bool),
         ReadArray(v, "wal_block_bytes", &out.wal_block_bytes, parse_u64),
         ReadArray(v, "num_log_sets", &out.num_log_sets, parse_int),
-        ReadArray(v, "workers", &out.workers, parse_int)}) {
+        ReadArray(v, "workers", &out.workers, parse_int),
+        ReadArray(v, "epoch_interval_ns", &out.epoch_interval_ns, parse_i64),
+        ReadArray(v, "table_shards", &out.table_shards, parse_int)}) {
     if (!st.ok()) return st;
   }
   for (int w : out.workers) {

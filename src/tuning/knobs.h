@@ -49,6 +49,14 @@ struct KnobConfig {
   /// TransactionService worker-pool size (the volt-style worker knob).
   int workers = 4;
 
+  /// Epoch-based group commit (docs/group_commit.md): > 0 turns on the
+  /// engine's async commit path with this epoch length, and the service
+  /// acknowledges at commit-ack time (async_ack). 0 = blocking commits.
+  int64_t epoch_interval_ns = 0;
+  /// Hot-path table granularity: buckets for the lock table and buffer-pool
+  /// page hash (tdp::ShardedHashTable). 0 = engine defaults.
+  int table_shards = 0;
+
   /// Stable human-readable identity; used as the arm name in TUNE_*.json
   /// and the recommendation table.
   std::string Label() const;
@@ -73,6 +81,8 @@ struct KnobSpace {
   std::vector<uint64_t> wal_block_bytes = {0};
   std::vector<int> num_log_sets = {0};
   std::vector<int> workers = {4};
+  std::vector<int64_t> epoch_interval_ns = {0};
+  std::vector<int> table_shards = {0};
 
   /// Cross-product, in deterministic order (outermost knob varies slowest).
   std::vector<KnobConfig> Enumerate() const;

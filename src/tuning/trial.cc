@@ -23,6 +23,15 @@ engine::EngineConfig MaterializeEngineConfig(const KnobConfig& knobs,
     }
     cfg.mysql.flush_policy = knobs.flush_policy;
     cfg.mysql.log_group_commit = knobs.group_commit;
+    if (knobs.epoch_interval_ns > 0) {
+      cfg.mysql.log_async_commit = true;
+      cfg.mysql.log_epoch_interval_ns = knobs.epoch_interval_ns;
+    }
+    if (knobs.table_shards > 0) {
+      cfg.mysql.lock.num_shards = knobs.table_shards;
+      cfg.mysql.buffer_hash_buckets =
+          static_cast<size_t>(knobs.table_shards);
+    }
     cfg.mysql.seed = seed;
   } else {
     cfg.pg = core::Toolkit::PgDefault(
@@ -30,6 +39,11 @@ engine::EngineConfig MaterializeEngineConfig(const KnobConfig& knobs,
         knobs.wal_block_bytes > 0 ? knobs.wal_block_bytes : 8192);
     if (knobs.num_log_sets > 0) cfg.pg.wal.num_log_sets = knobs.num_log_sets;
     cfg.pg.lock.policy = knobs.scheduler;
+    if (knobs.epoch_interval_ns > 0) {
+      cfg.pg.wal.async_commit = true;
+      cfg.pg.wal.epoch_interval_ns = knobs.epoch_interval_ns;
+    }
+    if (knobs.table_shards > 0) cfg.pg.lock.num_shards = knobs.table_shards;
     cfg.pg.seed = seed;
   }
   return cfg;
@@ -71,6 +85,10 @@ TrialMeasurement TrialRunner::Measure(const KnobConfig& knobs, int replicate) {
   // One dispatch per attempt so retryable aborts requeue and the dispatch
   // policy acts on them (the service-layer measurement posture).
   svc_cfg.retry.max_attempts = 1;
+  // Epoch-commit arms acknowledge at commit-ack time so the scored
+  // server.latency_ns includes epoch parking (the tuner must see the wait
+  // it is trading throughput against).
+  svc_cfg.async_ack = knobs.epoch_interval_ns > 0;
   server::TransactionService svc(db.value().get(), svc_cfg);
   svc.Start();
 

@@ -1,0 +1,164 @@
+// CATS weight conservation (the blocked_weight_ ledger audit): every wait
+// edge a waiter registers must be deducted again on EVERY exit path —
+// grant, timeout, deadlock victim, and release — so the scheduler's weights
+// match the live wait-for graph exactly and drift to zero at quiesce. A
+// leaked entry would permanently bias CATS toward the leaking transaction's
+// blockers; a negative one would starve them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/work.h"
+#include "lock/lock_manager.h"
+
+namespace tdp::lock {
+namespace {
+
+constexpr RecordId kHot{1, 1};
+
+LockManagerConfig CatsConfig(int64_t timeout_ns = MillisToNanos(5000)) {
+  LockManagerConfig cfg;
+  cfg.policy = SchedulerPolicy::kCATS;
+  cfg.wait_timeout_ns = timeout_ns;
+  return cfg;
+}
+
+/// Both ledgers must agree and be empty once no transaction is waiting.
+void ExpectQuiesced(const LockManager& lm) {
+  EXPECT_EQ(lm.TotalBlockedWeight(), 0);
+  EXPECT_EQ(lm.NumWaitEdges(), 0u);
+}
+
+TEST(CatsWeightPropertyTest, WeightEqualsWaitEdgesAtSteadyState) {
+  LockManager lm(CatsConfig());
+  TxnContext holder(1);
+  ASSERT_TRUE(lm.Lock(&holder, kHot, LockMode::kX).ok());
+
+  // Two parked waiters: w1 -> holder, w2 -> holder, w2 -> w1 (ahead in the
+  // queue) = 3 edges, and the total blocked weight is the same 3 (holder
+  // carries 2, w1 carries 1).
+  TxnContext w1(2), w2(3);
+  std::thread t1([&] {
+    EXPECT_TRUE(lm.Lock(&w1, kHot, LockMode::kX).ok());
+    lm.ReleaseAll(&w1);
+  });
+  while (lm.QueueDepths(kHot).second != 1) SpinFor(5000);
+  std::thread t2([&] {
+    EXPECT_TRUE(lm.Lock(&w2, kHot, LockMode::kX).ok());
+    lm.ReleaseAll(&w2);
+  });
+  while (lm.QueueDepths(kHot).second != 2) SpinFor(5000);
+
+  EXPECT_EQ(lm.TotalBlockedWeight(), 3);
+  EXPECT_EQ(lm.NumWaitEdges(), 3u);
+  EXPECT_EQ(static_cast<size_t>(lm.TotalBlockedWeight()), lm.NumWaitEdges());
+
+  lm.ReleaseAll(&holder);
+  t1.join();
+  t2.join();
+  ExpectQuiesced(lm);
+}
+
+TEST(CatsWeightPropertyTest, TimeoutExitReturnsEveryRegisteredEdge) {
+  LockManager lm(CatsConfig(MillisToNanos(20)));
+  TxnContext holder(1);
+  ASSERT_TRUE(lm.Lock(&holder, kHot, LockMode::kX).ok());
+
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> ts;
+  std::atomic<int> timeouts{0};
+  for (int i = 0; i < kWaiters; ++i) {
+    ts.emplace_back([&, i] {
+      TxnContext w(static_cast<uint64_t>(i + 2));
+      if (!lm.Lock(&w, kHot, LockMode::kX).ok()) timeouts.fetch_add(1);
+      lm.ReleaseAll(&w);
+    });
+  }
+  for (auto& t : ts) t.join();
+  // The holder never released: every waiter left through the timeout path.
+  EXPECT_EQ(timeouts.load(), kWaiters);
+  ExpectQuiesced(lm);  // ...and every edge they registered came back
+  EXPECT_EQ(lm.BlockedWeight(holder.id), 0);
+
+  lm.ReleaseAll(&holder);
+  ExpectQuiesced(lm);
+}
+
+TEST(CatsWeightPropertyTest, DeadlockVictimExitReturnsEveryRegisteredEdge) {
+  LockManager lm(CatsConfig());
+  const RecordId r1{2, 1}, r2{2, 2};
+  TxnContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Lock(&t1, r1, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(&t2, r2, LockMode::kX).ok());
+  std::atomic<int> deadlocks{0};
+  std::thread a([&] {
+    if (lm.Lock(&t1, r2, LockMode::kX).IsDeadlock()) deadlocks.fetch_add(1);
+    lm.ReleaseAll(&t1);
+  });
+  std::thread b([&] {
+    if (lm.Lock(&t2, r1, LockMode::kX).IsDeadlock()) deadlocks.fetch_add(1);
+    lm.ReleaseAll(&t2);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(deadlocks.load(), 1);  // exactly one victim broke the cycle
+  ExpectQuiesced(lm);
+}
+
+// The property proper: randomized multi-record churn mixing grants,
+// upgrades, timeouts, and deadlock victims. Whatever path each waiter took
+// out of the queue, the weight and edge ledgers end exactly empty.
+TEST(CatsWeightPropertyTest, RandomChurnConservesWeightAtQuiesce) {
+  LockManager lm(CatsConfig(MillisToNanos(10)));
+  constexpr int kThreads = 8;
+  constexpr int kIters = 150;
+  constexpr uint64_t kRecords = 6;
+  std::atomic<uint64_t> next_id{1};
+  std::atomic<int> granted{0}, denied{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 7919 + 17);
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t id = next_id.fetch_add(1);
+        TxnContext txn(id, static_cast<int64_t>(id) * 31);
+        // 2 records in random order with lock-order inversions: plenty of
+        // deadlocks; the short wait timeout adds timeout exits.
+        const uint64_t a = rng.Uniform(kRecords);
+        const uint64_t b = (a + 1 + rng.Uniform(kRecords - 1)) % kRecords;
+        const LockMode first =
+            rng.Bernoulli(0.3) ? LockMode::kS : LockMode::kX;
+        bool ok = lm.Lock(&txn, RecordId{1, a + 1}, first).ok();
+        if (ok && first == LockMode::kS && rng.Bernoulli(0.5)) {
+          // Upgrade pressure: S -> X on the same record.
+          ok = lm.Lock(&txn, RecordId{1, a + 1}, LockMode::kX).ok();
+        }
+        if (ok) {
+          ok = lm.Lock(&txn, RecordId{1, b + 1}, LockMode::kX).ok();
+        }
+        if (ok) {
+          granted.fetch_add(1);
+          SpinFor(1000);
+        } else {
+          denied.fetch_add(1);
+        }
+        lm.ReleaseAll(&txn);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_GT(granted.load(), 0);
+  ExpectQuiesced(lm);
+  // Empty queues were erased on the way out: no record entry lingers.
+  for (uint64_t r = 0; r < kRecords; ++r) {
+    const auto depths = lm.QueueDepths(RecordId{1, r + 1});
+    EXPECT_EQ(depths.first, 0u);
+    EXPECT_EQ(depths.second, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tdp::lock

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -214,6 +215,124 @@ TEST_F(CrashPointTest, StopReturnsWhenFlusherItselfTripsTheCrashPoint) {
   EXPECT_EQ(redo.durable_lsn(), 0u);
   CrashPoints::Global().Reset();
   EXPECT_TRUE(redo.RecoverCommitted().empty());
+}
+
+// --- epoch-based async group commit under crashes (docs/group_commit.md) ---
+
+// A crash at epoch.pre_flush fires after the epoch batch is parked but
+// before its leader flush: the WHOLE un-flushed epoch must be lost
+// atomically. No ack has fired yet, and none may fire OK afterwards — an
+// acked-but-lost commit is the failure mode this test rules out.
+TEST_F(CrashPointTest, EpochCrashLosesWholeUnflushedEpochAtomically) {
+  SimDiskConfig disk_cfg;
+  disk_cfg.base_latency_ns = 1000;
+  disk_cfg.sigma = 0;
+  disk_cfg.flush_barrier_ns = 0;
+  SimDisk disk(disk_cfg);
+
+  log::RedoLogConfig cfg;
+  cfg.policy = log::FlushPolicy::kEagerFlush;
+  cfg.disk = &disk;
+  cfg.async_commit = true;
+  cfg.epoch_interval_ns = MillisToNanos(2);
+  cfg.io_retry.backoff_ns = 1000;
+  log::RedoLog redo(cfg);
+  redo.Start();
+
+  CrashPoints::Global().Arm("epoch.pre_flush", 1);
+  std::atomic<int> fired{0}, ok{0};
+  for (int i = 0; i < 4; ++i) {
+    redo.CommitAsync(static_cast<uint64_t>(i + 1), 256, {},
+                     [&](const Status& s) {
+                       fired.fetch_add(1);
+                       if (s.ok()) ok.fetch_add(1);
+                     });
+  }
+  // The next epoch round (<= 2ms away) walks into the armed point.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!CrashPoints::Global().triggered() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(CrashPoints::Global().triggered());
+
+  redo.Stop();  // reboot boundary: resolves the stranded acks
+  EXPECT_EQ(fired.load(), 4);
+  EXPECT_EQ(ok.load(), 0);  // nobody was told their commit survived
+  EXPECT_EQ(redo.durable_lsn(), 0u);
+  CrashPoints::Global().Reset();
+  EXPECT_TRUE(redo.RecoverCommitted().empty());  // ...and nobody's did
+}
+
+// Mid-stream variant: one epoch lands (its acks fire OK), the next crashes
+// pre-flush. Recovery must hold exactly the acked epoch — the acked-OK set
+// and the recovered set stay identical across the crash.
+TEST_F(CrashPointTest, EpochCrashPreservesExactlyTheAckedPrefix) {
+  SimDiskConfig disk_cfg;
+  disk_cfg.base_latency_ns = 1000;
+  disk_cfg.sigma = 0;
+  disk_cfg.flush_barrier_ns = 0;
+  SimDisk disk(disk_cfg);
+
+  log::RedoLogConfig cfg;
+  cfg.policy = log::FlushPolicy::kEagerFlush;
+  cfg.disk = &disk;
+  cfg.async_commit = true;
+  cfg.epoch_interval_ns = MillisToNanos(1);
+  cfg.io_retry.backoff_ns = 1000;
+  log::RedoLog redo(cfg);
+  redo.Start();
+
+  // Epoch 1: two commits become durable and ack OK.
+  std::atomic<int> early_ok{0};
+  for (int i = 0; i < 2; ++i) {
+    redo.CommitAsync(
+        static_cast<uint64_t>(i + 1), 256,
+        {log::RedoOp{log::RedoOp::Kind::kPut, 1, static_cast<uint64_t>(i + 1),
+                     storage::Row{1}}},
+        [&](const Status& s) {
+          if (s.ok()) early_ok.fetch_add(1);
+        });
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (early_ok.load() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(early_ok.load(), 2);
+  ASSERT_GE(redo.durable_lsn(), 2u);
+
+  // Epoch 2 crashes before its flush: its commits are lost, unacked.
+  CrashPoints::Global().Arm("epoch.pre_flush", 1);
+  std::atomic<int> late_fired{0}, late_ok{0};
+  for (int i = 2; i < 4; ++i) {
+    redo.CommitAsync(
+        static_cast<uint64_t>(i + 1), 256,
+        {log::RedoOp{log::RedoOp::Kind::kPut, 1, static_cast<uint64_t>(i + 1),
+                     storage::Row{1}}},
+        [&](const Status& s) {
+          late_fired.fetch_add(1);
+          if (s.ok()) late_ok.fetch_add(1);
+        });
+  }
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!CrashPoints::Global().triggered() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(CrashPoints::Global().triggered());
+
+  redo.Stop();
+  EXPECT_EQ(late_fired.load(), 2);
+  EXPECT_EQ(late_ok.load(), 0);
+  EXPECT_EQ(redo.durable_lsn(), 2u);  // exactly the acked epoch
+
+  CrashPoints::Global().Reset();
+  const auto recovered = redo.RecoverCommitted();
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].lsn, 1u);
+  EXPECT_EQ(recovered[1].lsn, 2u);
 }
 
 }  // namespace

@@ -219,7 +219,7 @@ TEST(PgRecoveryTest, CheckpointPlusSuffixMatchesFullReplay) {
   CreateSchema(&db);
   const uint32_t acct = db.TableId("acct");
   CommitPuts(&db, 0, 3);
-  const engine::Checkpoint ckpt = db.TakeCheckpoint();
+  const engine::Checkpoint ckpt = db.TakeCheckpoint().value();
   EXPECT_EQ(ckpt.lsn, 3u);
   CommitPuts(&db, 3, 3);
 

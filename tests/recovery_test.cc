@@ -283,7 +283,7 @@ TEST(RecoveryTest, CheckpointPlusSuffixMatchesFullReplay) {
     ASSERT_TRUE(conn->Insert(acct, i, storage::Row{i}).ok());
     ASSERT_TRUE(conn->Commit().ok());
   }
-  const Checkpoint ckpt = db.TakeCheckpoint();
+  const Checkpoint ckpt = db.TakeCheckpoint().value();
   EXPECT_EQ(ckpt.lsn, 3u);
   for (int i = 3; i < 6; ++i) {
     ASSERT_TRUE(conn->Begin().ok());
@@ -293,7 +293,7 @@ TEST(RecoveryTest, CheckpointPlusSuffixMatchesFullReplay) {
   // Survive one torn checkpoint write: the two-slot store falls back.
   CheckpointStore store;
   store.Save(EncodeCheckpoint(ckpt));
-  store.Save(EncodeCheckpoint(db.TakeCheckpoint()));
+  store.Save(EncodeCheckpoint(db.TakeCheckpoint().value()));
   store.TearNewest(7);
   const auto loaded = store.LoadLatest();
   ASSERT_TRUE(loaded.has_value());

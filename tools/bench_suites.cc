@@ -226,6 +226,51 @@ json::Value ServerExperiment(server::DispatchPolicy policy, bool overload,
   });
 }
 
+/// Epoch-based async group commit through the service layer: eager
+/// durability with log_async_commit, so workers hand the request's DoneFn to
+/// the epoch at append time instead of blocking in Commit(). The invariant
+/// checks ride on `async_commit: true`: the ack partition must be exact and
+/// the epoch must have actually batched (log.epoch_batch count > 0).
+json::Value ServerAsyncCommitExperiment(uint64_t n) {
+  json::Value p = json::Value::Object();
+  p.Set("policy", json::Value::Str(
+                      server::DispatchPolicyName(server::DispatchPolicy::kFifo)));
+  p.Set("backend", json::Value::Str("mysqlmini"));
+  p.Set("overload", json::Value::Bool(false));
+  p.Set("async_commit", json::Value::Bool(true));
+  return RunExperiment("server.async_commit", "server", std::move(p), [&] {
+    engine::EngineConfig ecfg;
+    ecfg.mysql = core::Toolkit::MysqlDefault(lock::SchedulerPolicy::kFCFS);
+    // Eager + group commit keeps the flush on the commit path; the epoch
+    // thread turns it into one leader flush per parked batch.
+    ecfg.mysql.flush_policy = log::FlushPolicy::kEagerFlush;
+    ecfg.mysql.log_group_commit = true;
+    ecfg.mysql.log_async_commit = true;
+    ecfg.mysql.log_epoch_interval_ns = 100 * 1000;
+    auto db = MustOpen(engine::EngineKind::kMySQLMini, ecfg);
+    workload::Tpcc wl(core::Toolkit::TpccContended());
+    wl.Load(db.get());
+
+    server::ServiceConfig scfg;
+    scfg.workers = 8;
+    scfg.policy = server::DispatchPolicy::kFifo;
+    scfg.max_queue_depth = 4096;
+    scfg.retry.max_attempts = 1;
+    scfg.async_ack = true;
+    server::TransactionService svc(db.get(), scfg);
+    svc.Start();
+
+    workload::DriverConfig driver;
+    driver.tps = 300;
+    driver.num_txns = n;
+    driver.warmup_txns = n / 10;
+    driver.arrival = workload::ArrivalProcess::kPoisson;
+    const workload::RunResult run = workload::RunService(&svc, &wl, driver);
+    svc.Shutdown();
+    return core::Metrics::From(run);
+  });
+}
+
 json::Value Fig6VoltExperiment(uint64_t n) {
   return RunExperiment("fig6.voltmini", "voltmini", json::Value::Object(),
                        [&] { return RunVolt(/*workers=*/2, n); });
@@ -269,6 +314,9 @@ json::Value RunSuite(const std::string& suite) {
     experiments.Append(Fig4Experiment(/*parallel=*/false, SuiteN(3000)));
     experiments.Append(Fig4Experiment(/*parallel=*/true, SuiteN(3000)));
     experiments.Append(Fig6VoltExperiment(SuiteN(3000)));
+    // Group commit (docs/group_commit.md): the async-ack identity and the
+    // epoch-batch histogram are checked by CheckInvariants.
+    experiments.Append(ServerAsyncCommitExperiment(SuiteN(2000)));
   } else if (suite == "fig2") {
     const uint64_t n = SuiteN(8000);
     experiments.Append(Fig2Experiment(lock::SchedulerPolicy::kFCFS, n));
@@ -296,6 +344,7 @@ json::Value RunSuite(const std::string& suite) {
                                         /*overload=*/false, n));
     experiments.Append(ServerExperiment(server::DispatchPolicy::kFifo,
                                         /*overload=*/true, SuiteN(4000)));
+    experiments.Append(ServerAsyncCommitExperiment(n));
   } else {  // fig6
     const uint64_t n = SuiteN(6000);
     workload::DriverConfig driver = core::Toolkit::DriverDefault();
@@ -425,6 +474,15 @@ int64_t GaugeValue(const json::Value& exp, const std::string& name) {
   return v != nullptr && v->is_number() ? v->as_int() : INT64_MIN;
 }
 
+int64_t HistogramCount(const json::Value& exp, const std::string& name) {
+  const json::Value* metrics = exp.Find("metrics");
+  const json::Value* hists =
+      metrics != nullptr ? metrics->Find("histograms") : nullptr;
+  const json::Value* h = hists != nullptr ? hists->Find(name) : nullptr;
+  const json::Value* c = h != nullptr ? h->Find("count") : nullptr;
+  return c != nullptr && c->is_number() ? c->as_int() : -1;
+}
+
 bool ParamBool(const json::Value& exp, const std::string& name) {
   const json::Value* params = exp.Find("params");
   const json::Value* p = params != nullptr ? params->Find(name) : nullptr;
@@ -528,9 +586,28 @@ std::vector<std::string> CheckInvariants(const json::Value& doc) {
                 GaugeValue(exp, "server.queue_depth"), 0, &problems);
       RequirePositive(exp, "server.submitted", &problems);
       RequirePositive(exp, "server.completed.ok", &problems);
+      // Every completion is delivered exactly once, either by a commit ack
+      // (async group commit) or inline by the worker.
+      RequireEq(exp, "server.async_acks + server.sync_acks != server.completed",
+                Counter(exp, "server.async_acks") +
+                    Counter(exp, "server.sync_acks"),
+                Counter(exp, "server.completed"), &problems);
       if (ParamBool(exp, "overload")) {
         // A 2x-capacity offered load into a shallow bounded queue must shed.
         RequirePositive(exp, "server.shed", &problems);
+      }
+      if (ParamBool(exp, "async_commit")) {
+        // Eager + async group commit must actually batch: at least one epoch
+        // flush fired acks, and some completions came through the ack path.
+        RequirePositive(exp, "server.async_acks", &problems);
+        const int64_t batches = HistogramCount(exp, "log.epoch_batch");
+        if (batches <= 0) {
+          const json::Value* name = exp.Find("name");
+          problems.push_back(
+              (name != nullptr ? name->as_string() : std::string("?")) +
+              ": log.epoch_batch histogram empty under async group commit (" +
+              std::to_string(batches) + ")");
+        }
       }
     } else if (engine == "voltmini") {
       RequireEq(exp, "volt.submits != volt.completions",

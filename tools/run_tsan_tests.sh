@@ -31,6 +31,9 @@ TESTS=(
   histogram_test
   sim_disk_test
   fault_injection_test
+  sharded_hash_table_test
+  group_commit_test
+  cats_weight_property_test
   "$@"
 )
 

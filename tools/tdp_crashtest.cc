@@ -38,6 +38,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -95,6 +96,47 @@ DbState PreloadState() {
   return state;
 }
 
+// Replays decoded redo frames with lsn > start_after onto `state` — the
+// exact transform engine::ReplayRedo applies to a catalog.
+void ApplyRecovered(const std::vector<log::RecoveredTxn>& recovered,
+                    uint64_t start_after, DbState* state) {
+  for (const log::RecoveredTxn& txn : recovered) {
+    if (txn.lsn <= start_after) continue;
+    for (const log::RedoOp& op : txn.ops) {
+      if (op.table >= state->size()) continue;
+      if (op.kind == log::RedoOp::Kind::kDelete) {
+        (*state)[op.table].erase(op.key);
+      } else {
+        (*state)[op.table][op.key] = op.after.cols;
+      }
+    }
+  }
+}
+
+// The state recovery is contracted to produce from a damaged log: the
+// checkpoint base (or the preload when there is none) plus every decodable
+// frame above the stamp, holes included. pg's parallel WAL documents
+// salvage-merge recovery (mid-stream corruption is data loss, not garbage),
+// so on corruption seeds this — not the committed-prefix property — is the
+// oracle.
+DbState SalvageModelState(const std::optional<engine::Checkpoint>& ckpt,
+                          const std::vector<log::RecoveredTxn>& recovered) {
+  DbState state = PreloadState();
+  uint64_t start_after = 0;
+  if (ckpt.has_value()) {
+    start_after = ckpt->lsn;
+    // RestoreCheckpoint clears each snapshotted table before loading it.
+    for (const engine::CheckpointTable& table : ckpt->tables) {
+      if (table.table_id >= state.size()) continue;
+      TableState fresh;
+      for (const auto& [key, row] : table.rows) fresh[key] = row.cols;
+      state[table.table_id] = std::move(fresh);
+    }
+  }
+  ApplyRecovered(recovered, start_after, &state);
+  return state;
+}
+
 void SetupSchema(engine::Database* db) {
   db->CreateTable("t0", 64);
   db->CreateTable("t1", 64);
@@ -145,6 +187,13 @@ struct SeedPlan {
   bool use_pg = false;
   int pg_log_sets = 1;
   bool group_commit = true;     // mysql only
+  /// Epoch-based async group commit (docs/group_commit.md): the workload
+  /// commits through Connection::CommitAsync and a transaction counts as
+  /// acked only once its parked ack fires OK — which the epoch protocol
+  /// guarantees happens strictly after its covering barrier, so the
+  /// durability check "every acked txn recovers" directly tests the
+  /// no-acked-but-lost property across epoch.pre_flush crashes.
+  bool async_epoch = false;
   bool use_checkpoints = false;
   uint64_t checkpoint_every = 6;
   // Crash scheduling: exactly one of crash_point / fault_crash, or neither
@@ -169,17 +218,26 @@ SeedPlan MakePlan(uint64_t seed, const std::string& engine_filter, Rng* rng) {
   }
   plan.pg_log_sets = ((seed >> 1) % 2) == 1 ? 2 : 1;
   plan.group_commit = rng->Bernoulli(0.5);
+  plan.async_epoch = rng->Bernoulli(0.35);
   plan.use_checkpoints = rng->Bernoulli(0.5);
   plan.checkpoint_every = 4 + rng->Uniform(8);
   const double crash_mode = rng->NextDouble();
   if (crash_mode < 0.55) {
+    // Async seeds add the epoch thread's pre-flush site: a crash there
+    // loses a whole parked epoch atomically.
     static const char* kMysqlPoints[] = {"redo.append", "redo.pre_flush",
-                                         "redo.post_flush"};
+                                         "redo.post_flush",
+                                         "epoch.pre_flush"};
     static const char* kPgPoints[] = {"wal.append", "wal.pre_flush",
-                                      "wal.post_flush"};
-    plan.crash_point = plan.use_pg ? kPgPoints[rng->Uniform(3)]
-                                   : kMysqlPoints[rng->Uniform(3)];
-    plan.crash_occurrence = 1 + rng->Uniform(3 * kMaxTxns);
+                                      "wal.post_flush", "epoch.pre_flush"};
+    const uint64_t npoints = plan.async_epoch ? 4 : 3;
+    plan.crash_point = plan.use_pg ? kPgPoints[rng->Uniform(npoints)]
+                                   : kMysqlPoints[rng->Uniform(npoints)];
+    // Epoch rounds fire far less often than per-commit points: keep the
+    // occurrence low enough that the armed point actually trips.
+    plan.crash_occurrence = plan.crash_point == "epoch.pre_flush"
+                                ? 1 + rng->Uniform(6)
+                                : 1 + rng->Uniform(3 * kMaxTxns);
   } else if (crash_mode < 0.80) {
     plan.fault_crash = true;
     plan.fault_written_fraction = rng->NextDouble();
@@ -245,6 +303,8 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
     cfg.wal.block_bytes = 4096;
     cfg.wal.num_log_sets = plan.pg_log_sets;
     cfg.wal.disk = log_disk;
+    cfg.wal.async_commit = plan.async_epoch;
+    cfg.wal.epoch_interval_ns = 200 * 1000;
     cfg.seed = seed + 1;
     pgdb = std::make_unique<pg::PgMini>(cfg);
     db = pgdb.get();
@@ -254,6 +314,8 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
     cfg.row_work_ns = 0;
     cfg.flush_policy = log::FlushPolicy::kEagerFlush;
     cfg.log_group_commit = plan.group_commit;
+    cfg.log_async_commit = plan.async_epoch;
+    cfg.log_epoch_interval_ns = 200 * 1000;
     cfg.data_disk = quick_disk;
     cfg.log_disk = log_disk;
     cfg.seed = seed + 1;
@@ -269,6 +331,14 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
 
   // --- workload ------------------------------------------------------------
   std::vector<OracleTxn> committed;
+  // Async seeds: per-txn ack outcome, written by the epoch thread and read
+  // only after the log is stopped (which resolves every pending ack).
+  struct AckState {
+    std::mutex mu;
+    bool fired = false;
+    bool ok = false;
+  };
+  std::vector<std::shared_ptr<AckState>> ack_states;  // parallel to committed
   DbState shadow = PreloadState();
   engine::CheckpointStore ckpt_store;
   uint64_t ckpt_saves = 0;
@@ -336,31 +406,47 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
       if (CrashPoints::Global().triggered()) break;
       continue;
     }
-    const Status cs = conn->Commit();
+    Status cs;
+    std::shared_ptr<AckState> ack_state;
+    if (plan.async_epoch) {
+      ack_state = std::make_shared<AckState>();
+      cs = conn->CommitAsync([ack_state](const Status& s) {
+        std::lock_guard<std::mutex> g(ack_state->mu);
+        ack_state->fired = true;
+        ack_state->ok = s.ok();
+      });
+    } else {
+      cs = conn->Commit();
+    }
     const bool crashed_now = CrashPoints::Global().triggered();
     if (cs.ok()) {
       // Engine state now includes this transaction (commit did not roll
-      // back), whether or not it is durable.
-      txn.acked = !crashed_now;
+      // back), whether or not it is durable. Async acked-ness is resolved
+      // after the log stops, from the ack itself.
+      txn.acked = !plan.async_epoch && !crashed_now;
       committed.push_back(txn);
+      ack_states.push_back(std::move(ack_state));
       shadow = std::move(scratch);
     }
     if (crashed_now) break;
 
     if (plan.use_checkpoints &&
         committed.size() % plan.checkpoint_every == 0 && !committed.empty()) {
-      const engine::Checkpoint ckpt =
+      // TakeCheckpoint enforces the write-ahead rule (forces the log
+      // durable through every assigned LSN). A refusal — the force tripped
+      // the crash or stalled — aborts this checkpoint, like a real system;
+      // the store keeps the previous snapshot.
+      const Result<engine::Checkpoint> ckpt =
           plan.use_pg ? pgdb->TakeCheckpoint() : mysql->TakeCheckpoint();
-      ckpt_store.Save(engine::EncodeCheckpoint(ckpt));
-      ++ckpt_saves;
+      if (ckpt.ok()) {
+        ckpt_store.Save(engine::EncodeCheckpoint(ckpt.value()));
+        ++ckpt_saves;
+      }
     }
   }
 
   result.crashed = CrashPoints::Global().triggered();
   result.committed = committed.size();
-  for (const OracleTxn& t : committed) {
-    if (t.acked) ++result.acked;
-  }
   const std::string crashed_by = CrashPoints::Global().triggered_by();
 
   // --- reboot --------------------------------------------------------------
@@ -368,6 +454,9 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
   // is exactly what a post-reboot log scan would see.
   std::vector<std::vector<uint8_t>> images;
   if (plan.use_pg) {
+    // CrashImages does not stop the epoch thread; stop explicitly so the
+    // durable watermarks freeze and every parked ack resolves (non-OK).
+    pgdb->wal().Stop();
     std::vector<uint64_t> tails;
     if (plan.torn_tail) {
       for (int i = 0; i < plan.pg_log_sets; ++i) {
@@ -378,6 +467,21 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
   } else {
     const uint64_t tail = plan.torn_tail ? rng.Uniform(4 * 1024) : 0;
     images.push_back(mysql->redo_log().CrashImage(tail));
+  }
+  // The log is stopped: every async ack has fired exactly once. A txn is
+  // acked iff its ack reported OK — i.e. the client was told it survived.
+  for (size_t i = 0; i < committed.size(); ++i) {
+    if (ack_states[i] == nullptr) continue;
+    std::lock_guard<std::mutex> g(ack_states[i]->mu);
+    if (!ack_states[i]->fired) {
+      result.ok = false;
+      result.error = "async ack never resolved after log stop";
+      return result;
+    }
+    committed[i].acked = ack_states[i]->ok;
+  }
+  for (const OracleTxn& t : committed) {
+    if (t.acked) ++result.acked;
   }
   bool corrupted = false;
   if (plan.corrupt) {
@@ -470,7 +574,14 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
 
   // --- verification --------------------------------------------------------
   // (1) Prefix property: the recovered state must equal the oracle state
-  // after some prefix of the committed transactions.
+  // after some prefix of the committed transactions. Some seeds can
+  // legitimately break this: pg's parallel WAL salvages every decodable
+  // frame across sets by contract (see tests/pg_recovery_test.cc), so a
+  // mid-stream LSN hole — one set's frames lost to a flipped bit or a torn
+  // tail while another set's survive, or the epoch thread caught mid-way
+  // through its per-set barriers — yields a non-prefix mixture. For those
+  // seeds only, fall back to salvage equivalence: the recovered state must
+  // equal checkpoint-base + every decoded frame above the stamp.
   DbState prefix_state = PreloadState();
   std::optional<uint64_t> matched_prefix;
   if (recovered_state == prefix_state) matched_prefix = 0;
@@ -478,18 +589,42 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
     ApplyTxn(committed[k], &prefix_state);
     if (recovered_state == prefix_state) matched_prefix = k + 1;
   }
-  if (!matched_prefix.has_value()) {
+  const bool holes_possible =
+      corrupted || (plan.use_pg && plan.pg_log_sets > 1 &&
+                    (plan.torn_tail || plan.async_epoch));
+  if (matched_prefix.has_value()) {
+    result.recovered_prefix = *matched_prefix;
+  } else if (!holes_possible) {
     result.ok = false;
     result.error =
         "recovered state matches no committed prefix (" +
         DescribeDiff(recovered_state, prefix_state) + " vs full state)";
     return result;
+  } else {
+    const DbState salvage = SalvageModelState(ckpt, recovered);
+    if (recovered_state != salvage) {
+      result.ok = false;
+      result.error = "holed recovery diverges from the salvage model (" +
+                     DescribeDiff(recovered_state, salvage) + ")";
+      return result;
+    }
+    // Durability in the salvage regime: acked frames were barriered durable
+    // on every set before the ack fired, so unless the corruption landed on
+    // them they must all still be in the decoded stream.
+    if (!corrupted && recovered.size() < result.acked) {
+      result.ok = false;
+      result.error = "acked transaction missing from salvaged stream: " +
+                     std::to_string(recovered.size()) + " decoded < acked " +
+                     std::to_string(result.acked);
+      return result;
+    }
   }
-  result.recovered_prefix = *matched_prefix;
 
   // (2) Durability: every acked transaction is recovered. Waived when we
-  // deliberately destroyed durable bytes (corruption seeds).
-  if (!corrupted && *matched_prefix < result.acked) {
+  // deliberately destroyed durable bytes (corruption seeds); the salvage
+  // fallback above carries its own version of this check.
+  if (!corrupted && matched_prefix.has_value() &&
+      *matched_prefix < result.acked) {
     result.ok = false;
     result.error = "acked transaction lost: recovered prefix " +
                    std::to_string(*matched_prefix) + " < acked " +
@@ -522,10 +657,11 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
 
   if (verbose) {
     std::printf(
-        "seed %llu: engine=%s%s committed=%llu acked=%llu prefix=%llu "
-        "crash=%s ckpt=%s torn=%d corrupt=%d image=%zu\n",
+        "seed %llu: engine=%s%s async=%d committed=%llu acked=%llu "
+        "prefix=%llu crash=%s ckpt=%s torn=%d corrupt=%d image=%zu\n",
         static_cast<unsigned long long>(seed), plan.use_pg ? "pg" : "mysql",
         plan.use_pg ? ("/" + std::to_string(plan.pg_log_sets)).c_str() : "",
+        plan.async_epoch ? 1 : 0,
         static_cast<unsigned long long>(result.committed),
         static_cast<unsigned long long>(result.acked),
         static_cast<unsigned long long>(result.recovered_prefix),
