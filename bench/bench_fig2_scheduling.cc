@@ -45,9 +45,14 @@ int main(int argc, char** argv) {
   const core::Metrics fcfs = RunPolicy(lock::SchedulerPolicy::kFCFS, n);
   const core::Metrics vats = RunPolicy(lock::SchedulerPolicy::kVATS, n);
   const core::Metrics rs = RunPolicy(lock::SchedulerPolicy::kRS, n);
+  // CP-VATS (docs/scheduling.md): VATS order reweighted by the online
+  // conflict predictor; the engine auto-creates the predictor for this
+  // policy and TPC-C declares its hot write footprints.
+  const core::Metrics cpvats = RunPolicy(lock::SchedulerPolicy::kCPVATS, n);
 
   std::printf("\nRatio (FCFS / scheduling algorithm):\n");
   bench::PrintRatios("VATS", core::Ratios::Of(fcfs, vats));
   bench::PrintRatios("RS", core::Ratios::Of(fcfs, rs));
+  bench::PrintRatios("CPVATS", core::Ratios::Of(fcfs, cpvats));
   return 0;
 }

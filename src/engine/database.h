@@ -21,8 +21,15 @@
 #include <memory>
 #include <string>
 
+#include <utility>
+#include <vector>
+
 #include "common/status.h"
 #include "storage/table.h"
+
+namespace tdp::sched {
+class ConflictPredictor;
+}  // namespace tdp::sched
 
 namespace tdp::engine {
 
@@ -103,6 +110,15 @@ class Connection {
   /// 0 when unknown. Used by the age/remaining-time study.
   virtual uint64_t current_txn_id() const { return 0; }
 
+  /// Declares the key footprint (sched::ConflictPredictor fingerprints of
+  /// the records the next transactions expect to write) for this
+  /// connection. Engines that support conflict-predictive lock scheduling
+  /// (kCPVATS, docs/scheduling.md) copy it into each transaction's context
+  /// at Begin; others ignore it. Sticky until redeclared.
+  void DeclareFootprint(std::vector<uint64_t> footprint) {
+    declared_footprint_ = std::move(footprint);
+  }
+
  protected:
   virtual Status DoBegin() = 0;
   virtual Status DoSelect(uint32_t table, uint64_t key) = 0;
@@ -125,6 +141,12 @@ class Connection {
   virtual Result<int64_t> DoReadColumn(uint32_t table, uint64_t key,
                                        size_t col) = 0;
 
+  /// The footprint most recently passed to DeclareFootprint (possibly
+  /// empty). Engines read it in DoBegin.
+  const std::vector<uint64_t>& declared_footprint() const {
+    return declared_footprint_;
+  }
+
  private:
   Status Note(Status s) {
     if (!s.ok()) last_error_ = s;
@@ -132,6 +154,7 @@ class Connection {
   }
 
   Status last_error_;
+  std::vector<uint64_t> declared_footprint_;
 };
 
 class Database {
@@ -152,6 +175,12 @@ class Database {
   virtual void BulkUpsert(uint32_t table, uint64_t key, storage::Row row) = 0;
 
   virtual uint64_t TableRowCount(uint32_t table) const = 0;
+
+  /// The engine's online conflict predictor when it runs one (mysqlmini
+  /// with enable_predictor or kCPVATS), else null. The server layer uses it
+  /// for kConflictAware admission steering so both decision points share one
+  /// model (docs/scheduling.md).
+  virtual sched::ConflictPredictor* conflict_predictor() { return nullptr; }
 };
 
 }  // namespace tdp::engine

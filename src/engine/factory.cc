@@ -38,6 +38,14 @@ Status ValidateMysql(const MySQLMiniConfig& c) {
     return Invalid("io_retry.max_attempts", "must be >= 1");
   if (c.rows_per_page == 0) return Invalid("rows_per_page", "must be >= 1");
   if (c.row_work_ns < 0) return Invalid("row_work_ns", "must be >= 0");
+  if (c.predictor.half_life_ns <= 0)
+    return Invalid("predictor.half_life_ns", "must be positive");
+  if (c.predictor.score_threshold < 0)
+    return Invalid("predictor.score_threshold", "must be >= 0");
+  if (c.predictor.table_buckets == 0)
+    return Invalid("predictor.table_buckets", "must be >= 1");
+  if (c.predictor.wait_weight < 0 || c.predictor.abort_weight < 0)
+    return Invalid("predictor weights", "must be >= 0");
   Status s = ValidateLock(c.lock);
   if (!s.ok()) return s;
   s = ValidateDisk("data_disk", c.data_disk);

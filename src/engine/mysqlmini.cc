@@ -15,6 +15,15 @@ MySQLMini::MySQLMini(MySQLMiniConfig config)
   log_cfg.seed += 17;
   log_disk_ = std::make_unique<SimDisk>(log_cfg);
 
+  // Conflict predictor (docs/scheduling.md): created before the lock
+  // manager so it can be installed as the manager's scorer. kCPVATS forces
+  // it on — the policy orders waiters by predicted weight and is inert
+  // without one.
+  if (config_.enable_predictor ||
+      config_.lock.policy == lock::SchedulerPolicy::kCPVATS) {
+    predictor_ = std::make_unique<sched::ConflictPredictor>(config_.predictor);
+    config_.lock.scorer = predictor_.get();
+  }
   lock_manager_ = std::make_unique<lock::LockManager>(config_.lock);
 
   buffer::BufferPoolConfig bp;
@@ -126,6 +135,9 @@ Status MySQLSession::DoBegin() {
   if (active_) return Status::InvalidArgument("transaction already open");
   auto [id, priority] = db_->NewTxnIdentity();
   txn_ = std::make_unique<lock::TxnContext>(id, priority);
+  // Written once here by the owning thread; kCPVATS grant passes read it
+  // while this transaction is suspended in a wait queue.
+  txn_->footprint = declared_footprint();
   active_ = true;
   must_abort_ = false;
   redo_bytes_ = 0;

@@ -29,6 +29,7 @@
 #include "engine/recovery.h"
 #include "lock/lock_manager.h"
 #include "log/redo_log.h"
+#include "sched/conflict_predictor.h"
 #include "storage/btree_model.h"
 #include "storage/catalog.h"
 
@@ -36,6 +37,14 @@ namespace tdp::engine {
 
 struct MySQLMiniConfig {
   lock::LockManagerConfig lock;
+
+  /// Run an online sched::ConflictPredictor fed by the lock manager's wait
+  /// outcomes (docs/scheduling.md). Forced on when lock.policy is kCPVATS —
+  /// that policy is inert without a scorer. The engine owns the predictor
+  /// and installs it as lock.scorer; any scorer already set in `lock` is
+  /// overridden.
+  bool enable_predictor = false;
+  sched::PredictorConfig predictor;
 
   size_t buffer_pool_pages = 4096;
   bool lazy_lru = false;                   ///< LLU (Section 6.1).
@@ -147,6 +156,9 @@ class MySQLMini : public Database {
   uint32_t TableId(const std::string& name) const override;
   void BulkUpsert(uint32_t table, uint64_t key, storage::Row row) override;
   uint64_t TableRowCount(uint32_t table) const override;
+  sched::ConflictPredictor* conflict_predictor() override {
+    return predictor_.get();
+  }
 
   // --- component access (tuning, tests, benches) --------------------------
   lock::LockManager& lock_manager() { return *lock_manager_; }
@@ -188,6 +200,9 @@ class MySQLMini : public Database {
   storage::Catalog catalog_;
   std::unique_ptr<SimDisk> data_disk_;
   std::unique_ptr<SimDisk> log_disk_;
+  /// Declared before lock_manager_: the manager holds a raw scorer pointer
+  /// into it, so the predictor must be destroyed after the manager.
+  std::unique_ptr<sched::ConflictPredictor> predictor_;
   std::unique_ptr<lock::LockManager> lock_manager_;
   std::unique_ptr<buffer::BufferPool> buffer_pool_;
   std::unique_ptr<log::RedoLog> redo_log_;

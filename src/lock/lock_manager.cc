@@ -13,6 +13,7 @@ const char* SchedulerPolicyName(SchedulerPolicy p) {
     case SchedulerPolicy::kVATS: return "VATS";
     case SchedulerPolicy::kRS: return "RS";
     case SchedulerPolicy::kCATS: return "CATS";
+    case SchedulerPolicy::kCPVATS: return "CPVATS";
   }
   return "?";
 }
@@ -116,6 +117,32 @@ std::vector<LockManager::RequestPtr> LockManager::ScheduleOrder(
                            return a->is_upgrade;
                          const int wa = weights.at(a->txn->id);
                          const int wb = weights.at(b->txn->id);
+                         if (wa != wb) return wa > wb;
+                         if (a->txn->birth_ns != b->txn->birth_ns)
+                           return a->txn->birth_ns < b->txn->birth_ns;
+                         return a->txn->id < b->txn->id;
+                       });
+      break;
+    }
+    case SchedulerPolicy::kCPVATS: {
+      // Snapshot each waiter's predicted blocking weight once (the scorer's
+      // counters decay with time, so a single `now` keeps the comparator's
+      // order strict); heaviest predicted blocker first, eldest on ties.
+      // Without a scorer every weight is 0 and this is exactly VATS.
+      std::unordered_map<uint64_t, double> weights;
+      weights.reserve(order.size());
+      const ConflictScorer* scorer = config_.scorer;
+      const int64_t now = NowNanos();
+      for (const RequestPtr& r : order) {
+        weights[r->txn->id] =
+            scorer != nullptr ? scorer->PredictedWeight(*r->txn, now) : 0.0;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&weights](const RequestPtr& a, const RequestPtr& b) {
+                         if (a->is_upgrade != b->is_upgrade)
+                           return a->is_upgrade;
+                         const double wa = weights.at(a->txn->id);
+                         const double wb = weights.at(b->txn->id);
                          if (wa != wb) return wa > wb;
                          if (a->txn->birth_ns != b->txn->birth_ns)
                            return a->txn->birth_ns < b->txn->birth_ns;
@@ -437,8 +464,14 @@ Status LockManager::Lock(TxnContext* txn, RecordId rec, LockMode mode) {
     std::lock_guard<std::mutex> g(observer_mu_);
     obs = observer_;
   }
-  if (obs) {
-    obs(WaitObservation{txn->id, age_at_enqueue, wait_ns, result.ok()});
+  const WaitObservation observation{txn->id, age_at_enqueue, wait_ns,
+                                    result.ok()};
+  if (obs) obs(observation);
+  // The online training signal: every suspension on `rec` was a conflict;
+  // deadlock/timeout outcomes weigh heavier (the scorer decides how much).
+  // Fired without internal locks held, like the observer.
+  if (config_.scorer != nullptr) {
+    config_.scorer->OnWaitOutcome(rec, observation, NowNanos());
   }
   return result;
 }

@@ -48,9 +48,43 @@ enum class SchedulerPolicy {
   /// adopted as its default (Section 9). Requires deadlock detection (the
   /// weights are maintained from the wait-for graph).
   kCATS,
+  /// Conflict-Predictive VATS: grant to the waiter whose transaction's
+  /// declared key footprint has the highest predicted future blocking
+  /// weight (learned online by a ConflictScorer from past wait/abort
+  /// outcomes), breaking ties eldest-first. With no scorer configured (or
+  /// empty footprints) the order degrades exactly to VATS.
+  kCPVATS,
 };
 
 const char* SchedulerPolicyName(SchedulerPolicy p);
+
+/// Reported to the observer each time a lock wait finishes (used by the
+/// age-vs-remaining-time study, Fig. 8 / Appendix C.2), and fed to the
+/// configured ConflictScorer as its online training signal.
+struct WaitObservation {
+  uint64_t txn_id = 0;
+  int64_t age_at_enqueue_ns = 0;
+  int64_t wait_ns = 0;
+  bool granted = false;
+};
+
+/// Online conflict-prediction seam (implemented by sched::ConflictPredictor;
+/// declared here so the lock manager never depends on src/sched). Both
+/// methods may be called concurrently from many lock-manager threads;
+/// PredictedWeight runs under a bucket lock and must not reenter the lock
+/// manager or block.
+class ConflictScorer {
+ public:
+  virtual ~ConflictScorer() = default;
+  /// Predicted future blocking weight of `txn`'s declared footprint —
+  /// CP-VATS sorts waiters by this, descending.
+  virtual double PredictedWeight(const TxnContext& txn,
+                                 int64_t now_ns) const = 0;
+  /// One finished lock wait on `rec`: granted after queueing, or aborted
+  /// (deadlock/timeout). Called without lock-manager locks held.
+  virtual void OnWaitOutcome(const RecordId& rec, const WaitObservation& obs,
+                             int64_t now_ns) = 0;
+};
 
 struct LockManagerConfig {
   SchedulerPolicy policy = SchedulerPolicy::kFCFS;
@@ -77,15 +111,10 @@ struct LockManagerConfig {
   /// tuning knob. More buckets shrink the chance two hot records share a
   /// critical section.
   int num_shards = 64;
-};
-
-/// Reported to the observer each time a lock wait finishes (used by the
-/// age-vs-remaining-time study, Fig. 8 / Appendix C.2).
-struct WaitObservation {
-  uint64_t txn_id = 0;
-  int64_t age_at_enqueue_ns = 0;
-  int64_t wait_ns = 0;
-  bool granted = false;
+  /// Conflict scorer for kCPVATS ordering and online learning. Not owned;
+  /// must outlive the manager. Null degrades kCPVATS to VATS and disables
+  /// the learning feed.
+  ConflictScorer* scorer = nullptr;
 };
 
 class LockManager {

@@ -52,6 +52,12 @@ struct TxnContext {
 
   // --- 2PL bookkeeping (accessed only by the owning thread) --------------
   std::vector<RecordId> held_records;
+
+  /// Declared key footprint: fingerprints (sched::ConflictPredictor) of the
+  /// records this transaction expects to write. Written once at Begin by the
+  /// owning thread, read by the lock manager's CP-VATS grant pass while the
+  /// transaction is suspended on a wait — never mutated mid-transaction.
+  std::vector<uint64_t> footprint;
 };
 
 }  // namespace tdp::lock

@@ -81,6 +81,9 @@ Status PgSession::DoBegin() {
   if (active_) return Status::InvalidArgument("transaction already open");
   auto [id, priority] = db_->NewTxnIdentity();
   txn_ = std::make_unique<lock::TxnContext>(id, priority);
+  // pgmini runs no predictor, so kCPVATS degrades to VATS here; the copy
+  // keeps footprints flowing for anyone who installs a scorer manually.
+  txn_->footprint = declared_footprint();
   active_ = true;
   must_abort_ = false;
   wal_bytes_ = 0;

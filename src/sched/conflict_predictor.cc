@@ -1,0 +1,94 @@
+#include "sched/conflict_predictor.h"
+
+#include <cmath>
+
+namespace tdp::sched {
+
+ConflictPredictor::ConflictPredictor(PredictorConfig config)
+    : config_(config),
+      table_(config.table_buckets < 1 ? 1 : config.table_buckets) {
+  if (config_.half_life_ns < 1) config_.half_life_ns = 1;
+  outcomes_metric_ = metrics::Registry::Global().GetCounter("sched.outcomes");
+}
+
+double ConflictPredictor::Decayed(double heat, int64_t last_ns,
+                                  int64_t now_ns) const {
+  if (now_ns <= last_ns) return heat;
+  return heat * std::exp2(-static_cast<double>(now_ns - last_ns) /
+                          static_cast<double>(config_.half_life_ns));
+}
+
+void ConflictPredictor::RecordConflict(uint64_t fp, double weight,
+                                       int64_t now_ns) {
+  table_.WithSlot(fp, [&](KeyStat& s, bool /*inserted*/) {
+    s.heat = Decayed(s.heat, s.last_ns, now_ns) + weight;
+    // Rebase only forward: an out-of-order (older) event adds its weight at
+    // the current basis instead of un-decaying the counter.
+    if (now_ns > s.last_ns) s.last_ns = now_ns;
+  });
+  outcomes_.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(outcomes_metric_);
+}
+
+void ConflictPredictor::OnWaitOutcome(const lock::RecordId& rec,
+                                      const lock::WaitObservation& obs,
+                                      int64_t now_ns) {
+  RecordConflict(Fingerprint(rec.table_id, rec.key),
+                 obs.granted ? config_.wait_weight : config_.abort_weight,
+                 now_ns);
+}
+
+double ConflictPredictor::KeyHeat(uint64_t fp, int64_t now_ns) const {
+  double heat = 0;
+  table_.WithSlotIfPresent(
+      fp, [&](KeyStat& s) { heat = Decayed(s.heat, s.last_ns, now_ns); });
+  return heat;
+}
+
+double ConflictPredictor::FootprintScore(const std::vector<uint64_t>& footprint,
+                                         int64_t now_ns) const {
+  double score = 0;
+  for (uint64_t fp : footprint) score += KeyHeat(fp, now_ns);
+  return score;
+}
+
+double ConflictPredictor::PredictedWeight(const lock::TxnContext& txn,
+                                          int64_t now_ns) const {
+  return FootprintScore(txn.footprint, now_ns);
+}
+
+void ConflictPredictor::RegisterInflight(
+    const std::vector<uint64_t>& footprint) {
+  for (uint64_t fp : footprint) {
+    table_.WithSlot(fp, [](KeyStat& s, bool /*inserted*/) { ++s.inflight; });
+  }
+}
+
+void ConflictPredictor::UnregisterInflight(
+    const std::vector<uint64_t>& footprint) {
+  for (uint64_t fp : footprint) {
+    // Erase entries that carry no signal once idle (inflight back to zero
+    // and heat never recorded) so the table tracks the hot set, not every
+    // key ever dispatched.
+    table_.EraseIf(fp, [](KeyStat& s) {
+      if (s.inflight > 0) --s.inflight;
+      return s.inflight == 0 && s.heat == 0;
+    });
+  }
+}
+
+double ConflictPredictor::InflightScore(const std::vector<uint64_t>& footprint,
+                                        int64_t now_ns) const {
+  double score = 0;
+  for (uint64_t fp : footprint) {
+    table_.WithSlotIfPresent(fp, [&](KeyStat& s) {
+      if (s.inflight > 0) {
+        score += static_cast<double>(s.inflight) *
+                 Decayed(s.heat, s.last_ns, now_ns);
+      }
+    });
+  }
+  return score;
+}
+
+}  // namespace tdp::sched

@@ -1,0 +1,128 @@
+// Online conflict predictor for conflict-predictive scheduling
+// (docs/scheduling.md). ROADMAP item 2: a dependency-free counting
+// predictor in the spirit of "Intelligent Transaction Scheduling via
+// Conflict Prediction in OLTP DBMS" (arXiv 2409.01675) — no external ML,
+// just per-key exponential-decay conflict counters.
+//
+// The unit of prediction is a key *fingerprint*: a 64-bit hash of
+// (table_id, key) computed with the same mixing constants as RecordIdHash.
+// A transaction declares its footprint — the fingerprints of the records it
+// expects to write — at submit time; the predictor keeps one decaying "heat"
+// counter per fingerprint, bumped every time a lock wait finishes on that
+// record (more for deadlock/timeout aborts than for eventual grants).
+//
+// Two consumers:
+//  * lock::SchedulerPolicy::kCPVATS asks for PredictedWeight(txn): the
+//    summed heat of the waiter's footprint — how much future blocking this
+//    transaction is likely to cause if scheduled late.
+//  * server::DispatchPolicy::kConflictAware asks for InflightScore(fp): the
+//    heat-weighted overlap between a queued transaction's footprint and the
+//    footprints currently executing — how likely dispatching it *now* is to
+//    create a conflict. In-flight footprints are registered by the service
+//    around each dispatch.
+//
+// Determinism: all math is a pure function of the (fingerprint, weight,
+// now_ns) event sequence — callers supply timestamps, so a fixed trace
+// replays to bit-identical scores (conflict_predictor_test).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/sharded_hash_table.h"
+#include "lock/lock_manager.h"
+
+namespace tdp::sched {
+
+struct PredictorConfig {
+  /// Heat halves every this many nanoseconds (lazily, on touch): old
+  /// conflicts stop steering once the hot set moves.
+  int64_t half_life_ns = MillisToNanos(50);
+  /// kConflictAware steers a queued transaction aside while its
+  /// InflightScore exceeds this.
+  double score_threshold = 1.0;
+  /// Buckets in the per-fingerprint counter table (rounded up to a power of
+  /// two; one spinlock per bucket).
+  size_t table_buckets = 1024;
+  /// Heat added when a wait ends in a grant (the conflict cost was one
+  /// queueing delay).
+  double wait_weight = 1.0;
+  /// Heat added when a wait ends in a deadlock/timeout abort (the conflict
+  /// cost was a whole wasted execution).
+  double abort_weight = 2.0;
+};
+
+class ConflictPredictor : public lock::ConflictScorer {
+ public:
+  explicit ConflictPredictor(PredictorConfig config = {});
+
+  /// Fingerprint of one record, RecordIdHash's mixing over (table, key).
+  static uint64_t Fingerprint(uint32_t table_id, uint64_t key) {
+    uint64_t h = key * 0x9E3779B97F4A7C15ull;
+    h ^= (static_cast<uint64_t>(table_id) + 0x517CC1B727220A95ull);
+    h *= 0xBF58476D1CE4E5B9ull;
+    return h ^ (h >> 29);
+  }
+
+  // --- lock::ConflictScorer (the kCPVATS decision point) -------------------
+  double PredictedWeight(const lock::TxnContext& txn,
+                         int64_t now_ns) const override;
+  void OnWaitOutcome(const lock::RecordId& rec,
+                     const lock::WaitObservation& obs,
+                     int64_t now_ns) override;
+
+  // --- direct learning / query API (tests, admission) ----------------------
+  /// Adds `weight` heat to `fp` after decaying it to `now_ns`.
+  void RecordConflict(uint64_t fp, double weight, int64_t now_ns);
+  /// Decayed heat of one fingerprint (0 if never recorded). Read-only: the
+  /// lazy decay is applied arithmetically, not written back.
+  double KeyHeat(uint64_t fp, int64_t now_ns) const;
+  /// Summed decayed heat over a footprint — kCPVATS's predicted blocking
+  /// weight for a transaction declaring it.
+  double FootprintScore(const std::vector<uint64_t>& footprint,
+                        int64_t now_ns) const;
+
+  // --- in-flight overlap (the kConflictAware decision point) ---------------
+  /// The service brackets each dispatch: Register before running the
+  /// transaction, Unregister as soon as its locks are released.
+  void RegisterInflight(const std::vector<uint64_t>& footprint);
+  void UnregisterInflight(const std::vector<uint64_t>& footprint);
+  /// Sum over the footprint of (in-flight holders of k) x (heat of k): high
+  /// when this transaction's hot keys are being written *right now*. A
+  /// footprint no in-flight transaction shares — or one whose keys have
+  /// never conflicted — scores 0.
+  double InflightScore(const std::vector<uint64_t>& footprint,
+                       int64_t now_ns) const;
+
+  const PredictorConfig& config() const { return config_; }
+  /// Learning events consumed so far (sched.outcomes).
+  uint64_t outcomes() const {
+    return outcomes_.load(std::memory_order_relaxed);
+  }
+  /// Distinct fingerprints currently tracked (tests/debug).
+  size_t tracked_keys() const { return table_.size(); }
+
+ private:
+  struct KeyStat {
+    double heat = 0;       ///< Decayed conflict mass as of last_ns.
+    int64_t last_ns = 0;   ///< When `heat` was last rebased.
+    int64_t inflight = 0;  ///< Executing transactions declaring this key.
+  };
+  struct IdentityHash {
+    size_t operator()(uint64_t fp) const { return static_cast<size_t>(fp); }
+  };
+
+  /// heat * 2^-((now - last) / half_life), computed without writing back.
+  double Decayed(double heat, int64_t last_ns, int64_t now_ns) const;
+
+  PredictorConfig config_;
+  /// Mutable: read paths (scores) use WithSlotIfPresent, which locks the
+  /// bucket but leaves the entry arithmetically unchanged.
+  mutable ShardedHashTable<uint64_t, KeyStat, IdentityHash> table_;
+  std::atomic<uint64_t> outcomes_{0};
+  metrics::Counter* outcomes_metric_ = nullptr;  ///< sched.outcomes
+};
+
+}  // namespace tdp::sched

@@ -25,12 +25,19 @@ namespace tdp::server {
 enum class DispatchPolicy {
   kFifo,         ///< Strict arrival order (requeues go to the back).
   kEldestFirst,  ///< Oldest admission timestamp first (VATS at admission).
+  /// Eldest-first base order, but PopSteered may skip over entries whose
+  /// predicted conflict score against the in-flight set exceeds a threshold
+  /// (docs/scheduling.md). Bounded delay: an entry past its age deadline —
+  /// or one with nothing acceptable behind it — dispatches regardless, so
+  /// steering never starves.
+  kConflictAware,
 };
 
 inline const char* DispatchPolicyName(DispatchPolicy p) {
   switch (p) {
     case DispatchPolicy::kFifo: return "fifo";
     case DispatchPolicy::kEldestFirst: return "eldest_first";
+    case DispatchPolicy::kConflictAware: return "conflict_aware";
   }
   return "unknown";
 }
@@ -61,12 +68,71 @@ class AdmissionQueue {
     return true;
   }
 
+  /// Re-enters a previously popped entry (retryable abort, steer skip).
+  /// Under the age-ordered policies the entry keeps BOTH its original
+  /// admit_ns and its original seq, so the dispatch total order is stable
+  /// across any number of requeues — equal-admit ties cannot reshuffle.
+  /// Under kFifo a requeue is a fresh arrival (documented "requeues go to
+  /// the back") and takes a new seq. False when full.
+  bool Requeue(Entry e) {
+    if (full()) return false;
+    if (after_.policy == DispatchPolicy::kFifo) e.seq = next_seq_++;
+    heap_.push_back(std::move(e));
+    std::push_heap(heap_.begin(), heap_.end(), after_);
+    return true;
+  }
+
   /// Pops the next entry per the dispatch policy. False when empty.
   bool Pop(Entry* out) {
     if (heap_.empty()) return false;
     std::pop_heap(heap_.begin(), heap_.end(), after_);
     *out = std::move(heap_.back());
     heap_.pop_back();
+    return true;
+  }
+
+  /// Conflict-steered pop (kConflictAware): scans up to `scan_limit`
+  /// entries in eldest-first order and dispatches the first acceptable one —
+  /// an entry past the `max_delay_ns` age deadline (the no-starvation
+  /// bound; checked before scoring) or one whose `score(item)` is at most
+  /// `threshold`. If every scanned entry is over threshold, the eldest
+  /// dispatches anyway (a pop never comes back empty-handed on a non-empty
+  /// queue). Entries that were jumped over get `on_skip(item)` and return to
+  /// the queue with admit_ns AND seq intact. False only when empty.
+  template <typename ScoreFn, typename SkipFn>
+  bool PopSteered(Entry* out, int64_t now_ns, int64_t max_delay_ns,
+                  double threshold, int scan_limit, ScoreFn&& score,
+                  SkipFn&& on_skip) {
+    if (heap_.empty()) return false;
+    std::vector<Entry> scanned;
+    int chosen = -1;
+    for (int i = 0; i < scan_limit && !heap_.empty(); ++i) {
+      Entry e;
+      Pop(&e);
+      const bool overdue =
+          max_delay_ns > 0 && now_ns - e.admit_ns >= max_delay_ns;
+      const bool acceptable = overdue || score(e.item) <= threshold;
+      scanned.push_back(std::move(e));
+      if (acceptable) {
+        chosen = i;
+        break;
+      }
+    }
+    // All flagged: the eldest goes anyway. In that case the entries behind
+    // it were not jumped by a younger dispatch — the pop degenerated to
+    // plain eldest-first — so they do not get on_skip.
+    const bool fallback = chosen < 0;
+    if (fallback) chosen = 0;
+    for (int i = 0; i < static_cast<int>(scanned.size()); ++i) {
+      if (i == chosen) {
+        *out = std::move(scanned[i]);
+        continue;
+      }
+      // Only entries a younger dispatch jumped over count as steer-delayed.
+      if (!fallback) on_skip(scanned[i].item);
+      heap_.push_back(std::move(scanned[i]));
+      std::push_heap(heap_.begin(), heap_.end(), after_);
+    }
     return true;
   }
 
@@ -84,8 +150,8 @@ class AdmissionQueue {
   struct After {
     DispatchPolicy policy;
     bool operator()(const Entry& a, const Entry& b) const {
-      if (policy == DispatchPolicy::kEldestFirst && a.admit_ns != b.admit_ns) {
-        return a.admit_ns > b.admit_ns;
+      if (policy != DispatchPolicy::kFifo && a.admit_ns != b.admit_ns) {
+        return a.admit_ns > b.admit_ns;  // kEldestFirst / kConflictAware
       }
       return a.seq > b.seq;
     }

@@ -12,6 +12,10 @@ TransactionService::TransactionService(engine::Database* db,
     : db_(db),
       config_(std::move(config)),
       queue_(config_.policy, config_.max_queue_depth) {
+  // Steering predictor: explicit config wins, else the engine's own (the
+  // one its lock manager feeds), else steering is off.
+  predictor_ = config_.predictor != nullptr ? config_.predictor
+                                            : db_->conflict_predictor();
   auto& reg = metrics::Registry::Global();
   m_.submitted = reg.GetCounter("server.submitted");
   m_.admitted = reg.GetCounter("server.admitted");
@@ -26,6 +30,12 @@ TransactionService::TransactionService(engine::Database* db,
   m_.sync_acks = reg.GetCounter("server.sync_acks");
   m_.dispatches_policy = reg.GetCounter(
       std::string("server.dispatches.") + DispatchPolicyName(config_.policy));
+  m_.steer_delayed = reg.GetCounter("server.steer_delayed");
+  m_.sched_predictions = reg.GetCounter("sched.predictions");
+  m_.sched_flagged = reg.GetCounter("sched.flagged");
+  m_.sched_steer_delays = reg.GetCounter("sched.steer_delays");
+  m_.sched_hits = reg.GetCounter("sched.hits");
+  m_.sched_false_positives = reg.GetCounter("sched.false_positives");
   m_.queue_depth = reg.GetGauge("server.queue_depth");
   m_.queue_age_ns = reg.GetHistogram("server.queue_age_ns");
   m_.latency_ns = reg.GetHistogram("server.latency_ns");
@@ -78,6 +88,12 @@ void TransactionService::Shutdown() {
 }
 
 Status TransactionService::Submit(engine::TxnBody body, DoneFn done) {
+  return Submit(std::move(body), /*footprint=*/{}, std::move(done));
+}
+
+Status TransactionService::Submit(engine::TxnBody body,
+                                  std::vector<uint64_t> footprint,
+                                  DoneFn done) {
   const int64_t now = NowNanos();
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -107,6 +123,7 @@ Status TransactionService::Submit(engine::TxnBody body, DoneFn done) {
     req->body = std::move(body);
     req->done = std::move(done);
     req->submit_ns = now;
+    req->footprint = std::move(footprint);
     queue_.Push(std::move(req), now);
     admitted_.fetch_add(1, std::memory_order_relaxed);
     metrics::Inc(m_.admitted);
@@ -165,6 +182,7 @@ TransactionService::Stats TransactionService::stats() const {
   s.drain_aborted = drain_aborted_.load(std::memory_order_relaxed);
   s.async_acks = async_acks_.load(std::memory_order_relaxed);
   s.sync_acks = sync_acks_.load(std::memory_order_relaxed);
+  s.steer_delayed = steer_delayed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -176,7 +194,28 @@ void TransactionService::WorkerLoop() {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // Only reachable when stopping.
-      queue_.Pop(&entry);
+      if (config_.policy == DispatchPolicy::kConflictAware &&
+          predictor_ != nullptr) {
+        const int64_t now = NowNanos();
+        queue_.PopSteered(
+            &entry, now, config_.max_steer_delay_ns,
+            predictor_->config().score_threshold, config_.steer_scan_limit,
+            [this, now](const std::unique_ptr<Request>& r) {
+              metrics::Inc(m_.sched_predictions);
+              return predictor_->InflightScore(r->footprint, now);
+            },
+            [this](const std::unique_ptr<Request>& r) {
+              metrics::Inc(m_.sched_steer_delays);
+              if (!r->steered) {
+                r->steered = true;  // flagged once per request
+                steer_delayed_.fetch_add(1, std::memory_order_relaxed);
+                metrics::Inc(m_.steer_delayed);
+                metrics::Inc(m_.sched_flagged);
+              }
+            });
+      } else {
+        queue_.Pop(&entry);
+      }
       metrics::GaugeAdd(m_.queue_depth, -1);
     }
 
@@ -197,6 +236,14 @@ void TransactionService::WorkerLoop() {
     Request& req = *entry.item;
     ++req.dispatches;
     metrics::Inc(m_.dispatches_policy);
+    // The footprint is copied out of the request before the run: on the
+    // async path the ack (which owns and may free the request) can fire
+    // inline or on the epoch thread before RunTxnAsync returns.
+    const std::vector<uint64_t> footprint = req.footprint;
+    conn->DeclareFootprint(footprint);
+    if (predictor_ != nullptr && !footprint.empty()) {
+      predictor_->RegisterInflight(footprint);
+    }
     Status s;
     if (config_.async_ack) {
       // Hand the request's completion to the commit ack: the worker is free
@@ -230,10 +277,17 @@ void TransactionService::WorkerLoop() {
               ack_cv_.notify_all();
             }
           });
+      // RunTxnAsync returns after the logical commit (or failure): the
+      // transaction's locks are released either way, so its footprint leaves
+      // the in-flight set here even though durability may still be parked.
+      if (predictor_ != nullptr && !footprint.empty()) {
+        predictor_->UnregisterInflight(footprint);
+      }
       if (s.ok()) continue;  // The ack owns the request now (or already did).
       // The logical commit failed: the ack never fires. Reclaim the request
       // and fall through to the shared requeue / sync-completion path.
       entry.item.reset(raw);
+      if (s.IsDeadlock() || s.IsLockTimeout()) req.saw_conflict = true;
       {
         std::lock_guard<std::mutex> g(ack_mu_);
         if (outstanding_acks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -241,17 +295,27 @@ void TransactionService::WorkerLoop() {
         }
       }
     } else {
-      s = engine::RunTxn(*conn, config_.retry, req.body);
+      engine::TxnStats txn_stats;
+      s = engine::RunTxn(*conn, config_.retry, req.body, &txn_stats);
+      if (predictor_ != nullptr && !footprint.empty()) {
+        predictor_->UnregisterInflight(footprint);
+      }
+      // Any deadlock/timeout abort across the dispatch's attempts counts as
+      // a conflict, even if an inline retry later succeeded.
+      if (txn_stats.deadlock_aborts + txn_stats.timeout_aborts > 0) {
+        req.saw_conflict = true;
+      }
     }
     if (!s.ok() && engine::RetryableTxnError(s, config_.retry) &&
         req.dispatches < config_.max_dispatches) {
       req.last_error = s;
       std::unique_lock<std::mutex> lk(mu_);
       if (!stopping_ && !queue_.full()) {
-        // Re-enter with the original admission time: under kEldestFirst the
-        // victim outranks younger arrivals (the VATS move); under kFifo it
-        // rejoins at the back.
-        queue_.Push(std::move(entry.item), entry.admit_ns);
+        // Re-enter keeping the original admission time AND push sequence:
+        // under kEldestFirst/kConflictAware the victim outranks younger
+        // arrivals (the VATS move) and equal-admit ties stay stable; under
+        // kFifo it rejoins at the back with a fresh seq.
+        queue_.Requeue(std::move(entry));
         requeues_.fetch_add(1, std::memory_order_relaxed);
         metrics::Inc(m_.requeues);
         metrics::GaugeAdd(m_.queue_depth, 1);
@@ -274,6 +338,15 @@ void TransactionService::WorkerLoop() {
 
 void TransactionService::Complete(std::unique_ptr<Request> req, Status status,
                                   int64_t dispatch_ns, int64_t done_ns) {
+  if (req->steered) {
+    // Hit/false-positive accounting: every flagged request reaches Complete
+    // exactly once, so sched.hits + sched.false_positives == sched.flagged.
+    if (req->saw_conflict || status.IsDeadlock() || status.IsLockTimeout()) {
+      metrics::Inc(m_.sched_hits);
+    } else {
+      metrics::Inc(m_.sched_false_positives);
+    }
+  }
   metrics::Observe(m_.latency_ns, done_ns - req->submit_ns);
   if (!req->done) return;
   Response r;

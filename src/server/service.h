@@ -34,10 +34,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "engine/database.h"
 #include "engine/txn.h"
+#include "sched/conflict_predictor.h"
 #include "server/admission_queue.h"
 
 namespace tdp::server {
@@ -71,6 +73,16 @@ struct ServiceConfig {
   /// epoch parking is part of the measured latency. Invariant:
   /// server.async_acks + server.sync_acks == server.completed.
   bool async_ack = false;
+  /// Conflict predictor for kConflictAware steering (docs/scheduling.md).
+  /// Not owned; must outlive the service. When null, the service asks the
+  /// database for its predictor (Database::conflict_predictor()); if that is
+  /// also null, kConflictAware degrades to kEldestFirst.
+  sched::ConflictPredictor* predictor = nullptr;
+  /// No-starvation bound for kConflictAware: an entry whose queue age
+  /// reaches this dispatches regardless of its conflict score.
+  int64_t max_steer_delay_ns = MillisToNanos(5);
+  /// Entries examined per steered pop before falling back to the eldest.
+  int steer_scan_limit = 8;
 };
 
 /// Per-request outcome, timestamped for open-loop latency measurement.
@@ -101,6 +113,8 @@ class TransactionService {
     uint64_t drain_aborted = 0;  ///< Unstarted backlog aborted at shutdown.
     uint64_t async_acks = 0;     ///< Completions delivered by a commit ack.
     uint64_t sync_acks = 0;      ///< Completions delivered inline by a worker.
+    uint64_t steer_delayed = 0;  ///< Requests a steered pop skipped at least
+                                 ///< once (kConflictAware; == sched.flagged).
   };
 
   TransactionService(engine::Database* db, ServiceConfig config);
@@ -120,6 +134,13 @@ class TransactionService {
   /// invoking `done` — when the queue is full or the service is not
   /// accepting; that rejection is the "shed" count.
   Status Submit(engine::TxnBody body, DoneFn done = nullptr);
+
+  /// Submit with a declared key footprint (sched::ConflictPredictor
+  /// fingerprints of the records the transaction expects to write). The
+  /// footprint feeds kConflictAware steering and is redeclared on the
+  /// worker's connection before every dispatch so kCPVATS sees it too.
+  Status Submit(engine::TxnBody body, std::vector<uint64_t> footprint,
+                DoneFn done);
 
   /// Synchronous convenience: Submit + wait for the response.
   Response Execute(engine::TxnBody body);
@@ -145,6 +166,16 @@ class TransactionService {
     int dispatches = 0;
     Status last_error;
     int64_t submit_ns = 0;
+    /// Declared key footprint (empty = undeclared; never steered).
+    std::vector<uint64_t> footprint;
+    /// A steered pop skipped this request at least once (prediction: "will
+    /// conflict"). Set under mu_; read at Complete for hit/false-positive
+    /// classification.
+    bool steered = false;
+    /// The request's final attempt actually hit a conflict (lock wait or
+    /// conflict abort). Written only while the worker exclusively owns the
+    /// request, read at Complete.
+    bool saw_conflict = false;
   };
   using Queue = AdmissionQueue<std::unique_ptr<Request>>;
 
@@ -156,6 +187,8 @@ class TransactionService {
 
   engine::Database* const db_;
   const ServiceConfig config_;
+  /// Resolved steering predictor: config_.predictor, else the database's.
+  sched::ConflictPredictor* predictor_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -167,7 +200,8 @@ class TransactionService {
 
   std::atomic<uint64_t> submitted_{0}, admitted_{0}, shed_{0},
       rejected_recovering_{0}, expired_{0}, requeues_{0}, completed_{0},
-      completed_ok_{0}, drain_aborted_{0}, async_acks_{0}, sync_acks_{0};
+      completed_ok_{0}, drain_aborted_{0}, async_acks_{0}, sync_acks_{0},
+      steer_delayed_{0};
 
   // Async-ack drain barrier: Shutdown joins the workers, then waits here
   // until every ack handed to an epoch has fired (the engine's epoch thread
@@ -190,6 +224,14 @@ class TransactionService {
     metrics::Counter* async_acks = nullptr;
     metrics::Counter* sync_acks = nullptr;
     metrics::Counter* dispatches_policy = nullptr;
+    // Conflict-predictive steering (docs/scheduling.md). Invariant under
+    // kConflictAware: sched.hits + sched.false_positives == sched.flagged.
+    metrics::Counter* steer_delayed = nullptr;       ///< server.steer_delayed
+    metrics::Counter* sched_predictions = nullptr;   ///< sched.predictions
+    metrics::Counter* sched_flagged = nullptr;       ///< sched.flagged
+    metrics::Counter* sched_steer_delays = nullptr;  ///< sched.steer_delays
+    metrics::Counter* sched_hits = nullptr;          ///< sched.hits
+    metrics::Counter* sched_false_positives = nullptr;  ///< sched.false_positives
     metrics::Gauge* queue_depth = nullptr;
     Histogram* queue_age_ns = nullptr;
     Histogram* latency_ns = nullptr;

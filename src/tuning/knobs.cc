@@ -7,7 +7,8 @@ namespace tdp::tuning {
 Result<lock::SchedulerPolicy> ParseSchedulerPolicy(const std::string& name) {
   for (lock::SchedulerPolicy p :
        {lock::SchedulerPolicy::kFCFS, lock::SchedulerPolicy::kVATS,
-        lock::SchedulerPolicy::kRS, lock::SchedulerPolicy::kCATS}) {
+        lock::SchedulerPolicy::kRS, lock::SchedulerPolicy::kCATS,
+        lock::SchedulerPolicy::kCPVATS}) {
     if (name == lock::SchedulerPolicyName(p)) return p;
   }
   return Status::InvalidArgument("unknown scheduler policy: " + name);
@@ -32,6 +33,16 @@ std::string KnobConfig::Label() const {
                   log::FlushPolicyName(flush_policy), group_commit ? 1 : 0,
                   workers, static_cast<long long>(epoch_interval_ns),
                   table_shards);
+    // Predictor knobs ride on the label only when set, so spaces that never
+    // touch them keep their historical arm names.
+    std::string label = buf;
+    if (sched_half_life_ns > 0 || sched_threshold > 0) {
+      std::snprintf(buf, sizeof(buf), " hl=%lld th=%.2f",
+                    static_cast<long long>(sched_half_life_ns),
+                    sched_threshold);
+      label += buf;
+    }
+    return label;
   } else {
     std::snprintf(buf, sizeof(buf),
                   "pg sched=%s block=%llu sets=%d w=%d ep=%lld ts=%d",
@@ -58,6 +69,8 @@ json::Value KnobConfig::ToJson() const {
   v.Set("workers", json::Value::Int(workers));
   v.Set("epoch_interval_ns", json::Value::Int(epoch_interval_ns));
   v.Set("table_shards", json::Value::Int(table_shards));
+  v.Set("sched_half_life_ns", json::Value::Int(sched_half_life_ns));
+  v.Set("sched_threshold", json::Value::Number(sched_threshold));
   return v;
 }
 
@@ -83,6 +96,16 @@ Status ReadBool(const json::Value& v, const char* key, bool* out) {
     return Status::InvalidArgument(std::string(key) + ": expected bool");
   }
   *out = f->as_bool();
+  return Status::OK();
+}
+
+Status ReadDouble(const json::Value& v, const char* key, double* out) {
+  const json::Value* f = v.Find(key);
+  if (f == nullptr) return Status::OK();
+  if (!f->is_number()) {
+    return Status::InvalidArgument(std::string(key) + ": expected number");
+  }
+  *out = f->as_number();
   return Status::OK();
 }
 
@@ -129,12 +152,15 @@ Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
   int64_t workers = out.workers;
   int64_t epoch = out.epoch_interval_ns;
   int64_t shards = out.table_shards;
+  int64_t half_life = out.sched_half_life_ns;
   for (Status st : {ReadInt(v, "buffer_pool_pages", &bp),
                     ReadInt(v, "wal_block_bytes", &block),
                     ReadInt(v, "num_log_sets", &sets),
                     ReadInt(v, "workers", &workers),
                     ReadInt(v, "epoch_interval_ns", &epoch),
                     ReadInt(v, "table_shards", &shards),
+                    ReadInt(v, "sched_half_life_ns", &half_life),
+                    ReadDouble(v, "sched_threshold", &out.sched_threshold),
                     ReadBool(v, "group_commit", &out.group_commit)}) {
     if (!st.ok()) return st;
   }
@@ -144,12 +170,17 @@ Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
   if (workers < 1) return Status::InvalidArgument("workers: must be >= 1");
   if (epoch < 0) return Status::InvalidArgument("epoch_interval_ns: negative");
   if (shards < 0) return Status::InvalidArgument("table_shards: negative");
+  if (half_life < 0)
+    return Status::InvalidArgument("sched_half_life_ns: negative");
+  if (out.sched_threshold < 0)
+    return Status::InvalidArgument("sched_threshold: negative");
   out.buffer_pool_pages = static_cast<uint64_t>(bp);
   out.wal_block_bytes = static_cast<uint64_t>(block);
   out.num_log_sets = static_cast<int>(sets);
   out.workers = static_cast<int>(workers);
   out.epoch_interval_ns = epoch;
   out.table_shards = static_cast<int>(shards);
+  out.sched_half_life_ns = half_life;
   return out;
 }
 
@@ -164,18 +195,24 @@ std::vector<KnobConfig> KnobSpace::Enumerate() const {
               for (int w : workers) {
                 for (int64_t ep : epoch_interval_ns) {
                   for (int ts : table_shards) {
-                    KnobConfig k;
-                    k.engine = engine;
-                    k.scheduler = sched;
-                    k.buffer_pool_pages = bp;
-                    k.flush_policy = fp;
-                    k.group_commit = gc;
-                    k.wal_block_bytes = block;
-                    k.num_log_sets = sets;
-                    k.workers = w;
-                    k.epoch_interval_ns = ep;
-                    k.table_shards = ts;
-                    out.push_back(k);
+                    for (int64_t hl : sched_half_life_ns) {
+                      for (double th : sched_threshold) {
+                        KnobConfig k;
+                        k.engine = engine;
+                        k.scheduler = sched;
+                        k.buffer_pool_pages = bp;
+                        k.flush_policy = fp;
+                        k.group_commit = gc;
+                        k.wal_block_bytes = block;
+                        k.num_log_sets = sets;
+                        k.workers = w;
+                        k.epoch_interval_ns = ep;
+                        k.table_shards = ts;
+                        k.sched_half_life_ns = hl;
+                        k.sched_threshold = th;
+                        out.push_back(k);
+                      }
+                    }
                   }
                 }
               }
@@ -226,6 +263,12 @@ json::Value KnobSpace::ToJson() const {
   json::Value tss = json::Value::Array();
   for (int t : table_shards) tss.Append(json::Value::Int(t));
   v.Set("table_shards", std::move(tss));
+  json::Value hls = json::Value::Array();
+  for (int64_t h : sched_half_life_ns) hls.Append(json::Value::Int(h));
+  v.Set("sched_half_life_ns", std::move(hls));
+  json::Value ths = json::Value::Array();
+  for (double t : sched_threshold) ths.Append(json::Value::Number(t));
+  v.Set("sched_threshold", std::move(ths));
   return v;
 }
 
@@ -310,7 +353,16 @@ Result<KnobSpace> KnobSpace::FromJson(const json::Value& v) {
         ReadArray(v, "num_log_sets", &out.num_log_sets, parse_int),
         ReadArray(v, "workers", &out.workers, parse_int),
         ReadArray(v, "epoch_interval_ns", &out.epoch_interval_ns, parse_i64),
-        ReadArray(v, "table_shards", &out.table_shards, parse_int)}) {
+        ReadArray(v, "table_shards", &out.table_shards, parse_int),
+        ReadArray(v, "sched_half_life_ns", &out.sched_half_life_ns, parse_i64),
+        ReadArray(v, "sched_threshold", &out.sched_threshold,
+                  [](const json::Value& item) -> Result<double> {
+                    if (!item.is_number() || item.as_number() < 0) {
+                      return Status::InvalidArgument(
+                          "sched_threshold: expected non-negative number");
+                    }
+                    return item.as_number();
+                  })}) {
     if (!st.ok()) return st;
   }
   for (int w : out.workers) {

@@ -57,6 +57,12 @@ struct KnobConfig {
   /// page hash (tdp::ShardedHashTable). 0 = engine defaults.
   int table_shards = 0;
 
+  /// Conflict-predictor knobs (docs/scheduling.md), used when the scheduler
+  /// is kCPVATS or the trial dispatches kConflictAware. Zero keeps the
+  /// sched::PredictorConfig default.
+  int64_t sched_half_life_ns = 0;  ///< Heat decay half-life; 0 = default.
+  double sched_threshold = 0;      ///< Steering score threshold; 0 = default.
+
   /// Stable human-readable identity; used as the arm name in TUNE_*.json
   /// and the recommendation table.
   std::string Label() const;
@@ -83,6 +89,8 @@ struct KnobSpace {
   std::vector<int> workers = {4};
   std::vector<int64_t> epoch_interval_ns = {0};
   std::vector<int> table_shards = {0};
+  std::vector<int64_t> sched_half_life_ns = {0};
+  std::vector<double> sched_threshold = {0};
 
   /// Cross-product, in deterministic order (outermost knob varies slowest).
   std::vector<KnobConfig> Enumerate() const;

@@ -7,6 +7,7 @@
 #include "core/toolkit.h"
 #include "server/service.h"
 #include "workload/tpcc.h"
+#include "workload/ycsb.h"
 
 namespace tdp::tuning {
 
@@ -31,6 +32,21 @@ engine::EngineConfig MaterializeEngineConfig(const KnobConfig& knobs,
       cfg.mysql.lock.num_shards = knobs.table_shards;
       cfg.mysql.buffer_hash_buckets =
           static_cast<size_t>(knobs.table_shards);
+      cfg.mysql.predictor.table_buckets =
+          static_cast<size_t>(knobs.table_shards);
+    }
+    // Conflict-predictor arms: kCPVATS forces the predictor on inside the
+    // engine; kConflictAware dispatch needs it explicitly (the service pulls
+    // it via Database::conflict_predictor()).
+    if (knobs.scheduler == lock::SchedulerPolicy::kCPVATS ||
+        trial.dispatch == server::DispatchPolicy::kConflictAware) {
+      cfg.mysql.enable_predictor = true;
+    }
+    if (knobs.sched_half_life_ns > 0) {
+      cfg.mysql.predictor.half_life_ns = knobs.sched_half_life_ns;
+    }
+    if (knobs.sched_threshold > 0) {
+      cfg.mysql.predictor.score_threshold = knobs.sched_threshold;
     }
     cfg.mysql.seed = seed;
   } else {
@@ -72,11 +88,23 @@ TrialMeasurement TrialRunner::Measure(const KnobConfig& knobs, int replicate) {
     std::abort();
   }
 
-  workload::TpccConfig tpcc_cfg = config_.memory_contended
-                                      ? core::Toolkit::Tpcc2WH()
-                                      : core::Toolkit::TpccContended();
-  workload::Tpcc tpcc(tpcc_cfg);
-  tpcc.Load(db.value().get());
+  std::unique_ptr<workload::Workload> wl;
+  if (config_.ycsb_zipf) {
+    // Small keyspace + skew: the hot set is a handful of rows, so conflict
+    // predictions have signal within a short trial.
+    workload::YcsbConfig ycsb_cfg;
+    ycsb_cfg.rows = 2000;
+    ycsb_cfg.zipf_theta = config_.zipf_theta;
+    ycsb_cfg.ops_per_txn = 4;
+    ycsb_cfg.pct_reads = 20;
+    wl = std::make_unique<workload::Ycsb>(ycsb_cfg);
+  } else {
+    workload::TpccConfig tpcc_cfg = config_.memory_contended
+                                        ? core::Toolkit::Tpcc2WH()
+                                        : core::Toolkit::TpccContended();
+    wl = std::make_unique<workload::Tpcc>(tpcc_cfg);
+  }
+  wl->Load(db.value().get());
 
   server::ServiceConfig svc_cfg;
   svc_cfg.workers = knobs.workers;
@@ -98,7 +126,7 @@ TrialMeasurement TrialRunner::Measure(const KnobConfig& knobs, int replicate) {
   driver.warmup_txns = config_.warmup_txns;
   driver.seed = seed;
   driver.arrival = config_.arrival;
-  const workload::RunResult run = workload::RunService(&svc, &tpcc, driver);
+  const workload::RunResult run = workload::RunService(&svc, wl.get(), driver);
   svc.Shutdown();
 
   // Count the trial before the closing snapshot so this replicate's delta

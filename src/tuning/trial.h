@@ -36,6 +36,11 @@ struct TrialConfig {
   /// memory-contended base config instead of the fully-cached default.
   bool memory_contended = false;
   server::DispatchPolicy dispatch = server::DispatchPolicy::kFifo;
+  /// Run Zipfian YCSB instead of TPC-C — the conflict-predictor tuning
+  /// workload (sched-cp): a small hot set with skewed writes, where
+  /// steering decisions actually bind.
+  bool ycsb_zipf = false;
+  double zipf_theta = 0.99;
 };
 
 /// One replicate's outcome.

@@ -109,6 +109,7 @@ RunResult RunConstantRate(engine::Database* db, Workload* wl,
     std::unique_ptr<engine::Connection> conn = db->Connect();
     Job job;
     while (queue.Pop(&job)) {
+      conn->DeclareFootprint(job.txn.footprint);
       engine::TxnStats ts;
       const Status s = engine::RunTxn(*conn, retry, job.txn.body, &ts);
       deadlocks.fetch_add(ts.deadlock_aborts, std::memory_order_relaxed);
@@ -196,7 +197,7 @@ RunResult RunService(server::TransactionService* service, Workload* wl,
       ++outstanding;
     }
     Status s = service->Submit(
-        std::move(txn.body),
+        std::move(txn.body), std::move(txn.footprint),
         [&, i, intended, type](const server::Response& r) {
           std::lock_guard<std::mutex> g(mu);
           if (r.status.ok()) {

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "sched/conflict_predictor.h"
+
 namespace tdp::workload {
+
+namespace {
+uint64_t Fp(uint32_t table, uint64_t key) {
+  return sched::ConflictPredictor::Fingerprint(table, key);
+}
+}  // namespace
 
 // Column layout conventions:
 //   warehouse: 0=YTD
@@ -124,6 +132,13 @@ Workload::Txn Tpcc::MakeNewOrder(Rng* rng) {
 
   Txn txn;
   txn.type = "NewOrder";
+  // Hot write rows: the per-line stock updates and the district NEXT_O_ID
+  // hotspot. The fresh-key inserts (orders, order_line) cannot conflict.
+  for (const auto& l : lines) {
+    txn.footprint.push_back(
+        Fp(t_stock_, StockKey(l.supply_w, l.item % config_.stock_per_wh)));
+  }
+  txn.footprint.push_back(Fp(t_district_, DistrictKey(w, d)));
   txn.body = [this, w, d, c, lines = std::move(lines),
               order_key](engine::Connection& conn) -> Status {
     Status s = conn.Select(t_warehouse_, WarehouseKey(w));
@@ -176,6 +191,9 @@ Workload::Txn Tpcc::MakePayment(Rng* rng) {
 
   Txn txn;
   txn.type = "Payment";
+  txn.footprint = {Fp(t_customer_, CustomerKey(cw, cd, c)),
+                   Fp(t_district_, DistrictKey(w, d)),
+                   Fp(t_warehouse_, WarehouseKey(w))};
   txn.body = [this, w, d, cw, cd, c, amount,
               hist_key](engine::Connection& conn) -> Status {
     // Customer and district first, the warehouse row — TPC-C's hottest
@@ -232,6 +250,12 @@ Workload::Txn Tpcc::MakeDelivery(Rng* rng) {
 
   Txn txn;
   txn.type = "Delivery";
+  for (int i = 0; i < config_.districts_per_wh; ++i) {
+    const uint64_t order_key = from + 1 + i;
+    if (order_key >= max_order) break;
+    txn.footprint.push_back(Fp(t_orders_, order_key));
+  }
+  txn.footprint.push_back(Fp(t_customer_, CustomerKey(w, 0, 0)));
   txn.body = [this, w, from, max_order](engine::Connection& conn) -> Status {
     for (int i = 0; i < config_.districts_per_wh; ++i) {
       const uint64_t order_key = from + 1 + i;

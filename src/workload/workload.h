@@ -2,8 +2,10 @@
 // generator of transaction bodies against the engine-neutral Connection API.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -23,6 +25,14 @@ class Workload {
   struct Txn {
     const char* type = "txn";
     std::function<Status(engine::Connection&)> body;
+    /// Declared key footprint: sched::ConflictPredictor fingerprints of the
+    /// hot rows the body expects to WRITE (inserts of fresh keys excluded —
+    /// they cannot conflict). Empty for read-only transactions and for
+    /// workloads that do not declare. The driver forwards it to
+    /// Connection::DeclareFootprint / TransactionService::Submit, feeding
+    /// kCPVATS lock scheduling and kConflictAware admission steering
+    /// (docs/scheduling.md).
+    std::vector<uint64_t> footprint;
   };
 
   /// Generates the next transaction. Called from the dispatcher thread;

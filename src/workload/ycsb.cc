@@ -1,5 +1,7 @@
 #include "workload/ycsb.h"
 
+#include "sched/conflict_predictor.h"
+
 namespace tdp::workload {
 
 Ycsb::Ycsb(YcsbConfig config)
@@ -25,6 +27,12 @@ Workload::Txn Ycsb::NextTxn(Rng* rng) {
   }
   Txn txn;
   txn.type = "YcsbTxn";
+  for (const Op& op : ops) {
+    if (!op.is_read) {
+      txn.footprint.push_back(
+          sched::ConflictPredictor::Fingerprint(t_usertable_, op.key));
+    }
+  }
   txn.body = [this, ops = std::move(ops)](engine::Connection& conn) -> Status {
     for (const Op& op : ops) {
       Status s = op.is_read ? conn.Select(t_usertable_, op.key)

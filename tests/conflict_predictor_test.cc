@@ -1,0 +1,273 @@
+// sched::ConflictPredictor properties (docs/scheduling.md): exact decay
+// arithmetic, footprint-score symmetry, concurrent record/query safety over
+// the sharded table, and bit-identical replay of a fixed event trace — the
+// determinism contract the header promises.
+#include "sched/conflict_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace tdp::sched {
+namespace {
+
+PredictorConfig SmallConfig() {
+  PredictorConfig cfg;
+  cfg.half_life_ns = MillisToNanos(10);
+  cfg.table_buckets = 64;
+  return cfg;
+}
+
+// --- decay arithmetic -------------------------------------------------------
+
+TEST(ConflictPredictorTest, FreshKeyScoresZero) {
+  ConflictPredictor p(SmallConfig());
+  EXPECT_EQ(p.KeyHeat(12345, 0), 0.0);
+  EXPECT_EQ(p.FootprintScore({1, 2, 3}, 0), 0.0);
+  EXPECT_EQ(p.InflightScore({1, 2, 3}, 0), 0.0);
+  EXPECT_EQ(p.tracked_keys(), 0u);
+}
+
+TEST(ConflictPredictorTest, HeatHalvesExactlyAtEachHalfLife) {
+  // exp2 of integer half-life multiples is exact in binary floating point,
+  // so the halving sequence admits exact equality, not near-equality.
+  const PredictorConfig cfg = SmallConfig();
+  ConflictPredictor p(cfg);
+  const uint64_t fp = ConflictPredictor::Fingerprint(3, 42);
+  const int64_t t0 = 1000000;
+  p.RecordConflict(fp, 8.0, t0);
+  EXPECT_EQ(p.KeyHeat(fp, t0), 8.0);
+  EXPECT_EQ(p.KeyHeat(fp, t0 + cfg.half_life_ns), 4.0);
+  EXPECT_EQ(p.KeyHeat(fp, t0 + 2 * cfg.half_life_ns), 2.0);
+  EXPECT_EQ(p.KeyHeat(fp, t0 + 3 * cfg.half_life_ns), 1.0);
+  // KeyHeat is read-only: asking at a later time must not have rebased.
+  EXPECT_EQ(p.KeyHeat(fp, t0), 8.0);
+}
+
+TEST(ConflictPredictorTest, DecayIsMonotonicNonIncreasing) {
+  ConflictPredictor p(SmallConfig());
+  const uint64_t fp = 77;
+  const int64_t t0 = 5000;
+  p.RecordConflict(fp, 5.0, t0);
+  Rng rng(11);
+  int64_t now = t0;
+  double prev = p.KeyHeat(fp, now);
+  for (int i = 0; i < 200; ++i) {
+    now += 1 + static_cast<int64_t>(rng.Uniform(MillisToNanos(3)));
+    const double h = p.KeyHeat(fp, now);
+    EXPECT_LE(h, prev) << "heat rose with time at step " << i;
+    EXPECT_GT(h, 0.0);  // exponential decay never reaches zero
+    prev = h;
+  }
+}
+
+TEST(ConflictPredictorTest, RecordAfterDecayAccumulatesOnDecayedBase) {
+  const PredictorConfig cfg = SmallConfig();
+  ConflictPredictor p(cfg);
+  const uint64_t fp = 9;
+  p.RecordConflict(fp, 4.0, 0);
+  p.RecordConflict(fp, 1.0, cfg.half_life_ns);  // 4 * 0.5 + 1
+  EXPECT_EQ(p.KeyHeat(fp, cfg.half_life_ns), 3.0);
+}
+
+TEST(ConflictPredictorTest, OutOfOrderEventRebasesForwardOnly) {
+  // An event with an older timestamp than the counter's basis adds its
+  // weight at the current basis; it must not un-decay the counter.
+  const PredictorConfig cfg = SmallConfig();
+  ConflictPredictor p(cfg);
+  const uint64_t fp = 13;
+  p.RecordConflict(fp, 2.0, cfg.half_life_ns);
+  p.RecordConflict(fp, 1.0, 0);  // stale timestamp
+  EXPECT_EQ(p.KeyHeat(fp, cfg.half_life_ns), 3.0);
+  EXPECT_EQ(p.KeyHeat(fp, 2 * cfg.half_life_ns), 1.5);
+}
+
+// --- footprint scoring ------------------------------------------------------
+
+TEST(ConflictPredictorTest, IdenticalFootprintsScoreIdentically) {
+  ConflictPredictor p(SmallConfig());
+  const int64_t t0 = 1000;
+  std::vector<uint64_t> fps;
+  for (uint32_t i = 0; i < 8; ++i) {
+    fps.push_back(ConflictPredictor::Fingerprint(1, 100 + i));
+    p.RecordConflict(fps.back(), 1.0 + i, t0);
+  }
+  const int64_t now = t0 + MillisToNanos(7);
+  // Score symmetry: two transactions declaring the same footprint must be
+  // indistinguishable to both decision points, bit for bit.
+  EXPECT_EQ(p.FootprintScore(fps, now), p.FootprintScore(fps, now));
+  lock::TxnContext a(1), b(2);
+  a.footprint = fps;
+  b.footprint = fps;
+  EXPECT_EQ(p.PredictedWeight(a, now), p.PredictedWeight(b, now));
+  // And the score is exactly the sum of the per-key heats.
+  double sum = 0;
+  for (uint64_t fp : fps) sum += p.KeyHeat(fp, now);
+  EXPECT_EQ(p.FootprintScore(fps, now), sum);
+}
+
+TEST(ConflictPredictorTest, InflightScoreWeighsOverlapByHeatAndCount) {
+  ConflictPredictor p(SmallConfig());
+  const uint64_t hot = 5, cold = 6;
+  const int64_t t0 = 0;
+  p.RecordConflict(hot, 3.0, t0);
+  // No in-flight overlap: zero, regardless of heat.
+  EXPECT_EQ(p.InflightScore({hot}, t0), 0.0);
+  p.RegisterInflight({hot, cold});
+  EXPECT_EQ(p.InflightScore({hot}, t0), 3.0);
+  EXPECT_EQ(p.InflightScore({cold}, t0), 0.0);  // in flight but never hot
+  p.RegisterInflight({hot});
+  EXPECT_EQ(p.InflightScore({hot}, t0), 6.0);  // two holders
+  p.UnregisterInflight({hot});
+  EXPECT_EQ(p.InflightScore({hot}, t0), 3.0);
+  p.UnregisterInflight({hot, cold});
+  EXPECT_EQ(p.InflightScore({hot, cold}, t0), 0.0);
+  // cold carried no heat: fully idle entries are garbage-collected.
+  EXPECT_EQ(p.KeyHeat(hot, t0), 3.0);
+  EXPECT_EQ(p.tracked_keys(), 1u);
+}
+
+// --- lock::ConflictScorer learning path -------------------------------------
+
+TEST(ConflictPredictorTest, WaitOutcomesWeighAbortsHeavierThanGrants) {
+  PredictorConfig cfg = SmallConfig();
+  cfg.wait_weight = 1.0;
+  cfg.abort_weight = 2.0;
+  ConflictPredictor p(cfg);
+  const lock::RecordId rec{5, 11};
+  const uint64_t fp = ConflictPredictor::Fingerprint(5, 11);
+  lock::WaitObservation obs;
+  obs.granted = true;
+  p.OnWaitOutcome(rec, obs, 100);
+  EXPECT_EQ(p.KeyHeat(fp, 100), 1.0);
+  obs.granted = false;
+  p.OnWaitOutcome(rec, obs, 100);
+  EXPECT_EQ(p.KeyHeat(fp, 100), 3.0);
+  EXPECT_EQ(p.outcomes(), 2u);
+}
+
+// --- concurrency over the sharded table -------------------------------------
+
+TEST(ConflictPredictorTest, ConcurrentRecordAndQueryKeepExactTotals) {
+  // 4 writers hammer a 64-key pool with unit weights at one fixed timestamp
+  // while readers score footprints and register/unregister in-flight sets.
+  // Unit weights at a fixed now make every per-key sum exact integer
+  // arithmetic in doubles, so the post-join total admits exact equality —
+  // any lost update or torn read shows up as a wrong count (and TSan has a
+  // dense interleaving to chew on).
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 8192;
+  constexpr uint64_t kKeys = 64;
+  const int64_t now = MillisToNanos(100);
+  PredictorConfig cfg = SmallConfig();
+  cfg.table_buckets = 16;  // force heavy bucket sharing
+  ConflictPredictor p(cfg);
+
+  std::vector<uint64_t> pool;
+  for (uint64_t k = 0; k < kKeys; ++k) pool.push_back(k * 2654435761u + 1);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(1000 + static_cast<uint64_t>(w));
+      for (int i = 0; i < kPerWriter; ++i) {
+        p.RecordConflict(pool[rng.Uniform(kKeys)], 1.0, now);
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(2000 + static_cast<uint64_t>(r));
+      for (int i = 0; i < 4000; ++i) {
+        const double s = p.FootprintScore(pool, now);
+        EXPECT_GE(s, 0.0);
+        EXPECT_GE(p.KeyHeat(pool[rng.Uniform(kKeys)], now), 0.0);
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        p.RegisterInflight(pool);
+        EXPECT_GE(p.InflightScore(pool, now), 0.0);
+        p.UnregisterInflight(pool);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  double total = 0;
+  for (uint64_t fp : pool) total += p.KeyHeat(fp, now);
+  EXPECT_EQ(total, static_cast<double>(kWriters * kPerWriter));
+  // Every learning event was counted exactly once (relaxed atomic, no loss).
+  EXPECT_EQ(p.outcomes(), static_cast<uint64_t>(kWriters * kPerWriter));
+  EXPECT_EQ(p.tracked_keys(), kKeys);
+  EXPECT_EQ(p.InflightScore(pool, now), 0.0);  // registrations all balanced
+}
+
+// --- deterministic replay ---------------------------------------------------
+
+TEST(ConflictPredictorTest, FixedTraceReplaysBitIdentically) {
+  // The contract the header states: scores are a pure function of the
+  // (fingerprint, weight, now_ns) event sequence. Replay one seeded trace
+  // into two predictors — interleaving read-only queries into one of them —
+  // and demand exact double equality throughout.
+  const PredictorConfig cfg = SmallConfig();
+  ConflictPredictor a(cfg), b(cfg);
+  Rng rng(20260808);
+  std::vector<uint64_t> pool;
+  for (uint32_t k = 0; k < 32; ++k) {
+    pool.push_back(ConflictPredictor::Fingerprint(2, k));
+  }
+
+  struct Event {
+    uint64_t fp;
+    double weight;
+    int64_t now;
+  };
+  std::vector<Event> trace;
+  int64_t now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += 1 + static_cast<int64_t>(rng.Uniform(200000));
+    const double w = rng.Bernoulli(0.3) ? 2.0 : (rng.Bernoulli(0.5) ? 0.5 : 1.0);
+    trace.push_back({pool[rng.Uniform(pool.size())], w, now});
+  }
+
+  for (const Event& e : trace) a.RecordConflict(e.fp, e.weight, e.now);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    b.RecordConflict(trace[i].fp, trace[i].weight, trace[i].now);
+    if (i % 97 == 0) {
+      // Queries must not perturb the counters (lazy decay is arithmetic,
+      // never written back by reads).
+      b.KeyHeat(trace[i].fp, trace[i].now + MillisToNanos(1));
+      b.FootprintScore(pool, trace[i].now);
+    }
+  }
+
+  const int64_t asof = now + MillisToNanos(3);
+  for (uint64_t fp : pool) {
+    EXPECT_EQ(a.KeyHeat(fp, asof), b.KeyHeat(fp, asof)) << "fp=" << fp;
+  }
+  EXPECT_EQ(a.FootprintScore(pool, asof), b.FootprintScore(pool, asof));
+  EXPECT_EQ(a.outcomes(), b.outcomes());
+  EXPECT_EQ(a.tracked_keys(), b.tracked_keys());
+}
+
+TEST(ConflictPredictorTest, FingerprintSeparatesTablesAndKeys) {
+  // Not a cryptographic claim — just that the mixing actually uses both
+  // inputs, so distinct hot records do not share one counter by accident.
+  EXPECT_NE(ConflictPredictor::Fingerprint(1, 5),
+            ConflictPredictor::Fingerprint(2, 5));
+  EXPECT_NE(ConflictPredictor::Fingerprint(1, 5),
+            ConflictPredictor::Fingerprint(1, 6));
+  EXPECT_EQ(ConflictPredictor::Fingerprint(7, 9),
+            ConflictPredictor::Fingerprint(7, 9));
+}
+
+}  // namespace
+}  // namespace tdp::sched

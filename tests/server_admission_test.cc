@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -128,6 +130,100 @@ TEST(AdmissionQueueTest, EldestFirstFullDrainIsSortedByAdmitTime) {
     EXPECT_LE(drained[i - 1].admit_ns, drained[i].admit_ns);
     if (drained[i - 1].admit_ns == drained[i].admit_ns) {
       EXPECT_LT(drained[i - 1].seq, drained[i].seq);
+    }
+  }
+}
+
+// --- requeue order stability ------------------------------------------------
+
+// The audit this pins: under the age-ordered policies a requeued entry must
+// keep its original seq, not take a fresh one. With a fresh seq, two entries
+// admitted at the same timestamp would swap places every time one of them
+// bounced through a requeue — the eldest-first total order would not be
+// stable under requeue.
+TEST(AdmissionQueueTest, RequeuePreservesSeqUnderEldestFirst) {
+  AdmissionQueue<int> q(DispatchPolicy::kEldestFirst, 64);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.Push(i, /*admit_ns=*/100));
+  AdmissionQueue<int>::Entry a, b;
+  ASSERT_TRUE(q.Pop(&a));
+  ASSERT_TRUE(q.Pop(&b));
+  EXPECT_EQ(a.item, 0);
+  EXPECT_EQ(b.item, 1);
+  // Requeue in reverse: seq (not requeue order) must decide.
+  ASSERT_TRUE(q.Requeue(std::move(b)));
+  ASSERT_TRUE(q.Requeue(std::move(a)));
+  for (int expect = 0; expect < 6; ++expect) {
+    AdmissionQueue<int>::Entry e;
+    ASSERT_TRUE(q.Pop(&e));
+    EXPECT_EQ(e.item, expect);
+  }
+}
+
+TEST(AdmissionQueueTest, FifoRequeueGoesToTheBack) {
+  // kFifo documents "requeues go to the back": a requeue is a fresh arrival
+  // and takes a new seq.
+  AdmissionQueue<int> q(DispatchPolicy::kFifo, 64);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.Push(i, /*admit_ns=*/100));
+  AdmissionQueue<int>::Entry e;
+  ASSERT_TRUE(q.Pop(&e));
+  EXPECT_EQ(e.item, 0);
+  ASSERT_TRUE(q.Requeue(std::move(e)));
+  std::vector<int> drained;
+  while (q.Pop(&e)) drained.push_back(e.item);
+  EXPECT_EQ(drained, (std::vector<int>{1, 2, 0}));
+}
+
+// Property: across random interleavings of pushes, pops, and requeues, an
+// eldest-first queue's dispatch order is always exactly the sorted
+// (admit_ns, original seq) order — requeues cannot reshuffle it.
+TEST(AdmissionQueueTest, EldestFirstTotalOrderStableUnderRequeue) {
+  Rng rng(7);
+  for (int round = 0; round < 30; ++round) {
+    AdmissionQueue<int> q(DispatchPolicy::kEldestFirst, 1024);
+    // item -> (admit_ns, seq) as assigned at first push.
+    std::vector<std::pair<int64_t, uint64_t>> key;
+    std::vector<AdmissionQueue<int>::Entry> popped;
+    int pushed = 0;
+    const int total = 120;
+    while (pushed < total || !q.empty() || !popped.empty()) {
+      const int choice = static_cast<int>(rng.Uniform(3));
+      if (choice == 0 && pushed < total) {
+        // Small admit range: most of the order rides on the seq tiebreak.
+        const int64_t admit = static_cast<int64_t>(rng.Uniform(8));
+        ASSERT_TRUE(q.Push(pushed, admit));
+        key.emplace_back(admit, 0);  // seq learned at pop below
+        ++pushed;
+        continue;
+      }
+      if (choice == 1 && !popped.empty()) {
+        const size_t i = rng.Uniform(popped.size());
+        ASSERT_TRUE(q.Requeue(std::move(popped[i])));
+        popped.erase(popped.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      AdmissionQueue<int>::Entry e;
+      if (!q.Pop(&e)) continue;
+      key[static_cast<size_t>(e.item)] = {e.admit_ns, e.seq};
+      // Hold some entries aside to requeue later, final-drain the rest.
+      if (rng.Bernoulli(0.4) && popped.size() < 8) {
+        popped.push_back(std::move(e));
+      }
+    }
+    // Replay: push everything once more and drain with no requeues; the
+    // drain order must equal sorting by the original (admit_ns, seq) —
+    // i.e. the requeue-laden history never changed any entry's key.
+    for (int i = 0; i < total; ++i) {
+      ASSERT_TRUE(q.Push(i, key[static_cast<size_t>(i)].first));
+    }
+    std::vector<int> expect(total);
+    for (int i = 0; i < total; ++i) expect[i] = i;
+    std::stable_sort(expect.begin(), expect.end(), [&](int a, int b) {
+      return key[static_cast<size_t>(a)] < key[static_cast<size_t>(b)];
+    });
+    AdmissionQueue<int>::Entry e;
+    for (int i = 0; i < total; ++i) {
+      ASSERT_TRUE(q.Pop(&e));
+      EXPECT_EQ(e.item, expect[static_cast<size_t>(i)]) << "round " << round;
     }
   }
 }

@@ -18,6 +18,7 @@
 #include "server/service.h"
 #include "volt/voltmini.h"
 #include "workload/tpcc.h"
+#include "workload/ycsb.h"
 
 namespace tdp::tools {
 namespace {
@@ -271,6 +272,56 @@ json::Value ServerAsyncCommitExperiment(uint64_t n) {
   });
 }
 
+/// Conflict-predictive scheduling (docs/scheduling.md) through the service
+/// layer on Zipfian YCSB: a small hot set of skewed writes where steering
+/// decisions actually bind. The baseline arm runs VATS lock scheduling with
+/// eldest-first dispatch; the cp arm runs kCPVATS + kConflictAware, both
+/// decision points sharing the engine-owned online predictor. The cp arm's
+/// sched.* counters carry the prediction-accounting invariants
+/// (hits + false_positives == flagged, steer_delays >= flagged).
+json::Value SchedExperiment(bool cp, uint64_t n) {
+  json::Value p = json::Value::Object();
+  p.Set("cp", json::Value::Bool(cp));
+  p.Set("backend", json::Value::Str("mysqlmini"));
+  return RunExperiment(std::string("sched.") + (cp ? "cpvats" : "vats"),
+                       "sched", std::move(p), [&] {
+    engine::EngineConfig ecfg;
+    ecfg.mysql = core::Toolkit::MysqlDefault(
+        cp ? lock::SchedulerPolicy::kCPVATS : lock::SchedulerPolicy::kVATS);
+    // Conflict-bound posture (bench_conflict_sched's): cheap log, real
+    // per-row work, so lock queueing is what the schedulers act on.
+    ecfg.mysql.flush_policy = log::FlushPolicy::kLazyFlush;
+    ecfg.mysql.row_work_ns = 20000;
+    ecfg.mysql.lock.wait_timeout_ns = MillisToNanos(500);
+    auto db = MustOpen(engine::EngineKind::kMySQLMini, ecfg);
+    workload::YcsbConfig ycsb;
+    ycsb.rows = 2000;
+    ycsb.zipf_theta = 0.99;
+    ycsb.ops_per_txn = 4;
+    ycsb.pct_reads = 20;
+    workload::Ycsb wl(ycsb);
+    wl.Load(db.get());
+
+    server::ServiceConfig scfg;
+    scfg.workers = 8;
+    scfg.policy = cp ? server::DispatchPolicy::kConflictAware
+                     : server::DispatchPolicy::kEldestFirst;
+    scfg.max_queue_depth = 4096;
+    scfg.retry.max_attempts = 1;  // Retryable aborts requeue.
+    server::TransactionService svc(db.get(), scfg);
+    svc.Start();
+
+    workload::DriverConfig driver;
+    driver.tps = 800;
+    driver.num_txns = n;
+    driver.warmup_txns = n / 10;
+    driver.arrival = workload::ArrivalProcess::kPoisson;
+    const workload::RunResult run = workload::RunService(&svc, &wl, driver);
+    svc.Shutdown();
+    return core::Metrics::From(run);
+  });
+}
+
 json::Value Fig6VoltExperiment(uint64_t n) {
   return RunExperiment("fig6.voltmini", "voltmini", json::Value::Object(),
                        [&] { return RunVolt(/*workers=*/2, n); });
@@ -287,7 +338,8 @@ json::Value SuiteDoc(const std::string& suite) {
 }  // namespace
 
 std::vector<std::string> ListSuites() {
-  return {"smoke", "fig2", "fig3", "fig4", "fig6", "server-smoke"};
+  return {"smoke", "fig2", "fig3", "fig4", "fig6", "server-smoke",
+          "sched-smoke"};
 }
 
 bool HasSuite(const std::string& suite) {
@@ -345,6 +397,14 @@ json::Value RunSuite(const std::string& suite) {
     experiments.Append(ServerExperiment(server::DispatchPolicy::kFifo,
                                         /*overload=*/true, SuiteN(4000)));
     experiments.Append(ServerAsyncCommitExperiment(n));
+  } else if (suite == "sched-smoke") {
+    // Conflict-predictive scheduling end to end: the VATS baseline and the
+    // CP-VATS + conflict-aware-dispatch arm on the same Zipfian YCSB load,
+    // with the sched.* prediction-accounting invariants checked on the cp
+    // arm.
+    const uint64_t n = SuiteN(3000);
+    experiments.Append(SchedExperiment(/*cp=*/false, n));
+    experiments.Append(SchedExperiment(/*cp=*/true, n));
   } else {  // fig6
     const uint64_t n = SuiteN(6000);
     workload::DriverConfig driver = core::Toolkit::DriverDefault();
@@ -607,6 +667,58 @@ std::vector<std::string> CheckInvariants(const json::Value& doc) {
               (name != nullptr ? name->as_string() : std::string("?")) +
               ": log.epoch_batch histogram empty under async group commit (" +
               std::to_string(batches) + ")");
+        }
+      }
+    } else if (engine == "sched") {
+      // A scheduling experiment runs mysqlmini through the service layer,
+      // so both accounting contracts apply: lock grants observed exactly
+      // once, and admission totals exact.
+      RequireEq(exp, "lock.grants.total != mysql.lock_acquisitions",
+                Counter(exp, "lock.grants.total"),
+                Counter(exp, "mysql.lock_acquisitions"), &problems);
+      RequirePositive(exp, "lock.grants.total", &problems);
+      RequireEq(exp,
+                "server.admitted + server.shed + server.rejected_recovering"
+                " != server.submitted",
+                Counter(exp, "server.admitted") + Counter(exp, "server.shed") +
+                    Counter(exp, "server.rejected_recovering"),
+                Counter(exp, "server.submitted"), &problems);
+      RequireEq(exp,
+                "server.completed + server.expired + server.drain_aborted != "
+                "server.admitted",
+                Counter(exp, "server.completed") +
+                    Counter(exp, "server.expired") +
+                    Counter(exp, "server.drain_aborted"),
+                Counter(exp, "server.admitted"), &problems);
+      RequireEq(exp, "server.queue_depth not drained at quiesce",
+                GaugeValue(exp, "server.queue_depth"), 0, &problems);
+      RequirePositive(exp, "server.submitted", &problems);
+      RequirePositive(exp, "server.completed.ok", &problems);
+      if (ParamBool(exp, "cp")) {
+        // Prediction accounting (docs/scheduling.md): every steered pop
+        // scored something; every flagged request was classified exactly
+        // once at completion; a request is flagged at most once; and every
+        // flag event was a skip event.
+        RequirePositive(exp, "sched.predictions", &problems);
+        RequireEq(exp, "sched.hits + sched.false_positives != sched.flagged",
+                  Counter(exp, "sched.hits") +
+                      Counter(exp, "sched.false_positives"),
+                  Counter(exp, "sched.flagged"), &problems);
+        RequireEq(exp, "server.steer_delayed != sched.flagged",
+                  Counter(exp, "server.steer_delayed"),
+                  Counter(exp, "sched.flagged"), &problems);
+        if (Counter(exp, "sched.flagged") > Counter(exp, "server.admitted")) {
+          const json::Value* name = exp.Find("name");
+          problems.push_back(
+              (name != nullptr ? name->as_string() : std::string("?")) +
+              ": sched.flagged exceeds server.admitted");
+        }
+        if (Counter(exp, "sched.steer_delays") <
+            Counter(exp, "sched.flagged")) {
+          const json::Value* name = exp.Find("name");
+          problems.push_back(
+              (name != nullptr ? name->as_string() : std::string("?")) +
+              ": sched.steer_delays below sched.flagged");
         }
       }
     } else if (engine == "voltmini") {

@@ -34,6 +34,8 @@ TESTS=(
   sharded_hash_table_test
   group_commit_test
   cats_weight_property_test
+  conflict_predictor_test
+  conflict_sched_property_test
   "$@"
 )
 

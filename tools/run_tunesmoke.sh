@@ -26,3 +26,13 @@ if [ "$SPACE" = "fig3-flush" ]; then
     exit 1
   fi
 fi
+
+if [ "$SPACE" = "sched-cp" ]; then
+  # The tuned CP-VATS config must never be CI-confidently worse than the
+  # fresh VATS baseline tdp_tune measures after the search.
+  if ! grep -Eq "^sched-cp verdict: cpvats_vs_vats=(better|overlap)$" "$LOG"
+  then
+    echo "tune_sched_smoke: tuned CP-VATS is CI-worse than VATS" >&2
+    exit 1
+  fi
+fi

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/clock.h"
 #include "tools/bench_suites.h"
 #include "tuning/search.h"
 
@@ -83,12 +84,34 @@ KnobSpace WorkersSpace() {
   return s;
 }
 
+KnobSpace SchedCpSpace() {
+  // CP-VATS predictor knobs (docs/scheduling.md): steering score threshold
+  // x heat decay half-life, searched under the CI-gated halving so a noisy
+  // Zipfian replicate cannot prune a good config.
+  KnobSpace s;
+  s.schedulers = {tdp::lock::SchedulerPolicy::kCPVATS};
+  s.sched_half_life_ns = {tdp::MillisToNanos(25), tdp::MillisToNanos(100)};
+  s.sched_threshold = {0.5, 2.0};
+  return s;
+}
+
+TrialConfig SchedCpTrial() {
+  TrialConfig t = BaseTrial();
+  // The workload where steering binds: a small Zipfian hot set of writes,
+  // dispatched through the conflict-aware admission policy.
+  t.ycsb_zipf = true;
+  t.dispatch = tdp::server::DispatchPolicy::kConflictAware;
+  return t;
+}
+
 const NamedSpace kSpaces[] = {
     {"fig3-flush", "mysql redo flush policy (fig 3)", FlushSpace, BaseTrial},
     {"fig3-bufpool", "mysql buffer-pool pages, 2-WH contended (fig 3)",
      BufpoolSpace, BufpoolTrial},
     {"fig4-block", "pg WAL block size (fig 4)", BlockSpace, BaseTrial},
     {"sched", "lock scheduler policy (fig 2)", SchedSpace, BaseTrial},
+    {"sched-cp", "CP-VATS predictor knobs on Zipfian YCSB", SchedCpSpace,
+     SchedCpTrial},
     {"workers", "service worker-pool size (fig 7 analog)", WorkersSpace,
      BaseTrial},
 };
@@ -188,6 +211,31 @@ int main(int argc, char** argv) {
               tdp::tuning::RecommendationTable(result, objective).c_str());
   std::printf("recommendation: %s\n",
               result.arms[result.best].knobs.Label().c_str());
+
+  if (space_name == "sched-cp") {
+    // The question the space exists to answer: does the tuned CP-VATS
+    // config at least match plain VATS + eldest-first dispatch on the same
+    // workload? Measure a fresh baseline with the winner's replicate count
+    // so both scores carry comparable bootstrap intervals.
+    const tdp::tuning::TunedArm& best = result.arms[result.best];
+    TrialConfig baseline_trial = trial;
+    baseline_trial.dispatch = tdp::server::DispatchPolicy::kEldestFirst;
+    tdp::tuning::TrialRunner baseline_runner(baseline_trial);
+    tdp::tuning::KnobConfig vats;
+    vats.scheduler = tdp::lock::SchedulerPolicy::kVATS;
+    std::vector<tdp::tuning::TrialMeasurement> vats_reps;
+    for (size_t i = 0; i < best.replicates.size(); ++i)
+      vats_reps.push_back(
+          baseline_runner.Measure(vats, static_cast<int>(i)));
+    const tdp::tuning::ArmScore vats_score = objective.Score(vats_reps);
+    const int cmp = tdp::tuning::Objective::Compare(best.score, vats_score);
+    std::printf(
+        "sched-cp baseline %s: score=%.0f ci=[%.0f, %.0f] tps=%.1f\n",
+        vats.Label().c_str(), vats_score.score, vats_score.ci_lo,
+        vats_score.ci_hi, vats_score.mean_tps);
+    std::printf("sched-cp verdict: cpvats_vs_vats=%s\n",
+                cmp < 0 ? "better" : (cmp > 0 ? "worse" : "overlap"));
+  }
 
   const tdp::json::Value doc = tdp::tuning::TuneReport(
       result, space, objective, space_name, tdp::bench::QuickMode());
