@@ -15,6 +15,7 @@ const char* FaultKindName(FaultKind k) {
     case FaultKind::kTornFlush: return "torn_flush";
     case FaultKind::kReadError: return "read_error";
     case FaultKind::kCrash: return "crash";
+    case FaultKind::kDiskDark: return "disk_dark";
   }
   return "unknown";
 }
@@ -30,6 +31,7 @@ FaultInjector::FaultInjector(std::vector<FaultEvent> schedule)
   m_.torn_flushes = reg.GetCounter("fault.torn_flushes");
   m_.read_errors = reg.GetCounter("fault.read_errors");
   m_.crashes = reg.GetCounter("fault.crashes");
+  m_.disk_darks = reg.GetCounter("fault.disk_darks");
 }
 
 void NoteIoRetries(int extra_attempts) {
@@ -86,6 +88,12 @@ void FaultInjector::AddCrash(int64_t start_ns, int64_t duration_ns,
       {FaultKind::kCrash, start_ns, duration_ns, written_fraction});
 }
 
+void FaultInjector::AddDiskDark(int64_t start_ns, int64_t duration_ns,
+                                double written_fraction) {
+  schedule_.push_back(
+      {FaultKind::kDiskDark, start_ns, duration_ns, written_fraction});
+}
+
 std::vector<FaultEvent> FaultInjector::RandomSchedule(
     uint64_t seed, const RandomFaultConfig& cfg) {
   std::vector<FaultEvent> out;
@@ -136,11 +144,21 @@ void FaultInjector::Arm() {
   armed_.store(true, std::memory_order_release);
 }
 
-void FaultInjector::Disarm() { armed_.store(false, std::memory_order_release); }
+void FaultInjector::Disarm() {
+  armed_.store(false, std::memory_order_release);
+  dark_.store(false, std::memory_order_release);
+}
 
 FaultInjector::Perturbation FaultInjector::Evaluate(IoOp op, int64_t now_ns) {
   Perturbation p;
   if (!armed()) return p;
+  if (dark()) {
+    // The go-dark latch outlives its window: once tripped, this device
+    // answers nothing until revived. Scoped strictly to this injector.
+    p.fail = true;
+    p.written_fraction = 0.0;
+    return p;
+  }
   const int64_t rel = now_ns - epoch_ns_.load(std::memory_order_acquire);
   for (const FaultEvent& e : schedule_) {
     if (rel < e.start_ns || rel >= e.start_ns + e.duration_ns) continue;
@@ -207,6 +225,15 @@ FaultInjector::Perturbation FaultInjector::Evaluate(IoOp op, int64_t now_ns) {
         stats_.crashes.fetch_add(1, std::memory_order_relaxed);
         metrics::Inc(m_.crashes);
         CrashPoints::Global().Trigger("fault.crash");
+        break;
+      case FaultKind::kDiskDark:
+        // Device-scoped analogue of kCrash: latch dark_ instead of the
+        // process-wide flag, so only this disk stops serving.
+        p.fail = true;
+        p.written_fraction = std::clamp(e.magnitude, 0.0, 1.0);
+        stats_.disk_darks.fetch_add(1, std::memory_order_relaxed);
+        metrics::Inc(m_.disk_darks);
+        dark_.store(true, std::memory_order_release);
         break;
     }
   }

@@ -40,6 +40,13 @@ enum class FaultKind {
                   ///< flag (CrashPoints): the op persists `magnitude` of its
                   ///< payload, fails, and the device goes dark until
                   ///< CrashPoints::Reset() — docs/recovery.md.
+  kDiskDark,      ///< First I/O in the window takes *this device* dark: the
+                  ///< op persists `magnitude` of its payload, fails, and
+                  ///< every later request on this injector fails — without
+                  ///< touching the process-wide crash flag, so sibling disks
+                  ///< (the replication leader, other replicas) keep serving.
+                  ///< Cleared by ResetDark() or Disarm() —
+                  ///< docs/replication.md.
 };
 
 const char* FaultKindName(FaultKind k);
@@ -96,6 +103,13 @@ class FaultInjector {
   /// reaches the medium — the torn tail a mid-write crash leaves behind.
   void AddCrash(int64_t start_ns, int64_t duration_ns,
                 double written_fraction = 0.0);
+  /// Go-dark window scoped to this injector's device: the first I/O inside
+  /// it fails (persisting `written_fraction` of its payload) and the device
+  /// stays dark — all later requests fail — until ResetDark()/Disarm().
+  /// Unlike AddCrash this never raises the process-wide flag: a replica's
+  /// death must not darken the leader or its siblings.
+  void AddDiskDark(int64_t start_ns, int64_t duration_ns,
+                   double written_fraction = 0.0);
 
   /// Deterministic pseudo-random schedule: fault starts are drawn with
   /// exponential gaps (mean_gap_ns), kinds by weight, durations uniform in
@@ -113,8 +127,17 @@ class FaultInjector {
   /// Starts the schedule clock: event times become relative to now. The
   /// schedule must not be mutated while armed.
   void Arm();
+  /// Stops the schedule and revives a dark device (clears the go-dark
+  /// latch), restoring the documented "unarmed injectors are neutral"
+  /// contract.
   void Disarm();
   bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// True once a kDiskDark window tripped and until ResetDark()/Disarm().
+  bool dark() const { return dark_.load(std::memory_order_acquire); }
+  /// Revives a dark device without disturbing the rest of the schedule —
+  /// the replica-restart path.
+  void ResetDark() { dark_.store(false, std::memory_order_release); }
 
   // --- consumption (SimDisk) ----------------------------------------------
   struct Perturbation {
@@ -145,12 +168,14 @@ class FaultInjector {
     std::atomic<uint64_t> torn_flushes{0};
     std::atomic<uint64_t> read_errors{0};
     std::atomic<uint64_t> crashes{0};
+    std::atomic<uint64_t> disk_darks{0};
   };
   const Stats& stats() const { return stats_; }
 
  private:
   std::vector<FaultEvent> schedule_;
   std::atomic<bool> armed_{false};
+  std::atomic<bool> dark_{false};
   std::atomic<int64_t> epoch_ns_{0};
   mutable std::mutex rng_mu_;
   Rng rng_{0xFA517EC7ull};
@@ -164,6 +189,7 @@ class FaultInjector {
     metrics::Counter* torn_flushes = nullptr;
     metrics::Counter* read_errors = nullptr;
     metrics::Counter* crashes = nullptr;
+    metrics::Counter* disk_darks = nullptr;
   };
   MetricHandles m_;
 };

@@ -46,11 +46,18 @@ Status ValidateMysql(const MySQLMiniConfig& c) {
     return Invalid("predictor.table_buckets", "must be >= 1");
   if (c.predictor.wait_weight < 0 || c.predictor.abort_weight < 0)
     return Invalid("predictor weights", "must be >= 0");
+  if (c.repl_replicas < 1)
+    return Invalid("repl_replicas", "must be >= 1");
+  if (c.repl_quorum < 0 || c.repl_quorum > c.repl_replicas)
+    return Invalid("repl_quorum", "must be 0 (majority) or in [1, replicas]");
   Status s = ValidateLock(c.lock);
   if (!s.ok()) return s;
   s = ValidateDisk("data_disk", c.data_disk);
   if (!s.ok()) return s;
-  return ValidateDisk("log_disk", c.log_disk);
+  s = ValidateDisk("log_disk", c.log_disk);
+  if (!s.ok()) return s;
+  if (c.repl_replicas > 1) return ValidateDisk("repl_disk", c.repl_disk);
+  return Status::OK();
 }
 
 Status ValidatePg(const pg::PgMiniConfig& c) {

@@ -50,6 +50,17 @@ MySQLMini::MySQLMini(MySQLMiniConfig config)
   redo_log_ = std::make_unique<log::RedoLog>(lg);
   redo_log_->Start();
 
+  if (config_.repl_replicas > 1) {
+    repl::QuorumLogConfig ql;
+    ql.leader = redo_log_.get();
+    ql.replicas = config_.repl_replicas;
+    ql.quorum = config_.repl_quorum;
+    ql.replica_disk = config_.repl_disk;
+    ql.replica_faults = config_.repl_faults;
+    quorum_log_ = std::make_unique<repl::QuorumLog>(ql);
+    quorum_log_->Start();
+  }
+
   btree_ = storage::BTreeModel(config_.btree);
 
   auto& reg = metrics::Registry::Global();
@@ -57,7 +68,12 @@ MySQLMini::MySQLMini(MySQLMiniConfig config)
   m_.redo_bytes = reg.GetCounter("mysql.redo_bytes");
 }
 
-MySQLMini::~MySQLMini() { redo_log_->Stop(); }
+MySQLMini::~MySQLMini() {
+  // Stop the leader first: it holds internal acks that call back into the
+  // quorum log, and Stop() resolves them all before returning.
+  redo_log_->Stop();
+  if (quorum_log_) quorum_log_->Stop();
+}
 
 std::unique_ptr<Connection> MySQLMini::Connect() {
   return std::make_unique<MySQLSession>(this);
@@ -357,7 +373,21 @@ Status MySQLSession::DoCommit() {
   // (strict 2PL: locks are held until the commit point completes).
   if (redo_bytes_ > 0) {
     metrics::Inc(db_->m_.redo_bytes, redo_bytes_);
-    db_->redo_log_->Commit(txn_->id, redo_bytes_, std::move(redo_ops_));
+    if (db_->quorum_log_ != nullptr) {
+      Status durable;
+      db_->quorum_log_->Commit(txn_->id, redo_bytes_, std::move(redo_ops_),
+                               &durable);
+      if (!durable.ok()) {
+        // Quorum unreachable / failover / stop raced the commit: the frame
+        // is appended but not quorum-durable, so the outcome is unknown to
+        // the client. Surface the (retryable, for Unavailable) status after
+        // releasing locks — never claim an un-quorumed commit succeeded.
+        ReleaseAndReset();
+        return durable;
+      }
+    } else {
+      db_->redo_log_->Commit(txn_->id, redo_bytes_, std::move(redo_ops_));
+    }
   }
   ReleaseAndReset();
   return Status::OK();
@@ -376,8 +406,13 @@ Status MySQLSession::DoCommitAsync(CommitAckFn ack) {
     // commit order under the log mutex) before locks drop, and the epoch
     // only acks durable prefixes — so no transaction can ack durable while
     // one it read from is still pending. The ack carries durability.
-    db_->redo_log_->CommitAsync(txn_->id, redo_bytes_, std::move(redo_ops_),
-                                std::move(ack));
+    if (db_->quorum_log_ != nullptr) {
+      db_->quorum_log_->CommitAsync(txn_->id, redo_bytes_,
+                                    std::move(redo_ops_), std::move(ack));
+    } else {
+      db_->redo_log_->CommitAsync(txn_->id, redo_bytes_, std::move(redo_ops_),
+                                  std::move(ack));
+    }
     ReleaseAndReset();
     return Status::OK();
   }

@@ -29,6 +29,7 @@
 #include "engine/recovery.h"
 #include "lock/lock_manager.h"
 #include "log/redo_log.h"
+#include "repl/quorum_log.h"
 #include "sched/conflict_predictor.h"
 #include "storage/btree_model.h"
 #include "storage/catalog.h"
@@ -90,6 +91,22 @@ struct MySQLMiniConfig {
 
   SimDiskConfig data_disk;
   SimDiskConfig log_disk;
+
+  /// Replication (docs/replication.md): total durable copies of the redo
+  /// stream, counting the leader's own log disk. 1 = replication off; K > 1
+  /// routes commit durability through repl::QuorumLog — acks fire when a
+  /// quorum of copies holds the frame durable.
+  int repl_replicas = 1;
+  /// Copies that must hold a frame before its ack fires. 0 = majority
+  /// (repl_replicas / 2 + 1).
+  int repl_quorum = 0;
+  /// Device template for replica log disks; each replica derives its own
+  /// seed so devices jitter independently.
+  SimDiskConfig repl_disk;
+  /// Optional per-replica fault injectors (index i -> replica i+1),
+  /// overriding repl_disk.fault — injected faults stay scoped to one
+  /// replica's device. Not owned; must outlive the engine.
+  std::vector<FaultInjector*> repl_faults;
 
   uint64_t seed = 1;
 };
@@ -164,6 +181,8 @@ class MySQLMini : public Database {
   lock::LockManager& lock_manager() { return *lock_manager_; }
   buffer::BufferPool& buffer_pool() { return *buffer_pool_; }
   log::RedoLog& redo_log() { return *redo_log_; }
+  /// Null when repl_replicas == 1 (replication off).
+  repl::QuorumLog* quorum_log() { return quorum_log_.get(); }
   storage::Catalog& catalog() { return catalog_; }
   SimDisk& data_disk() { return *data_disk_; }
   SimDisk& log_disk() { return *log_disk_; }
@@ -206,6 +225,10 @@ class MySQLMini : public Database {
   std::unique_ptr<lock::LockManager> lock_manager_;
   std::unique_ptr<buffer::BufferPool> buffer_pool_;
   std::unique_ptr<log::RedoLog> redo_log_;
+  /// Declared after redo_log_ (destroyed first): the leader log holds
+  /// internal acks that call back into the QuorumLog, so the engine stops
+  /// the log before the QuorumLog dies (see ~MySQLMini).
+  std::unique_ptr<repl::QuorumLog> quorum_log_;
   storage::BTreeModel btree_;
 
   std::atomic<uint64_t> next_txn_id_{1};

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault.h"
 #include "tprofiler/profiler.h"
 
 namespace tdp::engine {
@@ -38,17 +39,36 @@ Status ExecuteAttemptAsync(Connection& conn, const TxnBody& body,
   return s;
 }
 
+/// Sleeps before the next retry and returns the sleep it drew (the caller
+/// feeds it back as `prev_ns`). Routed through the shared I/O backoff
+/// machinery (common/fault.h) so transaction retries get the same
+/// decorrelated jitter as I/O retries: clients that all died on one
+/// failover window come back spread out, not in lockstep.
+int64_t BackoffSleep(const RetryPolicy& policy, int64_t prev_ns) {
+  if (policy.backoff_ns <= 0) return 0;
+  IoRetryPolicy io;
+  io.backoff_ns = policy.backoff_ns;
+  io.max_backoff_ns = policy.max_backoff_ns;
+  io.jitter = true;
+  const int64_t next = NextBackoffNanos(io, prev_ns, &RetryBackoffRng());
+  if (next > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(next));
+  }
+  return next;
+}
+
 }  // namespace
 
 bool RetryableTxnError(const Status& s, const RetryPolicy& policy) {
   if (s.IsDeadlock() || s.IsLockTimeout()) return true;
+  if (policy.retry_unavailable && s.IsUnavailable()) return true;
   return policy.retry_aborted && s.IsAborted();
 }
 
 Status RunTxn(Connection& conn, const RetryPolicy& policy, const TxnBody& body,
               TxnStats* stats) {
   Status s;
-  int64_t backoff = policy.backoff_ns;
+  int64_t backoff = 0;
   for (int attempt = 1;; ++attempt) {
     s = ExecuteAttempt(conn, body);
     if (stats) {
@@ -65,10 +85,7 @@ Status RunTxn(Connection& conn, const RetryPolicy& policy, const TxnBody& body,
         attempt >= policy.max_attempts) {
       return s;
     }
-    if (backoff > 0) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
-      backoff *= 2;
-    }
+    backoff = BackoffSleep(policy, backoff);
   }
 }
 
@@ -76,7 +93,7 @@ Status RunTxnAsync(Connection& conn, const RetryPolicy& policy,
                    const TxnBody& body, Connection::CommitAckFn ack,
                    TxnStats* stats) {
   Status s;
-  int64_t backoff = policy.backoff_ns;
+  int64_t backoff = 0;
   for (int attempt = 1;; ++attempt) {
     s = ExecuteAttemptAsync(conn, body, ack);
     if (stats) {
@@ -93,10 +110,7 @@ Status RunTxnAsync(Connection& conn, const RetryPolicy& policy,
         attempt >= policy.max_attempts) {
       return s;
     }
-    if (backoff > 0) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
-      backoff *= 2;
-    }
+    backoff = BackoffSleep(policy, backoff);
   }
 }
 

@@ -19,14 +19,25 @@ struct RetryPolicy {
   /// Total attempts, including the first; 1 means no retry. The driver's
   /// legacy `max_retries` knob maps to `max_retries + 1`.
   int max_attempts = 50;
-  /// Sleep before each retry, doubling per attempt. 0 retries immediately
+  /// Base sleep before each retry. Successive sleeps grow by decorrelated
+  /// jitter — drawn uniformly from [backoff_ns, 3x the previous sleep]
+  /// (common/fault.h NextBackoffNanos) — so a herd of clients blocked on
+  /// the same failover window comes back desynchronized instead of
+  /// re-colliding the instant the barrier drops. 0 retries immediately
   /// (the engines' lock waits already provide natural backoff).
   int64_t backoff_ns = 0;
+  /// Cap on any single retry sleep (0 = uncapped).
+  int64_t max_backoff_ns = 0;
   /// Also retry on kAborted (conflict-induced aborts, e.g. a write landing
   /// on a must-abort transaction). Application-level Aborted returns from
   /// the body are indistinguishable, so bodies that abort on purpose should
   /// use a different code (NotFound, InvalidArgument) or set this false.
   bool retry_aborted = true;
+  /// Also retry on kUnavailable: the engine or service is inside a recovery
+  /// or replication-failover window (docs/replication.md) and will accept
+  /// work again once EndRecovery drops the barrier. Pair with a nonzero
+  /// backoff_ns — an Unavailable retry loop with no sleep spins.
+  bool retry_unavailable = true;
 };
 
 /// Attempt/abort counts across one RunTxn call (all attempts).

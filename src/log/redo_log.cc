@@ -430,6 +430,20 @@ size_t RedoLog::image_bytes() {
   return image_.size();
 }
 
+size_t RedoLog::CopyDurablePrefix(size_t from, std::vector<uint8_t>* out,
+                                  uint64_t* durable_lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t durable = durable_lsn_.load(std::memory_order_relaxed);
+  const size_t durable_end =
+      durable == 0 ? 0 : records_[static_cast<size_t>(durable) - 1].image_end;
+  if (durable_lsn != nullptr) *durable_lsn = durable;
+  if (out != nullptr && from < durable_end) {
+    out->insert(out->end(), image_.begin() + static_cast<ptrdiff_t>(from),
+                image_.begin() + static_cast<ptrdiff_t>(durable_end));
+  }
+  return durable_end;
+}
+
 std::vector<uint64_t> RedoLog::SimulateCrash() {
   Stop();
   const uint64_t durable = durable_lsn_.load(std::memory_order_relaxed);

@@ -146,6 +146,15 @@ class RedoLog {
   /// for CrashImage's tail parameter.
   size_t image_bytes();
 
+  /// Replication read-side (src/repl): appends the framed image bytes in
+  /// [`from`, end-of-durable-prefix) to `out` and stores the durable LSN
+  /// that prefix ends at in `durable_lsn`. Returns the durable prefix's end
+  /// offset. Unlike CrashImage this does not stop the log — it is the
+  /// shippers' live view, and it never exposes a byte the device has not
+  /// acknowledged durable.
+  size_t CopyDurablePrefix(size_t from, std::vector<uint8_t>* out,
+                           uint64_t* durable_lsn);
+
   struct Stats {
     std::atomic<uint64_t> commits{0};
     std::atomic<uint64_t> flushes{0};

@@ -322,6 +322,28 @@ json::Value SchedExperiment(bool cp, uint64_t n) {
   });
 }
 
+/// Quorum-replicated durability (docs/replication.md): TPC-C on mysqlmini
+/// with K copies of the redo stream, so every commit waits for a majority
+/// quorum before acking. The repl.* ack-ledger identity (acks_quorum +
+/// acks_waiting + acks_lost == commits_submitted) is checked by
+/// CheckInvariants; a healthy run additionally loses nothing.
+json::Value ReplExperiment(int replicas, uint64_t n) {
+  workload::DriverConfig driver = core::Toolkit::DriverDefault();
+  driver.num_txns = n;
+  driver.warmup_txns = n / 10;
+  json::Value p = json::Value::Object();
+  p.Set("replicas", json::Value::Int(replicas));
+  return RunExperiment("repl.k" + std::to_string(replicas), "repl",
+                       std::move(p), [&] {
+                         engine::MySQLMiniConfig cfg = core::Toolkit::MysqlDefault(
+                             lock::SchedulerPolicy::kFCFS);
+                         cfg.repl_replicas = replicas;
+                         cfg.repl_disk = cfg.log_disk;
+                         return RunMysql(cfg, core::Toolkit::TpccContended(),
+                                         driver);
+                       });
+}
+
 json::Value Fig6VoltExperiment(uint64_t n) {
   return RunExperiment("fig6.voltmini", "voltmini", json::Value::Object(),
                        [&] { return RunVolt(/*workers=*/2, n); });
@@ -339,7 +361,7 @@ json::Value SuiteDoc(const std::string& suite) {
 
 std::vector<std::string> ListSuites() {
   return {"smoke", "fig2", "fig3", "fig4", "fig6", "server-smoke",
-          "sched-smoke"};
+          "sched-smoke", "repl-smoke"};
 }
 
 bool HasSuite(const std::string& suite) {
@@ -405,6 +427,12 @@ json::Value RunSuite(const std::string& suite) {
     const uint64_t n = SuiteN(3000);
     experiments.Append(SchedExperiment(/*cp=*/false, n));
     experiments.Append(SchedExperiment(/*cp=*/true, n));
+  } else if (suite == "repl-smoke") {
+    // Quorum replication end to end: majority-of-3 and majority-of-5
+    // durability on the same contended TPC-C load, with the repl.* ack
+    // ledger checked for exactness on both arms.
+    experiments.Append(ReplExperiment(/*replicas=*/3, SuiteN(2500)));
+    experiments.Append(ReplExperiment(/*replicas=*/5, SuiteN(2500)));
   } else {  // fig6
     const uint64_t n = SuiteN(6000);
     workload::DriverConfig driver = core::Toolkit::DriverDefault();
@@ -721,6 +749,31 @@ std::vector<std::string> CheckInvariants(const json::Value& doc) {
               ": sched.steer_delays below sched.flagged");
         }
       }
+    } else if (engine == "repl") {
+      // A replication experiment is mysqlmini with K>1 copies, so the lock
+      // accounting contract applies, plus the quorum ack ledger: every
+      // submitted commit is acked by a quorum, still parked, or resolved
+      // lost — nothing unaccounted (docs/replication.md).
+      RequireEq(exp, "lock.grants.total != mysql.lock_acquisitions",
+                Counter(exp, "lock.grants.total"),
+                Counter(exp, "mysql.lock_acquisitions"), &problems);
+      RequirePositive(exp, "lock.grants.total", &problems);
+      const int64_t waiting_raw = GaugeValue(exp, "repl.acks_waiting");
+      const int64_t waiting = waiting_raw == INT64_MIN ? 0 : waiting_raw;
+      RequireEq(exp,
+                "repl.acks_quorum + repl.acks_waiting + repl.acks_lost != "
+                "repl.commits_submitted",
+                Counter(exp, "repl.acks_quorum") + waiting +
+                    Counter(exp, "repl.acks_lost"),
+                Counter(exp, "repl.commits_submitted"), &problems);
+      // Synchronous commits quiesce fully acked: no parked or lost tail.
+      RequireEq(exp, "repl.acks_waiting not drained at quiesce", waiting, 0,
+                &problems);
+      RequireEq(exp, "repl.acks_lost nonzero on a healthy run",
+                Counter(exp, "repl.acks_lost"), 0, &problems);
+      RequirePositive(exp, "repl.commits_submitted", &problems);
+      RequirePositive(exp, "repl.ships", &problems);
+      RequirePositive(exp, "repl.ship_bytes", &problems);
     } else if (engine == "voltmini") {
       RequireEq(exp, "volt.submits != volt.completions",
                 Counter(exp, "volt.submits"),

@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
 # Crash-recovery smoke gate: run the deterministic crash-point fuzzer over a
-# seed sweep covering both engines (including two-disk pg parallel logging),
-# torn tails, corrupt frames, and checkpoint recovery. Any seed that loses an
-# acked transaction, resurrects an unacked one, or decodes a corrupted image
-# cleanly fails the gate.
+# seed sweep. Any seed that loses an acked transaction, resurrects an unacked
+# one, or decodes a corrupted image cleanly fails the gate.
 #
-# Usage: run_crashsmoke.sh <tdp_crashtest-binary> [seeds]
+#   recovery mode:     both engines (including two-disk pg parallel logging),
+#                      torn tails, corrupt frames, checkpoint recovery.
+#   replica-kill mode: K-copy quorum replication under single failures
+#                      (crash points, replica kills, failover drills,
+#                      leader-loss elections) — docs/replication.md.
+#
+# The seed range is sharded with --seed-start/--seed-count so CI can split a
+# large sweep across parallel ctest entries.
+#
+# Usage: run_crashsmoke.sh <tdp_crashtest-binary> [seed-count] [seed-start] [mode]
 set -euo pipefail
 
-BIN="${1:?usage: run_crashsmoke.sh <tdp_crashtest-binary> [seeds]}"
-SEEDS="${2:-250}"
+BIN="${1:?usage: run_crashsmoke.sh <tdp_crashtest-binary> [seed-count] [seed-start] [mode]}"
+COUNT="${2:-250}"
+START="${3:-0}"
+MODE="${4:-recovery}"
 
-"${BIN}" --seeds="${SEEDS}" --engine=both
+"${BIN}" --mode="${MODE}" --seed-start="${START}" --seed-count="${COUNT}" \
+         --engine=both

@@ -11,7 +11,8 @@ BUILD_DIR=build-tsan
 
 # The races worth hunting live in the lock manager, buffer pool, log/WAL
 # group commit, the fault-injection retry paths, the server layer's
-# admission queue + worker pool, and the tuner's engine+service lifecycles.
+# admission queue + worker pool, the tuner's engine+service lifecycles, and
+# the replication layer's shipper threads + ack parking.
 TESTS=(
   metrics_test
   server_admission_test
@@ -36,6 +37,7 @@ TESTS=(
   cats_weight_property_test
   conflict_predictor_test
   conflict_sched_property_test
+  repl_test
   "$@"
 )
 

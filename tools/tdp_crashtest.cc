@@ -33,6 +33,7 @@
 //
 // Every decision derives from the seed, so a failing seed replays exactly:
 //   tdp_crashtest --start_seed=<seed> --seeds=1 --verbose
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -41,6 +42,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/crash_point.h"
@@ -50,6 +52,7 @@
 #include "engine/recovery.h"
 #include "log/log_codec.h"
 #include "pg/pgmini.h"
+#include "repl/quorum_log.h"
 
 namespace tdp {
 namespace {
@@ -672,6 +675,416 @@ SeedResult RunSeed(uint64_t seed, const std::string& engine_filter,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// --mode=replica-kill: the quorum-replication harness (docs/replication.md).
+//
+// Each seed runs a K-copy mysqlmini (K in {3, 5}; leader redo log plus K-1
+// replicas, each on its own SimDisk) through a single-failure scenario:
+//
+//   * a crash point on the leader or the replication path (repl.pre_ship /
+//     repl.pre_ack plus the redo.* / epoch.* sites),
+//   * a deterministic single-replica kill mid-workload,
+//   * a live Failover() + CatchUpReplicas() fencing drill, or
+//   * a clean run.
+//
+// At reboot every copy's crash image is collected (optionally with torn
+// tails), the new leader is elected (longest valid frame prefix) — on
+// `leader_lost` seeds over the replica copies only, modelling a leader whose
+// disk died with it — and replay is verified against the oracle:
+//
+//   * the recovered state equals the oracle after some prefix of the
+//     submitted commits (never a mixture — this is what rules out
+//     double-apply of an unacknowledged commit),
+//   * the prefix covers every quorum-acknowledged commit (a client that saw
+//     OK never loses its transaction under any single failure),
+//   * on kill/clean seeds every submitted commit acked OK (one dead
+//     minority replica never blocks commit), and
+//   * the ack ledger balances: commits_submitted == acks_quorum + acks_lost
+//     once the log stops.
+
+struct ReplPlan {
+  int replicas = 3;  ///< Total copies incl. the leader.
+  bool async_epoch = false;
+  bool use_checkpoints = false;
+  uint64_t checkpoint_every = 6;
+  enum class Arm { kClean, kCrashPoint, kKillReplica, kFailover };
+  Arm arm = Arm::kClean;
+  std::string crash_point;
+  uint64_t crash_occurrence = 1;
+  int kill_replica = 1;            ///< 1-based copy index.
+  uint64_t kill_at_commit = 1;     ///< Kill after this many commits.
+  uint64_t failover_at_commit = 1;
+  bool leader_lost = false;  ///< Recover from the replica copies only.
+  bool torn_tail = false;
+};
+
+ReplPlan MakeReplPlan(Rng* rng) {
+  ReplPlan plan;
+  plan.replicas = rng->Bernoulli(0.5) ? 3 : 5;
+  plan.async_epoch = rng->Bernoulli(0.4);
+  plan.use_checkpoints = rng->Bernoulli(0.4);
+  plan.checkpoint_every = 4 + rng->Uniform(8);
+  const double arm = rng->NextDouble();
+  if (arm < 0.40) {
+    plan.arm = ReplPlan::Arm::kCrashPoint;
+    static const char* kPoints[] = {"repl.pre_ship", "repl.pre_ack",
+                                    "redo.append",   "redo.pre_flush",
+                                    "redo.post_flush", "epoch.pre_flush"};
+    const uint64_t npoints = plan.async_epoch ? 6 : 5;
+    plan.crash_point = kPoints[rng->Uniform(npoints)];
+    // Match each site's firing rate so the armed occurrence actually trips:
+    // epochs fire rarely, ack batches at most once per commit, ships and
+    // per-commit log sites many times per commit.
+    if (plan.crash_point == "epoch.pre_flush") {
+      plan.crash_occurrence = 1 + rng->Uniform(6);
+    } else if (plan.crash_point == "repl.pre_ack") {
+      plan.crash_occurrence = 1 + rng->Uniform(kMaxTxns);
+    } else {
+      plan.crash_occurrence = 1 + rng->Uniform(3 * kMaxTxns);
+    }
+  } else if (arm < 0.65) {
+    plan.arm = ReplPlan::Arm::kKillReplica;
+    plan.kill_replica =
+        1 + static_cast<int>(rng->Uniform(static_cast<uint64_t>(
+                plan.replicas - 1)));
+    plan.kill_at_commit = 1 + rng->Uniform(kMaxTxns / 2);
+  } else if (arm < 0.85) {
+    plan.arm = ReplPlan::Arm::kFailover;
+    plan.failover_at_commit = 1 + rng->Uniform(kMaxTxns / 2);
+  }  // else: clean run
+  // Majority quorum (2-of-3, 3-of-5) always leaves >= 1 surviving replica
+  // holding any acked frame, so electing without the leader's copy is safe.
+  plan.leader_lost = rng->Bernoulli(0.3);
+  plan.torn_tail = rng->Bernoulli(0.5);
+  return plan;
+}
+
+SeedResult RunReplicaKillSeed(uint64_t seed, bool verbose) {
+  SeedResult result;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0x0E91);
+  const ReplPlan plan = MakeReplPlan(&rng);
+
+  CrashPoints::Global().Reset();
+
+  SimDiskConfig quick_disk;
+  quick_disk.base_latency_ns = 1000;
+  quick_disk.sigma = 0.0;
+  quick_disk.flush_barrier_ns = 2000;
+  quick_disk.seed = seed + 7;
+
+  engine::MySQLMiniConfig cfg;
+  cfg.logical_redo = true;
+  cfg.row_work_ns = 0;
+  cfg.flush_policy = log::FlushPolicy::kEagerFlush;
+  cfg.log_async_commit = plan.async_epoch;
+  cfg.log_epoch_interval_ns = 200 * 1000;
+  cfg.data_disk = quick_disk;
+  cfg.log_disk = quick_disk;
+  cfg.repl_replicas = plan.replicas;
+  cfg.repl_disk = quick_disk;
+  cfg.seed = seed + 1;
+  auto mysql = std::make_unique<engine::MySQLMini>(cfg);
+  SetupSchema(mysql.get());
+  repl::QuorumLog* ql = mysql->quorum_log();
+
+  if (plan.arm == ReplPlan::Arm::kCrashPoint) {
+    CrashPoints::Global().Arm(plan.crash_point, plan.crash_occurrence);
+  }
+
+  // --- workload ------------------------------------------------------------
+  std::vector<OracleTxn> committed;
+  struct AckState {
+    std::mutex mu;
+    bool fired = false;
+    bool ok = false;
+  };
+  std::vector<std::shared_ptr<AckState>> ack_states;  // parallel to committed
+  DbState shadow = PreloadState();
+  engine::CheckpointStore ckpt_store;
+  uint64_t ckpt_saves = 0;
+  uint64_t acked_sync = 0;
+  bool failed_over = false;
+  auto conn = mysql->Connect();
+
+  for (int i = 0; i < kMaxTxns; ++i) {
+    if (CrashPoints::Global().triggered()) break;
+    DbState scratch = shadow;
+    OracleTxn txn;
+    const int nops = 1 + static_cast<int>(rng.Uniform(3));
+    for (int o = 0; o < nops; ++o) {
+      OracleOp op;
+      op.table = static_cast<uint32_t>(rng.Uniform(kTables));
+      op.key = rng.Uniform(kKeySpace);
+      TableState& ts = scratch[op.table];
+      auto it = ts.find(op.key);
+      if (it == ts.end()) {
+        op.kind = OracleOp::Kind::kInsert;
+        op.after = {static_cast<int64_t>(op.key * 3 + 1),
+                    static_cast<int64_t>(seed & 0xFF)};
+        ts[op.key] = op.after;
+      } else if (rng.Bernoulli(0.2)) {
+        op.kind = OracleOp::Kind::kDelete;
+        ts.erase(it);
+      } else {
+        op.kind = OracleOp::Kind::kUpdate;
+        op.delta = static_cast<int64_t>(1 + rng.Uniform(9));
+        op.after = it->second;
+        op.after[0] += op.delta;
+        it->second = op.after;
+      }
+      txn.ops.push_back(std::move(op));
+    }
+
+    if (!conn->Begin().ok()) break;
+    bool op_failed = false;
+    for (const OracleOp& op : txn.ops) {
+      Status s;
+      switch (op.kind) {
+        case OracleOp::Kind::kDelete:
+          s = conn->Delete(op.table, op.key);
+          break;
+        case OracleOp::Kind::kUpdate:
+          s = conn->Update(op.table, op.key, 0, op.delta);
+          break;
+        case OracleOp::Kind::kInsert: {
+          storage::Row row;
+          row.cols = op.after;
+          s = conn->Insert(op.table, op.key, row);
+          break;
+        }
+      }
+      if (!s.ok()) {
+        op_failed = true;
+        break;
+      }
+    }
+    if (op_failed) {
+      conn->Rollback();
+      if (CrashPoints::Global().triggered()) break;
+      continue;
+    }
+    Status cs;
+    std::shared_ptr<AckState> ack_state;
+    if (plan.async_epoch) {
+      ack_state = std::make_shared<AckState>();
+      cs = conn->CommitAsync([ack_state](const Status& s) {
+        std::lock_guard<std::mutex> g(ack_state->mu);
+        ack_state->fired = true;
+        ack_state->ok = s.ok();
+      });
+    } else {
+      cs = conn->Commit();
+    }
+    const bool crashed_now = CrashPoints::Global().triggered();
+    if (cs.ok()) {
+      // Sync: OK means the quorum ack fired — the frame is durable on a
+      // quorum of copies and MUST survive any single failure. Async
+      // acked-ness resolves from the parked ack after the log stops.
+      txn.acked = !plan.async_epoch;
+      acked_sync += txn.acked ? 1 : 0;
+      committed.push_back(std::move(txn));
+      ack_states.push_back(std::move(ack_state));
+      shadow = std::move(scratch);
+    } else if (cs.IsUnavailable()) {
+      // Quorum unreachable / failover window: the frame was appended to the
+      // leader's log but the client saw a retryable error — the outcome is
+      // undecided, so the oracle records it unacked (it MAY recover).
+      txn.acked = false;
+      committed.push_back(std::move(txn));
+      ack_states.push_back(nullptr);
+      shadow = std::move(scratch);
+    }
+    if (crashed_now) break;
+
+    // Failure arms trigger on commit-count thresholds so every seed replays
+    // exactly.
+    if (plan.arm == ReplPlan::Arm::kKillReplica &&
+        committed.size() == plan.kill_at_commit) {
+      ql->KillReplica(plan.kill_replica);
+    }
+    if (plan.arm == ReplPlan::Arm::kFailover && !failed_over &&
+        committed.size() >= plan.failover_at_commit) {
+      ql->Failover();
+      ql->CatchUpReplicas();
+      failed_over = true;
+    }
+
+    if (plan.use_checkpoints &&
+        committed.size() % plan.checkpoint_every == 0 && !committed.empty()) {
+      const Result<engine::Checkpoint> ckpt = mysql->TakeCheckpoint();
+      if (ckpt.ok()) {
+        ckpt_store.Save(engine::EncodeCheckpoint(ckpt.value()));
+        ++ckpt_saves;
+      }
+    }
+  }
+
+  result.crashed = CrashPoints::Global().triggered();
+  result.committed = committed.size();
+  const std::string crashed_by = CrashPoints::Global().triggered_by();
+
+  // Non-crash seeds: drain the in-flight epoch/ship pipeline so the
+  // availability assertion below sees final ack outcomes, not a race with
+  // the epoch timer.
+  if (!result.crashed && plan.async_epoch) {
+    for (int spin = 0; spin < 20000; ++spin) {
+      bool all_fired = true;
+      for (const auto& st : ack_states) {
+        if (st == nullptr) continue;
+        std::lock_guard<std::mutex> g(st->mu);
+        if (!st->fired) {
+          all_fired = false;
+          break;
+        }
+      }
+      if (all_fired) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  // --- reboot --------------------------------------------------------------
+  // CrashImages stops the leader then the quorum layer (resolving every
+  // parked ack), and returns each copy's durable prefix plus up to `tail`
+  // torn bytes: exactly what a post-reboot scan of every node would see.
+  const uint64_t tail = plan.torn_tail ? rng.Uniform(4 * 1024) : 0;
+  std::vector<std::vector<uint8_t>> images = ql->CrashImages(tail);
+
+  for (size_t i = 0; i < committed.size(); ++i) {
+    if (ack_states[i] == nullptr) continue;
+    std::lock_guard<std::mutex> g(ack_states[i]->mu);
+    if (!ack_states[i]->fired) {
+      result.ok = false;
+      result.error = "async ack never resolved after log stop";
+      return result;
+    }
+    committed[i].acked = ack_states[i]->ok;
+  }
+  for (const OracleTxn& t : committed) {
+    if (t.acked) ++result.acked;
+  }
+  // The epoch timer keeps hitting its crash sites after the workload loop
+  // exits, so an armed point can trip during the drain or the image cut —
+  // re-read the flag before asserting availability.
+  const bool crashed_at_all = CrashPoints::Global().triggered();
+  result.crashed = crashed_at_all;
+  CrashPoints::Global().Reset();
+
+  // Ack ledger: every submitted commit resolved exactly one way.
+  const repl::QuorumLog::Stats& qs = ql->stats();
+  if (qs.commits_submitted.load() !=
+      qs.acks_quorum.load() + qs.acks_lost.load()) {
+    result.ok = false;
+    result.error =
+        "ack ledger out of balance: submitted " +
+        std::to_string(qs.commits_submitted.load()) + " != quorum " +
+        std::to_string(qs.acks_quorum.load()) + " + lost " +
+        std::to_string(qs.acks_lost.load());
+    return result;
+  }
+
+  // Availability: with no crash and at most one dead minority replica (or a
+  // completed failover drill), every submitted commit must have acked OK.
+  if (!crashed_at_all && plan.arm != ReplPlan::Arm::kFailover &&
+      result.acked != result.committed) {
+    result.ok = false;
+    result.error = "commit lost availability under single failure: acked " +
+                   std::to_string(result.acked) + " < committed " +
+                   std::to_string(result.committed);
+    return result;
+  }
+
+  // --- election + replay ---------------------------------------------------
+  // leader_lost: the leader's disk died with the process — elect over the
+  // replica copies only, and ignore checkpoints (they lived on the leader).
+  std::vector<std::vector<uint8_t>> ballot;
+  if (plan.leader_lost) {
+    ballot.assign(images.begin() + 1, images.end());
+  } else {
+    ballot = images;
+  }
+  const repl::Election election = repl::ElectLeader(ballot);
+  const std::vector<log::RecoveredTxn>& recovered = election.txns;
+
+  std::optional<engine::Checkpoint> ckpt;
+  if (!plan.leader_lost && plan.use_checkpoints && ckpt_saves > 0) {
+    ckpt = ckpt_store.LoadLatest();
+    if (!ckpt.has_value()) {
+      result.ok = false;
+      result.error = "saved checkpoint failed to decode";
+      return result;
+    }
+  }
+
+  engine::MySQLMiniConfig target_cfg;
+  target_cfg.logical_redo = true;
+  target_cfg.row_work_ns = 0;
+  target_cfg.seed = seed + 2;
+  auto target = std::make_unique<engine::MySQLMini>(target_cfg);
+  SetupSchema(target.get());
+  if (ckpt.has_value()) {
+    engine::RestoreCheckpoint(*ckpt, &target->catalog());
+    engine::MySQLMini::RecoverInto(recovered, target.get(), ckpt->lsn);
+  } else {
+    engine::MySQLMini::RecoverInto(recovered, target.get(), 0);
+  }
+  const DbState recovered_state = ExtractState(target->catalog());
+
+  // --- verification --------------------------------------------------------
+  // (1) Prefix property. Every copy is a byte-prefix of the one leader
+  // stream, so the elected image always decodes to an LSN-prefix — a
+  // non-prefix (or any double-applied delta) is a bug, no salvage regime.
+  DbState prefix_state = PreloadState();
+  std::optional<uint64_t> matched_prefix;
+  if (recovered_state == prefix_state) matched_prefix = 0;
+  for (size_t k = 0; k < committed.size(); ++k) {
+    ApplyTxn(committed[k], &prefix_state);
+    if (recovered_state == prefix_state) matched_prefix = k + 1;
+  }
+  if (!matched_prefix.has_value()) {
+    result.ok = false;
+    result.error = "recovered state matches no committed prefix (" +
+                   DescribeDiff(recovered_state, prefix_state) +
+                   " vs full state)";
+    return result;
+  }
+  result.recovered_prefix = *matched_prefix;
+
+  // (2) Durability: every quorum-acked commit is in the recovered prefix —
+  // even when the leader's own copy was lost, because a quorum-acked frame
+  // is durable on >= quorum copies and copies are prefixes of one stream,
+  // so the longest surviving replica holds all of them.
+  if (*matched_prefix < result.acked) {
+    result.ok = false;
+    result.error =
+        "acked transaction lost: recovered prefix " +
+        std::to_string(*matched_prefix) + " < acked " +
+        std::to_string(result.acked) +
+        (crashed_by.empty() ? "" : " (crash via " + crashed_by + ")") +
+        (plan.leader_lost ? " [leader lost]" : "");
+    return result;
+  }
+
+  if (verbose) {
+    static const char* kArmNames[] = {"clean", "crash", "kill", "failover"};
+    std::printf(
+        "seed %llu: repl K=%d arm=%s%s async=%d committed=%llu acked=%llu "
+        "prefix=%llu crash=%s leader_lost=%d torn=%d winner=%d frames=%llu\n",
+        static_cast<unsigned long long>(seed), plan.replicas,
+        kArmNames[static_cast<int>(plan.arm)],
+        plan.arm == ReplPlan::Arm::kCrashPoint
+            ? ("(" + plan.crash_point + ")").c_str()
+            : "",
+        plan.async_epoch ? 1 : 0,
+        static_cast<unsigned long long>(result.committed),
+        static_cast<unsigned long long>(result.acked),
+        static_cast<unsigned long long>(result.recovered_prefix),
+        crashed_by.empty() ? "none" : crashed_by.c_str(),
+        plan.leader_lost ? 1 : 0, plan.torn_tail ? 1 : 0, election.winner,
+        static_cast<unsigned long long>(election.frames));
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace tdp
 
@@ -679,6 +1092,7 @@ int main(int argc, char** argv) {
   uint64_t seeds = 200;
   uint64_t start_seed = 0;
   std::string engine = "both";
+  std::string mode = "recovery";
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -686,25 +1100,40 @@ int main(int argc, char** argv) {
       const size_t n = std::strlen(name);
       return arg.compare(0, n, name) == 0 ? arg.c_str() + n : nullptr;
     };
+    // --seed-start/--seed-count are the sharding spellings (one seed range
+    // per CI shard); --start_seed/--seeds stay as aliases.
     if (const char* v = val("--seeds=")) {
+      seeds = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--seed-count=")) {
       seeds = std::strtoull(v, nullptr, 10);
     } else if (const char* v = val("--start_seed=")) {
       start_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--seed-start=")) {
+      start_seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = val("--engine=")) {
       engine = v;
+    } else if (const char* v = val("--mode=")) {
+      mode = v;
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: tdp_crashtest [--seeds=N] [--start_seed=N] "
+                   "usage: tdp_crashtest [--mode=recovery|replica-kill] "
+                   "[--seed-start=N] [--seed-count=N] "
                    "[--engine=mysql|pg|both] [--verbose]\n");
       return 2;
     }
   }
+  if (mode != "recovery" && mode != "replica-kill") {
+    std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
+    return 2;
+  }
 
   uint64_t failures = 0, crashes = 0, committed = 0, acked = 0;
   for (uint64_t seed = start_seed; seed < start_seed + seeds; ++seed) {
-    const tdp::SeedResult r = tdp::RunSeed(seed, engine, verbose);
+    const tdp::SeedResult r = mode == "replica-kill"
+                                  ? tdp::RunReplicaKillSeed(seed, verbose)
+                                  : tdp::RunSeed(seed, engine, verbose);
     crashes += r.crashed ? 1 : 0;
     committed += r.committed;
     acked += r.acked;
