@@ -115,8 +115,20 @@ class ShardedHashTable {
   }
 
   /// Visits every entry as `fn(const K&, V&)`, one bucket lock at a time.
-  /// Entries inserted into already-visited buckets during the sweep are
-  /// missed — acceptable for stats/debug walks, not a consistent snapshot.
+  ///
+  /// Visibility contract under concurrent WithSlot / EraseIf (each clause
+  /// holds because a key hashes to exactly one bucket, nodes never move
+  /// between buckets, and each bucket is locked and walked exactly once):
+  ///  * A key present for the whole sweep is visited exactly once — never
+  ///    skipped, never twice.
+  ///  * A key inserted during the sweep is visited iff its bucket had not
+  ///    been released yet; inserts into already-visited buckets are missed.
+  ///  * A key erased during the sweep is visited iff its bucket was walked
+  ///    before the erase; either way `fn` never observes a half-erased
+  ///    node, because unlink happens under the same bucket lock.
+  /// Not a consistent snapshot across buckets — fine for stats/debug walks.
+  /// `fn` runs under the bucket lock: the WithSlot re-entrancy rule applies
+  /// (touching this table from `fn` self-deadlocks).
   template <typename Fn>
   void ForEach(Fn&& fn) {
     for (Bucket& b : buckets_) {

@@ -60,6 +60,18 @@ Status ValidateMysql(const MySQLMiniConfig& c) {
   return Status::OK();
 }
 
+Status ValidateSharded(const ShardedDatabaseConfig& c) {
+  if (c.num_shards < 1) return Invalid("sharded.num_shards", "must be >= 1");
+  if (c.num_shards > ShardRouter::kMaxShards)
+    return Invalid("sharded.num_shards", "exceeds ShardRouter::kMaxShards");
+  // Cross-shard deadlock cycles span lock managers that cannot see each
+  // other's wait graphs; a finite wait timeout is the only cycle breaker.
+  if (c.num_shards > 1 && c.shard.lock.wait_timeout_ns <= 0)
+    return Invalid("sharded.shard.lock.wait_timeout_ns",
+                   "must be finite with num_shards > 1");
+  return ValidateMysql(c.shard);
+}
+
 Status ValidatePg(const pg::PgMiniConfig& c) {
   if (c.wal.block_bytes == 0) return Invalid("wal.block_bytes", "must be >= 1");
   if (c.wal.num_log_sets < 1) return Invalid("wal.num_log_sets", "must be >= 1");
@@ -82,6 +94,7 @@ const char* EngineKindName(EngineKind kind) {
   switch (kind) {
     case EngineKind::kMySQLMini: return "mysqlmini";
     case EngineKind::kPgMini: return "pgmini";
+    case EngineKind::kSharded: return "sharded";
   }
   return "unknown";
 }
@@ -89,6 +102,7 @@ const char* EngineKindName(EngineKind kind) {
 Result<EngineKind> ParseEngineKind(const std::string& name) {
   if (name == "mysqlmini") return EngineKind::kMySQLMini;
   if (name == "pgmini") return EngineKind::kPgMini;
+  if (name == "sharded") return EngineKind::kSharded;
   return Status::InvalidArgument("unknown engine kind: " + name);
 }
 
@@ -96,6 +110,7 @@ Status ValidateEngineConfig(EngineKind kind, const EngineConfig& config) {
   switch (kind) {
     case EngineKind::kMySQLMini: return ValidateMysql(config.mysql);
     case EngineKind::kPgMini: return ValidatePg(config.pg);
+    case EngineKind::kSharded: return ValidateSharded(config.sharded);
   }
   return Status::InvalidArgument("unknown engine kind");
 }
@@ -111,6 +126,9 @@ Result<std::unique_ptr<Database>> OpenDatabase(EngineKind kind,
     case EngineKind::kPgMini:
       return std::unique_ptr<Database>(
           std::make_unique<pg::PgMini>(config.pg));
+    case EngineKind::kSharded:
+      return std::unique_ptr<Database>(
+          std::make_unique<ShardedDatabase>(config.sharded));
   }
   return Status::InvalidArgument("unknown engine kind");
 }

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "engine/database.h"
 #include "engine/mysqlmini.h"
+#include "engine/sharded_db.h"
 #include "pg/pgmini.h"
 
 namespace tdp::engine {
@@ -21,9 +22,10 @@ namespace tdp::engine {
 enum class EngineKind {
   kMySQLMini,
   kPgMini,
+  kSharded,  ///< N mysqlmini partitions + cross-shard 2PC (docs/sharding.md).
 };
 
-/// "mysqlmini" / "pgmini".
+/// "mysqlmini" / "pgmini" / "sharded".
 const char* EngineKindName(EngineKind kind);
 
 /// Inverse of EngineKindName; InvalidArgument on unknown names.
@@ -33,6 +35,7 @@ Result<EngineKind> ParseEngineKind(const std::string& name);
 struct EngineConfig {
   MySQLMiniConfig mysql;
   pg::PgMiniConfig pg;
+  ShardedDatabaseConfig sharded;
 };
 
 /// Checks the config fields OpenDatabase would act on. OK means the engine

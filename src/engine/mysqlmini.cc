@@ -76,7 +76,39 @@ MySQLMini::~MySQLMini() {
 }
 
 std::unique_ptr<Connection> MySQLMini::Connect() {
+  return ConnectSession();
+}
+
+std::unique_ptr<MySQLSession> MySQLMini::ConnectSession() {
   return std::make_unique<MySQLSession>(this);
+}
+
+Status MySQLMini::AppendControlFrame(uint64_t gtid, uint64_t bytes,
+                                     std::vector<log::RedoOp> ops,
+                                     bool force) {
+  // Mirror the nominal bytes into mysql.redo_bytes up front, exactly like a
+  // commit record: the frame is in the append stream whether or not the
+  // force below succeeds, and log.bytes_written will count it at flush time.
+  metrics::Inc(m_.redo_bytes, bytes);
+  if (quorum_log_ != nullptr) {
+    if (force) {
+      Status durable;
+      quorum_log_->Commit(gtid, bytes, std::move(ops), &durable);
+      return durable;
+    }
+    // Unforced: the decision already proves the outcome, so this ack is
+    // advisory — drop it (the ledger still counts it submitted/resolved).
+    quorum_log_->CommitAsync(gtid, bytes, std::move(ops),
+                             [](const Status&) {});
+    return Status::OK();
+  }
+  const uint64_t lsn = redo_log_->Commit(gtid, bytes, std::move(ops));
+  if (!force) return Status::OK();
+  const Status s = redo_log_->ForceDurable();
+  if (!s.ok()) return s;
+  return redo_log_->durable_lsn() >= lsn
+             ? Status::OK()
+             : Status::Unavailable("2pc control frame not durable");
 }
 
 uint32_t MySQLMini::CreateTable(const std::string& name,
@@ -163,6 +195,8 @@ Status MySQLSession::DoBegin() {
 
 Status MySQLSession::EnsureActive() const {
   if (!active_) return Status::InvalidArgument("no open transaction");
+  if (prepared_)
+    return Status::InvalidArgument("transaction is prepared (2PC)");
   if (must_abort_)
     return Status::Aborted("transaction must roll back after an error");
   return Status::OK();
@@ -362,9 +396,64 @@ Result<int64_t> MySQLSession::DoReadColumn(uint32_t table, uint64_t key,
   return row->Get(col);
 }
 
+Status MySQLSession::PrepareCommit(uint64_t gtid, uint32_t coord_shard) {
+  TPROF_SCOPE("trx_commit");
+  if (!active_) return Status::InvalidArgument("no open transaction");
+  if (prepared_) return Status::InvalidArgument("already prepared");
+  if (must_abort_) {
+    Rollback();
+    return Status::Aborted("transaction had failed; rolled back");
+  }
+  coord_shard_ = coord_shard;
+  if (redo_bytes_ == 0) {
+    // Read-only participant: nothing to redo, so the vote needs no frame —
+    // recovery has nothing to decide for this shard.
+    prepared_ = true;
+    prepared_readonly_ = true;
+    return Status::OK();
+  }
+  std::vector<log::RedoOp> ops;
+  ops.reserve(redo_ops_.size() + 1);
+  ops.push_back(log::RedoOp{log::RedoOp::Kind::k2PCPrepare, coord_shard, gtid,
+                            storage::Row{}});
+  for (log::RedoOp& op : redo_ops_) ops.push_back(std::move(op));
+  redo_ops_.clear();
+  const uint64_t bytes = redo_bytes_ + k2PCControlFrameBytes;
+  redo_bytes_ = 0;  // Consumed by the prepare frame.
+  const Status s = db_->AppendControlFrame(gtid, bytes, std::move(ops),
+                                           /*force=*/true);
+  if (!s.ok()) {
+    // Vote NO. The frame may or may not have reached the device; either way
+    // no decision will ever be logged for this gtid, so recovery presumes
+    // abort. Locks and undo are intact — the caller rolls us back.
+    must_abort_ = true;
+    return s;
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+void MySQLSession::CommitPrepared(uint64_t gtid, bool log_commit_frame) {
+  TPROF_SCOPE("trx_commit");
+  if (!prepared_) return;
+  if (!prepared_readonly_ && log_commit_frame) {
+    // Unforced: the coordinator's decision frame is already durable, so this
+    // shard's outcome is settled; the local COMMIT frame only spares future
+    // recoveries the cross-shard decision lookup.
+    std::vector<log::RedoOp> ops;
+    ops.push_back(log::RedoOp{log::RedoOp::Kind::k2PCCommit, coord_shard_,
+                              gtid, storage::Row{}});
+    (void)db_->AppendControlFrame(gtid, k2PCControlFrameBytes, std::move(ops),
+                                  /*force=*/false);
+  }
+  ReleaseAndReset();
+}
+
 Status MySQLSession::DoCommit() {
   TPROF_SCOPE("trx_commit");
   if (!active_) return Status::InvalidArgument("no open transaction");
+  if (prepared_)
+    return Status::InvalidArgument("prepared transaction: use CommitPrepared");
   if (must_abort_) {
     Rollback();
     return Status::Aborted("transaction had failed; rolled back");
@@ -396,6 +485,8 @@ Status MySQLSession::DoCommit() {
 Status MySQLSession::DoCommitAsync(CommitAckFn ack) {
   TPROF_SCOPE("trx_commit");
   if (!active_) return Status::InvalidArgument("no open transaction");
+  if (prepared_)
+    return Status::InvalidArgument("prepared transaction: use CommitPrepared");
   if (must_abort_) {
     Rollback();
     return Status::Aborted("transaction had failed; rolled back");
@@ -441,6 +532,9 @@ void MySQLSession::ReleaseAndReset() {
   db_->lock_manager_->ReleaseAll(txn_.get());
   active_ = false;
   must_abort_ = false;
+  prepared_ = false;
+  prepared_readonly_ = false;
+  coord_shard_ = 0;
   redo_bytes_ = 0;
   undo_.clear();
   redo_ops_.clear();

@@ -113,6 +113,11 @@ struct MySQLMiniConfig {
 
 class MySQLMini;
 
+/// Nominal payload bytes of a 2PC control frame (prepare marker, decision,
+/// participant commit) for log-bandwidth accounting; mirrored into
+/// mysql.redo_bytes so the log.bytes_written identity survives sharding.
+inline constexpr uint64_t k2PCControlFrameBytes = 64;
+
 /// One client connection; runs at most one transaction at a time on the
 /// calling thread (thread-per-connection).
 class MySQLSession : public Connection {
@@ -121,6 +126,36 @@ class MySQLSession : public Connection {
   ~MySQLSession() override;
 
   uint64_t current_txn_id() const override;
+
+  // --- cross-shard 2PC participant seam (docs/sharding.md) -----------------
+  // engine::ShardedDatabase drives these; single-shard commits never touch
+  // them. Lifecycle: Begin .. ops .. PrepareCommit -> CommitPrepared, or
+  // Rollback at any point before CommitPrepared (locks are held and undo is
+  // retained across the prepared window, so a prepared transaction aborts
+  // exactly like an active one).
+
+  /// Phase 1: logs this participant's PREPARE frame — a k2PCPrepare marker
+  /// (carrying `gtid` and the coordinator shard id) followed by the
+  /// transaction's data redo — and forces it durable (quorum ack when
+  /// replicated). Read-only participants vote yes without logging. On
+  /// failure the vote is NO: the caller must Rollback() every participant
+  /// (presumed abort — an orphaned prepare frame is dropped at recovery).
+  Status PrepareCommit(uint64_t gtid, uint32_t coord_shard);
+
+  /// Phase 2 (after the coordinator's decision is durable): appends this
+  /// participant's k2PCCommit frame (not forced — the decision already
+  /// proves the outcome) and releases locks. Infallible by design: the
+  /// transaction is committed the moment the decision frame is durable.
+  /// `log_commit_frame = false` releases without the frame — required when
+  /// the decision's durability is UNKNOWN (ambiguous coordinator failure):
+  /// a durable local COMMIT frame would commit this shard at recovery while
+  /// siblings presume abort, breaking atomicity.
+  void CommitPrepared(uint64_t gtid, bool log_commit_frame = true);
+
+  /// True between a successful PrepareCommit and CommitPrepared/Rollback.
+  bool prepared() const { return prepared_; }
+  /// True when the open transaction wrote nothing (votes yes frame-free).
+  bool read_only() const { return redo_bytes_ == 0; }
 
  protected:
   Status DoBegin() override;
@@ -156,6 +191,9 @@ class MySQLSession : public Connection {
   std::unique_ptr<lock::TxnContext> txn_;
   bool active_ = false;
   bool must_abort_ = false;
+  bool prepared_ = false;           ///< 2PC: prepare frame durable, locks held.
+  bool prepared_readonly_ = false;  ///< Prepared with no frame (no writes).
+  uint32_t coord_shard_ = 0;        ///< Valid while prepared_.
   uint64_t redo_bytes_ = 0;
   std::vector<UndoEntry> undo_;
   std::vector<log::RedoOp> redo_ops_;  ///< Only when config.logical_redo.
@@ -168,6 +206,8 @@ class MySQLMini : public Database {
 
   std::string name() const override { return "mysqlmini"; }
   std::unique_ptr<Connection> Connect() override;
+  /// Typed Connect for callers that need the 2PC seam (ShardedConnection).
+  std::unique_ptr<MySQLSession> ConnectSession();
   uint32_t CreateTable(const std::string& name,
                        uint64_t rows_per_page) override;
   uint32_t TableId(const std::string& name) const override;
@@ -211,6 +251,14 @@ class MySQLMini : public Database {
   /// prefix). Fails when the force cannot complete; publishing a snapshot
   /// of un-durable state has no sound covering LSN.
   Result<Checkpoint> TakeCheckpoint();
+
+  /// Appends a 2PC control frame (the gtid is the frame's txn id) to this
+  /// shard's log, routed through the quorum layer when replication is on,
+  /// and mirrors `bytes` into mysql.redo_bytes. `force` blocks until the
+  /// frame is durable (quorum ack / leader flush) and reports the outcome;
+  /// unforced appends return OK as soon as the frame is in the stream.
+  Status AppendControlFrame(uint64_t gtid, uint64_t bytes,
+                            std::vector<log::RedoOp> ops, bool force);
 
  private:
   friend class MySQLSession;

@@ -1,6 +1,7 @@
 #include "engine/recovery.h"
 
 #include <algorithm>
+#include <set>
 #include <string>
 
 #include "common/crc32c.h"
@@ -147,13 +148,91 @@ void ReplayRedo(const std::vector<log::RecoveredTxn>& recovered,
     for (const log::RedoOp& op : txn.ops) {
       storage::Table* t = catalog->GetTable(op.table);
       if (t == nullptr) continue;
-      if (op.kind == log::RedoOp::Kind::kPut) {
-        t->Upsert(op.key, op.after);
-      } else {
-        (void)t->Delete(op.key);
+      switch (op.kind) {
+        case log::RedoOp::Kind::kPut:
+          t->Upsert(op.key, op.after);
+          break;
+        case log::RedoOp::Kind::kDelete:
+          (void)t->Delete(op.key);
+          break;
+        default:
+          // 2PC control markers carry no row data; their `table` field is a
+          // coordinator shard id, not a table. Filter2PCRedo strips them
+          // before replay — skipping here keeps a raw replay harmless too.
+          break;
       }
     }
   }
+}
+
+std::vector<log::RecoveredTxn> Filter2PCRedo(
+    const std::vector<std::vector<log::RecoveredTxn>>& shard_streams,
+    size_t shard, TwoPhaseRecoveryStats* stats) {
+  // Pass 1: the decided set. A DECISION frame on *any* shard's durable
+  // stream commits its gtid — the coordinator logs it before any
+  // participant learns the outcome, so this set is complete for every
+  // transaction a participant could have locally committed.
+  std::set<uint64_t> decided;
+  for (const std::vector<log::RecoveredTxn>& stream : shard_streams) {
+    for (const log::RecoveredTxn& txn : stream) {
+      for (const log::RedoOp& op : txn.ops) {
+        if (op.kind == log::RedoOp::Kind::k2PCDecide) decided.insert(op.key);
+      }
+    }
+  }
+  if (stats != nullptr) stats->decided = decided.size();
+
+  // Pass 2: this shard's locally committed gtids. A participant COMMIT
+  // frame is written only after the decision was durable, so it proves the
+  // outcome without the cross-shard lookup (and keeps this shard
+  // recoverable even if the coordinator's log is later truncated).
+  std::set<uint64_t> local_committed;
+  const std::vector<log::RecoveredTxn>& stream = shard_streams.at(shard);
+  for (const log::RecoveredTxn& txn : stream) {
+    for (const log::RedoOp& op : txn.ops) {
+      if (op.kind == log::RedoOp::Kind::k2PCCommit) {
+        local_committed.insert(op.key);
+      }
+    }
+  }
+
+  auto& reg = metrics::Registry::Global();
+  static metrics::Counter* const recovered_committed =
+      reg.GetCounter("2pc.recovered_committed");
+  static metrics::Counter* const recovered_aborted =
+      reg.GetCounter("2pc.recovered_presumed_aborted");
+
+  // Pass 3: filter. Plain frames replay unchanged; PREPARE frames replay
+  // their data ops iff decided (or locally committed); control-only frames
+  // (decisions, participant commits) carry no data and drop out.
+  std::vector<log::RecoveredTxn> out;
+  out.reserve(stream.size());
+  for (const log::RecoveredTxn& txn : stream) {
+    if (txn.ops.empty() ||
+        (txn.ops[0].kind != log::RedoOp::Kind::k2PCPrepare &&
+         txn.ops[0].kind != log::RedoOp::Kind::k2PCDecide &&
+         txn.ops[0].kind != log::RedoOp::Kind::k2PCCommit)) {
+      out.push_back(txn);
+      continue;
+    }
+    if (txn.ops[0].kind != log::RedoOp::Kind::k2PCPrepare) continue;
+    const uint64_t gtid = txn.ops[0].key;
+    if (decided.count(gtid) == 0 && local_committed.count(gtid) == 0) {
+      // Presumed abort: a prepare with no decision anywhere means the
+      // coordinator never reached its commit point.
+      if (stats != nullptr) ++stats->presumed_aborted;
+      metrics::Inc(recovered_aborted);
+      continue;
+    }
+    log::RecoveredTxn keep;
+    keep.txn_id = txn.txn_id;
+    keep.lsn = txn.lsn;
+    keep.ops.assign(txn.ops.begin() + 1, txn.ops.end());
+    out.push_back(std::move(keep));
+    if (stats != nullptr) ++stats->replayed_prepared;
+    metrics::Inc(recovered_committed);
+  }
+  return out;
 }
 
 void CheckpointStore::Save(std::vector<uint8_t> encoded) {

@@ -52,9 +52,27 @@ void RestoreCheckpoint(const Checkpoint& ckpt, storage::Catalog* catalog);
 
 /// Replays recovered redo records (LSN order, after-images) into the
 /// catalog, skipping records with lsn <= start_after_lsn (covered by a
-/// restored checkpoint). Unknown tables are skipped.
+/// restored checkpoint). Unknown tables and 2PC control markers are skipped.
 void ReplayRedo(const std::vector<log::RecoveredTxn>& recovered,
                 storage::Catalog* catalog, uint64_t start_after_lsn = 0);
+
+/// Outcome tally of one Filter2PCRedo pass (docs/sharding.md).
+struct TwoPhaseRecoveryStats {
+  uint64_t decided = 0;            ///< Distinct gtids with a DECISION frame.
+  uint64_t replayed_prepared = 0;  ///< PREPARE frames replayed (committed).
+  uint64_t presumed_aborted = 0;   ///< PREPARE frames dropped (no decision).
+};
+
+/// Presumed-abort recovery filter for cross-shard 2PC (docs/sharding.md).
+/// `shard_streams` holds every shard's decoded log stream (LSN order, as
+/// DecodeLogImage or repl::ElectLeader returns it); the result is shard
+/// `shard`'s replayable stream: plain frames unchanged, PREPARE frames with
+/// a durable DECISION anywhere (or a local participant COMMIT) stripped of
+/// their marker, undecided PREPARE frames and pure control frames dropped.
+/// Feed the result to ReplayRedo / MySQLMini::RecoverInto per shard.
+std::vector<log::RecoveredTxn> Filter2PCRedo(
+    const std::vector<std::vector<log::RecoveredTxn>>& shard_streams,
+    size_t shard, TwoPhaseRecoveryStats* stats = nullptr);
 
 /// Two-slot alternating checkpoint store. Save() writes the encoded image
 /// into the slot not holding the newest checkpoint; LoadLatest() decodes

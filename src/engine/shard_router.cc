@@ -1,0 +1,22 @@
+#include "engine/shard_router.h"
+
+#include <cassert>
+
+namespace tdp::engine {
+
+ShardRouter::ShardRouter(int num_shards)
+    : num_shards_(num_shards < 1
+                      ? 1
+                      : (num_shards > kMaxShards ? kMaxShards : num_shards)) {}
+
+void ShardRouter::Pin(uint32_t table, uint64_t key, uint32_t shard) {
+  assert(shard < static_cast<uint32_t>(num_shards_));
+  const uint64_t fp = sched::ConflictPredictor::Fingerprint(table, key);
+  pins_.WithSlot(fp, [shard](uint32_t& v, bool) { v = shard; });
+}
+
+bool ShardRouter::Unpin(uint32_t table, uint64_t key) {
+  return pins_.Erase(sched::ConflictPredictor::Fingerprint(table, key));
+}
+
+}  // namespace tdp::engine

@@ -1,0 +1,82 @@
+// ShardRouter — the routing tier's hash map from records (and declared key
+// footprints) to partitions (docs/sharding.md).
+//
+// Routing is pure hashing over sched::ConflictPredictor::Fingerprint — the
+// same 64-bit record fingerprint the footprint seam already ships through
+// TransactionService::Submit and Connection::DeclareFootprint — so the
+// server layer can classify a transaction's shard set from its declared
+// footprint *before* dispatch, and the engine's ShardedConnection routes
+// each operation to the identical owner at execution time with no shared
+// state between the two decision points.
+//
+// A ShardedHashTable-backed pin table overlays the hash: individual records
+// can be pinned to an explicit shard (hot-key isolation, resharding drills,
+// tests that need a deterministic cross-shard layout). Pins are consulted
+// on every lookup; unpinned records fall back to fingerprint % num_shards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sharded_hash_table.h"
+#include "sched/conflict_predictor.h"
+
+namespace tdp::engine {
+
+class ShardRouter {
+ public:
+  /// Shard sets travel as 64-bit masks, so at most 64 partitions.
+  static constexpr int kMaxShards = 64;
+
+  explicit ShardRouter(int num_shards);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Owning shard of a record fingerprint (the footprint wire format).
+  uint32_t ShardOfFingerprint(uint64_t fp) const {
+    uint32_t shard = static_cast<uint32_t>(fp % num_shards_);
+    pins_.WithSlotIfPresent(fp, [&shard](const uint32_t& v) { shard = v; });
+    return shard;
+  }
+
+  /// Owning shard of one record.
+  uint32_t ShardOf(uint32_t table, uint64_t key) const {
+    return ShardOfFingerprint(
+        sched::ConflictPredictor::Fingerprint(table, key));
+  }
+
+  /// Bitmask of the distinct shards a declared footprint touches (bit i =
+  /// shard i). 0 for an empty footprint (undeclared — route at execution).
+  uint64_t ShardMaskOf(const std::vector<uint64_t>& footprint) const {
+    uint64_t mask = 0;
+    for (uint64_t fp : footprint) {
+      mask |= uint64_t{1} << ShardOfFingerprint(fp);
+    }
+    return mask;
+  }
+
+  /// Pins one record to `shard`, overriding the hash. Replaces any prior
+  /// pin. Takes effect for transactions that route after the call — the
+  /// caller owns quiescing movers (a live repartition must drain or fence
+  /// transactions that already routed under the old owner).
+  void Pin(uint32_t table, uint64_t key, uint32_t shard);
+
+  /// Removes a pin; the record reverts to fingerprint % num_shards.
+  /// Returns whether a pin existed.
+  bool Unpin(uint32_t table, uint64_t key);
+
+  size_t pinned() const { return pins_.size(); }
+
+ private:
+  /// Fingerprints are already avalanche-mixed; identity is a full hash.
+  struct IdentityHash {
+    size_t operator()(uint64_t v) const { return static_cast<size_t>(v); }
+  };
+
+  const int num_shards_;
+  /// fingerprint -> pinned shard. Mutable: lookups lock buckets but are
+  /// logically const.
+  mutable ShardedHashTable<uint64_t, uint32_t, IdentityHash> pins_;
+};
+
+}  // namespace tdp::engine

@@ -3,12 +3,24 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/fault.h"
 #include "tprofiler/profiler.h"
 
 namespace tdp::engine {
 
 namespace {
+
+/// True when the retry loop must stop even though the error is retryable:
+/// the attempt cap is hit or the wall-clock deadline (measured from the
+/// first attempt's start) has passed. Counted in TxnStats so callers can
+/// tell "gave up by policy" from "hit a non-retryable error".
+bool RetriesExhausted(const RetryPolicy& policy, int attempt,
+                      int64_t start_ns) {
+  if (attempt >= policy.max_attempts) return true;
+  return policy.deadline_ns > 0 &&
+         NowNanos() - start_ns >= policy.deadline_ns;
+}
 
 /// One attempt: begin, body, commit/rollback, under the profiler's
 /// transaction root.
@@ -69,6 +81,7 @@ Status RunTxn(Connection& conn, const RetryPolicy& policy, const TxnBody& body,
               TxnStats* stats) {
   Status s;
   int64_t backoff = 0;
+  const int64_t start_ns = NowNanos();
   for (int attempt = 1;; ++attempt) {
     s = ExecuteAttempt(conn, body);
     if (stats) {
@@ -81,8 +94,9 @@ Status RunTxn(Connection& conn, const RetryPolicy& policy, const TxnBody& body,
         ++stats->other_aborts;
       }
     }
-    if (s.ok() || !RetryableTxnError(s, policy) ||
-        attempt >= policy.max_attempts) {
+    if (s.ok() || !RetryableTxnError(s, policy)) return s;
+    if (RetriesExhausted(policy, attempt, start_ns)) {
+      if (stats) ++stats->retries_exhausted;
       return s;
     }
     backoff = BackoffSleep(policy, backoff);
@@ -94,6 +108,7 @@ Status RunTxnAsync(Connection& conn, const RetryPolicy& policy,
                    TxnStats* stats) {
   Status s;
   int64_t backoff = 0;
+  const int64_t start_ns = NowNanos();
   for (int attempt = 1;; ++attempt) {
     s = ExecuteAttemptAsync(conn, body, ack);
     if (stats) {
@@ -106,8 +121,9 @@ Status RunTxnAsync(Connection& conn, const RetryPolicy& policy,
         ++stats->other_aborts;
       }
     }
-    if (s.ok() || !RetryableTxnError(s, policy) ||
-        attempt >= policy.max_attempts) {
+    if (s.ok() || !RetryableTxnError(s, policy)) return s;
+    if (RetriesExhausted(policy, attempt, start_ns)) {
+      if (stats) ++stats->retries_exhausted;
       return s;
     }
     backoff = BackoffSleep(policy, backoff);

@@ -37,7 +37,18 @@ struct RetryPolicy {
   /// or replication-failover window (docs/replication.md) and will accept
   /// work again once EndRecovery drops the barrier. Pair with a nonzero
   /// backoff_ns — an Unavailable retry loop with no sleep spins.
+  ///
+  /// max_attempts still caps these retries, and deadline_ns bounds the
+  /// total time: a quorum that never heals must surface as an error, not
+  /// as a transaction spinning forever.
   bool retry_unavailable = true;
+  /// Wall-clock retry budget measured from the first attempt's start: once
+  /// exceeded, an otherwise-retryable failure returns instead of retrying
+  /// (counted as TxnStats::retries_exhausted, like an attempt-cap exit).
+  /// 0 = no deadline. The in-flight attempt is never interrupted — the
+  /// deadline is checked between attempts, so the overrun is bounded by
+  /// one attempt plus one backoff sleep.
+  int64_t deadline_ns = 0;
 };
 
 /// Attempt/abort counts across one RunTxn call (all attempts).
@@ -46,6 +57,10 @@ struct TxnStats {
   uint64_t deadlock_aborts = 0;
   uint64_t timeout_aborts = 0;
   uint64_t other_aborts = 0;  ///< Non-retryable or kAborted failures.
+  /// 1 when the final failure was retryable but the attempt cap or
+  /// deadline_ns stopped the loop — the caller saw an error the policy
+  /// *chose* to surface, distinct from a non-retryable abort.
+  uint64_t retries_exhausted = 0;
 };
 
 /// True when `s` is a failure RunTxn would retry under `policy`.

@@ -36,7 +36,7 @@ void AppendLogFrame(uint64_t lsn, uint64_t txn_id,
   PutU64(&payload, txn_id);
   PutU32(&payload, static_cast<uint32_t>(ops.size()));
   for (const RedoOp& op : ops) {
-    payload.push_back(op.kind == RedoOp::Kind::kDelete ? 1 : 0);
+    payload.push_back(static_cast<uint8_t>(op.kind));
     PutU32(&payload, op.table);
     PutU64(&payload, op.key);
     PutU32(&payload, static_cast<uint32_t>(op.after.cols.size()));
@@ -74,7 +74,8 @@ bool ParsePayload(const uint8_t* p, size_t n, uint64_t lsn,
   for (uint32_t i = 0; i < op_count; ++i) {
     if (off + 17 > n) return false;
     RedoOp op;
-    op.kind = p[off] == 1 ? RedoOp::Kind::kDelete : RedoOp::Kind::kPut;
+    if (p[off] > static_cast<uint8_t>(RedoOp::Kind::k2PCCommit)) return false;
+    op.kind = static_cast<RedoOp::Kind>(p[off]);
     op.table = GetU32(p + off + 1);
     op.key = GetU64(p + off + 5);
     const uint32_t ncols = GetU32(p + off + 13);

@@ -11,11 +11,25 @@ namespace tdp::log {
 
 /// One redo operation. kPut carries the full after-image of the row, so
 /// replay is idempotent (pure physical "value logging").
+///
+/// The k2PC* kinds are *control* markers for cross-shard two-phase commit
+/// (docs/sharding.md) — they carry no row data and are never applied to a
+/// table. They reuse the row-op wire layout with `table` = the coordinator
+/// shard id and `key` = the global transaction id (gtid):
+///
+///   k2PCPrepare  first op of a participant's PREPARE frame; the frame's
+///                remaining ops are the participant's data redo, replayed
+///                only if the gtid was decided (or locally committed).
+///   k2PCDecide   sole op of the coordinator's DECISION frame — the commit
+///                point. No decision frame anywhere => presumed abort.
+///   k2PCCommit   sole op of a participant's local COMMIT frame, written
+///                after the decision so that shard's own log proves the
+///                outcome without consulting the coordinator.
 struct RedoOp {
-  enum class Kind { kPut, kDelete };
+  enum class Kind { kPut, kDelete, k2PCPrepare, k2PCDecide, k2PCCommit };
   Kind kind = Kind::kPut;
-  uint32_t table = 0;
-  uint64_t key = 0;
+  uint32_t table = 0;  ///< Coordinator shard id for k2PC* markers.
+  uint64_t key = 0;    ///< Gtid for k2PC* markers.
   storage::Row after;  ///< Valid for kPut.
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "engine/sharded_db.h"
 
 namespace tdp::server {
 
@@ -16,6 +17,13 @@ TransactionService::TransactionService(engine::Database* db,
   // one its lock manager feeds), else steering is off.
   predictor_ = config_.predictor != nullptr ? config_.predictor
                                             : db_->conflict_predictor();
+  // Routing tier: over a sharded engine the door classifies each declared
+  // footprint by shard mask at Submit, so shard.routed_* exposes the
+  // single/cross mix at admission time (the engine's own shard.*_txns
+  // counters confirm it at commit time).
+  if (auto* sharded = dynamic_cast<engine::ShardedDatabase*>(db_)) {
+    router_ = &sharded->router();
+  }
   auto& reg = metrics::Registry::Global();
   m_.submitted = reg.GetCounter("server.submitted");
   m_.admitted = reg.GetCounter("server.admitted");
@@ -36,6 +44,8 @@ TransactionService::TransactionService(engine::Database* db,
   m_.sched_steer_delays = reg.GetCounter("sched.steer_delays");
   m_.sched_hits = reg.GetCounter("sched.hits");
   m_.sched_false_positives = reg.GetCounter("sched.false_positives");
+  m_.routed_single = reg.GetCounter("shard.routed_single");
+  m_.routed_cross = reg.GetCounter("shard.routed_cross");
   m_.queue_depth = reg.GetGauge("server.queue_depth");
   m_.queue_age_ns = reg.GetHistogram("server.queue_age_ns");
   m_.latency_ns = reg.GetHistogram("server.latency_ns");
@@ -118,6 +128,13 @@ Status TransactionService::Submit(engine::TxnBody body,
       shed_.fetch_add(1, std::memory_order_relaxed);
       metrics::Inc(m_.shed);
       return Status::Overloaded(reason);
+    }
+    if (router_ != nullptr && !footprint.empty()) {
+      const uint64_t mask = router_->ShardMaskOf(footprint);
+      // popcount via Kernighan: masks are at most kMaxShards bits.
+      int shards = 0;
+      for (uint64_t m = mask; m != 0; m &= m - 1) ++shards;
+      metrics::Inc(shards <= 1 ? m_.routed_single : m_.routed_cross);
     }
     auto req = std::make_unique<Request>();
     req->body = std::move(body);
@@ -223,6 +240,13 @@ void TransactionService::WorkerLoop() {
     const int64_t age_ns = dispatch_ns - entry.admit_ns;
     metrics::Observe(m_.queue_age_ns, age_ns);
 
+    // Expiry applies ONLY to never-dispatched work (dispatches == 0). A
+    // requeued entry keeps its original admit_ns for ordering (the VATS
+    // move below), so without this guard a retried request would re-age
+    // from its first admission and could be dropped as "expired" after it
+    // already ran — and under the sharded engine, after it already sent
+    // 2PC prepares. Once work has been dispatched, the only exits are
+    // completion, drain-abort, or the max_dispatches cap.
     if (config_.max_queue_age_ns > 0 && age_ns > config_.max_queue_age_ns &&
         entry.item->dispatches == 0) {
       expired_.fetch_add(1, std::memory_order_relaxed);

@@ -42,6 +42,10 @@
 #include "sched/conflict_predictor.h"
 #include "server/admission_queue.h"
 
+namespace tdp::engine {
+class ShardRouter;
+}  // namespace tdp::engine
+
 namespace tdp::server {
 
 struct ServiceConfig {
@@ -139,6 +143,11 @@ class TransactionService {
   /// fingerprints of the records the transaction expects to write). The
   /// footprint feeds kConflictAware steering and is redeclared on the
   /// worker's connection before every dispatch so kCPVATS sees it too.
+  /// Over a sharded engine the footprint is also the routing tier's input:
+  /// the admission door hashes it to a shard mask and classifies the
+  /// request as single- or cross-shard (shard.routed_single /
+  /// shard.routed_cross), so queue-level stats expose the 2PC mix before
+  /// any engine work happens.
   Status Submit(engine::TxnBody body, std::vector<uint64_t> footprint,
                 DoneFn done);
 
@@ -189,6 +198,9 @@ class TransactionService {
   const ServiceConfig config_;
   /// Resolved steering predictor: config_.predictor, else the database's.
   sched::ConflictPredictor* predictor_ = nullptr;
+  /// Routing tier: set when db_ is an engine::ShardedDatabase, else null
+  /// (single-node engines have no shards to route to).
+  const engine::ShardRouter* router_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -232,6 +244,12 @@ class TransactionService {
     metrics::Counter* sched_steer_delays = nullptr;  ///< sched.steer_delays
     metrics::Counter* sched_hits = nullptr;          ///< sched.hits
     metrics::Counter* sched_false_positives = nullptr;  ///< sched.false_positives
+    // Routing tier over a sharded engine (docs/sharding.md). Invariant:
+    // shard.routed_single + shard.routed_cross == admitted footprinted
+    // requests (unfootprinted requests are unroutable and counted in
+    // neither).
+    metrics::Counter* routed_single = nullptr;  ///< shard.routed_single
+    metrics::Counter* routed_cross = nullptr;   ///< shard.routed_cross
     metrics::Gauge* queue_depth = nullptr;
     Histogram* queue_age_ns = nullptr;
     Histogram* latency_ns = nullptr;

@@ -33,13 +33,17 @@ std::string KnobConfig::Label() const {
                   log::FlushPolicyName(flush_policy), group_commit ? 1 : 0,
                   workers, static_cast<long long>(epoch_interval_ns),
                   table_shards);
-    // Predictor knobs ride on the label only when set, so spaces that never
-    // touch them keep their historical arm names.
+    // Predictor and partition knobs ride on the label only when set, so
+    // spaces that never touch them keep their historical arm names.
     std::string label = buf;
     if (sched_half_life_ns > 0 || sched_threshold > 0) {
       std::snprintf(buf, sizeof(buf), " hl=%lld th=%.2f",
                     static_cast<long long>(sched_half_life_ns),
                     sched_threshold);
+      label += buf;
+    }
+    if (num_shards > 1) {
+      std::snprintf(buf, sizeof(buf), " shards=%d", num_shards);
       label += buf;
     }
     return label;
@@ -69,6 +73,7 @@ json::Value KnobConfig::ToJson() const {
   v.Set("workers", json::Value::Int(workers));
   v.Set("epoch_interval_ns", json::Value::Int(epoch_interval_ns));
   v.Set("table_shards", json::Value::Int(table_shards));
+  v.Set("num_shards", json::Value::Int(num_shards));
   v.Set("sched_half_life_ns", json::Value::Int(sched_half_life_ns));
   v.Set("sched_threshold", json::Value::Number(sched_threshold));
   return v;
@@ -152,6 +157,7 @@ Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
   int64_t workers = out.workers;
   int64_t epoch = out.epoch_interval_ns;
   int64_t shards = out.table_shards;
+  int64_t partitions = out.num_shards;
   int64_t half_life = out.sched_half_life_ns;
   for (Status st : {ReadInt(v, "buffer_pool_pages", &bp),
                     ReadInt(v, "wal_block_bytes", &block),
@@ -159,6 +165,7 @@ Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
                     ReadInt(v, "workers", &workers),
                     ReadInt(v, "epoch_interval_ns", &epoch),
                     ReadInt(v, "table_shards", &shards),
+                    ReadInt(v, "num_shards", &partitions),
                     ReadInt(v, "sched_half_life_ns", &half_life),
                     ReadDouble(v, "sched_threshold", &out.sched_threshold),
                     ReadBool(v, "group_commit", &out.group_commit)}) {
@@ -170,6 +177,12 @@ Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
   if (workers < 1) return Status::InvalidArgument("workers: must be >= 1");
   if (epoch < 0) return Status::InvalidArgument("epoch_interval_ns: negative");
   if (shards < 0) return Status::InvalidArgument("table_shards: negative");
+  if (partitions < 0 || partitions > engine::ShardRouter::kMaxShards) {
+    return Status::InvalidArgument("num_shards: out of range");
+  }
+  if (partitions > 1 && out.engine != engine::EngineKind::kMySQLMini) {
+    return Status::InvalidArgument("num_shards: mysqlmini only");
+  }
   if (half_life < 0)
     return Status::InvalidArgument("sched_half_life_ns: negative");
   if (out.sched_threshold < 0)
@@ -180,6 +193,7 @@ Result<KnobConfig> KnobConfig::FromJson(const json::Value& v) {
   out.workers = static_cast<int>(workers);
   out.epoch_interval_ns = epoch;
   out.table_shards = static_cast<int>(shards);
+  out.num_shards = static_cast<int>(partitions);
   out.sched_half_life_ns = half_life;
   return out;
 }
@@ -195,22 +209,25 @@ std::vector<KnobConfig> KnobSpace::Enumerate() const {
               for (int w : workers) {
                 for (int64_t ep : epoch_interval_ns) {
                   for (int ts : table_shards) {
-                    for (int64_t hl : sched_half_life_ns) {
-                      for (double th : sched_threshold) {
-                        KnobConfig k;
-                        k.engine = engine;
-                        k.scheduler = sched;
-                        k.buffer_pool_pages = bp;
-                        k.flush_policy = fp;
-                        k.group_commit = gc;
-                        k.wal_block_bytes = block;
-                        k.num_log_sets = sets;
-                        k.workers = w;
-                        k.epoch_interval_ns = ep;
-                        k.table_shards = ts;
-                        k.sched_half_life_ns = hl;
-                        k.sched_threshold = th;
-                        out.push_back(k);
+                    for (int ns : num_shards) {
+                      for (int64_t hl : sched_half_life_ns) {
+                        for (double th : sched_threshold) {
+                          KnobConfig k;
+                          k.engine = engine;
+                          k.scheduler = sched;
+                          k.buffer_pool_pages = bp;
+                          k.flush_policy = fp;
+                          k.group_commit = gc;
+                          k.wal_block_bytes = block;
+                          k.num_log_sets = sets;
+                          k.workers = w;
+                          k.epoch_interval_ns = ep;
+                          k.table_shards = ts;
+                          k.num_shards = ns;
+                          k.sched_half_life_ns = hl;
+                          k.sched_threshold = th;
+                          out.push_back(k);
+                        }
                       }
                     }
                   }
@@ -263,6 +280,9 @@ json::Value KnobSpace::ToJson() const {
   json::Value tss = json::Value::Array();
   for (int t : table_shards) tss.Append(json::Value::Int(t));
   v.Set("table_shards", std::move(tss));
+  json::Value nss = json::Value::Array();
+  for (int n : num_shards) nss.Append(json::Value::Int(n));
+  v.Set("num_shards", std::move(nss));
   json::Value hls = json::Value::Array();
   for (int64_t h : sched_half_life_ns) hls.Append(json::Value::Int(h));
   v.Set("sched_half_life_ns", std::move(hls));
@@ -354,6 +374,7 @@ Result<KnobSpace> KnobSpace::FromJson(const json::Value& v) {
         ReadArray(v, "workers", &out.workers, parse_int),
         ReadArray(v, "epoch_interval_ns", &out.epoch_interval_ns, parse_i64),
         ReadArray(v, "table_shards", &out.table_shards, parse_int),
+        ReadArray(v, "num_shards", &out.num_shards, parse_int),
         ReadArray(v, "sched_half_life_ns", &out.sched_half_life_ns, parse_i64),
         ReadArray(v, "sched_threshold", &out.sched_threshold,
                   [](const json::Value& item) -> Result<double> {
@@ -367,6 +388,11 @@ Result<KnobSpace> KnobSpace::FromJson(const json::Value& v) {
   }
   for (int w : out.workers) {
     if (w < 1) return Status::InvalidArgument("workers: must be >= 1");
+  }
+  for (int n : out.num_shards) {
+    if (n > engine::ShardRouter::kMaxShards) {
+      return Status::InvalidArgument("num_shards: out of range");
+    }
   }
   return out;
 }

@@ -56,6 +56,11 @@ struct KnobConfig {
   /// Hot-path table granularity: buckets for the lock table and buffer-pool
   /// page hash (tdp::ShardedHashTable). 0 = engine defaults.
   int table_shards = 0;
+  /// Engine partition count (docs/sharding.md): > 1 materializes mysqlmini
+  /// knob settings as the per-shard template of an
+  /// `engine::ShardedDatabase` with this many partitions (cross-shard
+  /// transactions pay 2PC). 0/1 = the unsharded engine. mysqlmini only.
+  int num_shards = 0;
 
   /// Conflict-predictor knobs (docs/scheduling.md), used when the scheduler
   /// is kCPVATS or the trial dispatches kConflictAware. Zero keeps the
@@ -89,6 +94,7 @@ struct KnobSpace {
   std::vector<int> workers = {4};
   std::vector<int64_t> epoch_interval_ns = {0};
   std::vector<int> table_shards = {0};
+  std::vector<int> num_shards = {0};
   std::vector<int64_t> sched_half_life_ns = {0};
   std::vector<double> sched_threshold = {0};
 

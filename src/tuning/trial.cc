@@ -49,6 +49,13 @@ engine::EngineConfig MaterializeEngineConfig(const KnobConfig& knobs,
       cfg.mysql.predictor.score_threshold = knobs.sched_threshold;
     }
     cfg.mysql.seed = seed;
+    if (knobs.num_shards > 1) {
+      // Partitioned arm (docs/sharding.md): the mysql knob settings above
+      // become the per-shard template, so every other knob still applies —
+      // just once per partition.
+      cfg.sharded.num_shards = knobs.num_shards;
+      cfg.sharded.shard = cfg.mysql;
+    }
   } else {
     cfg.pg = core::Toolkit::PgDefault(
         knobs.num_log_sets > 1,
@@ -79,7 +86,10 @@ TrialMeasurement TrialRunner::Measure(const KnobConfig& knobs, int replicate) {
 
   const engine::EngineConfig cfg =
       MaterializeEngineConfig(knobs, config_, seed);
-  auto db = engine::OpenDatabase(knobs.engine, cfg);
+  const engine::EngineKind kind = knobs.num_shards > 1
+                                      ? engine::EngineKind::kSharded
+                                      : knobs.engine;
+  auto db = engine::OpenDatabase(kind, cfg);
   if (!db.ok()) {
     // A knob point the factory rejects is a caller error in the space
     // definition, not a measurement — fail loudly.
@@ -95,7 +105,8 @@ TrialMeasurement TrialRunner::Measure(const KnobConfig& knobs, int replicate) {
     workload::YcsbConfig ycsb_cfg;
     ycsb_cfg.rows = 2000;
     ycsb_cfg.zipf_theta = config_.zipf_theta;
-    ycsb_cfg.ops_per_txn = 4;
+    ycsb_cfg.ops_per_txn =
+        config_.ycsb_ops_per_txn > 0 ? config_.ycsb_ops_per_txn : 4;
     ycsb_cfg.pct_reads = 20;
     wl = std::make_unique<workload::Ycsb>(ycsb_cfg);
   } else {

@@ -41,6 +41,12 @@ struct TrialConfig {
   /// steering decisions actually bind.
   bool ycsb_zipf = false;
   double zipf_theta = 0.99;
+  /// YCSB operations per transaction (0 = the trial default of 4). On
+  /// partitioned arms (KnobConfig::num_shards > 1) this is the cross-shard
+  /// mix dial: keys hash independently, so at N shards a k-op transaction
+  /// is cross-shard — and pays 2PC — with probability
+  /// 1 - N·(1/N)^k (docs/sharding.md).
+  int ycsb_ops_per_txn = 0;
 };
 
 /// One replicate's outcome.

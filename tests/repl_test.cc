@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/crash_point.h"
 #include "common/fault.h"
 #include "engine/mysqlmini.h"
@@ -402,6 +403,80 @@ TEST(RetryUnavailableTest, OptOutFailsFast) {
   EXPECT_FALSE(engine::RetryableTxnError(Status::Unavailable("x"), policy));
   policy.retry_unavailable = true;
   EXPECT_TRUE(engine::RetryableTxnError(Status::Unavailable("x"), policy));
+}
+
+// Regression: RunTxn with retry_unavailable used to spin forever against a
+// quorum that never heals (every commit Unavailable, every retry eligible).
+// The deadline_ns budget must stop the loop and mark retries_exhausted.
+TEST(RetryUnavailableTest, DeadlineStopsNeverHealingQuorum) {
+  engine::MySQLMiniConfig cfg;
+  cfg.row_work_ns = 0;
+  cfg.data_disk = QuickDisk(1);
+  cfg.log_disk = QuickDisk(2);
+  cfg.repl_replicas = 3;
+  cfg.repl_disk = QuickDisk(4);
+  engine::MySQLMini db(cfg);
+  db.CreateTable("t0", 64);
+  // Updates, not inserts: a quorum-loss commit keeps its in-memory effects
+  // (locks released, durability unknown), so a retried insert would trip
+  // "duplicate key" instead of exercising the retry loop.
+  db.BulkUpsert(0, 7, storage::Row{int64_t{0}});
+  // Two of three replicas dead and never revived: no commit can ever reach
+  // quorum, so every attempt ends Unavailable — retryable forever.
+  db.quorum_log()->KillReplica(1);
+  db.quorum_log()->KillReplica(2);
+
+  engine::RetryPolicy policy;
+  policy.max_attempts = 1'000'000;          // attempts alone would spin ~forever
+  policy.backoff_ns = 200 * 1000;           // 0.2 ms between attempts
+  policy.max_backoff_ns = 1 * 1000 * 1000;
+  policy.deadline_ns = 20 * 1000 * 1000;    // 20 ms wall-clock budget
+  engine::TxnStats stats;
+  auto conn = db.Connect();
+  const int64_t start = NowNanos();
+  const Status s = engine::RunTxn(
+      *conn, policy,
+      [](engine::Connection& c) { return c.Update(0, 7, 0, 1); },
+      &stats);
+  const int64_t elapsed = NowNanos() - start;
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_EQ(stats.retries_exhausted, 1u);
+  EXPECT_GT(stats.attempts, 1);
+  // Terminated by the deadline, not the (huge) attempt cap, and promptly:
+  // overrun is bounded by one attempt plus one capped backoff.
+  EXPECT_LT(stats.attempts, policy.max_attempts);
+  EXPECT_GE(elapsed, policy.deadline_ns);
+  EXPECT_LT(elapsed, 10 * policy.deadline_ns);
+}
+
+TEST(RetryUnavailableTest, MaxAttemptsExhaustionIsCounted) {
+  engine::RetryPolicy policy;
+  policy.max_attempts = 3;
+  engine::TxnStats stats;
+  engine::MySQLMiniConfig cfg;
+  cfg.row_work_ns = 0;
+  cfg.data_disk = QuickDisk(1);
+  cfg.log_disk = QuickDisk(2);
+  engine::MySQLMini db(cfg);
+  db.CreateTable("t0", 64);
+  auto conn = db.Connect();
+  const Status s = engine::RunTxn(
+      *conn, policy,
+      [](engine::Connection&) { return Status::Unavailable("stuck"); },
+      &stats);
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries_exhausted, 1u);
+  // A clean success (or non-retryable error) never counts as exhaustion.
+  engine::TxnStats ok_stats;
+  EXPECT_TRUE(engine::RunTxn(
+                  *conn, policy,
+                  [](engine::Connection& c) {
+                    return c.Insert(0, 1, storage::Row{int64_t{1}});
+                  },
+                  &ok_stats)
+                  .ok());
+  EXPECT_EQ(ok_stats.retries_exhausted, 0u);
 }
 
 }  // namespace

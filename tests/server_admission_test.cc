@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/crash_point.h"
 #include "common/random.h"
 #include "engine/factory.h"
 
@@ -646,6 +647,168 @@ TEST(TransactionServiceTest, RecoveryBarrierRejectsWithUnavailableNotShed) {
   EXPECT_EQ(st.submitted, 2u);
   EXPECT_EQ(st.admitted, 1u);
   EXPECT_EQ(st.admitted + st.shed + st.rejected_recovering, st.submitted);
+}
+
+// --- sharded engine: routing tier and expiry-after-prepare ------------------
+
+std::unique_ptr<engine::Database> OpenFastSharded(int num_shards,
+                                                  int repl_replicas = 1) {
+  engine::EngineConfig config;
+  config.sharded.num_shards = num_shards;
+  auto& shard = config.sharded.shard;
+  shard.row_work_ns = 0;
+  shard.btree.level_work_ns = 0;
+  for (SimDiskConfig* d :
+       {&shard.data_disk, &shard.log_disk, &shard.repl_disk}) {
+    d->base_latency_ns = 0;
+    d->sigma = 0;
+    d->flush_barrier_ns = 0;
+  }
+  shard.repl_replicas = repl_replicas;
+  auto db = engine::OpenDatabase(engine::EngineKind::kSharded, config);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db.value());
+}
+
+TEST(TransactionServiceTest, RoutingTierClassifiesFootprintsByShardMask) {
+  auto db = OpenFastSharded(4);
+  auto* sharded = static_cast<engine::ShardedDatabase*>(db.get());
+  const uint32_t table = db->CreateTable("t", 64);
+  for (uint64_t k = 0; k < 64; ++k) db->BulkUpsert(table, k, storage::Row{0});
+
+  auto& reg = metrics::Registry::Global();
+  const uint64_t single0 = reg.GetCounter("shard.routed_single")->value();
+  const uint64_t cross0 = reg.GetCounter("shard.routed_cross")->value();
+
+  // One key per footprint: necessarily single-shard. Two keys on different
+  // shards: cross. The service's door classifies from the declared
+  // footprint alone — before any engine work.
+  uint64_t key_a = 0, key_b = 1;
+  while (sharded->router().ShardOf(table, key_b) ==
+         sharded->router().ShardOf(table, key_a)) {
+    ++key_b;
+  }
+  const auto fp = [&](std::initializer_list<uint64_t> keys) {
+    std::vector<uint64_t> out;
+    for (uint64_t k : keys) {
+      out.push_back(sched::ConflictPredictor::Fingerprint(table, k));
+    }
+    return out;
+  };
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  TransactionService svc(db.get(), cfg);
+  svc.Start();
+  std::mutex mu;
+  std::condition_variable cv;
+  int done_count = 0;
+  auto done = [&](const Response&) {
+    std::lock_guard<std::mutex> g(mu);
+    ++done_count;
+    cv.notify_one();
+  };
+  auto body_for = [&](uint64_t k1, uint64_t k2) {
+    return [=](engine::Connection& c) -> Status {
+      Status s = c.Update(table, k1, 0, 1);
+      if (!s.ok()) return s;
+      return c.Update(table, k2, 0, 1);
+    };
+  };
+  ASSERT_TRUE(svc.Submit(body_for(key_a, key_a), fp({key_a}), done).ok());
+  ASSERT_TRUE(svc.Submit(body_for(key_b, key_b), fp({key_b}), done).ok());
+  ASSERT_TRUE(
+      svc.Submit(body_for(key_a, key_b), fp({key_a, key_b}), done).ok());
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done_count == 3; });
+  }
+  svc.Shutdown();
+
+  EXPECT_EQ(reg.GetCounter("shard.routed_single")->value() - single0, 2u);
+  EXPECT_EQ(reg.GetCounter("shard.routed_cross")->value() - cross0, 1u);
+}
+
+// The expiry-after-prepare hazard (docs/sharding.md): a cross-shard request
+// whose first dispatch reached the 2PC prepare phase and then failed
+// retryably (here: one shard's quorum unreachable) requeues with its
+// ORIGINAL admit time. By redispatch it is far past max_queue_age_ns; if the
+// dispatches==0 exemption were missing the service would drop as "expired" a
+// request that already sent prepares — work a coordinator may be counting
+// on. The crash-point recorder proves the first dispatch really entered the
+// 2PC path before the requeue.
+TEST(TransactionServiceTest, RequeueAfter2PCPrepareNeverExpires) {
+  auto db = OpenFastSharded(2, /*repl_replicas=*/3);
+  auto* sharded = static_cast<engine::ShardedDatabase*>(db.get());
+  const uint32_t table = db->CreateTable("t", 64);
+  for (uint64_t k = 0; k < 64; ++k) db->BulkUpsert(table, k, storage::Row{0});
+  uint64_t key0 = 0;
+  while (sharded->router().ShardOf(table, key0) != 0) ++key0;
+  uint64_t key1 = 0;
+  while (sharded->router().ShardOf(table, key1) != 1) ++key1;
+
+  // Shard 1 loses its quorum: every PREPARE there fails Unavailable until
+  // the replicas come back.
+  ASSERT_NE(sharded->shard(1)->quorum_log(), nullptr);
+  sharded->shard(1)->quorum_log()->KillReplica(1);
+  sharded->shard(1)->quorum_log()->KillReplica(2);
+
+  CrashPoints::Global().Reset();
+  CrashPoints::Global().SetRecording(true);
+
+  auto& reg = metrics::Registry::Global();
+  const uint64_t presumed0 = reg.GetCounter("2pc.aborted_presumed")->value();
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue_age_ns = MillisToNanos(20);
+  cfg.retry.max_attempts = 1;  // retryable failures requeue, not retry inline
+  TransactionService svc(db.get(), cfg);
+  svc.Start();
+
+  std::atomic<int> calls{0};
+  const Response r = svc.Execute([&](engine::Connection& c) -> Status {
+    if (calls.fetch_add(1) == 1) {
+      // Second dispatch: heal the quorum so this attempt's 2PC succeeds.
+      // Quorum loss latches until an election restores service, so the
+      // revives need a failover to clear it (docs/replication.md).
+      sharded->shard(1)->quorum_log()->ReviveReplica(1);
+      sharded->shard(1)->quorum_log()->ReviveReplica(2);
+      sharded->shard(1)->quorum_log()->Failover();
+    }
+    Status s = c.Update(table, key0, 0, 1);
+    if (!s.ok()) return s;
+    s = c.Update(table, key1, 0, 1);
+    if (!s.ok()) return s;
+    if (calls.load() == 1) {
+      // Age the request past max_queue_age_ns before the failing commit, so
+      // the post-requeue dispatch faces the expiry check head-on.
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+    return Status::OK();
+  });
+  svc.Shutdown();
+
+  const auto hits = CrashPoints::Global().RecordedHits();
+  CrashPoints::Global().Reset();
+  CrashPoints::Global().SetRecording(false);
+
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.dispatches, 2);
+  EXPECT_EQ(calls.load(), 2);
+  // The first dispatch entered 2PC (hit the prepare crash point) and
+  // presumed abort when shard 1's quorum failed its PREPARE.
+  const auto it = hits.find("2pc.pre_prepare");
+  ASSERT_NE(it, hits.end());
+  EXPECT_GE(it->second, 2u);  // both dispatches reached the prepare phase
+  EXPECT_GE(reg.GetCounter("2pc.aborted_presumed")->value() - presumed0, 1u);
+
+  const TransactionService::Stats st = svc.stats();
+  EXPECT_EQ(st.admitted, 1u);
+  EXPECT_EQ(st.requeues, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.expired, 0u);  // expiry-after-prepare is impossible
+  EXPECT_EQ(st.completed + st.expired + st.drain_aborted, st.admitted);
 }
 
 }  // namespace

@@ -191,5 +191,89 @@ TEST(ShardedHashTableTest, MixedReadersWritersErasersStayCoherent) {
   EXPECT_EQ(bad.load(), 0u);
 }
 
+// --- ForEach visibility contract under concurrent mutation ------------------
+// The header promises: a key present for the whole sweep is visited exactly
+// once (no bucket-skip, no double-visit), keys inserted/erased mid-sweep may
+// be seen or missed but never half-visited. These tests drive ForEach against
+// concurrent WithSlot/EraseIf churn and check each clause.
+
+TEST(ShardedHashTableForEachTest, StableKeysVisitedExactlyOncePerSweep) {
+  // Stable keys carry value 1'000'000+k; churn keys (disjoint range) are
+  // inserted and erased continuously by background threads while the main
+  // thread sweeps. Every sweep must see each stable key exactly once.
+  Table t(8);  // few buckets: stable and churn keys share chains
+  constexpr uint64_t kStable = 64;
+  for (uint64_t k = 0; k < kStable; ++k) {
+    t.WithSlot(k, [&](int64_t& v, bool) {
+      v = 1'000'000 + static_cast<int64_t>(k);
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  for (int i = 0; i < 4; ++i) {
+    churn.emplace_back([&, i] {
+      const uint64_t base = 1000 + static_cast<uint64_t>(i) * 500;
+      uint64_t j = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t key = base + (j % 500);
+        t.WithSlot(key, [](int64_t& v, bool) { v = 7; });
+        t.EraseIf(key, [](int64_t& v) { return v == 7; });
+        ++j;
+      }
+    });
+  }
+  for (int sweep = 0; sweep < 200; ++sweep) {
+    std::vector<int> seen(kStable, 0);
+    t.ForEach([&](const uint64_t& k, int64_t& v) {
+      if (k < kStable) {
+        EXPECT_EQ(v, 1'000'000 + static_cast<int64_t>(k));
+        ++seen[static_cast<size_t>(k)];
+      } else {
+        EXPECT_EQ(v, 7);  // churn entries are never seen half-written
+      }
+    });
+    for (uint64_t k = 0; k < kStable; ++k) {
+      ASSERT_EQ(seen[static_cast<size_t>(k)], 1)
+          << "stable key " << k << " visited " << seen[static_cast<size_t>(k)]
+          << " times in sweep " << sweep;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : churn) th.join();
+}
+
+TEST(ShardedHashTableForEachTest, ConcurrentEraseNeverDoubleCountsAKey) {
+  // Erasers drain a fixed population while sweeps run. Each sweep may see a
+  // key 0 or 1 times (missed iff its bucket was walked after the erase) —
+  // never twice — and successive sweep counts shrink to zero.
+  Table t(4);
+  constexpr uint64_t kKeys = 2048;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    t.WithSlot(k, [](int64_t& v, bool) { v = 1; });
+  }
+  std::vector<std::thread> erasers;
+  for (int i = 0; i < 4; ++i) {
+    erasers.emplace_back([&, i] {
+      for (uint64_t k = static_cast<uint64_t>(i); k < kKeys; k += 4) {
+        EXPECT_TRUE(t.EraseIf(k, [](int64_t& v) { return v == 1; }));
+      }
+    });
+  }
+  while (t.size() > 0) {
+    std::vector<uint8_t> seen(kKeys, 0);
+    t.ForEach([&](const uint64_t& k, int64_t& v) {
+      EXPECT_EQ(v, 1);
+      ASSERT_LT(k, kKeys);
+      ASSERT_EQ(seen[static_cast<size_t>(k)], 0)
+          << "key " << k << " double-visited during concurrent erase";
+      seen[static_cast<size_t>(k)] = 1;
+    });
+  }
+  for (auto& th : erasers) th.join();
+  size_t n = 0;
+  t.ForEach([&](const uint64_t&, int64_t&) { ++n; });
+  EXPECT_EQ(n, 0u);
+}
+
 }  // namespace
 }  // namespace tdp

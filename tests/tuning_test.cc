@@ -285,6 +285,37 @@ TEST(TuningTrialTest, MaterializeAppliesPgKnobsOntoToolkitBase) {
   EXPECT_EQ(cfg.pg.seed, 7u);
 }
 
+TEST(TuningTrialTest, MaterializeBuildsShardedTemplateFromMysqlKnobs) {
+  KnobConfig k;
+  k.scheduler = lock::SchedulerPolicy::kVATS;
+  k.flush_policy = log::FlushPolicy::kLazyFlush;
+  k.num_shards = 4;
+  const engine::EngineConfig cfg =
+      MaterializeEngineConfig(k, TrialConfig{}, /*seed=*/11);
+  // Every mysql knob applies per shard: the template is the tuned config.
+  EXPECT_EQ(cfg.sharded.num_shards, 4);
+  EXPECT_EQ(cfg.sharded.shard.lock.policy, lock::SchedulerPolicy::kVATS);
+  EXPECT_EQ(cfg.sharded.shard.flush_policy, log::FlushPolicy::kLazyFlush);
+  EXPECT_EQ(cfg.sharded.shard.seed, 11u);
+
+  // The partitioned arm survives the JSON round-trip, labels distinctly,
+  // and rejects out-of-range or non-mysql partition counts.
+  const auto rt = KnobConfig::FromJson(k.ToJson());
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_EQ(rt.value().num_shards, 4);
+  EXPECT_EQ(rt.value().Label(), k.Label());
+  EXPECT_NE(k.Label(), KnobConfig().Label());
+
+  json::Value too_many = KnobConfig().ToJson();
+  too_many.Set("num_shards",
+               json::Value::Int(engine::ShardRouter::kMaxShards + 1));
+  EXPECT_FALSE(KnobConfig::FromJson(too_many).ok());
+  json::Value pg_sharded = KnobConfig().ToJson();
+  pg_sharded.Set("engine", json::Value::Str("pgmini"));
+  pg_sharded.Set("num_shards", json::Value::Int(2));
+  EXPECT_FALSE(KnobConfig::FromJson(pg_sharded).ok());
+}
+
 // --- the real runner --------------------------------------------------------
 
 TEST(TuningTrialTest, TrialRunnerMeasuresARealService) {

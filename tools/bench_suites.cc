@@ -344,6 +344,41 @@ json::Value ReplExperiment(int replicas, uint64_t n) {
                        });
 }
 
+/// Partitioned scale-out (docs/sharding.md): multi-op YCSB over N
+/// hash-partitioned mysqlmini shards, so transactions whose keys land on
+/// different shards commit through presumed-abort 2PC while single-shard
+/// ones take the untouched fast path. CheckInvariants enforces the 2PC
+/// ledger (2pc.prepared + 2pc.aborted_presumed == 2pc.coordinated), the
+/// commit classification, and — since every shard is a full mysqlmini —
+/// the usual lock-grant accounting.
+json::Value ShardExperiment(int num_shards, uint64_t n) {
+  json::Value p = json::Value::Object();
+  p.Set("num_shards", json::Value::Int(num_shards));
+  return RunExperiment("shard.n" + std::to_string(num_shards), "sharded",
+                       std::move(p), [&] {
+                         engine::EngineConfig ecfg;
+                         ecfg.sharded.num_shards = num_shards;
+                         ecfg.sharded.shard = core::Toolkit::MysqlDefault(
+                             lock::SchedulerPolicy::kFCFS);
+                         // Cross-shard deadlock cycles are invisible to the
+                         // per-shard detectors; timeouts break them instead.
+                         ecfg.sharded.shard.lock.wait_timeout_ns =
+                             MillisToNanos(500);
+                         auto db = MustOpen(engine::EngineKind::kSharded, ecfg);
+                         workload::YcsbConfig ycsb;
+                         ycsb.rows = 4000;
+                         ycsb.zipf_theta = 0.5;
+                         ycsb.ops_per_txn = 4;
+                         ycsb.pct_reads = 50;
+                         workload::Ycsb wl(ycsb);
+                         workload::DriverConfig driver =
+                             core::Toolkit::DriverDefault();
+                         driver.num_txns = n;
+                         driver.warmup_txns = n / 10;
+                         return core::LoadAndRun(db.get(), &wl, driver).metrics;
+                       });
+}
+
 json::Value Fig6VoltExperiment(uint64_t n) {
   return RunExperiment("fig6.voltmini", "voltmini", json::Value::Object(),
                        [&] { return RunVolt(/*workers=*/2, n); });
@@ -361,7 +396,7 @@ json::Value SuiteDoc(const std::string& suite) {
 
 std::vector<std::string> ListSuites() {
   return {"smoke", "fig2", "fig3", "fig4", "fig6", "server-smoke",
-          "sched-smoke", "repl-smoke"};
+          "sched-smoke", "repl-smoke", "shard-smoke"};
 }
 
 bool HasSuite(const std::string& suite) {
@@ -433,6 +468,12 @@ json::Value RunSuite(const std::string& suite) {
     // ledger checked for exactness on both arms.
     experiments.Append(ReplExperiment(/*replicas=*/3, SuiteN(2500)));
     experiments.Append(ReplExperiment(/*replicas=*/5, SuiteN(2500)));
+  } else if (suite == "shard-smoke") {
+    // Partitioned scale-out end to end: a 1-shard arm (pure fast path — 2PC
+    // must never fire) and a 4-shard arm whose multi-op transactions cross
+    // shards, with the 2pc.* ledger checked for exactness on both.
+    experiments.Append(ShardExperiment(/*num_shards=*/1, SuiteN(2500)));
+    experiments.Append(ShardExperiment(/*num_shards=*/4, SuiteN(2500)));
   } else {  // fig6
     const uint64_t n = SuiteN(6000);
     workload::DriverConfig driver = core::Toolkit::DriverDefault();
@@ -774,6 +815,33 @@ std::vector<std::string> CheckInvariants(const json::Value& doc) {
       RequirePositive(exp, "repl.commits_submitted", &problems);
       RequirePositive(exp, "repl.ships", &problems);
       RequirePositive(exp, "repl.ship_bytes", &problems);
+    } else if (engine == "sharded") {
+      // Each shard is a full mysqlmini, so lock-grant accounting still
+      // holds across the union of shards, and the 2PC ledger is exact:
+      // every coordinated cross-shard round either fully prepared or
+      // presumed abort before the decision — nothing in between
+      // (docs/sharding.md).
+      RequireEq(exp, "lock.grants.total != mysql.lock_acquisitions",
+                Counter(exp, "lock.grants.total"),
+                Counter(exp, "mysql.lock_acquisitions"), &problems);
+      RequirePositive(exp, "lock.grants.total", &problems);
+      RequirePositive(exp, "shard.single_shard_txns", &problems);
+      RequireEq(exp,
+                "2pc.prepared + 2pc.aborted_presumed != 2pc.coordinated",
+                Counter(exp, "2pc.prepared") +
+                    Counter(exp, "2pc.aborted_presumed"),
+                Counter(exp, "2pc.coordinated"), &problems);
+      if (ParamInt(exp, "num_shards") > 1) {
+        // Multi-op YCSB over hash partitions must actually cross shards.
+        RequirePositive(exp, "shard.cross_shard_txns", &problems);
+        RequirePositive(exp, "2pc.coordinated", &problems);
+      } else {
+        // One shard: the fast path is the only path.
+        RequireEq(exp, "2pc.coordinated nonzero on a single shard",
+                  Counter(exp, "2pc.coordinated"), 0, &problems);
+        RequireEq(exp, "shard.cross_shard_txns nonzero on a single shard",
+                  Counter(exp, "shard.cross_shard_txns"), 0, &problems);
+      }
     } else if (engine == "voltmini") {
       RequireEq(exp, "volt.submits != volt.completions",
                 Counter(exp, "volt.submits"),

@@ -8,6 +8,10 @@
 #   replica-kill mode: K-copy quorum replication under single failures
 #                      (crash points, replica kills, failover drills,
 #                      leader-loss elections) — docs/replication.md.
+#   coordinator-crash: cross-shard 2PC under coordinator/participant crash
+#                      points and torn per-shard log tails; any seed where a
+#                      transaction commits on one shard but aborts on
+#                      another fails the gate — docs/sharding.md.
 #
 # The seed range is sharded with --seed-start/--seed-count so CI can split a
 # large sweep across parallel ctest entries.

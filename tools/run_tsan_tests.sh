@@ -11,8 +11,9 @@ BUILD_DIR=build-tsan
 
 # The races worth hunting live in the lock manager, buffer pool, log/WAL
 # group commit, the fault-injection retry paths, the server layer's
-# admission queue + worker pool, the tuner's engine+service lifecycles, and
-# the replication layer's shipper threads + ack parking.
+# admission queue + worker pool, the tuner's engine+service lifecycles, the
+# replication layer's shipper threads + ack parking, and the sharded
+# engine's cross-shard 2PC over per-shard logs.
 TESTS=(
   metrics_test
   server_admission_test
@@ -38,6 +39,8 @@ TESTS=(
   conflict_predictor_test
   conflict_sched_property_test
   repl_test
+  sharded_db_test
+  two_phase_recovery_test
   "$@"
 )
 

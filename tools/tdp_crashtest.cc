@@ -47,9 +47,11 @@
 
 #include "common/crash_point.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "engine/mysqlmini.h"
 #include "engine/recovery.h"
+#include "engine/sharded_db.h"
 #include "log/log_codec.h"
 #include "pg/pgmini.h"
 #include "repl/quorum_log.h"
@@ -1085,6 +1087,365 @@ SeedResult RunReplicaKillSeed(uint64_t seed, bool verbose) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// --mode=coordinator-crash: the cross-shard 2PC harness (docs/sharding.md).
+//
+// Each seed runs a 2/3/4-shard ShardedDatabase through a single-threaded
+// mixed workload (random keys hash to a natural mix of single- and
+// cross-shard transactions), optionally crashing at one of the coordinator's
+// protocol instants — 2pc.pre_prepare (before any participant prepared),
+// 2pc.pre_decide (prepares durable, decision not yet), 2pc.pre_ack
+// (decision durable, participant commits not yet) — or at the generic redo.*
+// commit sites, or not at all. Per-shard checkpoints and torn log tails ride
+// along on some seeds.
+//
+// At reboot every shard's crash image is decoded independently, 2PC outcomes
+// are resolved across the streams with engine::Filter2PCRedo (presumed
+// abort), each filtered stream replays into a fresh shard, and the merged
+// state is verified against the shadow oracle:
+//
+//   * ATOMICITY: the merged state equals the oracle after every OK-committed
+//     transaction, optionally extended by THE one undecided tail transaction
+//     (a commit whose decision durability the crash left ambiguous) applied
+//     in full. A cross-shard transaction recovered on some shards but not
+//     others matches neither state and fails the seed.
+//   * DURABILITY: every transaction whose Commit() returned OK before the
+//     crash point fired recovers — single-shard commits force their frame,
+//     2PC forces PREPARE and DECISION frames. An OK returned after the
+//     crash fired is ambiguous (the single-shard eager path degrades on a
+//     dark device instead of failing the commit) and joins the undecided
+//     tail.
+//   * PRESUMED ABORT: a prepare-phase abort (no decision logged) never
+//     resurrects, even when its prepare frames survive in a torn tail.
+//   * LEDGER: 2pc.prepared + 2pc.aborted_presumed == 2pc.coordinated over
+//     the seed (the bench_suites invariant, checked at fuzzer granularity).
+
+struct CoordPlan {
+  int num_shards = 2;
+  bool use_checkpoints = false;
+  uint64_t checkpoint_every = 6;
+  std::string crash_point;  ///< Empty = clean run.
+  uint64_t crash_occurrence = 1;
+  bool torn_tail = false;
+};
+
+CoordPlan MakeCoordPlan(uint64_t seed, Rng* rng) {
+  CoordPlan plan;
+  plan.num_shards = 2 + static_cast<int>(seed % 3);
+  plan.use_checkpoints = rng->Bernoulli(0.4);
+  plan.checkpoint_every = 4 + rng->Uniform(8);
+  const double arm = rng->NextDouble();
+  if (arm < 0.70) {
+    static const char* kPoints[] = {"2pc.pre_prepare", "2pc.pre_decide",
+                                    "2pc.pre_ack",     "redo.append",
+                                    "redo.pre_flush",  "redo.post_flush"};
+    plan.crash_point = kPoints[rng->Uniform(6)];
+    // 2pc.* sites fire once per cross-shard commit; redo.* fire several
+    // times per commit across all shards.
+    plan.crash_occurrence = plan.crash_point.rfind("2pc.", 0) == 0
+                                ? 1 + rng->Uniform(kMaxTxns / 2)
+                                : 1 + rng->Uniform(3 * kMaxTxns);
+  }  // else: clean run
+  plan.torn_tail = rng->Bernoulli(0.5);
+  return plan;
+}
+
+SeedResult RunCoordinatorCrashSeed(uint64_t seed, bool verbose) {
+  SeedResult result;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0x2FC0);
+  const CoordPlan plan = MakeCoordPlan(seed, &rng);
+
+  CrashPoints::Global().Reset();
+
+  SimDiskConfig quick_disk;
+  quick_disk.base_latency_ns = 1000;
+  quick_disk.sigma = 0.0;
+  quick_disk.flush_barrier_ns = 2000;
+  quick_disk.seed = seed + 7;
+
+  engine::ShardedDatabaseConfig cfg;
+  cfg.num_shards = plan.num_shards;
+  cfg.shard.logical_redo = true;
+  cfg.shard.row_work_ns = 0;
+  cfg.shard.flush_policy = log::FlushPolicy::kEagerFlush;
+  cfg.shard.data_disk = quick_disk;
+  cfg.shard.log_disk = quick_disk;
+  cfg.shard.seed = seed + 1;
+  auto sharded = std::make_unique<engine::ShardedDatabase>(cfg);
+  SetupSchema(sharded.get());
+
+  auto& reg = metrics::Registry::Global();
+  metrics::Counter* c_coordinated = reg.GetCounter("2pc.coordinated");
+  metrics::Counter* c_prepared = reg.GetCounter("2pc.prepared");
+  metrics::Counter* c_aborted = reg.GetCounter("2pc.aborted_presumed");
+  metrics::Counter* c_decisions = reg.GetCounter("2pc.decisions");
+  const uint64_t coordinated0 = c_coordinated->value();
+  const uint64_t prepared0 = c_prepared->value();
+  const uint64_t aborted0 = c_aborted->value();
+  const uint64_t decisions0 = c_decisions->value();
+
+  if (!plan.crash_point.empty()) {
+    CrashPoints::Global().Arm(plan.crash_point, plan.crash_occurrence);
+  }
+
+  // --- workload ------------------------------------------------------------
+  std::vector<OracleTxn> committed;
+  // The at-most-one transaction whose final commit failed with its frames
+  // possibly in a torn tail: recovery may legitimately surface it — in full
+  // on every shard it touched, or not at all.
+  std::optional<OracleTxn> undecided;
+  DbState shadow = PreloadState();
+  std::vector<engine::CheckpointStore> ckpt_stores(
+      static_cast<size_t>(plan.num_shards));
+  std::vector<uint64_t> ckpt_saves(static_cast<size_t>(plan.num_shards), 0);
+  uint64_t cross_txns = 0;
+  auto conn = sharded->Connect();
+
+  for (int i = 0; i < kMaxTxns; ++i) {
+    if (CrashPoints::Global().triggered()) break;
+    DbState scratch = shadow;
+    OracleTxn txn;
+    const int nops = 1 + static_cast<int>(rng.Uniform(3));
+    for (int o = 0; o < nops; ++o) {
+      OracleOp op;
+      op.table = static_cast<uint32_t>(rng.Uniform(kTables));
+      op.key = rng.Uniform(kKeySpace);
+      TableState& ts = scratch[op.table];
+      auto it = ts.find(op.key);
+      if (it == ts.end()) {
+        op.kind = OracleOp::Kind::kInsert;
+        op.after = {static_cast<int64_t>(op.key * 3 + 1),
+                    static_cast<int64_t>(seed & 0xFF)};
+        ts[op.key] = op.after;
+      } else if (rng.Bernoulli(0.2)) {
+        op.kind = OracleOp::Kind::kDelete;
+        ts.erase(it);
+      } else {
+        op.kind = OracleOp::Kind::kUpdate;
+        op.delta = static_cast<int64_t>(1 + rng.Uniform(9));
+        op.after = it->second;
+        op.after[0] += op.delta;
+        it->second = op.after;
+      }
+      txn.ops.push_back(std::move(op));
+    }
+
+    if (!conn->Begin().ok()) break;
+    bool op_failed = false;
+    for (const OracleOp& op : txn.ops) {
+      Status s;
+      switch (op.kind) {
+        case OracleOp::Kind::kDelete:
+          s = conn->Delete(op.table, op.key);
+          break;
+        case OracleOp::Kind::kUpdate:
+          s = conn->Update(op.table, op.key, 0, op.delta);
+          break;
+        case OracleOp::Kind::kInsert: {
+          storage::Row row;
+          row.cols = op.after;
+          s = conn->Insert(op.table, op.key, row);
+          break;
+        }
+      }
+      if (!s.ok()) {
+        op_failed = true;
+        break;
+      }
+    }
+    if (op_failed) {
+      // Rolled back before commit: no redo was logged, recovery must never
+      // see it.
+      conn->Rollback();
+      if (CrashPoints::Global().triggered()) break;
+      continue;
+    }
+    uint64_t shards_touched = 0;
+    for (const OracleOp& op : txn.ops) {
+      shards_touched |= uint64_t{1}
+                        << sharded->router().ShardOf(op.table, op.key);
+    }
+    if ((shards_touched & (shards_touched - 1)) != 0) ++cross_txns;
+
+    const uint64_t aborted_before = c_aborted->value();
+    const Status cs = conn->Commit();
+    const bool crashed_now = CrashPoints::Global().triggered();
+    if (cs.ok() && !crashed_now) {
+      // Forced durable with a healthy device (single-shard sync commit, or
+      // 2PC prepare+decision forces): OK means this transaction MUST
+      // recover.
+      txn.acked = true;
+      committed.push_back(std::move(txn));
+      shadow = std::move(scratch);
+    } else if (cs.ok()) {
+      // The crash fired inside this commit. The 2PC forces report a dark
+      // device, but the single-shard eager path degrades instead of failing
+      // the commit (log.degraded_commits), so OK here does NOT imply the
+      // frame reached the durable cut: treat it as the undecided tail —
+      // recovery may surface it in full or not at all.
+      undecided = std::move(txn);
+    } else if (c_aborted->value() != aborted_before) {
+      // Prepare-phase abort: rolled back everywhere, no decision logged.
+      // Presumed abort at recovery — it must NOT resurrect. Nothing to
+      // record: it belongs to no acceptable state.
+    } else {
+      // Single-shard flush failure or ambiguous 2PC decision: frames are in
+      // the append stream past the durable cut — a torn tail may reveal
+      // them. Recovery may apply it fully or drop it; half is a violation.
+      undecided = std::move(txn);
+    }
+    if (CrashPoints::Global().triggered()) break;
+    if (!cs.ok()) break;  // non-crash commit failures should not happen
+
+    if (plan.use_checkpoints &&
+        committed.size() % plan.checkpoint_every == 0 && !committed.empty()) {
+      for (int s = 0; s < plan.num_shards; ++s) {
+        const Result<engine::Checkpoint> ckpt =
+            sharded->shard(s)->TakeCheckpoint();
+        if (ckpt.ok()) {
+          ckpt_stores[static_cast<size_t>(s)].Save(
+              engine::EncodeCheckpoint(ckpt.value()));
+          ++ckpt_saves[static_cast<size_t>(s)];
+        }
+      }
+    }
+  }
+
+  result.crashed = CrashPoints::Global().triggered();
+  result.committed = committed.size();
+  result.acked = committed.size();  // OK == acked == durable in this mode
+  const std::string crashed_by = CrashPoints::Global().triggered_by();
+
+  // --- 2PC ledger (bench_suites invariant at fuzzer granularity) -----------
+  const uint64_t coordinated_d = c_coordinated->value() - coordinated0;
+  const uint64_t prepared_d = c_prepared->value() - prepared0;
+  const uint64_t aborted_d = c_aborted->value() - aborted0;
+  const uint64_t decisions_d = c_decisions->value() - decisions0;
+  if (prepared_d + aborted_d != coordinated_d) {
+    result.ok = false;
+    result.error = "2pc ledger out of balance: prepared " +
+                   std::to_string(prepared_d) + " + aborted_presumed " +
+                   std::to_string(aborted_d) + " != coordinated " +
+                   std::to_string(coordinated_d);
+    return result;
+  }
+
+  // --- reboot --------------------------------------------------------------
+  // Every shard's durable log image (plus an optional torn tail), decoded
+  // independently — the post-reboot scan of every partition.
+  std::vector<std::vector<log::RecoveredTxn>> streams(
+      static_cast<size_t>(plan.num_shards));
+  for (int s = 0; s < plan.num_shards; ++s) {
+    const uint64_t tail = plan.torn_tail ? rng.Uniform(4 * 1024) : 0;
+    const std::vector<uint8_t> image =
+        sharded->shard(s)->redo_log().CrashImage(tail);
+    // Torn-tail stops are expected; DataLoss would be a framing bug.
+    const log::LogDecodeResult dr =
+        log::DecodeLogImage(image, &streams[static_cast<size_t>(s)]);
+    if (!dr.status.ok()) {
+      result.ok = false;
+      result.error = "shard " + std::to_string(s) +
+                     " log decode failed: " + dr.status.ToString();
+      return result;
+    }
+  }
+  CrashPoints::Global().Reset();
+
+  // Presumed-abort resolution across all shard streams, then per-shard
+  // replay into a fresh sharded engine (same shard count => same routing).
+  engine::ShardedDatabaseConfig target_cfg;
+  target_cfg.num_shards = plan.num_shards;
+  target_cfg.shard.logical_redo = true;
+  target_cfg.shard.row_work_ns = 0;
+  target_cfg.shard.seed = seed + 2;
+  auto target = std::make_unique<engine::ShardedDatabase>(target_cfg);
+  SetupSchema(target.get());
+  engine::TwoPhaseRecoveryStats tstats;
+  for (int s = 0; s < plan.num_shards; ++s) {
+    const std::vector<log::RecoveredTxn> filtered =
+        engine::Filter2PCRedo(streams, static_cast<size_t>(s), &tstats);
+    uint64_t start_after = 0;
+    if (plan.use_checkpoints && ckpt_saves[static_cast<size_t>(s)] > 0) {
+      const std::optional<engine::Checkpoint> ckpt =
+          ckpt_stores[static_cast<size_t>(s)].LoadLatest();
+      if (!ckpt.has_value()) {
+        result.ok = false;
+        result.error =
+            "shard " + std::to_string(s) + " checkpoint failed to decode";
+        return result;
+      }
+      engine::RestoreCheckpoint(*ckpt, &target->shard(s)->catalog());
+      start_after = ckpt->lsn;
+    }
+    engine::MySQLMini::RecoverInto(filtered, target->shard(s), start_after);
+  }
+
+  // Merged global state: shards hold disjoint key partitions.
+  DbState recovered_state(kTables);
+  for (int s = 0; s < plan.num_shards; ++s) {
+    const DbState part = ExtractState(target->shard(s)->catalog());
+    for (uint32_t t = 0; t < kTables; ++t) {
+      for (const auto& [key, cols] : part[t]) {
+        recovered_state[t][key] = cols;
+      }
+    }
+  }
+
+  // --- verification --------------------------------------------------------
+  // Every OK commit was forced durable, so the only acceptable states are
+  // "all committed" and "all committed + the undecided tail in full". This
+  // subsumes atomicity: a cross-shard transaction applied on a strict
+  // subset of its shards matches neither.
+  DbState want = PreloadState();
+  for (const OracleTxn& t : committed) ApplyTxn(t, &want);
+  if (recovered_state == want) {
+    result.recovered_prefix = committed.size();
+  } else if (undecided.has_value()) {
+    DbState want_undecided = want;
+    ApplyTxn(*undecided, &want_undecided);
+    if (recovered_state == want_undecided) {
+      result.recovered_prefix = committed.size() + 1;
+    } else {
+      result.ok = false;
+      result.error =
+          "2PC atomicity violation: recovered state is neither all-committed"
+          " (" +
+          DescribeDiff(recovered_state, want) +
+          ") nor committed+undecided (" +
+          DescribeDiff(recovered_state, want_undecided) + ")" +
+          (crashed_by.empty() ? "" : " [crash via " + crashed_by + "]");
+      return result;
+    }
+  } else {
+    result.ok = false;
+    result.error = "recovered state diverges from the committed set (" +
+                   DescribeDiff(recovered_state, want) + ")" +
+                   (crashed_by.empty() ? "" : " [crash via " + crashed_by +
+                                                  "]");
+    return result;
+  }
+
+  if (verbose) {
+    std::printf(
+        "seed %llu: shards=%d committed=%llu cross=%llu undecided=%d "
+        "crash=%s ckpt=%d torn=%d 2pc[coord=%llu prep=%llu abort=%llu "
+        "decide=%llu] recov[replayed=%llu presumed=%llu]\n",
+        static_cast<unsigned long long>(seed), plan.num_shards,
+        static_cast<unsigned long long>(result.committed),
+        static_cast<unsigned long long>(cross_txns),
+        undecided.has_value() ? 1 : 0,
+        crashed_by.empty() ? "none" : crashed_by.c_str(),
+        plan.use_checkpoints ? 1 : 0, plan.torn_tail ? 1 : 0,
+        static_cast<unsigned long long>(coordinated_d),
+        static_cast<unsigned long long>(prepared_d),
+        static_cast<unsigned long long>(aborted_d),
+        static_cast<unsigned long long>(decisions_d),
+        static_cast<unsigned long long>(tstats.replayed_prepared),
+        static_cast<unsigned long long>(tstats.presumed_aborted));
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace tdp
 
@@ -1117,23 +1478,28 @@ int main(int argc, char** argv) {
     } else if (arg == "--verbose") {
       verbose = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: tdp_crashtest [--mode=recovery|replica-kill] "
-                   "[--seed-start=N] [--seed-count=N] "
-                   "[--engine=mysql|pg|both] [--verbose]\n");
+      std::fprintf(
+          stderr,
+          "usage: tdp_crashtest "
+          "[--mode=recovery|replica-kill|coordinator-crash] "
+          "[--seed-start=N] [--seed-count=N] "
+          "[--engine=mysql|pg|both] [--verbose]\n");
       return 2;
     }
   }
-  if (mode != "recovery" && mode != "replica-kill") {
+  if (mode != "recovery" && mode != "replica-kill" &&
+      mode != "coordinator-crash") {
     std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
     return 2;
   }
 
   uint64_t failures = 0, crashes = 0, committed = 0, acked = 0;
   for (uint64_t seed = start_seed; seed < start_seed + seeds; ++seed) {
-    const tdp::SeedResult r = mode == "replica-kill"
-                                  ? tdp::RunReplicaKillSeed(seed, verbose)
-                                  : tdp::RunSeed(seed, engine, verbose);
+    const tdp::SeedResult r =
+        mode == "replica-kill" ? tdp::RunReplicaKillSeed(seed, verbose)
+        : mode == "coordinator-crash"
+            ? tdp::RunCoordinatorCrashSeed(seed, verbose)
+            : tdp::RunSeed(seed, engine, verbose);
     crashes += r.crashed ? 1 : 0;
     committed += r.committed;
     acked += r.acked;

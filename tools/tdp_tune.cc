@@ -104,6 +104,24 @@ TrialConfig SchedCpTrial() {
   return t;
 }
 
+KnobSpace ShardsSpace() {
+  // Engine partition count (docs/sharding.md): the tuner weighs per-shard
+  // queueing relief against the 2PC tax the workload's cross-shard mix
+  // imposes (at N shards a 2-op uniform YCSB txn is cross-shard with
+  // probability 1 - 1/N).
+  KnobSpace s;
+  s.num_shards = {1, 2, 4};
+  return s;
+}
+
+TrialConfig ShardsTrial() {
+  TrialConfig t = BaseTrial();
+  t.ycsb_zipf = true;
+  t.zipf_theta = 0.6;
+  t.ycsb_ops_per_txn = 2;
+  return t;
+}
+
 const NamedSpace kSpaces[] = {
     {"fig3-flush", "mysql redo flush policy (fig 3)", FlushSpace, BaseTrial},
     {"fig3-bufpool", "mysql buffer-pool pages, 2-WH contended (fig 3)",
@@ -114,6 +132,8 @@ const NamedSpace kSpaces[] = {
      SchedCpTrial},
     {"workers", "service worker-pool size (fig 7 analog)", WorkersSpace,
      BaseTrial},
+    {"shards", "engine partition count under a cross-shard 2PC mix",
+     ShardsSpace, ShardsTrial},
 };
 
 bool ReadFile(const std::string& path, std::string* out) {
